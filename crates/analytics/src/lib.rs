@@ -1,0 +1,68 @@
+//! # grasp-analytics — a Ligra-style vertex-centric analytics framework
+//!
+//! This crate is the software substrate of the GRASP (HPCA'20) reproduction:
+//! the equivalent of the Ligra framework and the five applications of
+//! Table III (PageRank, PageRank-Delta, Betweenness Centrality, Single-Source
+//! Shortest Paths and Radii estimation).
+//!
+//! Beyond producing correct analytical results, every application models its
+//! memory behaviour: per-vertex state lives in *Property Arrays* placed in a
+//! simulated virtual [`layout::AddressSpace`], and every structural access
+//! (Vertex Array, Edge Array, frontier) and property access is reported to a
+//! [`mem::MemoryModel`]. Two models are provided:
+//!
+//! * [`mem::NativeMemory`] — a no-op, used when measuring real wall-clock
+//!   runtimes (the Fig. 10a reordering study);
+//! * [`mem::TracedMemory`] — drives a [`grasp_cachesim::Hierarchy`], used for
+//!   all simulator-based experiments (Figs. 2, 5–9, 11).
+//!
+//! The applications program the GRASP Address Bound Registers with the bounds
+//! of their Property Arrays right after allocating them, exactly as the
+//! instrumented Ligra applications do in the paper.
+//!
+//! ```
+//! use grasp_analytics::apps::{AppKind, AppConfig};
+//! use grasp_analytics::mem::NativeMemory;
+//! use grasp_analytics::Workspace;
+//! use grasp_graph::generators::{GraphGenerator, Rmat};
+//!
+//! let graph = Rmat::new(8, 8).generate(1);
+//! let mut ws = Workspace::new(NativeMemory::new());
+//! let result = AppKind::PageRank.run(&graph, &mut ws, &AppConfig::default());
+//! assert_eq!(result.values.len(), graph.vertex_count());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod apps;
+pub mod engine;
+pub mod frontier;
+pub mod layout;
+pub mod mem;
+pub mod props;
+pub mod workspace;
+
+pub use frontier::Frontier;
+pub use layout::{AddressSpace, ArrayHandle};
+pub use mem::{MemoryModel, NativeMemory, TracedMemory};
+pub use props::{PropertyLayout, PropertySet};
+pub use workspace::Workspace;
+
+/// Access-site identifiers (the PC proxies carried with every access).
+pub mod sites {
+    use grasp_cachesim::request::AccessSite;
+
+    /// Reads of the CSR Vertex Array (offsets).
+    pub const VERTEX_ARRAY: AccessSite = 1;
+    /// Reads of the CSR Edge Array (neighbour IDs / weights).
+    pub const EDGE_ARRAY: AccessSite = 2;
+    /// Reads of Property Array elements indexed by a *neighbour* vertex — the
+    /// irregular accesses at the heart of the paper's analysis.
+    pub const PROPERTY_GATHER: AccessSite = 3;
+    /// Reads/writes of Property Array elements indexed by the *current*
+    /// vertex (sequential).
+    pub const PROPERTY_LOCAL: AccessSite = 4;
+    /// Frontier bitmap reads and writes.
+    pub const FRONTIER: AccessSite = 5;
+}

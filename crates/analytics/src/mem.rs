@@ -1,0 +1,138 @@
+//! Memory models: where the applications' memory accesses go.
+
+use grasp_cachesim::addr::Address;
+use grasp_cachesim::request::{AccessKind, AccessSite, RegionLabel};
+use grasp_cachesim::stats::HierarchyStats;
+use grasp_cachesim::Hierarchy;
+
+/// A sink for the memory accesses an application performs.
+pub trait MemoryModel: std::fmt::Debug {
+    /// Reports one memory access.
+    fn touch(&mut self, addr: Address, kind: AccessKind, site: AccessSite, region: RegionLabel);
+
+    /// Programs the GRASP Address Bound Registers with the application's
+    /// Property Array bounds. The default implementation ignores the call
+    /// (native execution has no simulated hardware).
+    fn program_property_bounds(&mut self, _bounds: &[(Address, Address)]) {}
+
+    /// Number of accesses reported so far.
+    fn access_count(&self) -> u64;
+}
+
+/// The no-op model used for native (wall-clock) runs: accesses are counted
+/// but not simulated.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NativeMemory {
+    accesses: u64,
+}
+
+impl NativeMemory {
+    /// Creates a native (no-op) memory model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MemoryModel for NativeMemory {
+    #[inline]
+    fn touch(&mut self, _addr: Address, _kind: AccessKind, _site: AccessSite, _region: RegionLabel) {
+        self.accesses += 1;
+    }
+
+    fn access_count(&self) -> u64 {
+        self.accesses
+    }
+}
+
+/// The traced model: every access is simulated through a cache hierarchy.
+#[derive(Debug)]
+pub struct TracedMemory {
+    hierarchy: Hierarchy,
+    accesses: u64,
+}
+
+impl TracedMemory {
+    /// Wraps a cache hierarchy.
+    pub fn new(hierarchy: Hierarchy) -> Self {
+        Self {
+            hierarchy,
+            accesses: 0,
+        }
+    }
+
+    /// Borrow the underlying hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Accumulated hierarchy statistics.
+    pub fn stats(&self) -> HierarchyStats {
+        self.hierarchy.stats()
+    }
+
+    /// Consumes the model and returns the hierarchy (e.g. to extract the
+    /// recorded LLC trace).
+    pub fn into_hierarchy(self) -> Hierarchy {
+        self.hierarchy
+    }
+}
+
+impl MemoryModel for TracedMemory {
+    #[inline]
+    fn touch(&mut self, addr: Address, kind: AccessKind, site: AccessSite, region: RegionLabel) {
+        self.accesses += 1;
+        self.hierarchy.access(addr, kind, site, region);
+    }
+
+    fn program_property_bounds(&mut self, bounds: &[(Address, Address)]) {
+        self.hierarchy.program_abrs(bounds);
+    }
+
+    fn access_count(&self) -> u64 {
+        self.accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grasp_cachesim::config::HierarchyConfig;
+    use grasp_cachesim::hint::{RegionClassifier, ReuseHint};
+    use grasp_cachesim::policy::rrip::Drrip;
+
+    #[test]
+    fn native_memory_counts_accesses() {
+        let mut m = NativeMemory::new();
+        m.touch(0x10, AccessKind::Read, 1, RegionLabel::Property);
+        m.touch(0x20, AccessKind::Write, 2, RegionLabel::Other);
+        assert_eq!(m.access_count(), 2);
+    }
+
+    #[test]
+    fn traced_memory_drives_the_hierarchy() {
+        // Disable the prefetcher so every distinct block is a demand miss all
+        // the way down.
+        let config = HierarchyConfig::scaled_default().without_prefetch();
+        let llc = Box::new(Drrip::new(config.llc.sets(), config.llc.ways, 1));
+        let hierarchy = Hierarchy::new(config, llc, RegionClassifier::disabled());
+        let mut m = TracedMemory::new(hierarchy);
+        for i in 0..100u64 {
+            m.touch(i * 64, AccessKind::Read, 3, RegionLabel::Property);
+        }
+        assert_eq!(m.access_count(), 100);
+        assert_eq!(m.stats().l1.accesses, 100);
+        assert_eq!(m.stats().llc.accesses, 100, "distinct blocks all reach the LLC");
+    }
+
+    #[test]
+    fn programming_bounds_enables_classification() {
+        let config = HierarchyConfig::scaled_default().with_llc_trace();
+        let llc = Box::new(Drrip::new(config.llc.sets(), config.llc.ways, 1));
+        let hierarchy = Hierarchy::new(config, llc, RegionClassifier::disabled());
+        let mut m = TracedMemory::new(hierarchy);
+        m.program_property_bounds(&[(0x8000_0000, 0x8000_0000 + (1 << 21))]);
+        m.touch(0x8000_0000, AccessKind::Read, 1, RegionLabel::Property);
+        let trace = m.into_hierarchy().into_llc_trace();
+        assert_eq!(trace[0].hint, ReuseHint::High);
+    }
+}

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for the cache simulator: raw access throughput
+//! of each replacement policy on a synthetic thrash-prone trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grasp_cachesim::cache::SetAssocCache;
+use grasp_cachesim::config::CacheConfig;
+use grasp_cachesim::hint::ReuseHint;
+use grasp_cachesim::request::{AccessInfo, RegionLabel};
+use grasp_core::policy::PolicyKind;
+use std::hint::black_box;
+
+fn synthetic_trace(len: usize) -> Vec<AccessInfo> {
+    // A mix of a hot working set and a cold stream, with hints attached the
+    // way the analytics layer would attach them.
+    let mut trace = Vec::with_capacity(len);
+    let mut x = 0x12345678u64;
+    for i in 0..len {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let (addr, hint) = if i % 3 == 0 {
+            ((x >> 33) % 512 * 64, ReuseHint::High)
+        } else {
+            (((x >> 20) % 65_536 + 1024) * 64, ReuseHint::Low)
+        };
+        trace.push(
+            AccessInfo::read(addr)
+                .with_hint(hint)
+                .with_site(1)
+                .with_region(RegionLabel::Property),
+        );
+    }
+    trace
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let config = CacheConfig::new(256 * 1024, 16, 64);
+    let trace = synthetic_trace(100_000);
+    let mut group = c.benchmark_group("llc_access_throughput");
+    group.sample_size(10);
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::Rrip,
+        PolicyKind::ShipMem,
+        PolicyKind::Hawkeye,
+        PolicyKind::Leeway,
+        PolicyKind::Pin(75),
+        PolicyKind::Grasp,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut cache = SetAssocCache::new("LLC", config, policy.build(&config));
+                    for info in trace {
+                        black_box(cache.access(info));
+                    }
+                    cache.stats().misses
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion micro-benchmarks for the graph substrate: generator throughput
+//! and CSR construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grasp_graph::generators::{GraphGenerator, Rmat, Uniform};
+use grasp_graph::Csr;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_generation");
+    group.sample_size(10);
+    group.bench_function("rmat_scale14", |b| {
+        b.iter(|| black_box(Rmat::new(14, 16).generate(7)).edge_count())
+    });
+    group.bench_function("uniform_16k", |b| {
+        b.iter(|| black_box(Uniform::new(16_384, 16).generate(7)).edge_count())
+    });
+    group.finish();
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    let edges = Rmat::new(14, 16).edge_list(3);
+    let mut group = c.benchmark_group("csr_construction");
+    group.sample_size(10);
+    group.bench_function("from_edge_list_scale14", |b| {
+        b.iter(|| Csr::from_edge_list(black_box(&edges)).unwrap().edge_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_csr_build);
+criterion_main!(benches);

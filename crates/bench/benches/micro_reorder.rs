@@ -1,0 +1,30 @@
+//! Criterion micro-benchmarks for the reordering techniques, quantifying the
+//! cost gap between the lightweight skew-aware techniques and Gorder that
+//! underlies Fig. 10(a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grasp_graph::generators::{GraphGenerator, Rmat};
+use grasp_graph::types::Direction;
+use grasp_reorder::TechniqueKind;
+use std::hint::black_box;
+
+fn bench_reordering(c: &mut Criterion) {
+    let graph = Rmat::new(14, 16).generate(5);
+    let mut group = c.benchmark_group("reordering_cost");
+    group.sample_size(10);
+    for kind in [
+        TechniqueKind::Sort,
+        TechniqueKind::HubSort,
+        TechniqueKind::Dbg,
+        TechniqueKind::GorderDbg,
+    ] {
+        let technique = kind.instantiate();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &graph, |b, g| {
+            b.iter(|| black_box(technique.compute(g, Direction::Out)).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reordering);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench target (`cargo bench -p grasp-bench --bench <name>`) regenerates
+//! one table or figure of the GRASP (HPCA'20) evaluation and prints it as a
+//! plain-text table. The harness respects the `GRASP_SCALE` environment
+//! variable (`tiny` / `small` / `medium` / `large`, default `small`) so the
+//! same code can be run quickly for smoke tests or at larger scales for
+//! higher-fidelity shapes.
+
+use grasp_analytics::apps::AppKind;
+use grasp_core::datasets::{Dataset, DatasetKind, Scale};
+use grasp_core::experiment::Experiment;
+use grasp_core::policy::PolicyKind;
+use grasp_reorder::TechniqueKind;
+
+/// The scale the harness runs at (from `GRASP_SCALE`).
+pub fn harness_scale() -> Scale {
+    Scale::from_env()
+}
+
+/// Builds a dataset at the harness scale.
+pub fn dataset(kind: DatasetKind, scale: Scale) -> Dataset {
+    kind.build(scale)
+}
+
+/// Builds the standard experiment used throughout the evaluation: the dataset
+/// reordered with the given technique, the application's traced iteration
+/// budget, and the hierarchy paired with the scale.
+pub fn experiment(
+    dataset: &Dataset,
+    app: AppKind,
+    scale: Scale,
+    reorder: TechniqueKind,
+) -> Experiment {
+    Experiment::new(dataset.graph.clone(), app)
+        .with_hierarchy(scale.hierarchy())
+        .with_reordering(reorder)
+}
+
+/// Runs `policy` and the RRIP baseline for one dataset/app pair and returns
+/// `(baseline, candidate)`.
+pub fn run_against_rrip(
+    dataset: &Dataset,
+    app: AppKind,
+    scale: Scale,
+    policy: PolicyKind,
+) -> (
+    grasp_core::experiment::RunResult,
+    grasp_core::experiment::RunResult,
+) {
+    let exp = experiment(dataset, app, scale, TechniqueKind::Dbg);
+    (exp.run(PolicyKind::Rrip), exp.run(policy))
+}
+
+/// Prints the standard harness banner (scale, datasets, applications).
+pub fn banner(what: &str) {
+    let scale = harness_scale();
+    println!();
+    println!("GRASP reproduction harness — {what}");
+    println!(
+        "scale: {:?} ({} vertices per dataset, {} KiB LLC); set GRASP_SCALE=medium|large for more fidelity",
+        scale,
+        scale.vertices(),
+        scale.llc_bytes() / 1024
+    );
+    println!();
+}
+
+/// Formats a signed percentage with one decimal.
+pub fn pct(value: f64) -> String {
+    format!("{value:+.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_helper_builds_and_runs() {
+        let scale = Scale::Tiny;
+        let ds = dataset(DatasetKind::LiveJournal, scale);
+        let (rrip, grasp) = run_against_rrip(&ds, AppKind::PageRank, scale, PolicyKind::Grasp);
+        assert!(rrip.llc_accesses() > 0);
+        assert!(grasp.llc_accesses() > 0);
+    }
+
+    #[test]
+    fn pct_formats_sign() {
+        assert_eq!(pct(4.25), "+4.2");
+        assert_eq!(pct(-3.0), "-3.0");
+    }
+}

@@ -1,0 +1,309 @@
+//! A single set-associative cache with a pluggable replacement policy.
+
+use crate::addr::{block_of, BlockAddr};
+use crate::config::CacheConfig;
+use crate::policy::ReplacementPolicy;
+use crate::request::AccessInfo;
+use crate::stats::CacheStats;
+
+/// Outcome of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// The block that was evicted to make room, if any.
+    pub evicted: Option<BlockAddr>,
+    /// Whether the fill was bypassed (miss with no allocation).
+    pub bypassed: bool,
+}
+
+impl AccessOutcome {
+    /// Returns `true` if the access hit.
+    pub fn is_hit(&self) -> bool {
+        self.hit
+    }
+}
+
+/// A set-associative cache.
+///
+/// The cache stores tags, valid/dirty bits and a per-block "saw a hit since
+/// fill" bit; all replacement state lives in the policy.
+pub struct SetAssocCache {
+    name: &'static str,
+    config: CacheConfig,
+    sets: usize,
+    tags: Vec<BlockAddr>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    reused: Vec<bool>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for SetAssocCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SetAssocCache")
+            .field("name", &self.name)
+            .field("config", &self.config)
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl SetAssocCache {
+    /// Creates a cache with the given geometry and replacement policy.
+    pub fn new(name: &'static str, config: CacheConfig, policy: Box<dyn ReplacementPolicy>) -> Self {
+        let sets = config.sets();
+        let blocks = config.blocks();
+        Self {
+            name,
+            config,
+            sets,
+            tags: vec![0; blocks],
+            valid: vec![false; blocks],
+            dirty: vec![false; blocks],
+            reused: vec![false; blocks],
+            policy,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Cache name (for reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Name of the replacement policy managing this cache.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.config.ways + way
+    }
+
+    #[inline]
+    fn set_of(&self, block: BlockAddr) -> usize {
+        (block % self.sets as u64) as usize
+    }
+
+    /// Looks up a block without updating any state. Returns the way if present.
+    pub fn probe(&self, addr: u64) -> Option<usize> {
+        let block = block_of(addr, self.config.block_bytes);
+        let set = self.set_of(block);
+        (0..self.config.ways)
+            .find(|&way| self.valid[self.idx(set, way)] && self.tags[self.idx(set, way)] == block)
+    }
+
+    /// Performs a demand access, updating replacement state and statistics.
+    pub fn access(&mut self, info: &AccessInfo) -> AccessOutcome {
+        let outcome = self.access_inner(info);
+        self.stats.record(info.region, outcome.hit);
+        outcome
+    }
+
+    /// Performs a prefetch access: identical block placement behaviour, but
+    /// accounted separately and never bypassed by the policy.
+    pub fn prefetch(&mut self, info: &AccessInfo) -> AccessOutcome {
+        let outcome = self.access_inner(info);
+        self.stats.record_prefetch(!outcome.hit && !outcome.bypassed);
+        outcome
+    }
+
+    fn access_inner(&mut self, info: &AccessInfo) -> AccessOutcome {
+        let block = block_of(info.addr, self.config.block_bytes);
+        let set = self.set_of(block);
+
+        // Hit path.
+        for way in 0..self.config.ways {
+            let idx = self.idx(set, way);
+            if self.valid[idx] && self.tags[idx] == block {
+                self.reused[idx] = true;
+                if info.is_write() {
+                    self.dirty[idx] = true;
+                }
+                self.policy.on_hit(set, way, info);
+                return AccessOutcome {
+                    hit: true,
+                    evicted: None,
+                    bypassed: false,
+                };
+            }
+        }
+
+        // Miss path: maybe bypass.
+        if self.policy.should_bypass(set, info) {
+            self.stats.bypasses += 1;
+            return AccessOutcome {
+                hit: false,
+                evicted: None,
+                bypassed: true,
+            };
+        }
+
+        // Fill an invalid way if one exists, otherwise ask the policy for a
+        // victim.
+        let way = (0..self.config.ways)
+            .find(|&w| !self.valid[self.idx(set, w)])
+            .unwrap_or_else(|| self.policy.choose_victim(set, info));
+
+        let idx = self.idx(set, way);
+        let mut evicted = None;
+        if self.valid[idx] {
+            evicted = Some(self.tags[idx]);
+            self.stats.evictions += 1;
+            self.policy
+                .on_evict(set, way, self.tags[idx], self.reused[idx]);
+        }
+        self.tags[idx] = block;
+        self.valid[idx] = true;
+        self.dirty[idx] = info.is_write();
+        self.reused[idx] = false;
+        self.policy.on_fill(set, way, info);
+
+        AccessOutcome {
+            hit: false,
+            evicted,
+            bypassed: false,
+        }
+    }
+
+    /// Invalidates every block (used between experiment phases).
+    pub fn flush(&mut self) {
+        self.valid.iter_mut().for_each(|v| *v = false);
+        self.dirty.iter_mut().for_each(|d| *d = false);
+        self.reused.iter_mut().for_each(|r| *r = false);
+    }
+
+    /// Number of valid blocks currently resident.
+    pub fn resident_blocks(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::lru::Lru;
+    use crate::policy::rrip::Srrip;
+    use crate::request::RegionLabel;
+
+    fn lru_cache(size: u64, ways: usize) -> SetAssocCache {
+        let config = CacheConfig::new(size, ways, 64);
+        SetAssocCache::new("test", config, Box::new(Lru::new(config.sets(), ways)))
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = lru_cache(4096, 4);
+        assert!(!c.access(&AccessInfo::read(0x100)).is_hit());
+        assert!(c.access(&AccessInfo::read(0x100)).is_hit());
+        // Same block, different offset: still a hit.
+        assert!(c.access(&AccessInfo::read(0x13F)).is_hit());
+        assert_eq!(c.stats().accesses, 3);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // One set, two ways.
+        let mut c = lru_cache(128, 2);
+        c.access(&AccessInfo::read(0)); // block A
+        c.access(&AccessInfo::read(128)); // block B (same set)
+        c.access(&AccessInfo::read(0)); // touch A
+        let outcome = c.access(&AccessInfo::read(256)); // block C evicts B
+        assert_eq!(outcome.evicted, Some(2));
+        assert!(c.access(&AccessInfo::read(0)).is_hit(), "A must survive");
+        assert!(!c.access(&AccessInfo::read(128)).is_hit(), "B was evicted");
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = lru_cache(64 * 16, 4);
+        for i in 0..64u64 {
+            c.access(&AccessInfo::read(i * 64));
+        }
+        assert_eq!(c.resident_blocks(), 16);
+        assert_eq!(c.stats().evictions, 48);
+    }
+
+    #[test]
+    fn probe_does_not_change_state() {
+        let mut c = lru_cache(4096, 4);
+        c.access(&AccessInfo::read(0x200));
+        let before = c.stats().clone();
+        assert!(c.probe(0x200).is_some());
+        assert!(c.probe(0x4000).is_none());
+        assert_eq!(c.stats(), &before);
+    }
+
+    #[test]
+    fn flush_invalidates_everything() {
+        let mut c = lru_cache(4096, 4);
+        c.access(&AccessInfo::read(0x200));
+        c.access(&AccessInfo::read(0x400));
+        assert_eq!(c.resident_blocks(), 2);
+        c.flush();
+        assert_eq!(c.resident_blocks(), 0);
+        assert!(!c.access(&AccessInfo::read(0x200)).is_hit());
+    }
+
+    #[test]
+    fn per_region_stats_are_recorded() {
+        let mut c = lru_cache(4096, 4);
+        c.access(&AccessInfo::read(0).with_region(RegionLabel::Property));
+        c.access(&AccessInfo::read(0).with_region(RegionLabel::Property));
+        c.access(&AccessInfo::read(0x1000).with_region(RegionLabel::EdgeArray));
+        assert_eq!(c.stats().region(RegionLabel::Property).accesses, 2);
+        assert_eq!(c.stats().region(RegionLabel::Property).misses, 1);
+        assert_eq!(c.stats().region(RegionLabel::EdgeArray).misses, 1);
+    }
+
+    #[test]
+    fn prefetch_is_not_a_demand_access() {
+        let mut c = lru_cache(4096, 4);
+        c.prefetch(&AccessInfo::read(0x300));
+        assert_eq!(c.stats().accesses, 0);
+        assert_eq!(c.stats().prefetch_accesses, 1);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        // The prefetched block is resident: a demand access hits.
+        assert!(c.access(&AccessInfo::read(0x300)).is_hit());
+    }
+
+    #[test]
+    fn works_with_rrip_policy_too() {
+        let config = CacheConfig::new(64 * 8, 4, 64);
+        let mut c = SetAssocCache::new(
+            "llc",
+            config,
+            Box::new(Srrip::new(config.sets(), config.ways)),
+        );
+        // A small working set with reuse should mostly hit.
+        for _ in 0..10 {
+            for b in 0..4u64 {
+                c.access(&AccessInfo::read(b * 64));
+            }
+        }
+        assert!(c.stats().hits > 30);
+        assert_eq!(c.policy_name(), "SRRIP");
+    }
+
+    #[test]
+    fn write_marks_block_dirty_and_hits_later() {
+        let mut c = lru_cache(4096, 4);
+        c.access(&AccessInfo::write(0x80));
+        assert!(c.access(&AccessInfo::read(0x80)).is_hit());
+    }
+}

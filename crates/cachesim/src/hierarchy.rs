@@ -1,0 +1,337 @@
+//! The simulated three-level cache hierarchy (L1-D → L2 → LLC).
+//!
+//! The hierarchy is the reproduction's stand-in for the Sniper-simulated
+//! memory system of Table VI. L1 and L2 are LRU-managed filters; the LLC uses
+//! whichever replacement policy the experiment is evaluating. GRASP's region
+//! classification happens alongside the (virtual) address on its way to the
+//! LLC: the [`RegionClassifier`] attaches a 2-bit reuse hint to every LLC
+//! request, exactly as in Fig. 4 of the paper.
+
+use crate::cache::SetAssocCache;
+use crate::config::HierarchyConfig;
+use crate::hint::RegionClassifier;
+use crate::policy::lru::Lru;
+use crate::policy::ReplacementPolicy;
+use crate::prefetch::StridePrefetcher;
+use crate::request::{AccessInfo, AccessKind, AccessSite, RegionLabel};
+use crate::stats::HierarchyStats;
+use crate::timing::TimingModel;
+
+/// A three-level cache hierarchy with an L1 stride prefetcher and GRASP's
+/// address classification in front of the LLC.
+pub struct Hierarchy {
+    config: HierarchyConfig,
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    llc: SetAssocCache,
+    classifier: RegionClassifier,
+    prefetcher: Option<StridePrefetcher>,
+    memory_accesses: u64,
+    llc_trace: Vec<AccessInfo>,
+}
+
+impl std::fmt::Debug for Hierarchy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hierarchy")
+            .field("config", &self.config)
+            .field("llc_policy", &self.llc.policy_name())
+            .field("memory_accesses", &self.memory_accesses)
+            .finish()
+    }
+}
+
+impl Hierarchy {
+    /// Creates a hierarchy with the given configuration, LLC replacement
+    /// policy and region classifier.
+    ///
+    /// Pass [`RegionClassifier::disabled`] to model a system without GRASP's
+    /// interface (every request carries the Default hint).
+    pub fn new(
+        config: HierarchyConfig,
+        llc_policy: Box<dyn ReplacementPolicy>,
+        classifier: RegionClassifier,
+    ) -> Self {
+        let l1 = SetAssocCache::new(
+            "L1-D",
+            config.l1,
+            Box::new(Lru::new(config.l1.sets(), config.l1.ways)),
+        );
+        let l2 = SetAssocCache::new(
+            "L2",
+            config.l2,
+            Box::new(Lru::new(config.l2.sets(), config.l2.ways)),
+        );
+        let llc = SetAssocCache::new("LLC", config.llc, llc_policy);
+        Self {
+            config,
+            l1,
+            l2,
+            llc,
+            classifier,
+            prefetcher: config.prefetch.then(StridePrefetcher::default),
+            memory_accesses: 0,
+            llc_trace: Vec::new(),
+        }
+    }
+
+    /// The hierarchy configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Name of the LLC replacement policy.
+    pub fn llc_policy_name(&self) -> &'static str {
+        self.llc.policy_name()
+    }
+
+    /// The region classifier in use.
+    pub fn classifier(&self) -> &RegionClassifier {
+        &self.classifier
+    }
+
+    /// Programs the Address Bound Registers with the bounds of the
+    /// application's Property Arrays and rebuilds the region classifier.
+    ///
+    /// This models the software side of GRASP's interface (Sec. III-A): the
+    /// graph framework calls this once at application start-up, after it has
+    /// allocated its Property Arrays.
+    pub fn program_abrs(&mut self, bounds: &[(u64, u64)]) {
+        let mut abrs = crate::hint::AddressBoundRegisters::new();
+        for &(start, end) in bounds {
+            abrs.program(start, end);
+        }
+        self.classifier = RegionClassifier::new(abrs, self.config.llc.size_bytes);
+    }
+
+    /// Performs one demand memory access.
+    ///
+    /// Returns `true` if the access hit somewhere on chip (L1, L2 or LLC).
+    pub fn access(
+        &mut self,
+        addr: u64,
+        kind: AccessKind,
+        site: AccessSite,
+        region: RegionLabel,
+    ) -> bool {
+        let base = AccessInfo {
+            addr,
+            kind,
+            site,
+            hint: crate::hint::ReuseHint::Default,
+            region,
+        };
+
+        let on_chip = self.demand_access(&base);
+
+        // The prefetcher observes the demand stream at L1 and issues at most
+        // one prefetch per access.
+        if let Some(prefetcher) = self.prefetcher.as_mut() {
+            if let Some(predicted) = prefetcher.observe(site, addr) {
+                let pf = AccessInfo {
+                    addr: predicted,
+                    kind: AccessKind::Read,
+                    site,
+                    hint: crate::hint::ReuseHint::Default,
+                    region,
+                };
+                self.prefetch_access(&pf);
+            }
+        }
+        on_chip
+    }
+
+    /// Convenience wrapper for a read access.
+    pub fn read(&mut self, addr: u64, site: AccessSite, region: RegionLabel) -> bool {
+        self.access(addr, AccessKind::Read, site, region)
+    }
+
+    /// Convenience wrapper for a write access.
+    pub fn write(&mut self, addr: u64, site: AccessSite, region: RegionLabel) -> bool {
+        self.access(addr, AccessKind::Write, site, region)
+    }
+
+    fn demand_access(&mut self, info: &AccessInfo) -> bool {
+        if self.l1.access(info).is_hit() {
+            return true;
+        }
+        if self.l2.access(info).is_hit() {
+            return true;
+        }
+        // The LLC request carries the 2-bit reuse hint computed by GRASP's
+        // classification logic (Fig. 4).
+        let llc_info = info.with_hint(self.classifier.classify(info.addr));
+        if self.config.record_llc_trace {
+            self.llc_trace.push(llc_info);
+        }
+        let hit = self.llc.access(&llc_info).is_hit();
+        if !hit {
+            self.memory_accesses += 1;
+        }
+        hit
+    }
+
+    fn prefetch_access(&mut self, info: &AccessInfo) {
+        if self.l1.prefetch(info).is_hit() {
+            return;
+        }
+        if self.l2.prefetch(info).is_hit() {
+            return;
+        }
+        let llc_info = info.with_hint(self.classifier.classify(info.addr));
+        self.llc.prefetch(&llc_info);
+    }
+
+    /// Accumulated statistics of every level.
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            l1: self.l1.stats().clone(),
+            l2: self.l2.stats().clone(),
+            llc: self.llc.stats().clone(),
+            memory_accesses: self.memory_accesses,
+        }
+    }
+
+    /// The recorded LLC demand-access trace (empty unless
+    /// [`HierarchyConfig::record_llc_trace`] is set).
+    pub fn llc_trace(&self) -> &[AccessInfo] {
+        &self.llc_trace
+    }
+
+    /// Consumes the hierarchy and returns the recorded LLC trace.
+    pub fn into_llc_trace(self) -> Vec<AccessInfo> {
+        self.llc_trace
+    }
+
+    /// Estimated execution cycles under `model`, given `instructions` of
+    /// non-memory work.
+    pub fn estimated_cycles(&self, model: &TimingModel, instructions: u64) -> f64 {
+        model.cycles(&self.stats(), instructions)
+    }
+
+    /// Invalidates every cache level (used between warm-up and the region of
+    /// interest).
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+        self.llc.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HierarchyConfig;
+    use crate::hint::{AddressBoundRegisters, ReuseHint};
+    use crate::policy::rrip::Drrip;
+
+    fn hierarchy(classifier: RegionClassifier) -> Hierarchy {
+        let config = HierarchyConfig::scaled_default().with_llc_trace();
+        let llc = Box::new(Drrip::new(config.llc.sets(), config.llc.ways, 1));
+        Hierarchy::new(config, llc, classifier)
+    }
+
+    #[test]
+    fn l1_filters_repeated_accesses() {
+        let mut h = hierarchy(RegionClassifier::disabled());
+        h.read(0x1000, 1, RegionLabel::Property);
+        for _ in 0..9 {
+            h.read(0x1000, 1, RegionLabel::Property);
+        }
+        let stats = h.stats();
+        assert_eq!(stats.l1.accesses, 10);
+        assert_eq!(stats.l1.misses, 1);
+        // Only the single L1 miss reached L2 and the LLC.
+        assert_eq!(stats.l2.accesses, 1);
+        assert_eq!(stats.llc.accesses, 1);
+        assert_eq!(stats.memory_accesses, 1);
+    }
+
+    #[test]
+    fn spatial_locality_is_filtered_before_the_llc() {
+        // Sequential 8-byte elements: 8 per 64-byte block, so the LLC sees at
+        // most 1/8th of the accesses (fewer once the prefetcher kicks in).
+        let mut h = hierarchy(RegionClassifier::disabled());
+        for i in 0..4096u64 {
+            h.read(0x10000 + i * 8, 2, RegionLabel::EdgeArray);
+        }
+        let stats = h.stats();
+        assert_eq!(stats.l1.accesses, 4096);
+        assert!(
+            stats.llc.accesses <= 4096 / 8,
+            "llc accesses {} should be spatially filtered",
+            stats.llc.accesses
+        );
+    }
+
+    #[test]
+    fn classifier_attaches_hints_to_llc_requests() {
+        let mut abrs = AddressBoundRegisters::new();
+        abrs.program(0x0, 0x100000);
+        let config = HierarchyConfig::scaled_default();
+        let classifier = RegionClassifier::new(abrs, config.llc.size_bytes);
+        let mut h = hierarchy(classifier);
+        // An address at the start of the property array is High-Reuse; one
+        // far past the two LLC-sized regions is Low-Reuse.
+        h.read(0x0, 1, RegionLabel::Property);
+        h.read(0xF0000, 1, RegionLabel::Property);
+        let trace = h.llc_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].hint, ReuseHint::High);
+        assert_eq!(trace[1].hint, ReuseHint::Low);
+    }
+
+    #[test]
+    fn memory_accesses_equal_llc_demand_misses() {
+        let mut h = hierarchy(RegionClassifier::disabled());
+        let mut x = 7u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(13);
+            let addr = (x >> 20) % (8 * 1024 * 1024);
+            h.read(addr, 3, RegionLabel::Property);
+        }
+        let stats = h.stats();
+        assert_eq!(stats.memory_accesses, stats.llc.misses);
+        assert!(stats.llc.accesses > 0);
+    }
+
+    #[test]
+    fn prefetcher_reduces_misses_on_streaming_patterns() {
+        let run = |prefetch: bool| -> u64 {
+            let mut config = HierarchyConfig::scaled_default();
+            config.prefetch = prefetch;
+            let llc = Box::new(Drrip::new(config.llc.sets(), config.llc.ways, 1));
+            let mut h = Hierarchy::new(config, llc, RegionClassifier::disabled());
+            for i in 0..20_000u64 {
+                h.read(i * 8, 1, RegionLabel::EdgeArray);
+            }
+            // Misses seen by the core are L1 misses that also miss everywhere.
+            h.stats().memory_accesses
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(
+            with <= without,
+            "prefetching must not increase demand memory accesses ({with} vs {without})"
+        );
+    }
+
+    #[test]
+    fn flush_clears_all_levels() {
+        let mut h = hierarchy(RegionClassifier::disabled());
+        h.read(0x40, 1, RegionLabel::Other);
+        h.flush();
+        // After a flush the same access misses all the way to memory again.
+        let before = h.stats().memory_accesses;
+        h.read(0x40, 1, RegionLabel::Other);
+        assert_eq!(h.stats().memory_accesses, before + 1);
+    }
+
+    #[test]
+    fn trace_recording_can_be_disabled() {
+        let config = HierarchyConfig::scaled_default();
+        let llc = Box::new(Drrip::new(config.llc.sets(), config.llc.ways, 1));
+        let mut h = Hierarchy::new(config, llc, RegionClassifier::disabled());
+        h.read(0x123456, 1, RegionLabel::Property);
+        assert!(h.llc_trace().is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! # grasp-cachesim — a trace-driven cache-hierarchy simulator
+//!
+//! This crate is the hardware substrate of the GRASP (HPCA'20) reproduction.
+//! The paper evaluates last-level-cache (LLC) management schemes inside the
+//! Sniper microarchitectural simulator; this crate provides the pieces of that
+//! infrastructure that GRASP's results actually depend on:
+//!
+//! * a set-associative cache model with pluggable replacement policies
+//!   ([`cache::SetAssocCache`], [`policy::ReplacementPolicy`]),
+//! * a three-level hierarchy (L1-D → L2 → LLC) with a stride prefetcher
+//!   ([`hierarchy::Hierarchy`]) whose default geometry mirrors Table VI of the
+//!   paper (scaled down together with the datasets),
+//! * the replacement policies compared in the paper: LRU, SRRIP/BRRIP/DRRIP
+//!   ([`policy::rrip`]), SHiP-MEM ([`policy::ship`]), Hawkeye
+//!   ([`policy::hawkeye`]), Leeway ([`policy::leeway`]), XMem-style pinning
+//!   ([`policy::pin`]), Belady's OPT ([`policy::opt`]) and GRASP itself
+//!   ([`policy::grasp`]),
+//! * GRASP's software–hardware interface: Address Bound Registers and the
+//!   region classification logic that turns an address into a 2-bit reuse
+//!   hint ([`hint`]),
+//! * per-region access/miss statistics ([`stats`]) used to reproduce Fig. 2,
+//!   and an analytic timing model ([`timing`]) used to convert miss counts
+//!   into the speed-up numbers of Figs. 6–10.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use grasp_cachesim::config::CacheConfig;
+//! use grasp_cachesim::cache::SetAssocCache;
+//! use grasp_cachesim::policy::lru::Lru;
+//! use grasp_cachesim::request::AccessInfo;
+//!
+//! let config = CacheConfig::new(32 * 1024, 8, 64);
+//! let mut cache = SetAssocCache::new("L1-D", config, Box::new(Lru::new(config.sets(), config.ways)));
+//! let hit = cache.access(&AccessInfo::read(0x1000)).is_hit();
+//! assert!(!hit, "first access is a compulsory miss");
+//! let hit = cache.access(&AccessInfo::read(0x1000)).is_hit();
+//! assert!(hit, "second access to the same block hits");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod addr;
+pub mod cache;
+pub mod config;
+pub mod hierarchy;
+pub mod hint;
+pub mod policy;
+pub mod prefetch;
+pub mod request;
+pub mod stats;
+pub mod timing;
+pub mod trace;
+
+pub use addr::{block_of, Address, BlockAddr};
+pub use cache::SetAssocCache;
+pub use config::{CacheConfig, HierarchyConfig};
+pub use hierarchy::Hierarchy;
+pub use hint::{AddressBoundRegisters, RegionClassifier, ReuseHint};
+pub use request::{AccessInfo, AccessKind, RegionLabel};
+pub use stats::{CacheStats, HierarchyStats};
+pub use timing::TimingModel;

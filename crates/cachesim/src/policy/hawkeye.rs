@@ -1,0 +1,357 @@
+//! Hawkeye cache replacement (Jain & Lin, ISCA'16).
+//!
+//! Hawkeye reconstructs what Belady's OPT *would have done* on past accesses
+//! to a few sampled sets (the OPTgen structure) and uses those decisions to
+//! train a predictor indexed by the PC of the load. Blocks loaded by a
+//! "cache-friendly" PC are inserted at MRU and protected; blocks loaded by a
+//! "cache-averse" PC are inserted at LRU and evicted first.
+//!
+//! In this reproduction the PC signature is the access-*site* identifier
+//! (see [`crate::request::AccessSite`]). For graph analytics this faithfully
+//! reproduces the failure mode the paper describes (Sec. V-A): the one site
+//! that accesses the Property Array touches hot and cold vertices alike, so
+//! OPTgen trains its counter towards "averse", and Hawkeye then treats *all*
+//! property accesses — including the hot ones — as cache-averse, performing
+//! worse than the RRIP baseline.
+
+use super::rrip::{RrpvArray, RRPV_MAX};
+use super::ReplacementPolicy;
+use crate::addr::BlockAddr;
+use crate::request::{AccessInfo, AccessSite};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Number of 3-bit counter states; counters ≥ `FRIENDLY_THRESHOLD` predict
+/// cache-friendly behaviour.
+const COUNTER_MAX: u8 = 7;
+const FRIENDLY_THRESHOLD: u8 = 4;
+
+/// One entry of a sampled set's access history used by OPTgen.
+#[derive(Debug, Clone, Copy)]
+struct HistoryEntry {
+    block: BlockAddr,
+    site: AccessSite,
+    /// Number of liveness intervals that currently overlap this position.
+    occupancy: u8,
+    /// Whether a later access to the same block was observed while this entry
+    /// was inside the window (i.e. it served as the start of a usage interval).
+    reused: bool,
+}
+
+/// OPTgen for a single sampled set: a sliding window of past accesses with an
+/// occupancy vector that answers "would OPT have hit this access?".
+#[derive(Debug, Clone, Default)]
+struct OptGen {
+    history: VecDeque<HistoryEntry>,
+    capacity: usize,
+    ways: u8,
+}
+
+impl OptGen {
+    fn new(ways: usize) -> Self {
+        Self {
+            history: VecDeque::new(),
+            // The ISCA'16 design tracks 8x the associativity of usage
+            // intervals per sampled set.
+            capacity: ways * 8,
+            ways: ways as u8,
+        }
+    }
+
+    /// Records an access to `block` by `site`. Returns up to two training
+    /// events `(site, opt_friendly)`:
+    ///
+    /// * when the block has a previous access inside the window, the previous
+    ///   site is trained with OPTgen's verdict (would OPT have hit?);
+    /// * when the window overflows and the evicted entry never saw a reuse,
+    ///   its site is trained negatively (the reuse interval, if any, exceeds
+    ///   what OPT could exploit with this cache size).
+    fn record(&mut self, block: BlockAddr, site: AccessSite) -> Vec<(AccessSite, bool)> {
+        let mut events = Vec::new();
+        if let Some(prev_pos) = self
+            .history
+            .iter()
+            .rposition(|entry| entry.block == block)
+        {
+            let prev_site = self.history[prev_pos].site;
+            let interval_fits = self
+                .history
+                .iter()
+                .skip(prev_pos)
+                .all(|entry| entry.occupancy < self.ways);
+            if interval_fits {
+                for entry in self.history.iter_mut().skip(prev_pos) {
+                    entry.occupancy += 1;
+                }
+            }
+            self.history[prev_pos].reused = true;
+            events.push((prev_site, interval_fits));
+        }
+        self.history.push_back(HistoryEntry {
+            block,
+            site,
+            occupancy: 0,
+            reused: false,
+        });
+        if self.history.len() > self.capacity {
+            if let Some(evicted) = self.history.pop_front() {
+                if !evicted.reused {
+                    events.push((evicted.site, false));
+                }
+            }
+        }
+        events
+    }
+}
+
+/// The Hawkeye replacement policy.
+#[derive(Debug, Clone)]
+pub struct Hawkeye {
+    rrpv: RrpvArray,
+    ways: usize,
+    /// Which sets are sampled for OPTgen training.
+    sample_interval: usize,
+    optgen: HashMap<usize, OptGen>,
+    /// Site-indexed 3-bit predictor counters.
+    predictor: HashMap<AccessSite, u8>,
+    /// Per-block: the site that loaded the block (for detraining on eviction)
+    /// and whether the block was predicted friendly at fill time.
+    loader: Vec<AccessSite>,
+    friendly: Vec<bool>,
+}
+
+impl Hawkeye {
+    /// Creates a Hawkeye policy for a cache of `sets` × `ways`.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        // Sample roughly 64 sets (every `sets/64`-th set), at least every set
+        // for tiny caches.
+        let sample_interval = (sets / 64).max(1);
+        Self {
+            rrpv: RrpvArray::new(sets, ways),
+            ways,
+            sample_interval,
+            optgen: HashMap::new(),
+            predictor: HashMap::new(),
+            loader: vec![0; sets * ways],
+            friendly: vec![false; sets * ways],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    fn is_sampled(&self, set: usize) -> bool {
+        set % self.sample_interval == 0
+    }
+
+    /// Predicted friendliness of a site.
+    fn predict_friendly(&self, site: AccessSite) -> bool {
+        *self.predictor.get(&site).unwrap_or(&FRIENDLY_THRESHOLD) >= FRIENDLY_THRESHOLD
+    }
+
+    /// Current counter value of a site (used by tests).
+    pub fn counter(&self, site: AccessSite) -> u8 {
+        *self.predictor.get(&site).unwrap_or(&FRIENDLY_THRESHOLD)
+    }
+
+    fn train(&mut self, site: AccessSite, friendly: bool) {
+        let entry = self.predictor.entry(site).or_insert(FRIENDLY_THRESHOLD);
+        if friendly {
+            *entry = (*entry + 1).min(COUNTER_MAX);
+        } else {
+            *entry = entry.saturating_sub(1);
+        }
+    }
+
+    /// Feeds OPTgen on sampled sets and trains the predictor with its verdict.
+    fn observe(&mut self, set: usize, info: &AccessInfo) {
+        if !self.is_sampled(set) {
+            return;
+        }
+        let ways = self.ways;
+        let optgen = self
+            .optgen
+            .entry(set)
+            .or_insert_with(|| OptGen::new(ways));
+        let block = info.addr >> 6;
+        for (site, friendly) in optgen.record(block, info.site) {
+            self.train(site, friendly);
+        }
+    }
+
+    /// Ages every cache-friendly block of a set except `except_way` — called
+    /// when a friendly block is inserted, mirroring Hawkeye's RRIP-style
+    /// ageing that keeps relative order among friendly blocks.
+    fn age_friendly(&mut self, set: usize, except_way: usize) {
+        for way in 0..self.ways {
+            if way == except_way {
+                continue;
+            }
+            let idx = self.idx(set, way);
+            if self.friendly[idx] {
+                let v = self.rrpv.get(set, way);
+                if v < RRPV_MAX - 1 {
+                    self.rrpv.set(set, way, v + 1);
+                }
+            }
+        }
+    }
+}
+
+impl ReplacementPolicy for Hawkeye {
+    fn name(&self) -> &'static str {
+        "Hawkeye"
+    }
+
+    fn choose_victim(&mut self, set: usize, info: &AccessInfo) -> usize {
+        // Prefer cache-averse blocks (RRPV == MAX); otherwise evict the oldest
+        // friendly block and detrain the site that loaded it.
+        for way in 0..self.ways {
+            if self.rrpv.get(set, way) == RRPV_MAX {
+                return way;
+            }
+        }
+        let victim = (0..self.ways)
+            .max_by_key(|&w| self.rrpv.get(set, w))
+            .expect("ways is non-zero");
+        let loader = self.loader[self.idx(set, victim)];
+        self.train(loader, false);
+        let _ = info;
+        victim
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        self.observe(set, info);
+        let friendly = self.predict_friendly(info.site);
+        let idx = self.idx(set, way);
+        self.loader[idx] = info.site;
+        self.friendly[idx] = friendly;
+        if friendly {
+            self.rrpv.set(set, way, 0);
+            self.age_friendly(set, way);
+        } else {
+            self.rrpv.set(set, way, RRPV_MAX);
+        }
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        self.observe(set, info);
+        let friendly = self.predict_friendly(info.site);
+        let idx = self.idx(set, way);
+        self.friendly[idx] = friendly;
+        if friendly {
+            self.rrpv.set(set, way, 0);
+        } else {
+            // The paper highlights this behaviour: a hit to a block whose site
+            // is predicted cache-averse *demotes* the block instead of
+            // promoting it, hurting graph workloads.
+            self.rrpv.set(set, way, RRPV_MAX);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(addr: u64, site: AccessSite) -> AccessInfo {
+        AccessInfo::read(addr).with_site(site)
+    }
+
+    #[test]
+    fn optgen_detects_fitting_intervals() {
+        let mut opt = OptGen::new(2);
+        assert!(opt.record(1, 10).is_empty());
+        assert!(opt.record(2, 11).is_empty());
+        // Re-access of block 1: interval [access(1), now) has occupancy 0
+        // everywhere, so OPT would hit.
+        let events = opt.record(1, 12);
+        assert_eq!(events, vec![(10, true)]);
+    }
+
+    #[test]
+    fn optgen_detects_overflowing_intervals() {
+        let mut opt = OptGen::new(1); // a 1-way "cache"
+        opt.record(1, 1);
+        opt.record(2, 2);
+        let events = opt.record(2, 2);
+        assert_eq!(events, vec![(2, true)], "back-to-back reuse fits in one way");
+        // Now block 1's interval overlaps block 2's occupied slot.
+        let events = opt.record(1, 1);
+        assert_eq!(events, vec![(1, false)], "interval does not fit: OPT would miss");
+    }
+
+    #[test]
+    fn optgen_window_overflow_trains_negative() {
+        let mut opt = OptGen::new(1); // window capacity 8
+        for i in 0..8u64 {
+            assert!(opt.record(100 + i, 5).is_empty());
+        }
+        // The ninth access evicts the oldest never-reused entry.
+        let events = opt.record(200, 6);
+        assert_eq!(events, vec![(5, false)]);
+    }
+
+    #[test]
+    fn friendly_sites_insert_at_mru_averse_at_lru() {
+        let mut h = Hawkeye::new(64, 4);
+        // Manually bias the predictor.
+        h.predictor.insert(1, COUNTER_MAX);
+        h.predictor.insert(2, 0);
+        h.on_fill(3, 0, &req(0x40, 1));
+        assert_eq!(h.rrpv.get(3, 0), 0);
+        h.on_fill(3, 1, &req(0x80, 2));
+        assert_eq!(h.rrpv.get(3, 1), RRPV_MAX);
+    }
+
+    #[test]
+    fn averse_hit_demotes_instead_of_promoting() {
+        let mut h = Hawkeye::new(64, 4);
+        h.predictor.insert(2, 0);
+        h.on_fill(3, 0, &req(0x40, 2));
+        h.on_hit(3, 0, &req(0x40, 2));
+        assert_eq!(h.rrpv.get(3, 0), RRPV_MAX);
+    }
+
+    #[test]
+    fn victim_prefers_averse_blocks() {
+        let mut h = Hawkeye::new(64, 2);
+        h.predictor.insert(1, COUNTER_MAX);
+        h.predictor.insert(2, 0);
+        h.on_fill(3, 0, &req(0x40, 1)); // friendly
+        h.on_fill(3, 1, &req(0x80, 2)); // averse
+        assert_eq!(h.choose_victim(3, &req(0xC0, 1)), 1);
+    }
+
+    #[test]
+    fn evicting_a_friendly_block_detrains_its_loader() {
+        let mut h = Hawkeye::new(64, 2);
+        h.predictor.insert(1, COUNTER_MAX);
+        h.on_fill(3, 0, &req(0x40, 1));
+        h.on_fill(3, 1, &req(0x80, 1));
+        let before = h.counter(1);
+        let _ = h.choose_victim(3, &req(0xC0, 1));
+        assert_eq!(h.counter(1), before - 1);
+    }
+
+    #[test]
+    fn mixed_reuse_site_trains_towards_averse() {
+        // One site touches many blocks, most of which are never reused within
+        // the window — exactly the Property Array pattern. The counter should
+        // fall below the friendly threshold.
+        let mut h = Hawkeye::new(1, 4); // every set sampled
+        let site = 7;
+        // A stream of single-use blocks with occasional reuse of block 0.
+        for i in 0..200u64 {
+            let addr = if i % 50 == 0 { 0 } else { (i + 1) * 64 };
+            h.observe(0, &req(addr, site));
+        }
+        assert!(
+            h.counter(site) < FRIENDLY_THRESHOLD,
+            "counter {} should predict cache-averse",
+            h.counter(site)
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Belady's optimal replacement (OPT / MIN), applied offline to a recorded
+//! LLC access trace (Sec. V-D of the paper).
+//!
+//! OPT requires perfect knowledge of the future: on every miss in a full set
+//! it evicts the resident block whose next use is farthest away (or never).
+//! It is therefore not a [`super::ReplacementPolicy`] — it is a trace
+//! post-processor. The paper records up to two billion LLC accesses per
+//! workload and reports the fraction of misses OPT eliminates relative to
+//! LRU for several LLC sizes (Fig. 11, Table VII); the reproduction follows
+//! the same methodology on its recorded traces.
+
+use crate::addr::block_of;
+use crate::config::CacheConfig;
+use crate::request::AccessInfo;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Result of an offline OPT simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptResult {
+    /// Number of accesses in the trace.
+    pub accesses: u64,
+    /// Hits under OPT.
+    pub hits: u64,
+    /// Misses under OPT (compulsory + capacity/conflict that even OPT cannot
+    /// avoid).
+    pub misses: u64,
+}
+
+impl OptResult {
+    /// Miss ratio in `[0, 1]`.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Simulates Belady's OPT over `trace` for a set-associative cache described
+/// by `config` and returns the minimal achievable miss count.
+///
+/// The simulation is exact per set: the next-use of every access is
+/// pre-computed with a backward pass, and on every replacement the resident
+/// block with the farthest next use is evicted.
+pub fn optimal_misses(trace: &[AccessInfo], config: &CacheConfig) -> OptResult {
+    let sets = config.sets();
+    // Pre-compute, for each access, the index of the next access to the same
+    // block (or u64::MAX when there is none).
+    let mut next_use = vec![u64::MAX; trace.len()];
+    let mut last_seen: HashMap<u64, usize> = HashMap::new();
+    for (i, info) in trace.iter().enumerate().rev() {
+        let block = block_of(info.addr, config.block_bytes);
+        if let Some(&later) = last_seen.get(&block) {
+            next_use[i] = later as u64;
+        }
+        last_seen.insert(block, i);
+    }
+
+    // Per-set resident blocks: block -> next use (as of its latest access).
+    let mut resident: Vec<HashMap<u64, u64>> = vec![HashMap::new(); sets];
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+
+    for (i, info) in trace.iter().enumerate() {
+        let block = block_of(info.addr, config.block_bytes);
+        let set = config.set_of(block);
+        let set_map = &mut resident[set];
+        if let std::collections::hash_map::Entry::Occupied(mut entry) = set_map.entry(block) {
+            hits += 1;
+            *entry.get_mut() = next_use[i];
+            continue;
+        }
+        misses += 1;
+        if set_map.len() >= config.ways {
+            // Evict the resident block with the farthest next use. Ties are
+            // broken by block address for determinism.
+            let (&victim, _) = set_map
+                .iter()
+                .max_by_key(|&(&b, &next)| (next, b))
+                .expect("set is non-empty when full");
+            set_map.remove(&victim);
+        }
+        set_map.insert(block, next_use[i]);
+    }
+
+    OptResult {
+        accesses: trace.len() as u64,
+        hits,
+        misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_of(addrs: &[u64]) -> Vec<AccessInfo> {
+        addrs.iter().map(|&a| AccessInfo::read(a * 64)).collect()
+    }
+
+    fn tiny_cache(ways: usize) -> CacheConfig {
+        // One set with `ways` ways.
+        CacheConfig::new(64 * ways as u64, ways, 64)
+    }
+
+    #[test]
+    fn opt_on_the_classic_belady_example() {
+        // Reference stream with a 3-entry fully-associative cache.
+        let trace = trace_of(&[1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]);
+        let result = optimal_misses(&trace, &tiny_cache(3));
+        // Belady's MIN incurs 7 misses on this classical example.
+        assert_eq!(result.misses, 7);
+        assert_eq!(result.hits, 5);
+        assert_eq!(result.accesses, 12);
+    }
+
+    #[test]
+    fn opt_never_exceeds_lru_misses() {
+        use crate::cache::SetAssocCache;
+        use crate::policy::lru::Lru;
+        // A pseudo-random but deterministic trace.
+        let mut addrs = Vec::new();
+        let mut x = 123u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            addrs.push((x >> 33) % 256);
+        }
+        let trace = trace_of(&addrs);
+        let config = CacheConfig::new(64 * 64, 8, 64);
+        let opt = optimal_misses(&trace, &config);
+        let mut lru = SetAssocCache::new(
+            "LLC",
+            config,
+            Box::new(Lru::new(config.sets(), config.ways)),
+        );
+        for info in &trace {
+            lru.access(info);
+        }
+        assert!(opt.misses <= lru.stats().misses);
+        // Compulsory misses are unavoidable even for OPT.
+        let distinct: std::collections::HashSet<u64> = addrs.iter().copied().collect();
+        assert!(opt.misses >= distinct.len() as u64);
+    }
+
+    #[test]
+    fn opt_with_ample_capacity_only_takes_compulsory_misses() {
+        let trace = trace_of(&[1, 2, 3, 1, 2, 3, 1, 2, 3]);
+        let result = optimal_misses(&trace, &tiny_cache(4));
+        assert_eq!(result.misses, 3);
+        assert_eq!(result.hits, 6);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let result = optimal_misses(&[], &tiny_cache(2));
+        assert_eq!(result.accesses, 0);
+        assert_eq!(result.misses, 0);
+        assert_eq!(result.miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn miss_ratio_is_fractional() {
+        let trace = trace_of(&[1, 1, 1, 2]);
+        let result = optimal_misses(&trace, &tiny_cache(1));
+        assert!((result.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+}

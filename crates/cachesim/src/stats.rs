@@ -1,0 +1,185 @@
+//! Access and miss statistics.
+
+use crate::request::RegionLabel;
+use serde::{Deserialize, Serialize};
+
+/// Per-region access/miss counters (drives the Fig. 2 breakdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionCounters {
+    /// Demand accesses that reached this cache.
+    pub accesses: u64,
+    /// Demand misses at this cache.
+    pub misses: u64,
+}
+
+impl RegionCounters {
+    /// Hits (accesses − misses).
+    pub fn hits(&self) -> u64 {
+        self.accesses - self.misses
+    }
+}
+
+/// Statistics of a single cache level.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total demand accesses.
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Blocks evicted to make room for fills.
+    pub evictions: u64,
+    /// Fills skipped because the policy chose to bypass.
+    pub bypasses: u64,
+    /// Prefetch requests that reached this level (not counted in `accesses`).
+    pub prefetch_accesses: u64,
+    /// Prefetch requests that missed and triggered a fill at this level.
+    pub prefetch_fills: u64,
+    /// Per-region demand counters, indexed by [`RegionLabel::ALL`] order.
+    region: [RegionCounters; RegionLabel::ALL.len()],
+}
+
+impl CacheStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn region_index(region: RegionLabel) -> usize {
+        RegionLabel::ALL
+            .iter()
+            .position(|&r| r == region)
+            .expect("region label is part of ALL")
+    }
+
+    /// Records a demand access and its outcome.
+    pub fn record(&mut self, region: RegionLabel, hit: bool) {
+        self.accesses += 1;
+        let idx = Self::region_index(region);
+        self.region[idx].accesses += 1;
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            self.region[idx].misses += 1;
+        }
+    }
+
+    /// Records a prefetch access and whether it filled (missed).
+    pub fn record_prefetch(&mut self, filled: bool) {
+        self.prefetch_accesses += 1;
+        if filled {
+            self.prefetch_fills += 1;
+        }
+    }
+
+    /// Per-region counters.
+    pub fn region(&self, region: RegionLabel) -> RegionCounters {
+        self.region[Self::region_index(region)]
+    }
+
+    /// Demand miss ratio in `[0, 1]`.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of demand accesses that fall within the Property Array.
+    pub fn property_access_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.region(RegionLabel::Property).accesses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of all demand accesses that are Property Array misses.
+    pub fn property_miss_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.region(RegionLabel::Property).misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Statistics of the full three-level hierarchy.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// L1 data cache.
+    pub l1: CacheStats,
+    /// Unified L2.
+    pub l2: CacheStats,
+    /// Last-level cache.
+    pub llc: CacheStats,
+    /// Demand requests that had to go to main memory (== demand LLC misses).
+    pub memory_accesses: u64,
+}
+
+impl HierarchyStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total demand accesses issued to the hierarchy (== L1 accesses).
+    pub fn total_accesses(&self) -> u64 {
+        self.l1.accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tracks_totals_and_regions() {
+        let mut s = CacheStats::new();
+        s.record(RegionLabel::Property, false);
+        s.record(RegionLabel::Property, true);
+        s.record(RegionLabel::EdgeArray, false);
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.region(RegionLabel::Property).accesses, 2);
+        assert_eq!(s.region(RegionLabel::Property).misses, 1);
+        assert_eq!(s.region(RegionLabel::Property).hits(), 1);
+        assert_eq!(s.region(RegionLabel::EdgeArray).misses, 1);
+        assert_eq!(s.region(RegionLabel::Frontier).accesses, 0);
+    }
+
+    #[test]
+    fn ratios() {
+        let mut s = CacheStats::new();
+        for i in 0..10 {
+            s.record(RegionLabel::Property, i % 2 == 0);
+        }
+        for _ in 0..10 {
+            s.record(RegionLabel::Other, true);
+        }
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+        assert!((s.property_access_fraction() - 0.5).abs() < 1e-12);
+        assert!((s.property_miss_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_ratios() {
+        let s = CacheStats::new();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.property_access_fraction(), 0.0);
+    }
+
+    #[test]
+    fn prefetch_counters_are_separate() {
+        let mut s = CacheStats::new();
+        s.record_prefetch(true);
+        s.record_prefetch(false);
+        assert_eq!(s.prefetch_accesses, 2);
+        assert_eq!(s.prefetch_fills, 1);
+        assert_eq!(s.accesses, 0, "prefetches are not demand accesses");
+    }
+}

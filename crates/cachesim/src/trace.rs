@@ -1,0 +1,182 @@
+//! LLC access traces and trace replay.
+//!
+//! Two workflows use recorded traces:
+//!
+//! 1. **OPT comparison (Fig. 11 / Table VII).** The hierarchy records the
+//!    demand LLC access stream; [`crate::policy::opt::optimal_misses`]
+//!    computes the minimum achievable misses while [`replay`] re-runs the same
+//!    stream under online policies (LRU, RRIP, GRASP) — possibly for a
+//!    *different* LLC size, in which case [`replay_with_classifier`]
+//!    recomputes the reuse hints for the new High/Moderate region extents.
+//! 2. **Policy micro-benchmarks**, which measure simulator throughput on
+//!    synthetic traces.
+
+use crate::cache::SetAssocCache;
+use crate::config::CacheConfig;
+use crate::hint::RegionClassifier;
+use crate::policy::ReplacementPolicy;
+use crate::request::AccessInfo;
+use crate::stats::CacheStats;
+
+/// Replays a recorded LLC access trace through a standalone LLC with the
+/// given policy and returns the resulting statistics.
+pub fn replay(
+    trace: &[AccessInfo],
+    config: CacheConfig,
+    policy: Box<dyn ReplacementPolicy>,
+) -> CacheStats {
+    let mut cache = SetAssocCache::new("LLC", config, policy);
+    for info in trace {
+        cache.access(info);
+    }
+    cache.stats().clone()
+}
+
+/// Replays a trace with reuse hints *recomputed* by `classifier` (used when
+/// the replayed LLC size differs from the size the trace was recorded with,
+/// e.g. the Table VII LLC-size sweep).
+pub fn replay_with_classifier(
+    trace: &[AccessInfo],
+    config: CacheConfig,
+    policy: Box<dyn ReplacementPolicy>,
+    classifier: &RegionClassifier,
+) -> CacheStats {
+    let mut cache = SetAssocCache::new("LLC", config, policy);
+    for info in trace {
+        let reclassified = info.with_hint(classifier.classify(info.addr));
+        cache.access(&reclassified);
+    }
+    cache.stats().clone()
+}
+
+/// Percentage of misses eliminated by `candidate` relative to `baseline`
+/// (positive = fewer misses). This is the metric of Figs. 5 and 11.
+pub fn misses_eliminated_pct(baseline_misses: u64, candidate_misses: u64) -> f64 {
+    if baseline_misses == 0 {
+        return 0.0;
+    }
+    (baseline_misses as f64 - candidate_misses as f64) / baseline_misses as f64 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hint::{AddressBoundRegisters, ReuseHint};
+    use crate::policy::grasp::Grasp;
+    use crate::policy::lru::Lru;
+    use crate::policy::opt::optimal_misses;
+    use crate::policy::rrip::Drrip;
+    use crate::request::RegionLabel;
+
+    /// A thrash-prone trace: a hot working set that fits in the cache plus a
+    /// long stream of single-use blocks.
+    fn thrashy_trace(hot_blocks: u64, cold_blocks: u64, rounds: u64) -> Vec<AccessInfo> {
+        let mut trace = Vec::new();
+        for r in 0..rounds {
+            for b in 0..hot_blocks {
+                trace.push(
+                    AccessInfo::read(b * 64)
+                        .with_hint(ReuseHint::High)
+                        .with_region(RegionLabel::Property)
+                        .with_site(1),
+                );
+            }
+            for c in 0..cold_blocks {
+                let addr = (hot_blocks + r * cold_blocks + c) * 64;
+                trace.push(
+                    AccessInfo::read(addr)
+                        .with_hint(ReuseHint::Low)
+                        .with_region(RegionLabel::Property)
+                        .with_site(1),
+                );
+            }
+        }
+        trace
+    }
+
+    fn llc_config() -> CacheConfig {
+        CacheConfig::new(64 * 256, 16, 64) // 256 blocks, 16 ways
+    }
+
+    #[test]
+    fn grasp_beats_lru_and_rrip_on_thrashy_traces() {
+        let config = llc_config();
+        // Hot set of 128 blocks (fits) + 512 cold blocks per round.
+        let trace = thrashy_trace(128, 512, 20);
+        let lru = replay(&trace, config, Box::new(Lru::new(config.sets(), config.ways)));
+        let rrip = replay(
+            &trace,
+            config,
+            Box::new(Drrip::new(config.sets(), config.ways, 1)),
+        );
+        let grasp = replay(
+            &trace,
+            config,
+            Box::new(Grasp::new(config.sets(), config.ways, 1)),
+        );
+        assert!(
+            grasp.misses < lru.misses,
+            "grasp {} should beat lru {}",
+            grasp.misses,
+            lru.misses
+        );
+        assert!(
+            grasp.misses <= rrip.misses,
+            "grasp {} should not lose to rrip {}",
+            grasp.misses,
+            rrip.misses
+        );
+    }
+
+    #[test]
+    fn opt_lower_bounds_every_online_policy() {
+        let config = llc_config();
+        let trace = thrashy_trace(64, 300, 10);
+        let opt = optimal_misses(&trace, &config);
+        for policy in [
+            replay(&trace, config, Box::new(Lru::new(config.sets(), config.ways))),
+            replay(
+                &trace,
+                config,
+                Box::new(Drrip::new(config.sets(), config.ways, 1)),
+            ),
+            replay(
+                &trace,
+                config,
+                Box::new(Grasp::new(config.sets(), config.ways, 1)),
+            ),
+        ] {
+            assert!(opt.misses <= policy.misses);
+        }
+    }
+
+    #[test]
+    fn misses_eliminated_pct_math() {
+        assert!((misses_eliminated_pct(100, 80) - 20.0).abs() < 1e-12);
+        assert!((misses_eliminated_pct(100, 120) + 20.0).abs() < 1e-12);
+        assert_eq!(misses_eliminated_pct(0, 10), 0.0);
+    }
+
+    #[test]
+    fn reclassification_changes_hints_with_llc_size() {
+        // Record hints for a small LLC, then replay for a larger one: more of
+        // the property array becomes High-Reuse.
+        let mut abrs = AddressBoundRegisters::new();
+        abrs.program(0, 1024 * 1024);
+        let small = RegionClassifier::new(abrs.clone(), 64 * 1024);
+        let large = RegionClassifier::new(abrs, 256 * 1024);
+        let addr = 128 * 1024; // past the small High region, inside the large one
+        assert_eq!(small.classify(addr), ReuseHint::Low);
+        assert_eq!(large.classify(addr), ReuseHint::High);
+
+        let trace = vec![AccessInfo::read(addr).with_hint(small.classify(addr))];
+        let config = llc_config();
+        let stats = replay_with_classifier(
+            &trace,
+            config,
+            Box::new(Grasp::new(config.sets(), config.ways, 1)),
+            &large,
+        );
+        assert_eq!(stats.accesses, 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! Cross-policy property tests: every online policy must obey basic cache
+//! invariants, and Belady's OPT must lower-bound all of them on arbitrary
+//! traces.
+
+use grasp_cachesim::cache::SetAssocCache;
+use grasp_cachesim::config::CacheConfig;
+use grasp_cachesim::hint::ReuseHint;
+use grasp_cachesim::policy::grasp::{Grasp, GraspMode};
+use grasp_cachesim::policy::hawkeye::Hawkeye;
+use grasp_cachesim::policy::leeway::Leeway;
+use grasp_cachesim::policy::lru::Lru;
+use grasp_cachesim::policy::opt::optimal_misses;
+use grasp_cachesim::policy::pin::PinX;
+use grasp_cachesim::policy::random::RandomReplacement;
+use grasp_cachesim::policy::rrip::{Brrip, Drrip, Srrip};
+use grasp_cachesim::policy::ship::ShipMem;
+use grasp_cachesim::policy::ReplacementPolicy;
+use grasp_cachesim::request::{AccessInfo, RegionLabel};
+use proptest::prelude::*;
+
+fn config() -> CacheConfig {
+    CacheConfig::new(64 * 64, 8, 64) // 64 blocks, 8 ways, 8 sets
+}
+
+fn all_policies(cfg: &CacheConfig) -> Vec<Box<dyn ReplacementPolicy>> {
+    let sets = cfg.sets();
+    let ways = cfg.ways;
+    vec![
+        Box::new(Lru::new(sets, ways)),
+        Box::new(RandomReplacement::new(sets, ways, 7)),
+        Box::new(Srrip::new(sets, ways)),
+        Box::new(Brrip::new(sets, ways, 7)),
+        Box::new(Drrip::new(sets, ways, 7)),
+        Box::new(ShipMem::new(sets, ways, cfg.block_bytes)),
+        Box::new(Hawkeye::new(sets, ways)),
+        Box::new(Leeway::new(sets, ways)),
+        Box::new(PinX::new(sets, ways, 50)),
+        Box::new(Grasp::new(sets, ways, 7)),
+        Box::new(Grasp::with_mode(sets, ways, 7, GraspMode::HintsOnly)),
+        Box::new(Grasp::with_mode(sets, ways, 7, GraspMode::InsertionOnly)),
+    ]
+}
+
+/// An arbitrary access: block index, site, hint selector, write flag.
+fn arb_trace() -> impl Strategy<Value = Vec<AccessInfo>> {
+    proptest::collection::vec((0u64..256, 0u16..4, 0u8..4, proptest::bool::ANY), 1..600).prop_map(
+        |entries| {
+            entries
+                .into_iter()
+                .map(|(blk, site, hint, write)| {
+                    let base = if write {
+                        AccessInfo::write(blk * 64)
+                    } else {
+                        AccessInfo::read(blk * 64)
+                    };
+                    base.with_site(site)
+                        .with_hint(ReuseHint::decode(hint))
+                        .with_region(RegionLabel::Property)
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Basic accounting invariants hold for every policy on any trace, and
+    /// within one run the same block accessed back-to-back always hits.
+    #[test]
+    fn accounting_invariants(trace in arb_trace()) {
+        let cfg = config();
+        for policy in all_policies(&cfg) {
+            let name = policy.name();
+            let mut cache = SetAssocCache::new("LLC", cfg, policy);
+            for info in &trace {
+                cache.access(info);
+                // A block just accessed must be resident (no policy bypasses
+                // demand fills in this suite).
+                prop_assert!(cache.probe(info.addr).is_some(), "{name}: block not resident");
+            }
+            let stats = cache.stats();
+            prop_assert_eq!(stats.accesses, trace.len() as u64, "{}", name);
+            prop_assert_eq!(stats.hits + stats.misses, stats.accesses, "{}", name);
+            prop_assert!(cache.resident_blocks() <= cfg.blocks(), "{}", name);
+            prop_assert!(stats.evictions <= stats.misses, "{}", name);
+        }
+    }
+
+    /// OPT is a true lower bound for every online policy.
+    #[test]
+    fn opt_is_a_lower_bound(trace in arb_trace()) {
+        let cfg = config();
+        let opt = optimal_misses(&trace, &cfg);
+        for policy in all_policies(&cfg) {
+            let name = policy.name();
+            let mut cache = SetAssocCache::new("LLC", cfg, policy);
+            for info in &trace {
+                cache.access(info);
+            }
+            prop_assert!(
+                opt.misses <= cache.stats().misses,
+                "OPT ({}) must not exceed {} ({})",
+                opt.misses,
+                name,
+                cache.stats().misses
+            );
+        }
+    }
+
+    /// Compulsory misses: no policy can miss fewer times than the number of
+    /// distinct blocks in the trace.
+    #[test]
+    fn compulsory_misses_are_unavoidable(trace in arb_trace()) {
+        let cfg = config();
+        let distinct: std::collections::HashSet<u64> =
+            trace.iter().map(|i| i.addr / 64).collect();
+        for policy in all_policies(&cfg) {
+            let name = policy.name();
+            let mut cache = SetAssocCache::new("LLC", cfg, policy);
+            for info in &trace {
+                cache.access(info);
+            }
+            prop_assert!(cache.stats().misses >= distinct.len() as u64, "{}", name);
+        }
+    }
+}
+
+#[test]
+fn grasp_protects_the_hot_working_set_under_thrashing() {
+    // The core qualitative claim: with a hot working set that fits in the
+    // cache and a cold stream that would thrash it, GRASP keeps the hot
+    // blocks resident while LRU does not.
+    let cfg = CacheConfig::new(64 * 128, 16, 64); // 128 blocks
+    let hot_blocks: Vec<u64> = (0..96).collect();
+    let mut trace = Vec::new();
+    let mut cold_cursor = 1_000u64;
+    for _round in 0..30 {
+        for &b in &hot_blocks {
+            trace.push(
+                AccessInfo::read(b * 64)
+                    .with_hint(ReuseHint::High)
+                    .with_region(RegionLabel::Property),
+            );
+        }
+        for _ in 0..512 {
+            trace.push(
+                AccessInfo::read(cold_cursor * 64)
+                    .with_hint(ReuseHint::Low)
+                    .with_region(RegionLabel::Property),
+            );
+            cold_cursor += 1;
+        }
+    }
+    let run = |policy: Box<dyn ReplacementPolicy>| {
+        let mut cache = SetAssocCache::new("LLC", cfg, policy);
+        for info in &trace {
+            cache.access(info);
+        }
+        cache.stats().clone()
+    };
+    let lru = run(Box::new(Lru::new(cfg.sets(), cfg.ways)));
+    let rrip = run(Box::new(Drrip::new(cfg.sets(), cfg.ways, 3)));
+    let grasp = run(Box::new(Grasp::new(cfg.sets(), cfg.ways, 3)));
+    assert!(grasp.misses < lru.misses);
+    assert!(grasp.misses <= rrip.misses);
+    // GRASP should capture most of the hot reuse: hot accesses per round
+    // after the first should overwhelmingly hit.
+    let hot_accesses = 30 * hot_blocks.len() as u64;
+    assert!(
+        grasp.hits > hot_accesses * 7 / 10,
+        "grasp hits {} of {} hot accesses",
+        grasp.hits,
+        hot_accesses
+    );
+}
+
+#[test]
+fn pinning_is_rigid_where_grasp_is_flexible() {
+    // Phase 1: blocks A are hot (High hint). Phase 2: A stops being accessed
+    // and a new working set B (Moderate/Low hints) becomes hot. PIN-100 keeps
+    // A pinned and cannot adapt; GRASP lets A age out.
+    let cfg = CacheConfig::new(64 * 64, 16, 64); // 64 blocks
+    let mut trace = Vec::new();
+    for _ in 0..20 {
+        for b in 0..48u64 {
+            trace.push(
+                AccessInfo::read(b * 64)
+                    .with_hint(ReuseHint::High)
+                    .with_region(RegionLabel::Property),
+            );
+        }
+    }
+    for _ in 0..40 {
+        for b in 100..148u64 {
+            trace.push(
+                AccessInfo::read(b * 64)
+                    .with_hint(ReuseHint::Moderate)
+                    .with_region(RegionLabel::Property),
+            );
+        }
+    }
+    let run = |policy: Box<dyn ReplacementPolicy>| {
+        let mut cache = SetAssocCache::new("LLC", cfg, policy);
+        for info in &trace {
+            cache.access(info);
+        }
+        cache.stats().clone()
+    };
+    let pin100 = run(Box::new(PinX::new(cfg.sets(), cfg.ways, 100)));
+    let grasp = run(Box::new(Grasp::new(cfg.sets(), cfg.ways, 3)));
+    assert!(
+        grasp.misses < pin100.misses,
+        "grasp {} should adapt better than pin-100 {}",
+        grasp.misses,
+        pin100.misses
+    );
+}

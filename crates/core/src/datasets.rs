@@ -1,0 +1,308 @@
+//! The dataset catalog.
+//!
+//! The paper evaluates on five large high-skew graphs (LiveJournal, PLD,
+//! Twitter, Kron, SD1-ARC) plus two adversarial low-/no-skew graphs
+//! (Friendster, Uniform) — Table V. Those datasets total tens of gigabytes
+//! and are not available offline, so the reproduction substitutes synthetic
+//! graphs whose *skew* (hot-vertex fraction and edge coverage, Table I)
+//! mirrors each original, scaled down together with the simulated LLC so the
+//! cache-pressure regime is preserved (see DESIGN.md).
+
+use grasp_cachesim::config::HierarchyConfig;
+use grasp_graph::degree::SkewReport;
+use grasp_graph::generators::{ChungLu, GraphGenerator, Rmat, Uniform};
+use grasp_graph::Csr;
+use serde::{Deserialize, Serialize};
+
+/// Scale of a synthetic dataset (vertex count and the matching LLC size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// ~1K vertices — unit tests only.
+    Tiny,
+    /// ~8K vertices — fast experiments, CI.
+    Small,
+    /// ~32K vertices — the default for the bench harness.
+    Medium,
+    /// ~128K vertices — closer to the paper's regime; slower.
+    Large,
+}
+
+impl Scale {
+    /// Reads the scale from the `GRASP_SCALE` environment variable
+    /// (`tiny` / `small` / `medium` / `large`), defaulting to `Small` so that
+    /// the full bench suite completes quickly out of the box.
+    pub fn from_env() -> Self {
+        match std::env::var("GRASP_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "tiny" => Scale::Tiny,
+            "medium" => Scale::Medium,
+            "large" => Scale::Large,
+            "small" | "" => Scale::Small,
+            other => {
+                eprintln!("unknown GRASP_SCALE '{other}', using small");
+                Scale::Small
+            }
+        }
+    }
+
+    /// log2 of the number of vertices.
+    pub fn scale_log2(self) -> u32 {
+        match self {
+            Scale::Tiny => 11,
+            Scale::Small => 15,
+            Scale::Medium => 17,
+            Scale::Large => 19,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertices(self) -> u64 {
+        1 << self.scale_log2()
+    }
+
+    /// LLC capacity paired with this scale, keeping the LLC : Property Array
+    /// footprint ratio in the paper's regime: the footprint of the hot
+    /// vertices alone meets or exceeds the LLC capacity, so thrashing occurs
+    /// even among hot vertices (Sec. II-E).
+    pub fn llc_bytes(self) -> u64 {
+        match self {
+            Scale::Tiny => 32 * 1024,
+            Scale::Small => 64 * 1024,
+            Scale::Medium => 128 * 1024,
+            Scale::Large => 256 * 1024,
+        }
+    }
+
+    /// The hierarchy configuration paired with this scale.
+    pub fn hierarchy(self) -> HierarchyConfig {
+        HierarchyConfig::scaled_with_llc(self.llc_bytes())
+    }
+}
+
+/// The seven datasets of Table V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// LiveJournal (`lj`) — moderate skew social network.
+    LiveJournal,
+    /// PLD hyperlink graph (`pl`).
+    Pld,
+    /// Twitter follower graph (`tw`) — high skew.
+    Twitter,
+    /// Synthetic Kronecker graph (`kr`) — highest skew.
+    Kron,
+    /// SD1-ARC web crawl (`sd`).
+    Sd1Arc,
+    /// Friendster (`fr`) — low-skew adversarial dataset.
+    Friendster,
+    /// Uniform random graph (`uni`) — no-skew adversarial dataset.
+    Uniform,
+}
+
+impl DatasetKind {
+    /// The five high-skew datasets used in the main evaluation, in the
+    /// paper's order (lj, pl, tw, kr, sd).
+    pub const HIGH_SKEW: [DatasetKind; 5] = [
+        DatasetKind::LiveJournal,
+        DatasetKind::Pld,
+        DatasetKind::Twitter,
+        DatasetKind::Kron,
+        DatasetKind::Sd1Arc,
+    ];
+
+    /// The two adversarial datasets (fr, uni).
+    pub const ADVERSARIAL: [DatasetKind; 2] = [DatasetKind::Friendster, DatasetKind::Uniform];
+
+    /// All seven datasets.
+    pub const ALL: [DatasetKind; 7] = [
+        DatasetKind::LiveJournal,
+        DatasetKind::Pld,
+        DatasetKind::Twitter,
+        DatasetKind::Kron,
+        DatasetKind::Sd1Arc,
+        DatasetKind::Friendster,
+        DatasetKind::Uniform,
+    ];
+
+    /// Short label matching the paper (lj, pl, tw, kr, sd, fr, uni).
+    pub fn label(self) -> &'static str {
+        match self {
+            DatasetKind::LiveJournal => "lj",
+            DatasetKind::Pld => "pl",
+            DatasetKind::Twitter => "tw",
+            DatasetKind::Kron => "kr",
+            DatasetKind::Sd1Arc => "sd",
+            DatasetKind::Friendster => "fr",
+            DatasetKind::Uniform => "uni",
+        }
+    }
+
+    /// Average degree of the synthetic stand-in (Table V reports 14–33).
+    pub fn average_degree(self) -> u64 {
+        match self {
+            DatasetKind::LiveJournal => 14,
+            DatasetKind::Pld => 15,
+            DatasetKind::Twitter => 24,
+            DatasetKind::Kron => 20,
+            DatasetKind::Sd1Arc => 20,
+            DatasetKind::Friendster => 16,
+            DatasetKind::Uniform => 20,
+        }
+    }
+
+    /// Deterministic generator seed per dataset so every run of the harness
+    /// sees the same graphs.
+    fn seed(self) -> u64 {
+        match self {
+            DatasetKind::LiveJournal => 0x1001,
+            DatasetKind::Pld => 0x1002,
+            DatasetKind::Twitter => 0x1003,
+            DatasetKind::Kron => 0x1004,
+            DatasetKind::Sd1Arc => 0x1005,
+            DatasetKind::Friendster => 0x1006,
+            DatasetKind::Uniform => 0x1007,
+        }
+    }
+
+    /// Returns `true` for the high-skew datasets.
+    pub fn is_high_skew(self) -> bool {
+        !matches!(self, DatasetKind::Friendster | DatasetKind::Uniform)
+    }
+
+    /// Builds the synthetic stand-in graph at the given scale.
+    pub fn generate(self, scale: Scale) -> Csr {
+        let n = scale.vertices();
+        let log2 = scale.scale_log2();
+        let degree = self.average_degree();
+        match self {
+            // Moderate-skew social graphs: Chung-Lu with gamma ~2.2-2.4 gives
+            // hot-vertex fractions around 20-25% (Table I: lj 25%, pl 16%).
+            DatasetKind::LiveJournal => ChungLu::new(n, degree, 2.40).generate(self.seed()),
+            DatasetKind::Pld => ChungLu::new(n, degree, 2.15).generate(self.seed()),
+            // High-skew graphs: R-MAT with Graph500 parameters (tw, sd) and a
+            // more aggressive quadrant split for kr (Table I: 9% hot, 93%
+            // coverage).
+            DatasetKind::Twitter => Rmat::new(log2, degree).generate(self.seed()),
+            DatasetKind::Kron => {
+                Rmat::with_probabilities(log2, degree, 0.63, 0.17, 0.17).generate(self.seed())
+            }
+            DatasetKind::Sd1Arc => Rmat::new(log2, degree).generate(self.seed()),
+            // Low-skew adversarial dataset: a mild power law.
+            DatasetKind::Friendster => ChungLu::new(n, degree, 3.5).generate(self.seed()),
+            // No-skew adversarial dataset.
+            DatasetKind::Uniform => Uniform::new(n, degree).generate(self.seed()),
+        }
+    }
+
+    /// Builds the dataset together with its metadata.
+    pub fn build(self, scale: Scale) -> Dataset {
+        let graph = self.generate(scale);
+        Dataset {
+            kind: self,
+            scale,
+            graph,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A generated dataset: the graph plus its provenance.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Which of the paper's datasets this stands in for.
+    pub kind: DatasetKind,
+    /// The scale it was generated at.
+    pub scale: Scale,
+    /// The graph itself.
+    pub graph: Csr,
+}
+
+impl Dataset {
+    /// Table I-style skew report (in- and out-edge directions).
+    pub fn skew(&self) -> (SkewReport, SkewReport) {
+        (
+            SkewReport::for_in_edges(&self.graph),
+            SkewReport::for_out_edges(&self.graph),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_the_paper() {
+        let labels: Vec<&str> = DatasetKind::ALL.iter().map(|d| d.label()).collect();
+        assert_eq!(labels, vec!["lj", "pl", "tw", "kr", "sd", "fr", "uni"]);
+    }
+
+    #[test]
+    fn high_skew_and_adversarial_partition_all() {
+        assert_eq!(
+            DatasetKind::HIGH_SKEW.len() + DatasetKind::ADVERSARIAL.len(),
+            DatasetKind::ALL.len()
+        );
+        assert!(DatasetKind::HIGH_SKEW.iter().all(|d| d.is_high_skew()));
+        assert!(DatasetKind::ADVERSARIAL.iter().all(|d| !d.is_high_skew()));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DatasetKind::Twitter.generate(Scale::Tiny);
+        let b = DatasetKind::Twitter.generate(Scale::Tiny);
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn scales_grow() {
+        assert!(Scale::Tiny.vertices() < Scale::Small.vertices());
+        assert!(Scale::Small.vertices() < Scale::Medium.vertices());
+        assert!(Scale::Medium.vertices() < Scale::Large.vertices());
+        assert!(Scale::Small.llc_bytes() <= Scale::Large.llc_bytes());
+        let h = Scale::Small.hierarchy();
+        assert_eq!(h.llc.size_bytes, Scale::Small.llc_bytes());
+    }
+
+    #[test]
+    fn skew_ordering_mirrors_table_i() {
+        // Table I: kr is the most skewed (9% hot vertices, 93% edge
+        // coverage); uni has essentially no skew; fr sits in between the
+        // high-skew datasets and uni.
+        let scale = Scale::Small;
+        let kr = DatasetKind::Kron.build(scale);
+        let tw = DatasetKind::Twitter.build(scale);
+        let fr = DatasetKind::Friendster.build(scale);
+        let uni = DatasetKind::Uniform.build(scale);
+        let idx = |d: &Dataset| d.skew().0.skew_index();
+        assert!(idx(&kr) > idx(&fr), "kr {} fr {}", idx(&kr), idx(&fr));
+        assert!(idx(&tw) > idx(&fr), "tw {} fr {}", idx(&tw), idx(&fr));
+        assert!(idx(&fr) > idx(&uni), "fr {} uni {}", idx(&fr), idx(&uni));
+        // High-skew datasets: a minority of hot vertices covers a large
+        // majority of edges.
+        for d in [&kr, &tw] {
+            let (in_skew, _) = d.skew();
+            assert!(in_skew.hot_vertices_pct() < 40.0);
+            assert!(in_skew.edge_coverage_pct() > 60.0);
+        }
+        // Uniform: around half the vertices are "hot" — no exploitable skew.
+        let (uni_in, _) = uni.skew();
+        assert!(uni_in.hot_vertices_pct() > 35.0);
+    }
+
+    #[test]
+    fn scale_from_env_parses_known_values() {
+        // Not setting the variable in-process (tests run in parallel);
+        // only check the default path is sane.
+        let s = Scale::from_env();
+        assert!(matches!(s, Scale::Tiny | Scale::Small | Scale::Medium | Scale::Large));
+    }
+
+    #[test]
+    fn display_uses_label() {
+        assert_eq!(DatasetKind::Kron.to_string(), "kr");
+    }
+}

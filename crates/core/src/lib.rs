@@ -1,0 +1,46 @@
+//! # grasp-core — GRASP experiment orchestration
+//!
+//! This crate ties the reproduction together. It owns:
+//!
+//! * the **dataset catalog** ([`datasets`]) — synthetic stand-ins for the
+//!   paper's seven datasets (Table V) at several scales,
+//! * the **policy registry** ([`policy`]) — a name → simulator-policy factory
+//!   covering every scheme of the evaluation, including GRASP's ablations and
+//!   the PIN-X configurations,
+//! * the **experiment runner** ([`experiment`]) — dataset × reordering ×
+//!   application × LLC policy → hierarchy statistics, estimated cycles and
+//!   (optionally) a recorded LLC trace,
+//! * **comparison helpers** ([`compare`]) — miss-reduction and speed-up
+//!   percentages, geometric means,
+//! * **report formatting** ([`report`]) — the plain-text tables printed by
+//!   the bench harness.
+//!
+//! ```no_run
+//! use grasp_core::datasets::{DatasetKind, Scale};
+//! use grasp_core::experiment::Experiment;
+//! use grasp_core::policy::PolicyKind;
+//! use grasp_analytics::apps::AppKind;
+//! use grasp_reorder::TechniqueKind;
+//!
+//! let dataset = DatasetKind::Twitter.build(Scale::Small);
+//! let experiment = Experiment::new(dataset.graph, AppKind::PageRank)
+//!     .with_reordering(TechniqueKind::Dbg);
+//! let rrip = experiment.run(PolicyKind::Rrip);
+//! let grasp = experiment.run(PolicyKind::Grasp);
+//! assert!(grasp.llc_misses() <= rrip.llc_misses());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod compare;
+pub mod datasets;
+pub mod experiment;
+pub mod policy;
+pub mod report;
+
+pub use compare::{geometric_mean_speedup, miss_reduction_pct, speedup_pct};
+pub use datasets::{Dataset, DatasetKind, Scale};
+pub use experiment::{Experiment, RunResult};
+pub use policy::PolicyKind;
+pub use report::Table;

@@ -1,0 +1,196 @@
+//! The policy registry: every LLC management scheme of the evaluation.
+
+use grasp_cachesim::config::CacheConfig;
+use grasp_cachesim::policy::grasp::{Grasp, GraspMode};
+use grasp_cachesim::policy::hawkeye::Hawkeye;
+use grasp_cachesim::policy::leeway::Leeway;
+use grasp_cachesim::policy::lru::Lru;
+use grasp_cachesim::policy::pin::PinX;
+use grasp_cachesim::policy::random::RandomReplacement;
+use grasp_cachesim::policy::rrip::{Brrip, Drrip, Srrip};
+use grasp_cachesim::policy::ship::ShipMem;
+use grasp_cachesim::policy::ReplacementPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Seed used for the probabilistic components of the policies, fixed so every
+/// experiment is reproducible.
+const POLICY_SEED: u64 = 0xC0FFEE;
+
+/// Every LLC management scheme evaluated in the paper (plus a couple of
+/// sanity baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Least Recently Used.
+    Lru,
+    /// Random replacement (sanity baseline).
+    Random,
+    /// Static RRIP.
+    Srrip,
+    /// Bimodal RRIP.
+    Brrip,
+    /// Dynamic RRIP — the paper's baseline, labelled "RRIP".
+    Rrip,
+    /// SHiP-MEM (memory-region signatures).
+    ShipMem,
+    /// Hawkeye (OPTgen-trained, site-indexed predictor).
+    Hawkeye,
+    /// Leeway (live-distance dead-block prediction).
+    Leeway,
+    /// XMem-style pinning reserving the given percentage of LLC capacity
+    /// (PIN-25/50/75/100 in the paper).
+    Pin(u8),
+    /// The RRIP+Hints ablation of Fig. 7.
+    GraspHintsOnly,
+    /// The GRASP (Insertion-Only) ablation of Fig. 7.
+    GraspInsertionOnly,
+    /// Full GRASP.
+    Grasp,
+}
+
+impl PolicyKind {
+    /// The schemes compared in Figs. 5 and 6 (history-based prior work +
+    /// GRASP), excluding the RRIP baseline itself.
+    pub const FIG5_SCHEMES: [PolicyKind; 4] = [
+        PolicyKind::ShipMem,
+        PolicyKind::Hawkeye,
+        PolicyKind::Leeway,
+        PolicyKind::Grasp,
+    ];
+
+    /// The pinning configurations of Fig. 8.
+    pub const PIN_CONFIGS: [PolicyKind; 4] = [
+        PolicyKind::Pin(25),
+        PolicyKind::Pin(50),
+        PolicyKind::Pin(75),
+        PolicyKind::Pin(100),
+    ];
+
+    /// The GRASP ablation sequence of Fig. 7.
+    pub const ABLATIONS: [PolicyKind; 3] = [
+        PolicyKind::GraspHintsOnly,
+        PolicyKind::GraspInsertionOnly,
+        PolicyKind::Grasp,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Random => "Random",
+            PolicyKind::Srrip => "SRRIP",
+            PolicyKind::Brrip => "BRRIP",
+            PolicyKind::Rrip => "RRIP",
+            PolicyKind::ShipMem => "SHiP-MEM",
+            PolicyKind::Hawkeye => "Hawkeye",
+            PolicyKind::Leeway => "Leeway",
+            PolicyKind::Pin(25) => "PIN-25",
+            PolicyKind::Pin(50) => "PIN-50",
+            PolicyKind::Pin(75) => "PIN-75",
+            PolicyKind::Pin(100) => "PIN-100",
+            PolicyKind::Pin(_) => "PIN-X",
+            PolicyKind::GraspHintsOnly => "RRIP+Hints",
+            PolicyKind::GraspInsertionOnly => "GRASP (Insertion-Only)",
+            PolicyKind::Grasp => "GRASP",
+        }
+    }
+
+    /// Whether the policy consumes GRASP's reuse hints (and therefore needs
+    /// the ABRs to be programmed for specialized behaviour).
+    pub fn uses_hints(self) -> bool {
+        matches!(
+            self,
+            PolicyKind::Pin(_)
+                | PolicyKind::GraspHintsOnly
+                | PolicyKind::GraspInsertionOnly
+                | PolicyKind::Grasp
+        )
+    }
+
+    /// Instantiates the policy for an LLC with the given geometry.
+    pub fn build(self, config: &CacheConfig) -> Box<dyn ReplacementPolicy> {
+        let sets = config.sets();
+        let ways = config.ways;
+        match self {
+            PolicyKind::Lru => Box::new(Lru::new(sets, ways)),
+            PolicyKind::Random => Box::new(RandomReplacement::new(sets, ways, POLICY_SEED)),
+            PolicyKind::Srrip => Box::new(Srrip::new(sets, ways)),
+            PolicyKind::Brrip => Box::new(Brrip::new(sets, ways, POLICY_SEED)),
+            PolicyKind::Rrip => Box::new(Drrip::new(sets, ways, POLICY_SEED)),
+            PolicyKind::ShipMem => Box::new(ShipMem::new(sets, ways, config.block_bytes)),
+            PolicyKind::Hawkeye => Box::new(Hawkeye::new(sets, ways)),
+            PolicyKind::Leeway => Box::new(Leeway::new(sets, ways)),
+            PolicyKind::Pin(percent) => Box::new(PinX::new(sets, ways, percent)),
+            PolicyKind::GraspHintsOnly => {
+                Box::new(Grasp::with_mode(sets, ways, POLICY_SEED, GraspMode::HintsOnly))
+            }
+            PolicyKind::GraspInsertionOnly => Box::new(Grasp::with_mode(
+                sets,
+                ways,
+                POLICY_SEED,
+                GraspMode::InsertionOnly,
+            )),
+            PolicyKind::Grasp => Box::new(Grasp::new(sets, ways, POLICY_SEED)),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_policy_builds() {
+        let config = CacheConfig::new(64 * 1024, 16, 64);
+        let all = [
+            PolicyKind::Lru,
+            PolicyKind::Random,
+            PolicyKind::Srrip,
+            PolicyKind::Brrip,
+            PolicyKind::Rrip,
+            PolicyKind::ShipMem,
+            PolicyKind::Hawkeye,
+            PolicyKind::Leeway,
+            PolicyKind::Pin(25),
+            PolicyKind::Pin(100),
+            PolicyKind::GraspHintsOnly,
+            PolicyKind::GraspInsertionOnly,
+            PolicyKind::Grasp,
+        ];
+        for kind in all {
+            let policy = kind.build(&config);
+            assert!(!policy.name().is_empty(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(PolicyKind::Rrip.label(), "RRIP");
+        assert_eq!(PolicyKind::ShipMem.label(), "SHiP-MEM");
+        assert_eq!(PolicyKind::Pin(75).label(), "PIN-75");
+        assert_eq!(PolicyKind::Grasp.to_string(), "GRASP");
+        assert_eq!(PolicyKind::GraspHintsOnly.label(), "RRIP+Hints");
+    }
+
+    #[test]
+    fn hint_consumers_are_flagged() {
+        assert!(PolicyKind::Grasp.uses_hints());
+        assert!(PolicyKind::Pin(50).uses_hints());
+        assert!(!PolicyKind::Rrip.uses_hints());
+        assert!(!PolicyKind::Hawkeye.uses_hints());
+    }
+
+    #[test]
+    fn figure_groups_have_the_expected_members() {
+        assert_eq!(PolicyKind::FIG5_SCHEMES.len(), 4);
+        assert_eq!(PolicyKind::PIN_CONFIGS.len(), 4);
+        assert_eq!(PolicyKind::ABLATIONS.len(), 3);
+        assert!(PolicyKind::FIG5_SCHEMES.contains(&PolicyKind::Grasp));
+        assert!(PolicyKind::PIN_CONFIGS.contains(&PolicyKind::Pin(100)));
+    }
+}

@@ -1,0 +1,259 @@
+//! Graph input/output.
+//!
+//! Two formats are supported:
+//!
+//! * **Text edge list** — one `src dst [weight]` triple per line, `#`-prefixed
+//!   comment lines ignored. This matches the format of SNAP and KONECT
+//!   downloads, so real datasets can be dropped in if available.
+//! * **Compact binary** — a little-endian binary dump (magic, vertex count,
+//!   edge count, then `(u32 src, u32 dst, u32 weight)` triples) for fast
+//!   round-tripping of generated datasets between bench runs.
+
+use crate::edgelist::EdgeList;
+use crate::types::{Edge, EdgeWeight, VertexId};
+use crate::{GraphError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes identifying the binary edge-list format.
+const BINARY_MAGIC: &[u8; 8] = b"GRASPEL1";
+
+/// Parses a text edge list from a reader.
+///
+/// Lines starting with `#` or `%` are treated as comments; blank lines are
+/// skipped. Each remaining line must contain `src dst` or `src dst weight`
+/// separated by whitespace.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Format`] on malformed lines and [`GraphError::Io`] on
+/// read failures.
+pub fn read_text_edge_list<R: Read>(reader: R) -> Result<EdgeList> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut max_vertex: u64 = 0;
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let src: VertexId = parse_field(parts.next(), line_no, "src")?;
+        let dst: VertexId = parse_field(parts.next(), line_no, "dst")?;
+        let weight: EdgeWeight = match parts.next() {
+            Some(text) => text.parse().map_err(|_| {
+                GraphError::Format(format!("line {}: invalid weight '{text}'", line_no + 1))
+            })?,
+            None => 1,
+        };
+        max_vertex = max_vertex.max(u64::from(src)).max(u64::from(dst));
+        edges.push(Edge::weighted(src, dst, weight));
+    }
+    let vertex_count = if edges.is_empty() { 0 } else { max_vertex + 1 };
+    let mut list = EdgeList::with_capacity(vertex_count, edges.len());
+    for e in edges {
+        list.push_edge(e)?;
+    }
+    Ok(list)
+}
+
+fn parse_field(field: Option<&str>, line_no: usize, name: &str) -> Result<u32> {
+    let text = field.ok_or_else(|| {
+        GraphError::Format(format!("line {}: missing {name} field", line_no + 1))
+    })?;
+    text.parse().map_err(|_| {
+        GraphError::Format(format!("line {}: invalid {name} '{text}'", line_no + 1))
+    })
+}
+
+/// Writes a text edge list to a writer (weights included only when ≠ 1).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on write failures.
+pub fn write_text_edge_list<W: Write>(writer: W, edges: &EdgeList) -> Result<()> {
+    let mut writer = BufWriter::new(writer);
+    writeln!(writer, "# grasp-graph edge list: {} vertices, {} edges", edges.vertex_count(), edges.edge_count())?;
+    for e in edges.iter() {
+        if e.weight == 1 {
+            writeln!(writer, "{} {}", e.src, e.dst)?;
+        } else {
+            writeln!(writer, "{} {} {}", e.src, e.dst, e.weight)?;
+        }
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Serializes an edge list into the compact binary format.
+pub fn to_binary(edges: &EdgeList) -> Bytes {
+    let mut buf = BytesMut::with_capacity(24 + edges.edge_count() * 12);
+    buf.put_slice(BINARY_MAGIC);
+    buf.put_u64_le(edges.vertex_count());
+    buf.put_u64_le(edges.edge_count() as u64);
+    for e in edges.iter() {
+        buf.put_u32_le(e.src);
+        buf.put_u32_le(e.dst);
+        buf.put_u32_le(e.weight);
+    }
+    buf.freeze()
+}
+
+/// Deserializes an edge list from the compact binary format.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Format`] if the magic bytes or lengths do not match.
+pub fn from_binary(mut data: &[u8]) -> Result<EdgeList> {
+    if data.len() < 24 {
+        return Err(GraphError::Format("binary edge list too short".into()));
+    }
+    let mut magic = [0u8; 8];
+    data.copy_to_slice(&mut magic);
+    if &magic != BINARY_MAGIC {
+        return Err(GraphError::Format("bad magic bytes".into()));
+    }
+    let vertex_count = data.get_u64_le();
+    let edge_count = data.get_u64_le() as usize;
+    if data.remaining() < edge_count * 12 {
+        return Err(GraphError::Format(format!(
+            "expected {} edge bytes, found {}",
+            edge_count * 12,
+            data.remaining()
+        )));
+    }
+    let mut list = EdgeList::with_capacity(vertex_count, edge_count);
+    for _ in 0..edge_count {
+        let src = data.get_u32_le();
+        let dst = data.get_u32_le();
+        let weight = data.get_u32_le();
+        list.push_edge(Edge::weighted(src, dst, weight))?;
+    }
+    Ok(list)
+}
+
+/// Reads an edge list from a file, choosing the format by extension:
+/// `.bin` is the binary format, anything else is text.
+///
+/// # Errors
+///
+/// Propagates I/O and format errors.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<EdgeList> {
+    let path = path.as_ref();
+    let data = std::fs::read(path)?;
+    if path.extension().map(|e| e == "bin").unwrap_or(false) {
+        from_binary(&data)
+    } else {
+        read_text_edge_list(&data[..])
+    }
+}
+
+/// Writes an edge list to a file, choosing the format by extension:
+/// `.bin` is the binary format, anything else is text.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_edge_list_file<P: AsRef<Path>>(path: P, edges: &EdgeList) -> Result<()> {
+    let path = path.as_ref();
+    if path.extension().map(|e| e == "bin").unwrap_or(false) {
+        std::fs::write(path, to_binary(edges))?;
+        Ok(())
+    } else {
+        let file = std::fs::File::create(path)?;
+        write_text_edge_list(file, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_edges() -> EdgeList {
+        let mut el = EdgeList::new(5);
+        el.push(0, 1).unwrap();
+        el.push_weighted(1, 2, 7).unwrap();
+        el.push(4, 0).unwrap();
+        el
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let edges = sample_edges();
+        let mut buf = Vec::new();
+        write_text_edge_list(&mut buf, &edges).unwrap();
+        let parsed = read_text_edge_list(&buf[..]).unwrap();
+        assert_eq!(parsed.edge_count(), 3);
+        assert_eq!(parsed.edges()[1].weight, 7);
+        assert_eq!(parsed.vertex_count(), 5);
+    }
+
+    #[test]
+    fn text_parser_skips_comments_and_blanks() {
+        let text = "# comment\n% another\n\n0 1\n2 3 9\n";
+        let parsed = read_text_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(parsed.edge_count(), 2);
+        assert_eq!(parsed.edges()[1].weight, 9);
+    }
+
+    #[test]
+    fn text_parser_reports_malformed_lines() {
+        let missing = read_text_edge_list("0\n".as_bytes());
+        assert!(matches!(missing, Err(GraphError::Format(_))));
+        let junk = read_text_edge_list("a b\n".as_bytes());
+        assert!(matches!(junk, Err(GraphError::Format(_))));
+        let bad_weight = read_text_edge_list("0 1 x\n".as_bytes());
+        assert!(matches!(bad_weight, Err(GraphError::Format(_))));
+    }
+
+    #[test]
+    fn empty_text_gives_empty_list() {
+        let parsed = read_text_edge_list("# nothing here\n".as_bytes()).unwrap();
+        assert!(parsed.is_empty());
+        assert_eq!(parsed.vertex_count(), 0);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let edges = sample_edges();
+        let bytes = to_binary(&edges);
+        let parsed = from_binary(&bytes).unwrap();
+        assert_eq!(parsed, edges);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut bytes = to_binary(&sample_edges()).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(from_binary(&bytes), Err(GraphError::Format(_))));
+    }
+
+    #[test]
+    fn binary_rejects_truncated_data() {
+        let bytes = to_binary(&sample_edges());
+        assert!(matches!(
+            from_binary(&bytes[..bytes.len() - 4]),
+            Err(GraphError::Format(_))
+        ));
+        assert!(matches!(from_binary(&bytes[..10]), Err(GraphError::Format(_))));
+    }
+
+    #[test]
+    fn file_round_trip_both_formats() {
+        let dir = std::env::temp_dir().join("grasp_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = sample_edges();
+
+        let text_path = dir.join("edges.txt");
+        write_edge_list_file(&text_path, &edges).unwrap();
+        let parsed = read_edge_list_file(&text_path).unwrap();
+        assert_eq!(parsed.edge_count(), edges.edge_count());
+
+        let bin_path = dir.join("edges.bin");
+        write_edge_list_file(&bin_path, &edges).unwrap();
+        let parsed = read_edge_list_file(&bin_path).unwrap();
+        assert_eq!(parsed, edges);
+    }
+}

@@ -1,0 +1,134 @@
+//! # grasp-graph — graph substrate for the GRASP reproduction
+//!
+//! This crate provides everything the GRASP (HPCA'20) reproduction needs to
+//! *represent*, *generate* and *characterize* graphs:
+//!
+//! * [`Csr`] — a Compressed Sparse Row graph representation with optional
+//!   edge weights, in-/out-edge views and transposition, mirroring the format
+//!   used by shared-memory frameworks such as Ligra (Sec. II-B of the paper).
+//! * [`EdgeList`] — a mutable edge-list staging container used by builders,
+//!   generators and I/O.
+//! * [`generators`] — synthetic graph generators standing in for the paper's
+//!   datasets (Table V): R-MAT/Kronecker power-law graphs, uniform
+//!   Erdős–Rényi graphs, Chung-Lu graphs with a configurable skew exponent
+//!   and a Watts–Strogatz-style low-skew generator.
+//! * [`degree`] — degree statistics and the hot-vertex / edge-coverage skew
+//!   analysis of Table I.
+//! * [`io`] — plain-text edge-list and compact binary save/load.
+//! * [`prng`] — deterministic pseudo-random number generators (SplitMix64,
+//!   Xoshiro256**) so every synthetic dataset and probabilistic policy in the
+//!   workspace is exactly reproducible.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use grasp_graph::generators::{Rmat, GraphGenerator};
+//! use grasp_graph::degree::SkewReport;
+//!
+//! // A small Twitter-like power-law graph.
+//! let graph = Rmat::new(10, 16).generate(42);
+//! assert_eq!(graph.vertex_count(), 1 << 10);
+//!
+//! // Hot vertices (degree >= average) cover the vast majority of edges.
+//! let skew = SkewReport::for_out_edges(&graph);
+//! assert!(skew.edge_coverage_pct() > 50.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod csr;
+pub mod degree;
+pub mod edgelist;
+pub mod generators;
+pub mod io;
+pub mod prng;
+pub mod types;
+
+pub use csr::{Csr, CsrBuilder};
+pub use degree::{DegreeStats, SkewReport};
+pub use edgelist::EdgeList;
+pub use types::{EdgeWeight, VertexId};
+
+/// Errors produced by the graph substrate.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge references a vertex that is outside of the declared vertex range.
+    VertexOutOfBounds {
+        /// The offending vertex identifier.
+        vertex: u64,
+        /// Number of vertices in the graph.
+        vertex_count: u64,
+    },
+    /// The graph is empty but the operation requires at least one vertex.
+    EmptyGraph,
+    /// An I/O error occurred while reading or writing a graph.
+    Io(std::io::Error),
+    /// The on-disk representation is malformed.
+    Format(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::VertexOutOfBounds {
+                vertex,
+                vertex_count,
+            } => write!(
+                f,
+                "vertex {vertex} is out of bounds for a graph with {vertex_count} vertices"
+            ),
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Format(msg) => write!(f, "malformed graph data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = GraphError::VertexOutOfBounds {
+            vertex: 12,
+            vertex_count: 10,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("12"));
+        assert!(msg.contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

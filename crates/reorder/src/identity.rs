@@ -1,0 +1,41 @@
+//! The no-op reordering.
+
+use crate::perm::Permutation;
+use crate::ReorderTechnique;
+use grasp_graph::types::Direction;
+use grasp_graph::Csr;
+
+/// Identity "reordering": leaves every vertex where it is.
+///
+/// Used as the no-reordering software baseline. Note that GRASP's region
+/// classification assumes hot vertices are contiguous, so
+/// [`ReorderTechnique::segregates_hot_vertices`] returns `false` here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Identity;
+
+impl ReorderTechnique for Identity {
+    fn compute(&self, graph: &Csr, _direction: Direction) -> Permutation {
+        Permutation::identity(graph.vertex_count())
+    }
+
+    fn name(&self) -> &'static str {
+        "Original"
+    }
+
+    fn segregates_hot_vertices(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let g = Csr::from_edges([(0, 1), (1, 2)]).unwrap();
+        let p = Identity.compute(&g, Direction::Out);
+        assert!(p.is_identity());
+        assert!(!Identity.segregates_hot_vertices());
+    }
+}

@@ -1,0 +1,74 @@
+//! Policy shoot-out: run one application over one dataset under every LLC
+//! management scheme of the paper and print a ranking.
+//!
+//! Run with (choose dataset/app by arguments):
+//!
+//! ```text
+//! cargo run --release --example policy_shootout -- tw PR
+//! ```
+
+use grasp_suite::analytics::apps::AppKind;
+use grasp_suite::core::compare::{miss_reduction_pct, speedup_pct};
+use grasp_suite::core::datasets::{DatasetKind, Scale};
+use grasp_suite::core::experiment::Experiment;
+use grasp_suite::core::policy::PolicyKind;
+use grasp_suite::core::report::Table;
+use grasp_suite::reorder::TechniqueKind;
+
+fn parse_dataset(label: &str) -> DatasetKind {
+    DatasetKind::ALL
+        .into_iter()
+        .find(|d| d.label() == label)
+        .unwrap_or(DatasetKind::Twitter)
+}
+
+fn parse_app(label: &str) -> AppKind {
+    AppKind::ALL
+        .into_iter()
+        .find(|a| a.label().eq_ignore_ascii_case(label))
+        .unwrap_or(AppKind::PageRank)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dataset_kind = parse_dataset(args.get(1).map(String::as_str).unwrap_or("tw"));
+    let app = parse_app(args.get(2).map(String::as_str).unwrap_or("PR"));
+    let scale = Scale::from_env();
+
+    println!("Dataset {dataset_kind}, application {app}, scale {scale:?}");
+    let dataset = dataset_kind.build(scale);
+    let experiment = Experiment::new(dataset.graph, app)
+        .with_hierarchy(scale.hierarchy())
+        .with_reordering(TechniqueKind::Dbg);
+
+    let baseline = experiment.run(PolicyKind::Rrip);
+    let mut table = Table::new(
+        format!("{app} on {dataset_kind}: every policy vs the RRIP baseline"),
+        &["policy", "LLC misses", "misses eliminated (%)", "speed-up (%)"],
+    );
+    let policies = [
+        PolicyKind::Lru,
+        PolicyKind::Rrip,
+        PolicyKind::ShipMem,
+        PolicyKind::Hawkeye,
+        PolicyKind::Leeway,
+        PolicyKind::Pin(75),
+        PolicyKind::Pin(100),
+        PolicyKind::GraspHintsOnly,
+        PolicyKind::GraspInsertionOnly,
+        PolicyKind::Grasp,
+    ];
+    for policy in policies {
+        let run = experiment.run(policy);
+        table.push_row(vec![
+            policy.label().to_owned(),
+            run.llc_misses().to_string(),
+            format!(
+                "{:.1}",
+                miss_reduction_pct(baseline.llc_misses(), run.llc_misses())
+            ),
+            format!("{:.1}", speedup_pct(baseline.cycles, run.cycles)),
+        ]);
+    }
+    println!("{table}");
+}

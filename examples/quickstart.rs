@@ -1,0 +1,55 @@
+//! Quickstart: generate a Twitter-like graph, reorder it with DBG, run
+//! PageRank through the simulated cache hierarchy under RRIP and GRASP, and
+//! print the miss reduction and estimated speed-up.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use grasp_suite::core::compare::{miss_reduction_pct, speedup_pct};
+use grasp_suite::core::datasets::{DatasetKind, Scale};
+use grasp_suite::core::experiment::Experiment;
+use grasp_suite::core::policy::PolicyKind;
+use grasp_suite::graph::degree::SkewReport;
+use grasp_suite::analytics::apps::AppKind;
+use grasp_suite::reorder::TechniqueKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Building a Twitter-like power-law graph ({:?} scale)...", scale);
+    let dataset = DatasetKind::Twitter.build(scale);
+    let skew = SkewReport::for_in_edges(&dataset.graph);
+    println!(
+        "  {} vertices, {} edges; hot vertices {:.1}% covering {:.1}% of edges",
+        dataset.graph.vertex_count(),
+        dataset.graph.edge_count(),
+        skew.hot_vertices_pct(),
+        skew.edge_coverage_pct()
+    );
+
+    println!("Reordering with DBG and running PageRank through the cache simulator...");
+    let experiment = Experiment::new(dataset.graph, AppKind::PageRank)
+        .with_hierarchy(scale.hierarchy())
+        .with_reordering(TechniqueKind::Dbg);
+
+    let rrip = experiment.run(PolicyKind::Rrip);
+    let grasp = experiment.run(PolicyKind::Grasp);
+
+    println!(
+        "  RRIP : {:>10} LLC misses ({:.1}% miss ratio)",
+        rrip.llc_misses(),
+        rrip.stats.llc.miss_ratio() * 100.0
+    );
+    println!(
+        "  GRASP: {:>10} LLC misses ({:.1}% miss ratio)",
+        grasp.llc_misses(),
+        grasp.stats.llc.miss_ratio() * 100.0
+    );
+    println!(
+        "  GRASP eliminates {:.1}% of LLC misses and is an estimated {:.1}% faster",
+        miss_reduction_pct(rrip.llc_misses(), grasp.llc_misses()),
+        speedup_pct(rrip.cycles, grasp.cycles)
+    );
+}

@@ -1,0 +1,22 @@
+//! # grasp-suite — umbrella crate for the GRASP (HPCA'20) reproduction
+//!
+//! This crate re-exports the individual workspace crates under one roof so
+//! that examples and downstream users can depend on a single crate:
+//!
+//! * [`graph`] — graph substrate (CSR, generators, skew analysis).
+//! * [`reorder`] — skew-aware vertex reordering (Sort, HubSort, DBG, Gorder).
+//! * [`cachesim`] — cache-hierarchy simulator and replacement policies.
+//! * [`analytics`] — Ligra-style vertex-centric applications with memory
+//!   tracing.
+//! * [`core`] — GRASP itself: reuse hints, experiment orchestration,
+//!   dataset catalog and reporting.
+//!
+//! See the `examples/` directory for end-to-end walkthroughs and
+//! `DESIGN.md` / `EXPERIMENTS.md` for how each table and figure of the paper
+//! is regenerated.
+
+pub use grasp_analytics as analytics;
+pub use grasp_cachesim as cachesim;
+pub use grasp_core as core;
+pub use grasp_graph as graph;
+pub use grasp_reorder as reorder;
