@@ -30,7 +30,14 @@ pub fn run<M: MemoryModel>(graph: &Csr, ws: &mut Workspace<M>, config: &AppConfi
     props.program_abrs(ws);
 
     // Phase 1: BFS to establish levels.
-    let bfs_out = bfs::run(graph, ws, &arrays, &props, root, config.max_iterations.max(n));
+    let bfs_out = bfs::run(
+        graph,
+        ws,
+        &arrays,
+        &props,
+        root,
+        config.max_iterations.max(n),
+    );
     let mut edges_processed = bfs_out.edges_processed;
 
     // Phase 2: forward pass over levels accumulating shortest-path counts.
@@ -99,7 +106,9 @@ mod tests {
         run(
             graph,
             &mut ws,
-            &AppConfig::default().with_root(root).with_max_iterations(1000),
+            &AppConfig::default()
+                .with_root(root)
+                .with_max_iterations(1000),
         )
     }
 
@@ -115,7 +124,10 @@ mod tests {
         assert!((result.values[2] - 2.0).abs() < 1e-9);
         assert!((result.values[3] - 1.0).abs() < 1e-9);
         assert!((result.values[4] - 0.0).abs() < 1e-9);
-        assert!((result.values[0] - 4.0).abs() < 1e-9, "root accumulates everything downstream");
+        assert!(
+            (result.values[0] - 4.0).abs() < 1e-9,
+            "root accumulates everything downstream"
+        );
     }
 
     #[test]
@@ -133,10 +145,7 @@ mod tests {
     fn dependencies_are_non_negative_and_finite() {
         let g = Rmat::new(8, 6).generate(7);
         let result = run_native(&g, 3);
-        assert!(result
-            .values
-            .iter()
-            .all(|&d| d.is_finite() && d >= 0.0));
+        assert!(result.values.iter().all(|&d| d.is_finite() && d >= 0.0));
         assert!(result.edges_processed > 0);
     }
 

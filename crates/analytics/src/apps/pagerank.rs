@@ -166,8 +166,14 @@ mod tests {
     #[test]
     fn layout_choice_does_not_change_results() {
         let g = Rmat::new(7, 6).generate(3);
-        let merged = run_native(&g, &AppConfig::default().with_layout(PropertyLayout::Merged));
-        let separate = run_native(&g, &AppConfig::default().with_layout(PropertyLayout::Separate));
+        let merged = run_native(
+            &g,
+            &AppConfig::default().with_layout(PropertyLayout::Merged),
+        );
+        let separate = run_native(
+            &g,
+            &AppConfig::default().with_layout(PropertyLayout::Separate),
+        );
         assert_eq!(merged.values, separate.values);
     }
 

@@ -155,7 +155,8 @@ mod tests {
             let mut ws = Workspace::new(NativeMemory::new());
             super::super::pagerank::run(&g, &mut ws, &config)
         };
-        let top_prd = (0..g.vertex_count()).max_by(|&a, &b| prd.values[a].total_cmp(&prd.values[b]));
+        let top_prd =
+            (0..g.vertex_count()).max_by(|&a, &b| prd.values[a].total_cmp(&prd.values[b]));
         let top_pr = (0..g.vertex_count()).max_by(|&a, &b| pr.values[a].total_cmp(&pr.values[b]));
         assert_eq!(top_prd, top_pr);
         assert_eq!(top_pr, Some(0));
@@ -188,7 +189,14 @@ mod tests {
         let prd = run_native(&g, &config);
         let pr = {
             let mut ws = Workspace::new(NativeMemory::new());
-            super::super::pagerank::run(&g, &mut ws, &AppConfig { epsilon: 0.0, ..config })
+            super::super::pagerank::run(
+                &g,
+                &mut ws,
+                &AppConfig {
+                    epsilon: 0.0,
+                    ..config
+                },
+            )
         };
         assert!(
             prd.edges_processed <= pr.edges_processed,

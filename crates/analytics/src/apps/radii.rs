@@ -125,10 +125,7 @@ mod tests {
             ..AppConfig::default()
         };
         let result = run_native(&g, &config);
-        assert!(result
-            .values
-            .iter()
-            .all(|&r| r <= result.iterations as f64));
+        assert!(result.values.iter().all(|&r| r <= result.iterations as f64));
         // Every vertex of a connected ring is eventually reached.
         assert!(result.values.iter().all(|&r| r >= 0.0));
     }

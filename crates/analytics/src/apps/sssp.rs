@@ -69,7 +69,13 @@ pub fn run<M: MemoryModel>(graph: &Csr, ws: &mut Workspace<M>, config: &AppConfi
 
     let values = dist
         .iter()
-        .map(|&d| if d == u64::MAX { f64::INFINITY } else { d as f64 })
+        .map(|&d| {
+            if d == u64::MAX {
+                f64::INFINITY
+            } else {
+                d as f64
+            }
+        })
         .collect();
     AppResult {
         app: "SSSP",
@@ -92,7 +98,9 @@ mod tests {
         run(
             graph,
             &mut ws,
-            &AppConfig::default().with_root(root).with_max_iterations(rounds),
+            &AppConfig::default()
+                .with_root(root)
+                .with_max_iterations(rounds),
         )
     }
 

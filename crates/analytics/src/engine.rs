@@ -112,7 +112,10 @@ mod tests {
         let g = Rmat::new(6, 4).generate(1);
         let mut ws = Workspace::new(NativeMemory::new());
         let arrays = CsrArrays::allocate(&mut ws, &g, true);
-        assert_eq!(ws.address_space().region(arrays.edge_array).element_bytes, 8);
+        assert_eq!(
+            ws.address_space().region(arrays.edge_array).element_bytes,
+            8
+        );
     }
 
     #[test]

@@ -35,7 +35,13 @@ impl NativeMemory {
 
 impl MemoryModel for NativeMemory {
     #[inline]
-    fn touch(&mut self, _addr: Address, _kind: AccessKind, _site: AccessSite, _region: RegionLabel) {
+    fn touch(
+        &mut self,
+        _addr: Address,
+        _kind: AccessKind,
+        _site: AccessSite,
+        _region: RegionLabel,
+    ) {
         self.accesses += 1;
     }
 
@@ -121,7 +127,11 @@ mod tests {
         }
         assert_eq!(m.access_count(), 100);
         assert_eq!(m.stats().l1.accesses, 100);
-        assert_eq!(m.stats().llc.accesses, 100, "distinct blocks all reach the LLC");
+        assert_eq!(
+            m.stats().llc.accesses,
+            100,
+            "distinct blocks all reach the LLC"
+        );
     }
 
     #[test]
@@ -133,6 +143,6 @@ mod tests {
         m.program_property_bounds(&[(0x8000_0000, 0x8000_0000 + (1 << 21))]);
         m.touch(0x8000_0000, AccessKind::Read, 1, RegionLabel::Property);
         let trace = m.into_hierarchy().into_llc_trace();
-        assert_eq!(trace[0].hint, ReuseHint::High);
+        assert_eq!(trace.get(0).hint, ReuseHint::High);
     }
 }

@@ -51,8 +51,14 @@ impl PropertySet {
         fields: &[u64],
         layout: PropertyLayout,
     ) -> Self {
-        assert!(!fields.is_empty(), "a property set needs at least one field");
-        assert!(fields.iter().all(|&b| b > 0), "field sizes must be non-zero");
+        assert!(
+            !fields.is_empty(),
+            "a property set needs at least one field"
+        );
+        assert!(
+            fields.iter().all(|&b| b > 0),
+            "field sizes must be non-zero"
+        );
         let mut field_offsets = Vec::with_capacity(fields.len());
         let mut running = 0u64;
         for &bytes in fields {

@@ -139,7 +139,8 @@ mod tests {
         let a = ws.allocate("a", RegionLabel::Property, 4, 8);
         ws.read(a, 0, 1);
         assert_eq!(ws.memory().access_count(), 1);
-        ws.memory_mut().touch(0, AccessKind::Read, 0, RegionLabel::Other);
+        ws.memory_mut()
+            .touch(0, AccessKind::Read, 0, RegionLabel::Other);
         assert_eq!(ws.into_memory().access_count(), 2);
     }
 }

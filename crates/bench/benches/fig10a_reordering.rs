@@ -61,8 +61,7 @@ fn main() {
                     .with_app_config(config)
                     .run_native();
                 let total = outcome.total_time() + run.runtime;
-                let net =
-                    (baseline.runtime.as_secs_f64() / total.as_secs_f64() - 1.0) * 100.0;
+                let net = (baseline.runtime.as_secs_f64() / total.as_secs_f64() - 1.0) * 100.0;
                 per_technique[i].push(net);
                 cells.push(pct(net));
             }

@@ -10,7 +10,7 @@
 //! of LRU's misses; the gap between GRASP and OPT is the remaining headroom.
 
 use grasp_analytics::apps::AppKind;
-use grasp_bench::{banner, dataset, experiment, harness_scale, pct};
+use grasp_bench::{banner, figure_campaign, harness_scale, pct};
 use grasp_cachesim::config::CacheConfig;
 use grasp_cachesim::hint::{AddressBoundRegisters, RegionClassifier};
 use grasp_cachesim::policy::opt::optimal_misses;
@@ -41,16 +41,27 @@ fn classifier_for(trace: &[AccessInfo], llc_bytes: u64) -> RegionClassifier {
     RegionClassifier::new(abrs, llc_bytes)
 }
 
-fn replay_all(
-    trace: &[AccessInfo],
-    llc_bytes: u64,
-) -> (u64, u64, u64, u64) {
+fn replay_all(trace: &[AccessInfo], llc_bytes: u64) -> (u64, u64, u64, u64) {
     let config = CacheConfig::new(llc_bytes, 16, 64);
     let classifier = classifier_for(trace, llc_bytes);
-    let lru = replay_with_classifier(trace, config, PolicyKind::Lru.build(&config), &classifier);
-    let rrip = replay_with_classifier(trace, config, PolicyKind::Rrip.build(&config), &classifier);
-    let grasp =
-        replay_with_classifier(trace, config, PolicyKind::Grasp.build(&config), &classifier);
+    let lru = replay_with_classifier(
+        trace,
+        config,
+        PolicyKind::Lru.build_dispatch(&config),
+        &classifier,
+    );
+    let rrip = replay_with_classifier(
+        trace,
+        config,
+        PolicyKind::Rrip.build_dispatch(&config),
+        &classifier,
+    );
+    let grasp = replay_with_classifier(
+        trace,
+        config,
+        PolicyKind::Grasp.build_dispatch(&config),
+        &classifier,
+    );
     let opt = optimal_misses(trace, &config);
     (lru.misses, rrip.misses, grasp.misses, opt.misses)
 }
@@ -59,14 +70,24 @@ fn main() {
     banner("Fig. 11 / Table VII: GRASP vs Belady's OPT");
     let scale = harness_scale();
 
-    // Record one LLC trace per (app, dataset) pair under the RRIP run.
+    // Record one LLC trace per (app, dataset) pair under the RRIP run; the
+    // whole recording grid runs as one parallel campaign, and each compact
+    // trace is decoded once for the replay sweeps below.
+    let recordings = figure_campaign(scale, &DatasetKind::HIGH_SKEW, &AppKind::ALL, &[])
+        .recording_llc_trace()
+        .run();
     let mut traces: Vec<(AppKind, DatasetKind, Vec<AccessInfo>)> = Vec::new();
     for app in AppKind::ALL {
         for kind in DatasetKind::HIGH_SKEW {
-            let ds = dataset(kind, scale);
-            let exp = experiment(&ds, app, scale, TechniqueKind::Dbg).recording_llc_trace();
-            let run = exp.run(PolicyKind::Rrip);
-            traces.push((app, kind, run.llc_trace.unwrap_or_default()));
+            let run = recordings
+                .get(kind, TechniqueKind::Dbg, app, PolicyKind::Rrip)
+                .expect("recording cell");
+            let trace = run
+                .llc_trace
+                .as_ref()
+                .map(|t| t.to_vec())
+                .unwrap_or_default();
+            traces.push((app, kind, trace));
         }
     }
 

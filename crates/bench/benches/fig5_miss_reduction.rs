@@ -2,12 +2,15 @@
 //! the RRIP baseline, for the five applications over the five high-skew
 //! datasets (all DBG-reordered).
 //!
+//! Runs as one parallel campaign (see [`grasp_core::campaign`]); statistics
+//! are bit-identical to the former serial loop.
+//!
 //! Paper reference: GRASP eliminates 6.4% of LLC misses on average (max
 //! 14.2%) and never increases misses; Leeway averages +1.1%; SHiP-MEM and
 //! Hawkeye average -4.8% and -22.7% respectively.
 
 use grasp_analytics::apps::AppKind;
-use grasp_bench::{banner, dataset, experiment, harness_scale, pct};
+use grasp_bench::{banner, figure_campaign, harness_scale, pct};
 use grasp_core::compare::{arithmetic_mean, miss_reduction_pct};
 use grasp_core::datasets::DatasetKind;
 use grasp_core::policy::PolicyKind;
@@ -18,6 +21,8 @@ fn main() {
     banner("Fig. 5: LLC misses eliminated over the RRIP baseline");
     let scale = harness_scale();
     let schemes = PolicyKind::FIG5_SCHEMES;
+    let results = figure_campaign(scale, &DatasetKind::HIGH_SKEW, &AppKind::ALL, &schemes).run();
+
     let mut table = Table::new(
         "Fig. 5 — % LLC misses eliminated vs RRIP (positive is better)",
         &["app", "dataset", "SHiP-MEM", "Hawkeye", "Leeway", "GRASP"],
@@ -26,12 +31,14 @@ fn main() {
 
     for app in AppKind::ALL {
         for kind in DatasetKind::HIGH_SKEW {
-            let ds = dataset(kind, scale);
-            let exp = experiment(&ds, app, scale, TechniqueKind::Dbg);
-            let baseline = exp.run(PolicyKind::Rrip);
+            let baseline = results
+                .get(kind, TechniqueKind::Dbg, app, PolicyKind::Rrip)
+                .expect("baseline cell");
             let mut cells = vec![app.label().to_owned(), kind.label().to_owned()];
             for (i, &scheme) in schemes.iter().enumerate() {
-                let run = exp.run(scheme);
+                let run = results
+                    .get(kind, TechniqueKind::Dbg, app, scheme)
+                    .expect("scheme cell");
                 let reduction = miss_reduction_pct(baseline.llc_misses(), run.llc_misses());
                 per_scheme[i].push(reduction);
                 cells.push(pct(reduction));

@@ -1,13 +1,13 @@
 //! Fig. 7 — contribution of GRASP's individual features: RRIP+Hints
 //! (software hints steering RRIP's existing insertion points), GRASP
 //! (Insertion-Only), and full GRASP (insertion + gradual hit promotion),
-//! all relative to the RRIP baseline.
+//! all relative to the RRIP baseline. Runs as one parallel campaign.
 //!
 //! Paper reference: RRIP+Hints +3.3%, Insertion-Only +5.0%, full GRASP +5.2%
 //! average speed-up.
 
 use grasp_analytics::apps::AppKind;
-use grasp_bench::{banner, dataset, experiment, harness_scale, pct};
+use grasp_bench::{banner, figure_campaign, harness_scale, pct};
 use grasp_core::compare::{geometric_mean_speedup, speedup_pct};
 use grasp_core::datasets::DatasetKind;
 use grasp_core::policy::PolicyKind;
@@ -18,6 +18,8 @@ fn main() {
     banner("Fig. 7: impact of GRASP features on performance");
     let scale = harness_scale();
     let ablations = PolicyKind::ABLATIONS;
+    let results = figure_campaign(scale, &DatasetKind::HIGH_SKEW, &AppKind::ALL, &ablations).run();
+
     let mut table = Table::new(
         "Fig. 7 — speed-up (%) over RRIP for GRASP's ablations",
         &[
@@ -32,12 +34,14 @@ fn main() {
 
     for app in AppKind::ALL {
         for kind in DatasetKind::HIGH_SKEW {
-            let ds = dataset(kind, scale);
-            let exp = experiment(&ds, app, scale, TechniqueKind::Dbg);
-            let baseline = exp.run(PolicyKind::Rrip);
+            let baseline = results
+                .get(kind, TechniqueKind::Dbg, app, PolicyKind::Rrip)
+                .expect("baseline cell");
             let mut cells = vec![app.label().to_owned(), kind.label().to_owned()];
             for (i, &mode) in ablations.iter().enumerate() {
-                let run = exp.run(mode);
+                let run = results
+                    .get(kind, TechniqueKind::Dbg, app, mode)
+                    .expect("ablation cell");
                 let speedup = speedup_pct(baseline.cycles, run.cycles);
                 per_mode[i].push(speedup);
                 cells.push(pct(speedup));

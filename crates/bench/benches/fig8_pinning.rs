@@ -1,12 +1,12 @@
 //! Fig. 8 — GRASP vs XMem-style pinning (PIN-25/50/75/100) on the high-skew
-//! datasets, relative to the RRIP baseline.
+//! datasets, relative to the RRIP baseline. Runs as one parallel campaign.
 //!
 //! Paper reference: GRASP +5.2% average and outperforms every PIN
 //! configuration on 24 of 25 datapoints; PIN-25/50/75/100 average
 //! 0.4/1.1/2.0/2.5%.
 
 use grasp_analytics::apps::AppKind;
-use grasp_bench::{banner, dataset, experiment, harness_scale, pct};
+use grasp_bench::{banner, figure_campaign, harness_scale, pct};
 use grasp_core::compare::{geometric_mean_speedup, speedup_pct};
 use grasp_core::datasets::DatasetKind;
 use grasp_core::policy::PolicyKind;
@@ -23,20 +23,26 @@ fn main() {
         PolicyKind::Pin(100),
         PolicyKind::Grasp,
     ];
+    let results = figure_campaign(scale, &DatasetKind::HIGH_SKEW, &AppKind::ALL, &schemes).run();
+
     let mut table = Table::new(
         "Fig. 8 — speed-up (%) over RRIP",
-        &["app", "dataset", "PIN-25", "PIN-50", "PIN-75", "PIN-100", "GRASP"],
+        &[
+            "app", "dataset", "PIN-25", "PIN-50", "PIN-75", "PIN-100", "GRASP",
+        ],
     );
     let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
 
     for app in AppKind::ALL {
         for kind in DatasetKind::HIGH_SKEW {
-            let ds = dataset(kind, scale);
-            let exp = experiment(&ds, app, scale, TechniqueKind::Dbg);
-            let baseline = exp.run(PolicyKind::Rrip);
+            let baseline = results
+                .get(kind, TechniqueKind::Dbg, app, PolicyKind::Rrip)
+                .expect("baseline cell");
             let mut cells = vec![app.label().to_owned(), kind.label().to_owned()];
             for (i, &scheme) in schemes.iter().enumerate() {
-                let run = exp.run(scheme);
+                let run = results
+                    .get(kind, TechniqueKind::Dbg, app, scheme)
+                    .expect("scheme cell");
                 let speedup = speedup_pct(baseline.cycles, run.cycles);
                 per_scheme[i].push(speedup);
                 cells.push(pct(speedup));

@@ -1,56 +1,43 @@
-//! Criterion micro-benchmarks for the cache simulator: raw access throughput
-//! of each replacement policy on a synthetic thrash-prone trace.
+//! Micro-benchmarks for the cache simulator: raw demand-access throughput of
+//! each replacement policy, measured on the fast-path `SetAssocCache`
+//! (static `PolicyDispatch`, packed bitmask metadata) and on the frozen
+//! dyn-dispatch [`grasp_bench::baseline::BaselineCache`] copied from the
+//! seed implementation. The final table reports accesses/s for both and the
+//! resulting speed-up per policy.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grasp_bench::baseline::BaselineCache;
+use grasp_bench::seed_policies::build_seed_policy;
+use grasp_bench::synthetic_mixed_trace;
 use grasp_cachesim::cache::SetAssocCache;
 use grasp_cachesim::config::CacheConfig;
-use grasp_cachesim::hint::ReuseHint;
-use grasp_cachesim::request::{AccessInfo, RegionLabel};
 use grasp_core::policy::PolicyKind;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn synthetic_trace(len: usize) -> Vec<AccessInfo> {
-    // A mix of a hot working set and a cold stream, with hints attached the
-    // way the analytics layer would attach them.
-    let mut trace = Vec::with_capacity(len);
-    let mut x = 0x12345678u64;
-    for i in 0..len {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        let (addr, hint) = if i % 3 == 0 {
-            ((x >> 33) % 512 * 64, ReuseHint::High)
-        } else {
-            (((x >> 20) % 65_536 + 1024) * 64, ReuseHint::Low)
-        };
-        trace.push(
-            AccessInfo::read(addr)
-                .with_hint(hint)
-                .with_site(1)
-                .with_region(RegionLabel::Property),
-        );
-    }
-    trace
-}
+const POLICIES: [PolicyKind; 7] = [
+    PolicyKind::Lru,
+    PolicyKind::Rrip,
+    PolicyKind::ShipMem,
+    PolicyKind::Hawkeye,
+    PolicyKind::Leeway,
+    PolicyKind::Pin(75),
+    PolicyKind::Grasp,
+];
 
 fn bench_policies(c: &mut Criterion) {
     let config = CacheConfig::new(256 * 1024, 16, 64);
-    let trace = synthetic_trace(100_000);
+    let trace = synthetic_mixed_trace(100_000);
     let mut group = c.benchmark_group("llc_access_throughput");
     group.sample_size(10);
-    for policy in [
-        PolicyKind::Lru,
-        PolicyKind::Rrip,
-        PolicyKind::ShipMem,
-        PolicyKind::Hawkeye,
-        PolicyKind::Leeway,
-        PolicyKind::Pin(75),
-        PolicyKind::Grasp,
-    ] {
+    for policy in POLICIES {
         group.bench_with_input(
             BenchmarkId::from_parameter(policy.label()),
             &trace,
             |b, trace| {
                 b.iter(|| {
-                    let mut cache = SetAssocCache::new("LLC", config, policy.build(&config));
+                    let mut cache =
+                        SetAssocCache::new("LLC", config, policy.build_dispatch(&config));
                     for info in trace {
                         black_box(cache.access(info));
                     }
@@ -62,5 +49,67 @@ fn bench_policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_policies);
+/// Median time of `samples` runs of `f`.
+fn median_time<F: FnMut()>(samples: usize, mut f: F) -> std::time::Duration {
+    f(); // warm-up
+    let mut times: Vec<_> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// Head-to-head: fast path vs the seed's dyn-dispatch implementation.
+fn bench_fast_vs_baseline(_c: &mut Criterion) {
+    let config = CacheConfig::new(256 * 1024, 16, 64);
+    let trace = synthetic_mixed_trace(100_000);
+    let samples = 10;
+
+    println!("fast path (PolicyDispatch + packed metadata) vs dyn-dispatch baseline:");
+    println!(
+        "{:<10} {:>15} {:>15} {:>9}",
+        "policy", "baseline Macc/s", "fast Macc/s", "speed-up"
+    );
+    let mut worst = f64::INFINITY;
+    let mut base_total = std::time::Duration::ZERO;
+    let mut fast_total = std::time::Duration::ZERO;
+    for policy in POLICIES {
+        let base_time = median_time(samples, || {
+            let mut cache = BaselineCache::new(config, build_seed_policy(policy, &config));
+            for info in &trace {
+                black_box(cache.access(info));
+            }
+            black_box(cache.stats().misses);
+        });
+        let fast_time = median_time(samples, || {
+            let mut cache = SetAssocCache::new("LLC", config, policy.build_dispatch(&config));
+            for info in &trace {
+                black_box(cache.access(info));
+            }
+            black_box(cache.stats().misses);
+        });
+        let to_rate = |d: std::time::Duration| trace.len() as f64 / d.as_secs_f64() / 1e6;
+        let speedup = base_time.as_secs_f64() / fast_time.as_secs_f64();
+        worst = worst.min(speedup);
+        base_total += base_time;
+        fast_total += fast_time;
+        println!(
+            "{:<10} {:>15.1} {:>15.1} {:>8.2}x",
+            policy.label(),
+            to_rate(base_time),
+            to_rate(fast_time),
+            speedup
+        );
+    }
+    let aggregate = base_total.as_secs_f64() / fast_total.as_secs_f64();
+    println!(
+        "aggregate demand-access throughput speed-up: {aggregate:.2}x (worst single policy {worst:.2}x)"
+    );
+}
+
+criterion_group!(benches, bench_policies, bench_fast_vs_baseline);
 criterion_main!(benches);

@@ -19,7 +19,13 @@ fn main() {
     let scale = harness_scale();
     let mut table = Table::new(
         "Table IV — merged vs separate Property Arrays (paper: SSSP 3-8%, PR 40-52%, PRD 14-49%)",
-        &["app", "dataset", "separate misses", "merged misses", "speed-up (%)"],
+        &[
+            "app",
+            "dataset",
+            "separate misses",
+            "merged misses",
+            "speed-up (%)",
+        ],
     );
     for app in [AppKind::Sssp, AppKind::PageRank, AppKind::PageRankDelta] {
         for kind in DatasetKind::HIGH_SKEW {

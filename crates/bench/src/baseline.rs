@@ -1,0 +1,164 @@
+//! Frozen dyn-dispatch cache used as the micro-benchmark baseline.
+//!
+//! [`BaselineCache`] is a faithful copy of the seed's `SetAssocCache` before
+//! the fast-path overhaul: the replacement policy is a
+//! `Box<dyn ReplacementPolicy>` paying a virtual call per access event, the
+//! valid/dirty/reused flags are three per-block `Vec<bool>`s, and the set
+//! index is computed with `%`. Pair it with
+//! [`crate::seed_policies::build_seed_policy`] — the frozen seed policy
+//! implementations — to reproduce the seed's complete hot path: that is what
+//! `micro_cachesim` measures the current [`grasp_cachesim::SetAssocCache`]
+//! against, and what the parity test pins the new fast path to,
+//! bit-for-bit. Do not "optimize" this file.
+
+use grasp_cachesim::addr::{block_of, BlockAddr};
+use grasp_cachesim::cache::AccessOutcome;
+use grasp_cachesim::config::CacheConfig;
+use grasp_cachesim::policy::ReplacementPolicy;
+use grasp_cachesim::request::AccessInfo;
+use grasp_cachesim::stats::CacheStats;
+
+/// The seed's set-associative cache: dynamic dispatch and boolean metadata.
+pub struct BaselineCache {
+    config: CacheConfig,
+    sets: usize,
+    tags: Vec<BlockAddr>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    reused: Vec<bool>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: CacheStats,
+}
+
+impl BaselineCache {
+    /// Creates a baseline cache with the given geometry and boxed policy.
+    pub fn new(config: CacheConfig, policy: Box<dyn ReplacementPolicy>) -> Self {
+        let sets = config.sets();
+        let blocks = config.blocks();
+        Self {
+            config,
+            sets,
+            tags: vec![0; blocks],
+            valid: vec![false; blocks],
+            dirty: vec![false; blocks],
+            reused: vec![false; blocks],
+            policy,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.config.ways + way
+    }
+
+    #[inline]
+    fn set_of(&self, block: BlockAddr) -> usize {
+        (block % self.sets as u64) as usize
+    }
+
+    /// Performs a demand access exactly as the seed implementation did.
+    pub fn access(&mut self, info: &AccessInfo) -> AccessOutcome {
+        let outcome = self.access_inner(info);
+        self.stats.record(info.region, outcome.hit);
+        outcome
+    }
+
+    fn access_inner(&mut self, info: &AccessInfo) -> AccessOutcome {
+        let block = block_of(info.addr, self.config.block_bytes);
+        let set = self.set_of(block);
+
+        for way in 0..self.config.ways {
+            let idx = self.idx(set, way);
+            if self.valid[idx] && self.tags[idx] == block {
+                self.reused[idx] = true;
+                if info.is_write() {
+                    self.dirty[idx] = true;
+                }
+                self.policy.on_hit(set, way, info);
+                return AccessOutcome {
+                    hit: true,
+                    evicted: None,
+                    bypassed: false,
+                };
+            }
+        }
+
+        if self.policy.should_bypass(set, info) {
+            self.stats.bypasses += 1;
+            return AccessOutcome {
+                hit: false,
+                evicted: None,
+                bypassed: true,
+            };
+        }
+
+        let way = (0..self.config.ways)
+            .find(|&w| !self.valid[self.idx(set, w)])
+            .unwrap_or_else(|| self.policy.choose_victim(set, info));
+
+        let idx = self.idx(set, way);
+        let mut evicted = None;
+        if self.valid[idx] {
+            evicted = Some(self.tags[idx]);
+            self.stats.evictions += 1;
+            self.policy
+                .on_evict(set, way, self.tags[idx], self.reused[idx]);
+        }
+        self.tags[idx] = block;
+        self.valid[idx] = true;
+        self.dirty[idx] = info.is_write();
+        self.reused[idx] = false;
+        self.policy.on_fill(set, way, info);
+
+        AccessOutcome {
+            hit: false,
+            evicted,
+            bypassed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grasp_cachesim::cache::SetAssocCache;
+    use grasp_core::policy::PolicyKind;
+
+    #[test]
+    fn fast_path_matches_the_frozen_seed_for_every_policy() {
+        let config = CacheConfig::new(64 * 1024, 16, 64);
+        let trace = crate::synthetic_mixed_trace(30_000);
+        for policy in [
+            PolicyKind::Lru,
+            PolicyKind::Random,
+            PolicyKind::Srrip,
+            PolicyKind::Brrip,
+            PolicyKind::Rrip,
+            PolicyKind::ShipMem,
+            PolicyKind::Hawkeye,
+            PolicyKind::Leeway,
+            PolicyKind::Pin(75),
+            PolicyKind::GraspHintsOnly,
+            PolicyKind::GraspInsertionOnly,
+            PolicyKind::Grasp,
+        ] {
+            let mut baseline = BaselineCache::new(
+                config,
+                crate::seed_policies::build_seed_policy(policy, &config),
+            );
+            let mut fast = SetAssocCache::new("LLC", config, policy.build_dispatch(&config));
+            for info in &trace {
+                let expected = baseline.access(info);
+                let actual = fast.access(info);
+                assert_eq!(expected, actual, "{policy}: outcome diverged");
+            }
+            assert_eq!(baseline.stats(), fast.stats(), "{policy}: stats diverged");
+        }
+    }
+}

@@ -7,6 +7,9 @@
 //! same code can be run quickly for smoke tests or at larger scales for
 //! higher-fidelity shapes.
 
+pub mod baseline;
+pub mod seed_policies;
+
 use grasp_analytics::apps::AppKind;
 use grasp_core::datasets::{Dataset, DatasetKind, Scale};
 use grasp_core::experiment::Experiment;
@@ -37,6 +40,25 @@ pub fn experiment(
         .with_reordering(reorder)
 }
 
+/// Builds the standard figure campaign: the given datasets × applications
+/// grid, DBG-reordered, with the RRIP baseline prepended to `schemes` so
+/// every figure can normalize against it. Runs on all available cores;
+/// results come back in deterministic grid order.
+pub fn figure_campaign(
+    scale: Scale,
+    datasets: &[DatasetKind],
+    apps: &[AppKind],
+    schemes: &[PolicyKind],
+) -> grasp_core::campaign::Campaign {
+    let mut policies = vec![PolicyKind::Rrip];
+    policies.extend(schemes.iter().copied().filter(|&p| p != PolicyKind::Rrip));
+    grasp_core::campaign::Campaign::new(scale)
+        .datasets(datasets)
+        .apps(apps)
+        .techniques(&[TechniqueKind::Dbg])
+        .policies(&policies)
+}
+
 /// Runs `policy` and the RRIP baseline for one dataset/app pair and returns
 /// `(baseline, candidate)`.
 pub fn run_against_rrip(
@@ -50,6 +72,35 @@ pub fn run_against_rrip(
 ) {
     let exp = experiment(dataset, app, scale, TechniqueKind::Dbg);
     (exp.run(PolicyKind::Rrip), exp.run(policy))
+}
+
+/// A synthetic LLC trace mixing a hot working set (hinted High-Reuse, every
+/// third access) with a cold miss stream (hinted Low-Reuse), the way the
+/// analytics layer would hint them. Shared by the simulator micro-benchmark
+/// and the seed-parity test so both always measure/pin the same distribution.
+pub fn synthetic_mixed_trace(len: usize) -> Vec<grasp_cachesim::AccessInfo> {
+    use grasp_cachesim::hint::ReuseHint;
+    use grasp_cachesim::request::RegionLabel;
+    use grasp_cachesim::AccessInfo;
+    let mut trace = Vec::with_capacity(len);
+    let mut x = 0x12345678u64;
+    for i in 0..len {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let (addr, hint) = if i % 3 == 0 {
+            ((x >> 33) % 512 * 64, ReuseHint::High)
+        } else {
+            (((x >> 20) % 65_536 + 1024) * 64, ReuseHint::Low)
+        };
+        trace.push(
+            AccessInfo::read(addr)
+                .with_hint(hint)
+                .with_site(1)
+                .with_region(RegionLabel::Property),
+        );
+    }
+    trace
 }
 
 /// Prints the standard harness banner (scale, datasets, applications).

@@ -1,0 +1,1265 @@
+//! Frozen copies of the seed's replacement-policy implementations.
+//!
+//! These are the policy hot loops exactly as the seed shipped them (multi-
+//! pass RRPV victim search, per-access `Vec` allocation in Hawkeye's OPTgen,
+//! SipHash predictor tables). Together with [`crate::baseline::BaselineCache`] they
+//! form the dyn-dispatch baseline that `micro_cachesim` measures the fast
+//! path against, and that the parity test pins the optimized simulator to,
+//! bit for bit. Do not "optimize" this module.
+#![allow(missing_docs)]
+#![allow(clippy::all)]
+
+use grasp_cachesim::addr::BlockAddr;
+use grasp_cachesim::config::CacheConfig;
+use grasp_cachesim::hint::ReuseHint;
+use grasp_cachesim::policy::ReplacementPolicy;
+use grasp_cachesim::request::{AccessInfo, AccessSite};
+use grasp_core::policy::PolicyKind;
+use std::collections::{HashMap, VecDeque};
+
+/// Seed used for the probabilistic policy components (matches the registry).
+const POLICY_SEED: u64 = 0xC0FFEE;
+
+/// Instantiates the frozen seed version of `kind` for the given geometry.
+pub fn build_seed_policy(kind: PolicyKind, config: &CacheConfig) -> Box<dyn ReplacementPolicy> {
+    let sets = config.sets();
+    let ways = config.ways;
+    match kind {
+        PolicyKind::Lru => Box::new(Lru::new(sets, ways)),
+        PolicyKind::Random => Box::new(RandomReplacement::new(sets, ways, POLICY_SEED)),
+        PolicyKind::Srrip => Box::new(Srrip::new(sets, ways)),
+        PolicyKind::Brrip => Box::new(Brrip::new(sets, ways, POLICY_SEED)),
+        PolicyKind::Rrip => Box::new(Drrip::new(sets, ways, POLICY_SEED)),
+        PolicyKind::ShipMem => Box::new(ShipMem::new(sets, ways, config.block_bytes)),
+        PolicyKind::Hawkeye => Box::new(Hawkeye::new(sets, ways)),
+        PolicyKind::Leeway => Box::new(Leeway::new(sets, ways)),
+        PolicyKind::Pin(percent) => Box::new(PinX::new(sets, ways, percent)),
+        PolicyKind::GraspHintsOnly => Box::new(Grasp::with_mode(
+            sets,
+            ways,
+            POLICY_SEED,
+            GraspMode::HintsOnly,
+        )),
+        PolicyKind::GraspInsertionOnly => Box::new(Grasp::with_mode(
+            sets,
+            ways,
+            POLICY_SEED,
+            GraspMode::InsertionOnly,
+        )),
+        PolicyKind::Grasp => Box::new(Grasp::new(sets, ways, POLICY_SEED)),
+    }
+}
+
+/// A tiny deterministic pseudo-random generator used by probabilistic
+/// policies (BRRIP's infrequent near-insertion, random replacement). Kept
+/// local to the crate so the simulator has no dependency on the graph
+/// substrate and produces bit-identical results across runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyRng {
+    state: u64,
+}
+
+impl PolicyRng {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    /// xorshift64* step.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Returns `true` once every `denominator` calls on average.
+    #[inline]
+    pub fn one_in(&mut self, denominator: u64) -> bool {
+        self.next_below(denominator) == 0
+    }
+}
+
+// ---- seed lru.rs ----
+
+/// True LRU: every hit or fill stamps the block with a monotonically
+/// increasing counter; the victim is the block with the oldest stamp.
+///
+/// LRU is the reference point of the OPT study (Fig. 11 / Table VII reports
+/// "% misses eliminated over LRU") and is also used for the L1 and L2 levels
+/// of the hierarchy, as in commodity cores.
+#[derive(Debug, Clone)]
+pub struct Lru {
+    ways: usize,
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl Lru {
+    /// Creates an LRU policy for a cache of `sets` × `ways`.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            ways,
+            stamps: vec![0; sets * ways],
+            clock: 0,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    #[inline]
+    fn touch(&mut self, set: usize, way: usize) {
+        self.clock += 1;
+        let idx = self.idx(set, way);
+        self.stamps[idx] = self.clock;
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+
+    fn choose_victim(&mut self, set: usize, _info: &AccessInfo) -> usize {
+        (0..self.ways)
+            .min_by_key(|&w| self.stamps[self.idx(set, w)])
+            .expect("ways is non-zero")
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _info: &AccessInfo) {
+        self.touch(set, way);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _info: &AccessInfo) {
+        self.touch(set, way);
+    }
+}
+
+// ---- seed random.rs ----
+
+/// Evicts a uniformly random way. Useful as a sanity baseline in tests and
+/// micro-benchmarks: any scheme that claims thrash resistance should beat it
+/// on reuse-heavy traces.
+#[derive(Debug, Clone)]
+pub struct RandomReplacement {
+    ways: usize,
+    rng: PolicyRng,
+}
+
+impl RandomReplacement {
+    /// Creates a random-replacement policy.
+    pub fn new(_sets: usize, ways: usize, seed: u64) -> Self {
+        Self {
+            ways,
+            rng: PolicyRng::new(seed),
+        }
+    }
+}
+
+impl ReplacementPolicy for RandomReplacement {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn choose_victim(&mut self, _set: usize, _info: &AccessInfo) -> usize {
+        self.rng.next_below(self.ways as u64) as usize
+    }
+
+    fn on_fill(&mut self, _set: usize, _way: usize, _info: &AccessInfo) {}
+
+    fn on_hit(&mut self, _set: usize, _way: usize, _info: &AccessInfo) {}
+}
+
+// ---- seed rrip.rs ----
+
+/// Number of RRPV bits used throughout the reproduction (3, as in the paper).
+pub const RRPV_BITS: u32 = 3;
+
+/// Maximum (distant) RRPV value: `2^RRPV_BITS - 1 = 7`.
+pub const RRPV_MAX: u8 = (1 << RRPV_BITS) - 1;
+
+/// The "long re-reference" insertion value used by SRRIP: `RRPV_MAX - 1 = 6`.
+pub const RRPV_LONG: u8 = RRPV_MAX - 1;
+
+/// BRRIP inserts at `RRPV_LONG` once every `BRRIP_LONG_ONE_IN` fills,
+/// otherwise at `RRPV_MAX` (the ISCA'10 paper uses 1/32).
+pub const BRRIP_LONG_ONE_IN: u64 = 32;
+
+/// Per-block RRPV storage shared by every RRIP-derived policy in this crate.
+#[derive(Debug, Clone)]
+pub struct RrpvArray {
+    ways: usize,
+    rrpv: Vec<u8>,
+}
+
+impl RrpvArray {
+    /// Creates storage for `sets` × `ways` blocks, initialised to the distant
+    /// value so empty ways look like immediate victims.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            ways,
+            rrpv: vec![RRPV_MAX; sets * ways],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// Current RRPV of a block.
+    #[inline]
+    pub fn get(&self, set: usize, way: usize) -> u8 {
+        self.rrpv[self.idx(set, way)]
+    }
+
+    /// Sets the RRPV of a block.
+    #[inline]
+    pub fn set(&mut self, set: usize, way: usize, value: u8) {
+        debug_assert!(value <= RRPV_MAX);
+        let idx = self.idx(set, way);
+        self.rrpv[idx] = value;
+    }
+
+    /// Decrements the RRPV of a block towards zero (gradual promotion).
+    #[inline]
+    pub fn decrement(&mut self, set: usize, way: usize) {
+        let idx = self.idx(set, way);
+        if self.rrpv[idx] > 0 {
+            self.rrpv[idx] -= 1;
+        }
+    }
+
+    /// Standard RRIP victim search: find a way with `RRPV_MAX`, ageing every
+    /// block in the set until one reaches it. Ties break towards the lowest
+    /// way index, as in the CRC reference implementation.
+    pub fn find_victim(&mut self, set: usize) -> usize {
+        loop {
+            for way in 0..self.ways {
+                if self.get(set, way) == RRPV_MAX {
+                    return way;
+                }
+            }
+            for way in 0..self.ways {
+                let idx = self.idx(set, way);
+                self.rrpv[idx] += 1;
+            }
+        }
+    }
+}
+
+/// Set-dueling monitor (Qureshi et al.): a handful of leader sets are
+/// dedicated to each competing policy and a saturating counter (PSEL) tracks
+/// which one misses less; follower sets adopt the winner.
+#[derive(Debug, Clone)]
+pub struct SetDueling {
+    sets: usize,
+    leader_stride: usize,
+    psel: i32,
+    psel_max: i32,
+}
+
+/// Which insertion policy a set should use according to the dueling monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DuelWinner {
+    /// Use the SRRIP-style (long) insertion.
+    Srrip,
+    /// Use the BRRIP-style (distant, occasionally long) insertion.
+    Brrip,
+}
+
+impl SetDueling {
+    /// Creates a dueling monitor for `sets` sets with 32 leader sets per
+    /// policy (or fewer for tiny caches) and a 10-bit PSEL counter.
+    pub fn new(sets: usize) -> Self {
+        // One leader pair every `stride` sets gives ~32 leaders per policy for
+        // a 1024-set LLC and degrades gracefully for smaller caches.
+        let leader_stride = (sets / 32).max(2);
+        Self {
+            sets,
+            leader_stride,
+            psel: 0,
+            psel_max: 512,
+        }
+    }
+
+    /// Returns the policy that the given set must *model* (leader sets) or
+    /// `None` when it is a follower.
+    pub fn leader_policy(&self, set: usize) -> Option<DuelWinner> {
+        if set % self.leader_stride == 0 {
+            Some(DuelWinner::Srrip)
+        } else if set % self.leader_stride == 1 {
+            Some(DuelWinner::Brrip)
+        } else {
+            None
+        }
+    }
+
+    /// The policy a follower set should use right now.
+    pub fn winner(&self) -> DuelWinner {
+        if self.psel >= 0 {
+            DuelWinner::Srrip
+        } else {
+            DuelWinner::Brrip
+        }
+    }
+
+    /// Effective insertion policy for a set (leader sets always model their
+    /// assigned policy).
+    pub fn policy_for_set(&self, set: usize) -> DuelWinner {
+        self.leader_policy(set).unwrap_or_else(|| self.winner())
+    }
+
+    /// Records a miss in `set`; misses in a leader set vote against its
+    /// policy.
+    pub fn record_miss(&mut self, set: usize) {
+        match self.leader_policy(set) {
+            Some(DuelWinner::Srrip) => {
+                self.psel = (self.psel - 1).max(-self.psel_max);
+            }
+            Some(DuelWinner::Brrip) => {
+                self.psel = (self.psel + 1).min(self.psel_max);
+            }
+            None => {}
+        }
+    }
+
+    /// Number of sets the monitor was built for.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+}
+
+/// Static RRIP (SRRIP-HP): insert at `RRPV_LONG`, promote to 0 on hit.
+#[derive(Debug, Clone)]
+pub struct Srrip {
+    rrpv: RrpvArray,
+}
+
+impl Srrip {
+    /// Creates an SRRIP policy.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            rrpv: RrpvArray::new(sets, ways),
+        }
+    }
+}
+
+impl ReplacementPolicy for Srrip {
+    fn name(&self) -> &'static str {
+        "SRRIP"
+    }
+
+    fn choose_victim(&mut self, set: usize, _info: &AccessInfo) -> usize {
+        self.rrpv.find_victim(set)
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _info: &AccessInfo) {
+        self.rrpv.set(set, way, RRPV_LONG);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _info: &AccessInfo) {
+        self.rrpv.set(set, way, 0);
+    }
+}
+
+/// Bimodal RRIP (BRRIP): insert at `RRPV_MAX` most of the time, `RRPV_LONG`
+/// infrequently; promote to 0 on hit.
+#[derive(Debug, Clone)]
+pub struct Brrip {
+    rrpv: RrpvArray,
+    rng: PolicyRng,
+}
+
+impl Brrip {
+    /// Creates a BRRIP policy.
+    pub fn new(sets: usize, ways: usize, seed: u64) -> Self {
+        Self {
+            rrpv: RrpvArray::new(sets, ways),
+            rng: PolicyRng::new(seed),
+        }
+    }
+}
+
+impl ReplacementPolicy for Brrip {
+    fn name(&self) -> &'static str {
+        "BRRIP"
+    }
+
+    fn choose_victim(&mut self, set: usize, _info: &AccessInfo) -> usize {
+        self.rrpv.find_victim(set)
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _info: &AccessInfo) {
+        let value = if self.rng.one_in(BRRIP_LONG_ONE_IN) {
+            RRPV_LONG
+        } else {
+            RRPV_MAX
+        };
+        self.rrpv.set(set, way, value);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _info: &AccessInfo) {
+        self.rrpv.set(set, way, 0);
+    }
+}
+
+/// Dynamic RRIP (DRRIP): set-duels SRRIP against BRRIP. This is the scheme
+/// the paper calls "RRIP" and uses as the baseline for Figs. 5–10.
+#[derive(Debug, Clone)]
+pub struct Drrip {
+    rrpv: RrpvArray,
+    dueling: SetDueling,
+    rng: PolicyRng,
+}
+
+impl Drrip {
+    /// Creates a DRRIP policy.
+    pub fn new(sets: usize, ways: usize, seed: u64) -> Self {
+        Self {
+            rrpv: RrpvArray::new(sets, ways),
+            dueling: SetDueling::new(sets),
+            rng: PolicyRng::new(seed),
+        }
+    }
+
+    /// Insertion value for a fill in `set` according to the dueling state.
+    fn insertion_value(&mut self, set: usize) -> u8 {
+        match self.dueling.policy_for_set(set) {
+            DuelWinner::Srrip => RRPV_LONG,
+            DuelWinner::Brrip => {
+                if self.rng.one_in(BRRIP_LONG_ONE_IN) {
+                    RRPV_LONG
+                } else {
+                    RRPV_MAX
+                }
+            }
+        }
+    }
+}
+
+impl ReplacementPolicy for Drrip {
+    fn name(&self) -> &'static str {
+        "RRIP"
+    }
+
+    fn choose_victim(&mut self, set: usize, _info: &AccessInfo) -> usize {
+        self.rrpv.find_victim(set)
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _info: &AccessInfo) {
+        // A fill means the request missed: inform the dueling monitor.
+        self.dueling.record_miss(set);
+        let value = self.insertion_value(set);
+        self.rrpv.set(set, way, value);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _info: &AccessInfo) {
+        self.rrpv.set(set, way, 0);
+    }
+}
+
+// ---- seed ship.rs ----
+
+/// Size of the memory region that forms a signature (16 KiB as in the
+/// original proposal and the paper).
+pub const SHIP_REGION_BYTES: u64 = 16 * 1024;
+
+/// Maximum value of the 3-bit SHCT counters.
+const SHCT_MAX: u8 = 7;
+
+/// Initial (weakly re-referenced) SHCT counter value.
+const SHCT_INIT: u8 = 1;
+
+/// SHiP-MEM replacement policy built on an SRRIP substrate.
+#[derive(Debug, Clone)]
+pub struct ShipMem {
+    rrpv: RrpvArray,
+    ways: usize,
+    /// Signature Hit Counter Table: region id → 3-bit saturating counter.
+    shct: HashMap<u64, u8>,
+    /// Per-block bookkeeping: the signature that filled the block and whether
+    /// it has been re-referenced since the fill.
+    fill_signature: Vec<u64>,
+    was_reused: Vec<bool>,
+    block_bytes: u64,
+}
+
+impl ShipMem {
+    /// Creates a SHiP-MEM policy for a cache of `sets` × `ways` blocks of
+    /// `block_bytes` bytes.
+    pub fn new(sets: usize, ways: usize, block_bytes: u64) -> Self {
+        Self {
+            rrpv: RrpvArray::new(sets, ways),
+            ways,
+            shct: HashMap::new(),
+            fill_signature: vec![0; sets * ways],
+            was_reused: vec![false; sets * ways],
+            block_bytes,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// Memory-region signature of an access.
+    #[inline]
+    fn signature(&self, info: &AccessInfo) -> u64 {
+        info.addr / SHIP_REGION_BYTES
+    }
+
+    /// Counter value for a signature (initialised weakly re-referenced).
+    fn counter(&self, signature: u64) -> u8 {
+        *self.shct.get(&signature).unwrap_or(&SHCT_INIT)
+    }
+
+    /// Number of distinct signatures observed so far (predictor footprint).
+    pub fn table_entries(&self) -> usize {
+        self.shct.len()
+    }
+
+    fn train_positive(&mut self, signature: u64) {
+        let entry = self.shct.entry(signature).or_insert(SHCT_INIT);
+        *entry = (*entry + 1).min(SHCT_MAX);
+    }
+
+    fn train_negative(&mut self, signature: u64) {
+        let entry = self.shct.entry(signature).or_insert(SHCT_INIT);
+        *entry = entry.saturating_sub(1);
+    }
+
+    /// Suppress an unused-parameter warning while documenting why the block
+    /// size is kept: signatures could alternatively be derived from block
+    /// addresses, and tests assert the configured granularity.
+    pub fn region_blocks(&self) -> u64 {
+        SHIP_REGION_BYTES / self.block_bytes
+    }
+}
+
+impl ReplacementPolicy for ShipMem {
+    fn name(&self) -> &'static str {
+        "SHiP-MEM"
+    }
+
+    fn choose_victim(&mut self, set: usize, _info: &AccessInfo) -> usize {
+        self.rrpv.find_victim(set)
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        let signature = self.signature(info);
+        let idx = self.idx(set, way);
+        self.fill_signature[idx] = signature;
+        self.was_reused[idx] = false;
+        // Predicted dead signatures insert at the distant position, everything
+        // else at the SRRIP long position.
+        let value = if self.counter(signature) == 0 {
+            RRPV_MAX
+        } else {
+            RRPV_LONG
+        };
+        self.rrpv.set(set, way, value);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _info: &AccessInfo) {
+        let idx = self.idx(set, way);
+        if !self.was_reused[idx] {
+            self.was_reused[idx] = true;
+            let signature = self.fill_signature[idx];
+            self.train_positive(signature);
+        }
+        self.rrpv.set(set, way, 0);
+    }
+
+    fn on_evict(&mut self, set: usize, way: usize, _block: BlockAddr, had_reuse: bool) {
+        let idx = self.idx(set, way);
+        if !had_reuse && !self.was_reused[idx] {
+            let signature = self.fill_signature[idx];
+            self.train_negative(signature);
+        }
+    }
+}
+
+// ---- seed hawkeye.rs ----
+
+/// Number of 3-bit counter states; counters ≥ `FRIENDLY_THRESHOLD` predict
+/// cache-friendly behaviour.
+const COUNTER_MAX: u8 = 7;
+const FRIENDLY_THRESHOLD: u8 = 4;
+
+/// One entry of a sampled set's access history used by OPTgen.
+#[derive(Debug, Clone, Copy)]
+struct HistoryEntry {
+    block: BlockAddr,
+    site: AccessSite,
+    /// Number of liveness intervals that currently overlap this position.
+    occupancy: u8,
+    /// Whether a later access to the same block was observed while this entry
+    /// was inside the window (i.e. it served as the start of a usage interval).
+    reused: bool,
+}
+
+/// OPTgen for a single sampled set: a sliding window of past accesses with an
+/// occupancy vector that answers "would OPT have hit this access?".
+#[derive(Debug, Clone, Default)]
+struct OptGen {
+    history: VecDeque<HistoryEntry>,
+    capacity: usize,
+    ways: u8,
+}
+
+impl OptGen {
+    fn new(ways: usize) -> Self {
+        Self {
+            history: VecDeque::new(),
+            // The ISCA'16 design tracks 8x the associativity of usage
+            // intervals per sampled set.
+            capacity: ways * 8,
+            ways: ways as u8,
+        }
+    }
+
+    /// Records an access to `block` by `site`. Returns up to two training
+    /// events `(site, opt_friendly)`:
+    ///
+    /// * when the block has a previous access inside the window, the previous
+    ///   site is trained with OPTgen's verdict (would OPT have hit?);
+    /// * when the window overflows and the evicted entry never saw a reuse,
+    ///   its site is trained negatively (the reuse interval, if any, exceeds
+    ///   what OPT could exploit with this cache size).
+    fn record(&mut self, block: BlockAddr, site: AccessSite) -> Vec<(AccessSite, bool)> {
+        let mut events = Vec::new();
+        if let Some(prev_pos) = self.history.iter().rposition(|entry| entry.block == block) {
+            let prev_site = self.history[prev_pos].site;
+            let interval_fits = self
+                .history
+                .iter()
+                .skip(prev_pos)
+                .all(|entry| entry.occupancy < self.ways);
+            if interval_fits {
+                for entry in self.history.iter_mut().skip(prev_pos) {
+                    entry.occupancy += 1;
+                }
+            }
+            self.history[prev_pos].reused = true;
+            events.push((prev_site, interval_fits));
+        }
+        self.history.push_back(HistoryEntry {
+            block,
+            site,
+            occupancy: 0,
+            reused: false,
+        });
+        if self.history.len() > self.capacity {
+            if let Some(evicted) = self.history.pop_front() {
+                if !evicted.reused {
+                    events.push((evicted.site, false));
+                }
+            }
+        }
+        events
+    }
+}
+
+/// The Hawkeye replacement policy.
+#[derive(Debug, Clone)]
+pub struct Hawkeye {
+    rrpv: RrpvArray,
+    ways: usize,
+    /// Which sets are sampled for OPTgen training.
+    sample_interval: usize,
+    optgen: HashMap<usize, OptGen>,
+    /// Site-indexed 3-bit predictor counters.
+    predictor: HashMap<AccessSite, u8>,
+    /// Per-block: the site that loaded the block (for detraining on eviction)
+    /// and whether the block was predicted friendly at fill time.
+    loader: Vec<AccessSite>,
+    friendly: Vec<bool>,
+}
+
+impl Hawkeye {
+    /// Creates a Hawkeye policy for a cache of `sets` × `ways`.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        // Sample roughly 64 sets (every `sets/64`-th set), at least every set
+        // for tiny caches.
+        let sample_interval = (sets / 64).max(1);
+        Self {
+            rrpv: RrpvArray::new(sets, ways),
+            ways,
+            sample_interval,
+            optgen: HashMap::new(),
+            predictor: HashMap::new(),
+            loader: vec![0; sets * ways],
+            friendly: vec![false; sets * ways],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    fn is_sampled(&self, set: usize) -> bool {
+        set % self.sample_interval == 0
+    }
+
+    /// Predicted friendliness of a site.
+    fn predict_friendly(&self, site: AccessSite) -> bool {
+        *self.predictor.get(&site).unwrap_or(&FRIENDLY_THRESHOLD) >= FRIENDLY_THRESHOLD
+    }
+
+    /// Current counter value of a site (used by tests).
+    pub fn counter(&self, site: AccessSite) -> u8 {
+        *self.predictor.get(&site).unwrap_or(&FRIENDLY_THRESHOLD)
+    }
+
+    fn train(&mut self, site: AccessSite, friendly: bool) {
+        let entry = self.predictor.entry(site).or_insert(FRIENDLY_THRESHOLD);
+        if friendly {
+            *entry = (*entry + 1).min(COUNTER_MAX);
+        } else {
+            *entry = entry.saturating_sub(1);
+        }
+    }
+
+    /// Feeds OPTgen on sampled sets and trains the predictor with its verdict.
+    fn observe(&mut self, set: usize, info: &AccessInfo) {
+        if !self.is_sampled(set) {
+            return;
+        }
+        let ways = self.ways;
+        let optgen = self.optgen.entry(set).or_insert_with(|| OptGen::new(ways));
+        let block = info.addr >> 6;
+        for (site, friendly) in optgen.record(block, info.site) {
+            self.train(site, friendly);
+        }
+    }
+
+    /// Ages every cache-friendly block of a set except `except_way` — called
+    /// when a friendly block is inserted, mirroring Hawkeye's RRIP-style
+    /// ageing that keeps relative order among friendly blocks.
+    fn age_friendly(&mut self, set: usize, except_way: usize) {
+        for way in 0..self.ways {
+            if way == except_way {
+                continue;
+            }
+            let idx = self.idx(set, way);
+            if self.friendly[idx] {
+                let v = self.rrpv.get(set, way);
+                if v < RRPV_MAX - 1 {
+                    self.rrpv.set(set, way, v + 1);
+                }
+            }
+        }
+    }
+}
+
+impl ReplacementPolicy for Hawkeye {
+    fn name(&self) -> &'static str {
+        "Hawkeye"
+    }
+
+    fn choose_victim(&mut self, set: usize, info: &AccessInfo) -> usize {
+        // Prefer cache-averse blocks (RRPV == MAX); otherwise evict the oldest
+        // friendly block and detrain the site that loaded it.
+        for way in 0..self.ways {
+            if self.rrpv.get(set, way) == RRPV_MAX {
+                return way;
+            }
+        }
+        let victim = (0..self.ways)
+            .max_by_key(|&w| self.rrpv.get(set, w))
+            .expect("ways is non-zero");
+        let loader = self.loader[self.idx(set, victim)];
+        self.train(loader, false);
+        let _ = info;
+        victim
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        self.observe(set, info);
+        let friendly = self.predict_friendly(info.site);
+        let idx = self.idx(set, way);
+        self.loader[idx] = info.site;
+        self.friendly[idx] = friendly;
+        if friendly {
+            self.rrpv.set(set, way, 0);
+            self.age_friendly(set, way);
+        } else {
+            self.rrpv.set(set, way, RRPV_MAX);
+        }
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        self.observe(set, info);
+        let friendly = self.predict_friendly(info.site);
+        let idx = self.idx(set, way);
+        self.friendly[idx] = friendly;
+        if friendly {
+            self.rrpv.set(set, way, 0);
+        } else {
+            // The paper highlights this behaviour: a hit to a block whose site
+            // is predicted cache-averse *demotes* the block instead of
+            // promoting it, hurting graph workloads.
+            self.rrpv.set(set, way, RRPV_MAX);
+        }
+    }
+}
+
+// ---- seed leeway.rs ----
+
+/// How many consecutive smaller observations it takes to shrink a predicted
+/// live distance by one step (the "shrink slowly" half of the conservative
+/// update).
+const SHRINK_VOTES: u8 = 8;
+
+/// Live distances are capped at this value (ages saturate here).
+const LIVE_DISTANCE_CAP: u16 = 255;
+
+/// The Leeway replacement policy.
+#[derive(Debug, Clone)]
+pub struct Leeway {
+    rrpv: RrpvArray,
+    ways: usize,
+    /// Age of each block: number of fills its set has seen since the block
+    /// was last filled or hit.
+    age: Vec<u16>,
+    /// Largest age at which each block received a hit during its residency.
+    observed_live: Vec<u16>,
+    /// The site that loaded each block.
+    loader: Vec<AccessSite>,
+    /// Predictor: site → (predicted live distance, shrink votes).
+    predictor: HashMap<AccessSite, (u16, u8)>,
+    /// Only a subset of sets trains the predictor, as in the original design.
+    sample_interval: usize,
+    /// Leeway's reuse-aware adaptive policies are modelled with the same
+    /// set-dueling insertion as DRRIP, which keeps the scheme anchored to the
+    /// paper's RRIP baseline.
+    dueling: SetDueling,
+    rng: PolicyRng,
+}
+
+impl Leeway {
+    /// Creates a Leeway policy for a cache of `sets` × `ways`.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            rrpv: RrpvArray::new(sets, ways),
+            ways,
+            age: vec![0; sets * ways],
+            observed_live: vec![0; sets * ways],
+            loader: vec![0; sets * ways],
+            predictor: HashMap::new(),
+            sample_interval: (sets / 64).max(1),
+            dueling: SetDueling::new(sets),
+            rng: PolicyRng::new(0x1EE7),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    fn is_sampled(&self, set: usize) -> bool {
+        set % self.sample_interval == 0
+    }
+
+    /// Predicted live distance for a site. Unseen sites default to the cap so
+    /// nothing is predicted dead before any evidence exists.
+    pub fn predicted_live_distance(&self, site: AccessSite) -> u16 {
+        self.predictor
+            .get(&site)
+            .map(|&(d, _)| d)
+            .unwrap_or(LIVE_DISTANCE_CAP)
+    }
+
+    /// Conservative predictor update on eviction: grow immediately, shrink
+    /// only after [`SHRINK_VOTES`] consecutive smaller observations.
+    fn train(&mut self, site: AccessSite, observed: u16) {
+        let entry = self.predictor.entry(site).or_insert((LIVE_DISTANCE_CAP, 0));
+        if observed >= entry.0 {
+            entry.0 = observed;
+            entry.1 = 0;
+        } else {
+            entry.1 += 1;
+            if entry.1 >= SHRINK_VOTES {
+                // Shrink towards the observation rather than by a fixed step
+                // so wildly stale predictions converge, but slowly.
+                entry.0 = entry.0 - ((entry.0 - observed) / 4).max(1);
+                entry.1 = 0;
+            }
+        }
+    }
+
+    /// Returns `true` when the block at (`set`, `way`) is predicted dead.
+    fn is_expired(&self, set: usize, way: usize) -> bool {
+        let idx = self.idx(set, way);
+        self.age[idx] > self.predicted_live_distance(self.loader[idx])
+    }
+
+    /// Ages every other block of the set by one fill event.
+    fn bump_ages(&mut self, set: usize, except_way: usize) {
+        for way in 0..self.ways {
+            if way != except_way {
+                let idx = self.idx(set, way);
+                self.age[idx] = (self.age[idx] + 1).min(LIVE_DISTANCE_CAP);
+            }
+        }
+    }
+}
+
+impl ReplacementPolicy for Leeway {
+    fn name(&self) -> &'static str {
+        "Leeway"
+    }
+
+    fn choose_victim(&mut self, set: usize, _info: &AccessInfo) -> usize {
+        // Dead-block predictions only steer the choice among blocks the base
+        // policy already considers near-eviction (RRPV >= long): this is the
+        // reproduction of Leeway's variability-aware rate control, which keeps
+        // the scheme anchored to its base policy when predictions are shaky.
+        let mut expired: Option<(u16, usize)> = None;
+        for way in 0..self.ways {
+            if self.rrpv.get(set, way) >= RRPV_LONG && self.is_expired(set, way) {
+                let age = self.age[self.idx(set, way)];
+                if expired.map_or(true, |(a, _)| age > a) {
+                    expired = Some((age, way));
+                }
+            }
+        }
+        if let Some((_, way)) = expired {
+            return way;
+        }
+        self.rrpv.find_victim(set)
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        let idx = self.idx(set, way);
+        self.loader[idx] = info.site;
+        self.age[idx] = 0;
+        self.observed_live[idx] = 0;
+        self.dueling.record_miss(set);
+        let value = match self.dueling.policy_for_set(set) {
+            DuelWinner::Srrip => RRPV_LONG,
+            DuelWinner::Brrip => {
+                if self.rng.one_in(BRRIP_LONG_ONE_IN) {
+                    RRPV_LONG
+                } else {
+                    RRPV_MAX
+                }
+            }
+        };
+        self.rrpv.set(set, way, value);
+        self.bump_ages(set, way);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _info: &AccessInfo) {
+        let idx = self.idx(set, way);
+        if self.age[idx] > self.observed_live[idx] {
+            self.observed_live[idx] = self.age[idx];
+        }
+        self.age[idx] = 0;
+        self.rrpv.set(set, way, 0);
+    }
+
+    fn on_evict(&mut self, set: usize, way: usize, _block: BlockAddr, _had_reuse: bool) {
+        if self.is_sampled(set) {
+            let idx = self.idx(set, way);
+            let observed = self.observed_live[idx];
+            let loader = self.loader[idx];
+            self.train(loader, observed);
+        }
+    }
+}
+
+// ---- seed pin.rs ----
+
+/// The PIN-X policy: `reserved_fraction` of each set's ways may hold pinned
+/// blocks from the High Reuse Region.
+#[derive(Debug, Clone)]
+pub struct PinX {
+    rrpv: RrpvArray,
+    ways: usize,
+    pinned: Vec<bool>,
+    pinned_per_set: Vec<usize>,
+    reserved_ways: usize,
+    reserved_percent: u8,
+}
+
+impl PinX {
+    /// Creates a PIN-X policy reserving `percent`% of the ways of every set
+    /// for pinned blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent` is 0 or greater than 100.
+    pub fn new(sets: usize, ways: usize, percent: u8) -> Self {
+        assert!((1..=100).contains(&percent), "percent must be in 1..=100");
+        let reserved_ways = ((ways * percent as usize) / 100).max(1);
+        Self {
+            rrpv: RrpvArray::new(sets, ways),
+            ways,
+            pinned: vec![false; sets * ways],
+            pinned_per_set: vec![0; sets],
+            reserved_ways,
+            reserved_percent: percent,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// Number of ways per set reserved for pinned blocks.
+    pub fn reserved_ways(&self) -> usize {
+        self.reserved_ways
+    }
+
+    /// The configured reservation percentage.
+    pub fn reserved_percent(&self) -> u8 {
+        self.reserved_percent
+    }
+
+    /// Number of blocks currently pinned in `set`.
+    pub fn pinned_in_set(&self, set: usize) -> usize {
+        self.pinned_per_set[set]
+    }
+
+    fn try_pin(&mut self, set: usize, way: usize) {
+        let idx = self.idx(set, way);
+        if !self.pinned[idx] && self.pinned_per_set[set] < self.reserved_ways {
+            self.pinned[idx] = true;
+            self.pinned_per_set[set] += 1;
+        }
+    }
+}
+
+impl ReplacementPolicy for PinX {
+    fn name(&self) -> &'static str {
+        match self.reserved_percent {
+            25 => "PIN-25",
+            50 => "PIN-50",
+            75 => "PIN-75",
+            100 => "PIN-100",
+            _ => "PIN-X",
+        }
+    }
+
+    fn choose_victim(&mut self, set: usize, _info: &AccessInfo) -> usize {
+        // Standard RRIP victim search restricted to unpinned ways.
+        loop {
+            let mut all_pinned = true;
+            for way in 0..self.ways {
+                if self.pinned[self.idx(set, way)] {
+                    continue;
+                }
+                all_pinned = false;
+                if self.rrpv.get(set, way) == RRPV_MAX {
+                    return way;
+                }
+            }
+            if all_pinned {
+                // Every way is pinned (only possible with PIN-100): fall back
+                // to evicting way 0 so forward progress is maintained. XMem
+                // avoids this by bounding pin requests; the guard keeps the
+                // simulator robust.
+                return 0;
+            }
+            for way in 0..self.ways {
+                if !self.pinned[self.idx(set, way)] {
+                    let v = self.rrpv.get(set, way);
+                    if v < RRPV_MAX {
+                        self.rrpv.set(set, way, v + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        let idx = self.idx(set, way);
+        // The way may have been vacated by an eviction that already cleared
+        // the pin; make sure the bookkeeping is consistent.
+        if self.pinned[idx] {
+            self.pinned[idx] = false;
+            self.pinned_per_set[set] = self.pinned_per_set[set].saturating_sub(1);
+        }
+        if info.hint == ReuseHint::High {
+            self.try_pin(set, way);
+            self.rrpv.set(set, way, 0);
+        } else {
+            self.rrpv.set(set, way, RRPV_LONG);
+        }
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        if info.hint == ReuseHint::High {
+            self.try_pin(set, way);
+        }
+        self.rrpv.set(set, way, 0);
+    }
+
+    fn on_evict(&mut self, set: usize, way: usize, _block: BlockAddr, _had_reuse: bool) {
+        let idx = self.idx(set, way);
+        if self.pinned[idx] {
+            self.pinned[idx] = false;
+            self.pinned_per_set[set] -= 1;
+        }
+    }
+}
+
+// ---- seed grasp.rs ----
+
+/// Which subset of GRASP's features is active (the Fig. 7 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraspMode {
+    /// `RRIP+Hints`: identical to DRRIP except that the insertion position is
+    /// chosen by the hint instead of probabilistically — High-Reuse blocks are
+    /// inserted near the LRU position (`RRPV = 6`), everything else at LRU
+    /// (`RRPV = 7`). Hits promote to MRU as in RRIP.
+    HintsOnly,
+    /// GRASP's insertion policy (High → MRU, Moderate → 6, Low → 7) with the
+    /// baseline RRIP hit promotion (always to MRU).
+    InsertionOnly,
+    /// Full GRASP: specialized insertion *and* gradual hit promotion.
+    Full,
+}
+
+impl GraspMode {
+    /// All ablation modes in the order of Fig. 7.
+    pub const ALL: [GraspMode; 3] = [
+        GraspMode::HintsOnly,
+        GraspMode::InsertionOnly,
+        GraspMode::Full,
+    ];
+
+    /// Display label matching Fig. 7.
+    pub fn label(self) -> &'static str {
+        match self {
+            GraspMode::HintsOnly => "RRIP+Hints",
+            GraspMode::InsertionOnly => "GRASP (Insertion-Only)",
+            GraspMode::Full => "GRASP (Hit-Promotion)",
+        }
+    }
+}
+
+impl std::fmt::Display for GraspMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The GRASP replacement policy (DRRIP base + hint-specialized insertion and
+/// hit promotion).
+#[derive(Debug, Clone)]
+pub struct Grasp {
+    rrpv: RrpvArray,
+    dueling: SetDueling,
+    rng: PolicyRng,
+    mode: GraspMode,
+}
+
+impl Grasp {
+    /// Creates the full GRASP policy.
+    pub fn new(sets: usize, ways: usize, seed: u64) -> Self {
+        Self::with_mode(sets, ways, seed, GraspMode::Full)
+    }
+
+    /// Creates a GRASP policy with an explicit ablation mode.
+    pub fn with_mode(sets: usize, ways: usize, seed: u64, mode: GraspMode) -> Self {
+        Self {
+            rrpv: RrpvArray::new(sets, ways),
+            dueling: SetDueling::new(sets),
+            rng: PolicyRng::new(seed),
+            mode,
+        }
+    }
+
+    /// The active ablation mode.
+    pub fn mode(&self) -> GraspMode {
+        self.mode
+    }
+
+    /// DRRIP's default insertion value (used for Default-hinted requests and
+    /// by the `HintsOnly` ablation for non-High requests).
+    fn default_insertion(&mut self, set: usize) -> u8 {
+        match self.dueling.policy_for_set(set) {
+            DuelWinner::Srrip => RRPV_LONG,
+            DuelWinner::Brrip => {
+                if self.rng.one_in(BRRIP_LONG_ONE_IN) {
+                    RRPV_LONG
+                } else {
+                    RRPV_MAX
+                }
+            }
+        }
+    }
+
+    fn insertion_value(&mut self, set: usize, hint: ReuseHint) -> u8 {
+        match self.mode {
+            GraspMode::HintsOnly => match hint {
+                // RRIP+Hints: High-Reuse blocks get the favourable of RRIP's
+                // two insertion points, everything else the unfavourable one.
+                ReuseHint::High => RRPV_LONG,
+                ReuseHint::Moderate | ReuseHint::Low => RRPV_MAX,
+                ReuseHint::Default => self.default_insertion(set),
+            },
+            GraspMode::InsertionOnly | GraspMode::Full => match hint {
+                // Table II of the paper.
+                ReuseHint::High => 0,
+                ReuseHint::Moderate => RRPV_LONG,
+                ReuseHint::Low => RRPV_MAX,
+                ReuseHint::Default => self.default_insertion(set),
+            },
+        }
+    }
+}
+
+impl ReplacementPolicy for Grasp {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            GraspMode::HintsOnly => "RRIP+Hints",
+            GraspMode::InsertionOnly => "GRASP-Insertion",
+            GraspMode::Full => "GRASP",
+        }
+    }
+
+    fn choose_victim(&mut self, set: usize, _info: &AccessInfo) -> usize {
+        // Eviction is unchanged from the base scheme (Sec. III-C): no hint is
+        // consulted, so no per-block hint metadata is needed.
+        self.rrpv.find_victim(set)
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        self.dueling.record_miss(set);
+        let value = self.insertion_value(set, info.hint);
+        self.rrpv.set(set, way, value);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        match self.mode {
+            // RRIP-style promotion straight to MRU.
+            GraspMode::HintsOnly | GraspMode::InsertionOnly => self.rrpv.set(set, way, 0),
+            GraspMode::Full => match info.hint {
+                ReuseHint::High | ReuseHint::Default => self.rrpv.set(set, way, 0),
+                // Gradual promotion towards MRU (Table II hit policy).
+                ReuseHint::Moderate | ReuseHint::Low => self.rrpv.decrement(set, way),
+            },
+        }
+    }
+}

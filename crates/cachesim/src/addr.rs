@@ -17,7 +17,10 @@ pub const DEFAULT_BLOCK_BYTES: u64 = 64;
 /// Panics if `block_bytes` is not a power of two.
 #[inline]
 pub fn block_of(addr: Address, block_bytes: u64) -> BlockAddr {
-    debug_assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+    debug_assert!(
+        block_bytes.is_power_of_two(),
+        "block size must be a power of two"
+    );
     addr >> block_bytes.trailing_zeros()
 }
 

@@ -1,10 +1,21 @@
 //! A single set-associative cache with a pluggable replacement policy.
+//!
+//! The per-access path is the hottest code in the simulator, so the cache is
+//! laid out for it: valid/dirty/"reused since fill" flags live in packed
+//! per-set bitmask words (one `u64` per set and flag, bit = way) instead of
+//! per-block `Vec<bool>`s, the set index is a power-of-two mask instead of a
+//! `%`, and the tag scan is fused over packed 8-bit partial tags — one SWAR
+//! word comparison covers eight ways, so a miss usually rejects the whole
+//! set without loading a single full tag. The replacement policy is a
+//! statically-dispatched [`PolicyDispatch`], so hit and fill notifications
+//! inline instead of paying a virtual call.
 
 use crate::addr::{block_of, BlockAddr};
 use crate::config::CacheConfig;
-use crate::policy::ReplacementPolicy;
+use crate::policy::PolicyDispatch;
 use crate::request::AccessInfo;
 use crate::stats::CacheStats;
+use crate::swar::{broadcast, eq_byte_lanes, first_lane};
 
 /// Outcome of a single cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,17 +37,34 @@ impl AccessOutcome {
 
 /// A set-associative cache.
 ///
-/// The cache stores tags, valid/dirty bits and a per-block "saw a hit since
-/// fill" bit; all replacement state lives in the policy.
+/// The cache stores tags plus packed valid/dirty/"saw a hit since fill"
+/// bitmasks; all replacement state lives in the policy.
 pub struct SetAssocCache {
     name: &'static str,
     config: CacheConfig,
-    sets: usize,
+    ways: usize,
+    /// `sets - 1`; sets is asserted to be a power of two by [`CacheConfig`].
+    set_mask: u64,
+    /// `log2(sets)`, used to derive the 8-bit partial tag.
+    set_bits: u32,
+    /// `log2(block_bytes)` for the block-address shift.
+    block_shift: u32,
+    /// All-ways-valid mask: `ways` low bits set.
+    full_mask: u64,
+    /// `u64` words of packed partial tags per set (`ways.div_ceil(8)`).
+    ptag_words: usize,
     tags: Vec<BlockAddr>,
-    valid: Vec<bool>,
-    dirty: Vec<bool>,
-    reused: Vec<bool>,
-    policy: Box<dyn ReplacementPolicy>,
+    /// Packed 8-bit partial tags, one byte per way, `ptag_words` words per
+    /// set. The low byte of the full tag: a SWAR equality scan over these
+    /// words prunes the full-tag comparisons to (almost always) at most one.
+    ptags: Vec<u64>,
+    /// Per-set valid bits (bit `w` = way `w`).
+    valid: Vec<u64>,
+    /// Per-set dirty bits.
+    dirty: Vec<u64>,
+    /// Per-set "hit since fill" bits.
+    reused: Vec<u64>,
+    policy: PolicyDispatch,
     stats: CacheStats,
 }
 
@@ -53,18 +81,44 @@ impl std::fmt::Debug for SetAssocCache {
 
 impl SetAssocCache {
     /// Creates a cache with the given geometry and replacement policy.
-    pub fn new(name: &'static str, config: CacheConfig, policy: Box<dyn ReplacementPolicy>) -> Self {
+    ///
+    /// Accepts anything convertible into a [`PolicyDispatch`]: a concrete
+    /// policy value, a `Box` of one (statically dispatched either way), or a
+    /// `Box<dyn ReplacementPolicy>` for policies outside the built-in roster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the associativity exceeds 64 (the packed per-set metadata
+    /// uses one `u64` word per flag).
+    pub fn new(name: &'static str, config: CacheConfig, policy: impl Into<PolicyDispatch>) -> Self {
         let sets = config.sets();
         let blocks = config.blocks();
+        assert!(
+            config.ways <= 64,
+            "associativity {} exceeds the 64 ways supported by packed metadata",
+            config.ways
+        );
+        let full_mask = if config.ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << config.ways) - 1
+        };
+        let ptag_words = config.ways.div_ceil(8);
         Self {
             name,
             config,
-            sets,
+            ways: config.ways,
+            set_mask: sets as u64 - 1,
+            set_bits: (sets as u64).trailing_zeros(),
+            block_shift: config.block_bytes.trailing_zeros(),
+            full_mask,
+            ptag_words,
             tags: vec![0; blocks],
-            valid: vec![false; blocks],
-            dirty: vec![false; blocks],
-            reused: vec![false; blocks],
-            policy,
+            ptags: vec![0; sets * ptag_words],
+            valid: vec![0; sets],
+            dirty: vec![0; sets],
+            reused: vec![0; sets],
+            policy: policy.into(),
             stats: CacheStats::new(),
         }
     }
@@ -90,24 +144,55 @@ impl SetAssocCache {
     }
 
     #[inline]
-    fn idx(&self, set: usize, way: usize) -> usize {
-        set * self.config.ways + way
+    fn set_of(&self, block: BlockAddr) -> usize {
+        (block & self.set_mask) as usize
     }
 
+    /// The 8-bit partial tag of a block: the low byte of its full tag.
     #[inline]
-    fn set_of(&self, block: BlockAddr) -> usize {
-        (block % self.sets as u64) as usize
+    fn partial_of(&self, block: BlockAddr) -> u8 {
+        (block >> self.set_bits) as u8
+    }
+
+    /// Fused tag scan over `set`: the SWAR pass over the packed partial tags
+    /// nominates candidate ways (usually zero on a miss, one on a hit); only
+    /// candidates that are valid get their full tag compared.
+    #[inline]
+    fn find_way(&self, set: usize, block: BlockAddr) -> Option<usize> {
+        let pattern = broadcast(self.partial_of(block));
+        let valid = self.valid[set];
+        let tags = &self.tags[set * self.ways..][..self.ways];
+        let words = &self.ptags[set * self.ptag_words..][..self.ptag_words];
+        for (word_index, &word) in words.iter().enumerate() {
+            let mut lanes = eq_byte_lanes(word, pattern);
+            while lanes != 0 {
+                let way = word_index * 8 + first_lane(lanes);
+                if way < self.ways && valid & (1u64 << way) != 0 && tags[way] == block {
+                    return Some(way);
+                }
+                lanes &= lanes - 1;
+            }
+        }
+        None
+    }
+
+    /// Writes the partial tag of `block` into `way`'s byte lane.
+    #[inline]
+    fn store_partial(&mut self, set: usize, way: usize, block: BlockAddr) {
+        let partial = self.partial_of(block);
+        let word = &mut self.ptags[set * self.ptag_words + way / 8];
+        let shift = (way % 8) * 8;
+        *word = (*word & !(0xFFu64 << shift)) | (u64::from(partial) << shift);
     }
 
     /// Looks up a block without updating any state. Returns the way if present.
     pub fn probe(&self, addr: u64) -> Option<usize> {
         let block = block_of(addr, self.config.block_bytes);
-        let set = self.set_of(block);
-        (0..self.config.ways)
-            .find(|&way| self.valid[self.idx(set, way)] && self.tags[self.idx(set, way)] == block)
+        self.find_way(self.set_of(block), block)
     }
 
     /// Performs a demand access, updating replacement state and statistics.
+    #[inline]
     pub fn access(&mut self, info: &AccessInfo) -> AccessOutcome {
         let outcome = self.access_inner(info);
         self.stats.record(info.region, outcome.hit);
@@ -118,29 +203,28 @@ impl SetAssocCache {
     /// accounted separately and never bypassed by the policy.
     pub fn prefetch(&mut self, info: &AccessInfo) -> AccessOutcome {
         let outcome = self.access_inner(info);
-        self.stats.record_prefetch(!outcome.hit && !outcome.bypassed);
+        self.stats
+            .record_prefetch(!outcome.hit && !outcome.bypassed);
         outcome
     }
 
     fn access_inner(&mut self, info: &AccessInfo) -> AccessOutcome {
-        let block = block_of(info.addr, self.config.block_bytes);
+        let block = info.addr >> self.block_shift;
         let set = self.set_of(block);
 
-        // Hit path.
-        for way in 0..self.config.ways {
-            let idx = self.idx(set, way);
-            if self.valid[idx] && self.tags[idx] == block {
-                self.reused[idx] = true;
-                if info.is_write() {
-                    self.dirty[idx] = true;
-                }
-                self.policy.on_hit(set, way, info);
-                return AccessOutcome {
-                    hit: true,
-                    evicted: None,
-                    bypassed: false,
-                };
+        // Hit path: fused valid-mask + tag scan.
+        if let Some(way) = self.find_way(set, block) {
+            let bit = 1u64 << way;
+            self.reused[set] |= bit;
+            if info.is_write() {
+                self.dirty[set] |= bit;
             }
+            self.policy.on_hit(set, way, info);
+            return AccessOutcome {
+                hit: true,
+                evicted: None,
+                bypassed: false,
+            };
         }
 
         // Miss path: maybe bypass.
@@ -153,24 +237,33 @@ impl SetAssocCache {
             };
         }
 
-        // Fill an invalid way if one exists, otherwise ask the policy for a
-        // victim.
-        let way = (0..self.config.ways)
-            .find(|&w| !self.valid[self.idx(set, w)])
-            .unwrap_or_else(|| self.policy.choose_victim(set, info));
+        // Fill the lowest invalid way if one exists, otherwise ask the policy
+        // for a victim.
+        let valid = self.valid[set];
+        let way = if valid != self.full_mask {
+            (!valid).trailing_zeros() as usize
+        } else {
+            self.policy.choose_victim(set, info)
+        };
 
-        let idx = self.idx(set, way);
+        let bit = 1u64 << way;
+        let idx = set * self.ways + way;
         let mut evicted = None;
-        if self.valid[idx] {
+        if valid & bit != 0 {
             evicted = Some(self.tags[idx]);
             self.stats.evictions += 1;
             self.policy
-                .on_evict(set, way, self.tags[idx], self.reused[idx]);
+                .on_evict(set, way, self.tags[idx], self.reused[set] & bit != 0);
         }
         self.tags[idx] = block;
-        self.valid[idx] = true;
-        self.dirty[idx] = info.is_write();
-        self.reused[idx] = false;
+        self.store_partial(set, way, block);
+        self.valid[set] |= bit;
+        if info.is_write() {
+            self.dirty[set] |= bit;
+        } else {
+            self.dirty[set] &= !bit;
+        }
+        self.reused[set] &= !bit;
         self.policy.on_fill(set, way, info);
 
         AccessOutcome {
@@ -180,16 +273,19 @@ impl SetAssocCache {
         }
     }
 
-    /// Invalidates every block (used between experiment phases).
+    /// Invalidates every block and resets the replacement policy to its
+    /// just-constructed state (used between experiment phases). Statistics
+    /// keep accumulating across flushes.
     pub fn flush(&mut self) {
-        self.valid.iter_mut().for_each(|v| *v = false);
-        self.dirty.iter_mut().for_each(|d| *d = false);
-        self.reused.iter_mut().for_each(|r| *r = false);
+        self.valid.fill(0);
+        self.dirty.fill(0);
+        self.reused.fill(0);
+        self.policy.reset();
     }
 
     /// Number of valid blocks currently resident.
     pub fn resident_blocks(&self) -> usize {
-        self.valid.iter().filter(|&&v| v).count()
+        self.valid.iter().map(|v| v.count_ones() as usize).sum()
     }
 }
 
@@ -198,6 +294,7 @@ mod tests {
     use super::*;
     use crate::policy::lru::Lru;
     use crate::policy::rrip::Srrip;
+    use crate::policy::ReplacementPolicy;
     use crate::request::RegionLabel;
 
     fn lru_cache(size: u64, ways: usize) -> SetAssocCache {
@@ -261,6 +358,23 @@ mod tests {
     }
 
     #[test]
+    fn flush_resets_replacement_state() {
+        // After a flush the policy must not remember pre-flush recency: the
+        // fill order alone decides the next victim.
+        let mut c = lru_cache(128, 2);
+        c.access(&AccessInfo::read(0)); // A
+        c.access(&AccessInfo::read(128)); // B
+        c.access(&AccessInfo::read(0)); // touch A
+        c.flush();
+        c.access(&AccessInfo::read(0)); // A again (fills way 0)
+        c.access(&AccessInfo::read(128)); // B again (fills way 1)
+                                          // With a stale LRU clock, way 1 (B) would be older than pre-flush A
+                                          // stamps; with a proper reset, A is the LRU block now.
+        let outcome = c.access(&AccessInfo::read(256));
+        assert_eq!(outcome.evicted, Some(0), "A must be the victim after reset");
+    }
+
+    #[test]
     fn per_region_stats_are_recorded() {
         let mut c = lru_cache(4096, 4);
         c.access(&AccessInfo::read(0).with_region(RegionLabel::Property));
@@ -301,9 +415,52 @@ mod tests {
     }
 
     #[test]
+    fn works_with_dyn_policies() {
+        // The trait object stays the extension point for external policies.
+        #[derive(Debug)]
+        struct EvictWayZero;
+
+        impl ReplacementPolicy for EvictWayZero {
+            fn name(&self) -> &'static str {
+                "EvictWayZero"
+            }
+
+            fn choose_victim(&mut self, _set: usize, _info: &AccessInfo) -> usize {
+                0
+            }
+
+            fn on_fill(&mut self, _set: usize, _way: usize, _info: &AccessInfo) {}
+
+            fn on_hit(&mut self, _set: usize, _way: usize, _info: &AccessInfo) {}
+        }
+
+        let config = CacheConfig::new(128, 2, 64);
+        let boxed: Box<dyn ReplacementPolicy> = Box::new(EvictWayZero);
+        let mut c = SetAssocCache::new("llc", config, boxed);
+        c.access(&AccessInfo::read(0)); // way 0
+        c.access(&AccessInfo::read(128)); // way 1
+        let outcome = c.access(&AccessInfo::read(256));
+        assert_eq!(outcome.evicted, Some(0), "custom policy evicts way 0");
+        assert_eq!(c.policy_name(), "EvictWayZero");
+    }
+
+    #[test]
     fn write_marks_block_dirty_and_hits_later() {
         let mut c = lru_cache(4096, 4);
         c.access(&AccessInfo::write(0x80));
         assert!(c.access(&AccessInfo::read(0x80)).is_hit());
+    }
+
+    #[test]
+    fn sixty_four_way_associativity_is_supported() {
+        let config = CacheConfig::new(64 * 64, 64, 64); // one 64-way set
+        let mut c = SetAssocCache::new("llc", config, Lru::new(config.sets(), config.ways));
+        for b in 0..64u64 {
+            c.access(&AccessInfo::read(b * 64));
+        }
+        assert_eq!(c.resident_blocks(), 64);
+        assert_eq!(c.stats().evictions, 0);
+        let outcome = c.access(&AccessInfo::read(64 * 64));
+        assert_eq!(outcome.evicted, Some(0), "LRU block evicted once full");
     }
 }

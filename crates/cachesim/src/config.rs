@@ -21,8 +21,14 @@ impl CacheConfig {
     /// Panics if any parameter is zero, if `block_bytes` is not a power of
     /// two, or if the resulting number of sets is not a power of two.
     pub fn new(size_bytes: u64, ways: usize, block_bytes: u64) -> Self {
-        assert!(size_bytes > 0 && ways > 0 && block_bytes > 0, "parameters must be non-zero");
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            size_bytes > 0 && ways > 0 && block_bytes > 0,
+            "parameters must be non-zero"
+        );
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         let config = Self {
             size_bytes,
             ways,

@@ -11,11 +11,12 @@ use crate::cache::SetAssocCache;
 use crate::config::HierarchyConfig;
 use crate::hint::RegionClassifier;
 use crate::policy::lru::Lru;
-use crate::policy::ReplacementPolicy;
+use crate::policy::PolicyDispatch;
 use crate::prefetch::StridePrefetcher;
 use crate::request::{AccessInfo, AccessKind, AccessSite, RegionLabel};
 use crate::stats::HierarchyStats;
 use crate::timing::TimingModel;
+use crate::trace::LlcTrace;
 
 /// A three-level cache hierarchy with an L1 stride prefetcher and GRASP's
 /// address classification in front of the LLC.
@@ -27,7 +28,7 @@ pub struct Hierarchy {
     classifier: RegionClassifier,
     prefetcher: Option<StridePrefetcher>,
     memory_accesses: u64,
-    llc_trace: Vec<AccessInfo>,
+    llc_trace: LlcTrace,
 }
 
 impl std::fmt::Debug for Hierarchy {
@@ -48,19 +49,15 @@ impl Hierarchy {
     /// interface (every request carries the Default hint).
     pub fn new(
         config: HierarchyConfig,
-        llc_policy: Box<dyn ReplacementPolicy>,
+        llc_policy: impl Into<PolicyDispatch>,
         classifier: RegionClassifier,
     ) -> Self {
         let l1 = SetAssocCache::new(
             "L1-D",
             config.l1,
-            Box::new(Lru::new(config.l1.sets(), config.l1.ways)),
+            Lru::new(config.l1.sets(), config.l1.ways),
         );
-        let l2 = SetAssocCache::new(
-            "L2",
-            config.l2,
-            Box::new(Lru::new(config.l2.sets(), config.l2.ways)),
-        );
+        let l2 = SetAssocCache::new("L2", config.l2, Lru::new(config.l2.sets(), config.l2.ways));
         let llc = SetAssocCache::new("LLC", config.llc, llc_policy);
         Self {
             config,
@@ -70,7 +67,16 @@ impl Hierarchy {
             classifier,
             prefetcher: config.prefetch.then(StridePrefetcher::default),
             memory_accesses: 0,
-            llc_trace: Vec::new(),
+            llc_trace: LlcTrace::new(),
+        }
+    }
+
+    /// Pre-sizes the LLC trace for roughly `expected_records` records so the
+    /// recording loop does not reallocate (only meaningful when
+    /// [`HierarchyConfig::record_llc_trace`] is set).
+    pub fn reserve_llc_trace(&mut self, expected_records: usize) {
+        if self.config.record_llc_trace {
+            self.llc_trace.reserve(expected_records);
         }
     }
 
@@ -161,7 +167,7 @@ impl Hierarchy {
         // classification logic (Fig. 4).
         let llc_info = info.with_hint(self.classifier.classify(info.addr));
         if self.config.record_llc_trace {
-            self.llc_trace.push(llc_info);
+            self.llc_trace.push(&llc_info);
         }
         let hit = self.llc.access(&llc_info).is_hit();
         if !hit {
@@ -193,12 +199,12 @@ impl Hierarchy {
 
     /// The recorded LLC demand-access trace (empty unless
     /// [`HierarchyConfig::record_llc_trace`] is set).
-    pub fn llc_trace(&self) -> &[AccessInfo] {
+    pub fn llc_trace(&self) -> &LlcTrace {
         &self.llc_trace
     }
 
     /// Consumes the hierarchy and returns the recorded LLC trace.
-    pub fn into_llc_trace(self) -> Vec<AccessInfo> {
+    pub fn into_llc_trace(self) -> LlcTrace {
         self.llc_trace
     }
 
@@ -208,12 +214,18 @@ impl Hierarchy {
         model.cycles(&self.stats(), instructions)
     }
 
-    /// Invalidates every cache level (used between warm-up and the region of
-    /// interest).
+    /// Invalidates every cache level, resets every replacement policy and
+    /// clears the prefetcher's stride training (used between warm-up and the
+    /// region of interest). Without the policy/prefetcher resets, stale RRPV
+    /// counters, predictor tables and trained strides from the warm-up phase
+    /// would leak into the measured phase.
     pub fn flush(&mut self) {
         self.l1.flush();
         self.l2.flush();
         self.llc.flush();
+        if let Some(prefetcher) = self.prefetcher.as_mut() {
+            prefetcher.reset();
+        }
     }
 }
 
@@ -276,8 +288,8 @@ mod tests {
         h.read(0xF0000, 1, RegionLabel::Property);
         let trace = h.llc_trace();
         assert_eq!(trace.len(), 2);
-        assert_eq!(trace[0].hint, ReuseHint::High);
-        assert_eq!(trace[1].hint, ReuseHint::Low);
+        assert_eq!(trace.get(0).hint, ReuseHint::High);
+        assert_eq!(trace.get(1).hint, ReuseHint::Low);
     }
 
     #[test]

@@ -44,12 +44,14 @@
 pub mod addr;
 pub mod cache;
 pub mod config;
+pub mod fast_hash;
 pub mod hierarchy;
 pub mod hint;
 pub mod policy;
 pub mod prefetch;
 pub mod request;
 pub mod stats;
+mod swar;
 pub mod timing;
 pub mod trace;
 
@@ -58,6 +60,8 @@ pub use cache::SetAssocCache;
 pub use config::{CacheConfig, HierarchyConfig};
 pub use hierarchy::Hierarchy;
 pub use hint::{AddressBoundRegisters, RegionClassifier, ReuseHint};
+pub use policy::PolicyDispatch;
 pub use request::{AccessInfo, AccessKind, RegionLabel};
 pub use stats::{CacheStats, HierarchyStats};
 pub use timing::TimingModel;
+pub use trace::LlcTrace;

@@ -42,7 +42,11 @@ pub enum GraspMode {
 
 impl GraspMode {
     /// All ablation modes in the order of Fig. 7.
-    pub const ALL: [GraspMode; 3] = [GraspMode::HintsOnly, GraspMode::InsertionOnly, GraspMode::Full];
+    pub const ALL: [GraspMode; 3] = [
+        GraspMode::HintsOnly,
+        GraspMode::InsertionOnly,
+        GraspMode::Full,
+    ];
 
     /// Display label matching Fig. 7.
     pub fn label(self) -> &'static str {
@@ -66,6 +70,7 @@ impl std::fmt::Display for GraspMode {
 pub struct Grasp {
     rrpv: RrpvArray,
     dueling: SetDueling,
+    seed: u64,
     rng: PolicyRng,
     mode: GraspMode,
 }
@@ -81,6 +86,7 @@ impl Grasp {
         Self {
             rrpv: RrpvArray::new(sets, ways),
             dueling: SetDueling::new(sets),
+            seed,
             rng: PolicyRng::new(seed),
             mode,
         }
@@ -158,6 +164,12 @@ impl ReplacementPolicy for Grasp {
             },
         }
     }
+
+    fn reset(&mut self) {
+        self.rrpv.reset();
+        self.dueling.reset();
+        self.rng = PolicyRng::new(self.seed);
+    }
 }
 
 #[cfg(test)]
@@ -214,7 +226,11 @@ mod tests {
     fn hints_only_uses_rrip_insertion_points() {
         let mut g = Grasp::with_mode(4, 4, 1, GraspMode::HintsOnly);
         g.on_fill(0, 0, &req(ReuseHint::High));
-        assert_eq!(g.rrpv.get(0, 0), RRPV_LONG, "High inserts near LRU, not at MRU");
+        assert_eq!(
+            g.rrpv.get(0, 0),
+            RRPV_LONG,
+            "High inserts near LRU, not at MRU"
+        );
         g.on_fill(0, 1, &req(ReuseHint::Low));
         assert_eq!(g.rrpv.get(0, 1), RRPV_MAX);
         g.on_fill(0, 2, &req(ReuseHint::Moderate));
@@ -240,7 +256,10 @@ mod tests {
     #[test]
     fn mode_labels_match_fig7() {
         assert_eq!(GraspMode::HintsOnly.to_string(), "RRIP+Hints");
-        assert_eq!(GraspMode::InsertionOnly.to_string(), "GRASP (Insertion-Only)");
+        assert_eq!(
+            GraspMode::InsertionOnly.to_string(),
+            "GRASP (Insertion-Only)"
+        );
         assert_eq!(GraspMode::Full.to_string(), "GRASP (Hit-Promotion)");
         assert_eq!(GraspMode::ALL.len(), 3);
     }

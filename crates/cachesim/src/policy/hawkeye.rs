@@ -18,7 +18,6 @@ use super::rrip::{RrpvArray, RRPV_MAX};
 use super::ReplacementPolicy;
 use crate::addr::BlockAddr;
 use crate::request::{AccessInfo, AccessSite};
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 /// Number of 3-bit counter states; counters ≥ `FRIENDLY_THRESHOLD` predict
@@ -26,10 +25,9 @@ use std::collections::VecDeque;
 const COUNTER_MAX: u8 = 7;
 const FRIENDLY_THRESHOLD: u8 = 4;
 
-/// One entry of a sampled set's access history used by OPTgen.
+/// Non-block metadata of one history entry (see [`OptGen`]).
 #[derive(Debug, Clone, Copy)]
-struct HistoryEntry {
-    block: BlockAddr,
+struct HistoryMeta {
     site: AccessSite,
     /// Number of liveness intervals that currently overlap this position.
     occupancy: u8,
@@ -40,9 +38,14 @@ struct HistoryEntry {
 
 /// OPTgen for a single sampled set: a sliding window of past accesses with an
 /// occupancy vector that answers "would OPT have hit this access?".
+///
+/// The window is stored struct-of-arrays: the per-access backward search for
+/// a block's previous use — the dominant cost of sampled accesses — scans a
+/// dense `u64` sequence instead of striding over 16-byte entries.
 #[derive(Debug, Clone, Default)]
 struct OptGen {
-    history: VecDeque<HistoryEntry>,
+    blocks: VecDeque<BlockAddr>,
+    meta: VecDeque<HistoryMeta>,
     capacity: usize,
     ways: u8,
 }
@@ -50,12 +53,23 @@ struct OptGen {
 impl OptGen {
     fn new(ways: usize) -> Self {
         Self {
-            history: VecDeque::new(),
+            blocks: VecDeque::new(),
+            meta: VecDeque::new(),
             // The ISCA'16 design tracks 8x the associativity of usage
             // intervals per sampled set.
             capacity: ways * 8,
             ways: ways as u8,
         }
+    }
+
+    /// Logical index of the most recent history entry for `block`.
+    #[inline]
+    fn rposition_block(&self, block: BlockAddr) -> Option<usize> {
+        let (front, back) = self.blocks.as_slices();
+        if let Some(pos) = back.iter().rposition(|&b| b == block) {
+            return Some(front.len() + pos);
+        }
+        front.iter().rposition(|&b| b == block)
     }
 
     /// Records an access to `block` by `site`. Returns up to two training
@@ -66,41 +80,68 @@ impl OptGen {
     /// * when the window overflows and the evicted entry never saw a reuse,
     ///   its site is trained negatively (the reuse interval, if any, exceeds
     ///   what OPT could exploit with this cache size).
-    fn record(&mut self, block: BlockAddr, site: AccessSite) -> Vec<(AccessSite, bool)> {
-        let mut events = Vec::new();
-        if let Some(prev_pos) = self
-            .history
-            .iter()
-            .rposition(|entry| entry.block == block)
-        {
-            let prev_site = self.history[prev_pos].site;
+    ///
+    /// The events come back in a fixed-size buffer: `record` runs on every
+    /// sampled fill and hit, so it must not allocate.
+    fn record(&mut self, block: BlockAddr, site: AccessSite) -> TrainingEvents {
+        let mut events = TrainingEvents::default();
+        if let Some(prev_pos) = self.rposition_block(block) {
+            let prev_site = self.meta[prev_pos].site;
             let interval_fits = self
-                .history
-                .iter()
-                .skip(prev_pos)
+                .meta
+                .range(prev_pos..)
                 .all(|entry| entry.occupancy < self.ways);
             if interval_fits {
-                for entry in self.history.iter_mut().skip(prev_pos) {
+                for entry in self.meta.range_mut(prev_pos..) {
                     entry.occupancy += 1;
                 }
             }
-            self.history[prev_pos].reused = true;
-            events.push((prev_site, interval_fits));
+            self.meta[prev_pos].reused = true;
+            events.push(prev_site, interval_fits);
         }
-        self.history.push_back(HistoryEntry {
-            block,
+        self.blocks.push_back(block);
+        self.meta.push_back(HistoryMeta {
             site,
             occupancy: 0,
             reused: false,
         });
-        if self.history.len() > self.capacity {
-            if let Some(evicted) = self.history.pop_front() {
+        if self.blocks.len() > self.capacity {
+            self.blocks.pop_front();
+            if let Some(evicted) = self.meta.pop_front() {
                 if !evicted.reused {
-                    events.push((evicted.site, false));
+                    events.push(evicted.site, false);
                 }
             }
         }
         events
+    }
+}
+
+/// Up to two `(site, opt_friendly)` training events, inline (no allocation).
+#[derive(Debug, Clone, Copy, Default)]
+struct TrainingEvents {
+    events: [(AccessSite, bool); 2],
+    len: u8,
+}
+
+impl TrainingEvents {
+    fn push(&mut self, site: AccessSite, friendly: bool) {
+        self.events[self.len as usize] = (site, friendly);
+        self.len += 1;
+    }
+
+    fn iter(self) -> impl Iterator<Item = (AccessSite, bool)> {
+        self.events.into_iter().take(self.len as usize)
+    }
+
+    #[cfg(test)]
+    fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    #[cfg(test)]
+    fn to_vec(self) -> Vec<(AccessSite, bool)> {
+        self.iter().collect()
     }
 }
 
@@ -109,15 +150,22 @@ impl OptGen {
 pub struct Hawkeye {
     rrpv: RrpvArray,
     ways: usize,
-    /// Which sets are sampled for OPTgen training.
-    sample_interval: usize,
-    optgen: HashMap<usize, OptGen>,
-    /// Site-indexed 3-bit predictor counters.
-    predictor: HashMap<AccessSite, u8>,
-    /// Per-block: the site that loaded the block (for detraining on eviction)
-    /// and whether the block was predicted friendly at fill time.
+    /// Which sets are sampled for OPTgen training (precomputed so the
+    /// per-access check is an indexed load, not a division).
+    sampled: Vec<bool>,
+    /// Per-set OPTgen windows (only sampled sets ever receive entries; the
+    /// deques of unsampled sets never allocate).
+    optgen: Vec<OptGen>,
+    /// Site-indexed 3-bit predictor counters. `AccessSite` is 16-bit, so the
+    /// "unlimited entries" methodology of the paper is a flat 64 Ki table —
+    /// a direct indexed load instead of a hash lookup per access.
+    predictor: Vec<u8>,
+    /// Per-block: the site that loaded the block (for detraining on
+    /// eviction).
     loader: Vec<AccessSite>,
-    friendly: Vec<bool>,
+    /// Per-set bitmask of blocks predicted friendly at fill/hit time, so the
+    /// friendly-ageing pass walks only the set bits.
+    friendly: Vec<u64>,
 }
 
 impl Hawkeye {
@@ -129,11 +177,11 @@ impl Hawkeye {
         Self {
             rrpv: RrpvArray::new(sets, ways),
             ways,
-            sample_interval,
-            optgen: HashMap::new(),
-            predictor: HashMap::new(),
+            sampled: (0..sets).map(|set| set % sample_interval == 0).collect(),
+            optgen: (0..sets).map(|_| OptGen::new(ways)).collect(),
+            predictor: vec![FRIENDLY_THRESHOLD; usize::from(u16::MAX) + 1],
             loader: vec![0; sets * ways],
-            friendly: vec![false; sets * ways],
+            friendly: vec![0; sets],
         }
     }
 
@@ -142,22 +190,24 @@ impl Hawkeye {
         set * self.ways + way
     }
 
+    #[inline]
     fn is_sampled(&self, set: usize) -> bool {
-        set % self.sample_interval == 0
+        self.sampled[set]
     }
 
     /// Predicted friendliness of a site.
+    #[inline]
     fn predict_friendly(&self, site: AccessSite) -> bool {
-        *self.predictor.get(&site).unwrap_or(&FRIENDLY_THRESHOLD) >= FRIENDLY_THRESHOLD
+        self.predictor[usize::from(site)] >= FRIENDLY_THRESHOLD
     }
 
     /// Current counter value of a site (used by tests).
     pub fn counter(&self, site: AccessSite) -> u8 {
-        *self.predictor.get(&site).unwrap_or(&FRIENDLY_THRESHOLD)
+        self.predictor[usize::from(site)]
     }
 
     fn train(&mut self, site: AccessSite, friendly: bool) {
-        let entry = self.predictor.entry(site).or_insert(FRIENDLY_THRESHOLD);
+        let entry = &mut self.predictor[usize::from(site)];
         if friendly {
             *entry = (*entry + 1).min(COUNTER_MAX);
         } else {
@@ -170,13 +220,9 @@ impl Hawkeye {
         if !self.is_sampled(set) {
             return;
         }
-        let ways = self.ways;
-        let optgen = self
-            .optgen
-            .entry(set)
-            .or_insert_with(|| OptGen::new(ways));
         let block = info.addr >> 6;
-        for (site, friendly) in optgen.record(block, info.site) {
+        let events = self.optgen[set].record(block, info.site);
+        for (site, friendly) in events.iter() {
             self.train(site, friendly);
         }
     }
@@ -185,17 +231,14 @@ impl Hawkeye {
     /// when a friendly block is inserted, mirroring Hawkeye's RRIP-style
     /// ageing that keeps relative order among friendly blocks.
     fn age_friendly(&mut self, set: usize, except_way: usize) {
-        for way in 0..self.ways {
-            if way == except_way {
-                continue;
+        let mut mask = self.friendly[set] & !(1u64 << except_way);
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            let v = self.rrpv.get(set, way);
+            if v < RRPV_MAX - 1 {
+                self.rrpv.set(set, way, v + 1);
             }
-            let idx = self.idx(set, way);
-            if self.friendly[idx] {
-                let v = self.rrpv.get(set, way);
-                if v < RRPV_MAX - 1 {
-                    self.rrpv.set(set, way, v + 1);
-                }
-            }
+            mask &= mask - 1;
         }
     }
 }
@@ -208,10 +251,8 @@ impl ReplacementPolicy for Hawkeye {
     fn choose_victim(&mut self, set: usize, info: &AccessInfo) -> usize {
         // Prefer cache-averse blocks (RRPV == MAX); otherwise evict the oldest
         // friendly block and detrain the site that loaded it.
-        for way in 0..self.ways {
-            if self.rrpv.get(set, way) == RRPV_MAX {
-                return way;
-            }
+        if let Some(way) = self.rrpv.first_distant(set) {
+            return way;
         }
         let victim = (0..self.ways)
             .max_by_key(|&w| self.rrpv.get(set, w))
@@ -227,11 +268,13 @@ impl ReplacementPolicy for Hawkeye {
         let friendly = self.predict_friendly(info.site);
         let idx = self.idx(set, way);
         self.loader[idx] = info.site;
-        self.friendly[idx] = friendly;
+        let bit = 1u64 << way;
         if friendly {
+            self.friendly[set] |= bit;
             self.rrpv.set(set, way, 0);
             self.age_friendly(set, way);
         } else {
+            self.friendly[set] &= !bit;
             self.rrpv.set(set, way, RRPV_MAX);
         }
     }
@@ -239,16 +282,28 @@ impl ReplacementPolicy for Hawkeye {
     fn on_hit(&mut self, set: usize, way: usize, info: &AccessInfo) {
         self.observe(set, info);
         let friendly = self.predict_friendly(info.site);
-        let idx = self.idx(set, way);
-        self.friendly[idx] = friendly;
+        let bit = 1u64 << way;
         if friendly {
+            self.friendly[set] |= bit;
             self.rrpv.set(set, way, 0);
         } else {
+            self.friendly[set] &= !bit;
             // The paper highlights this behaviour: a hit to a block whose site
             // is predicted cache-averse *demotes* the block instead of
             // promoting it, hurting graph workloads.
             self.rrpv.set(set, way, RRPV_MAX);
         }
+    }
+
+    fn reset(&mut self) {
+        self.rrpv.reset();
+        for optgen in &mut self.optgen {
+            optgen.blocks.clear();
+            optgen.meta.clear();
+        }
+        self.predictor.fill(FRIENDLY_THRESHOLD);
+        self.loader.fill(0);
+        self.friendly.fill(0);
     }
 }
 
@@ -268,7 +323,7 @@ mod tests {
         // Re-access of block 1: interval [access(1), now) has occupancy 0
         // everywhere, so OPT would hit.
         let events = opt.record(1, 12);
-        assert_eq!(events, vec![(10, true)]);
+        assert_eq!(events.to_vec(), vec![(10, true)]);
     }
 
     #[test]
@@ -277,10 +332,18 @@ mod tests {
         opt.record(1, 1);
         opt.record(2, 2);
         let events = opt.record(2, 2);
-        assert_eq!(events, vec![(2, true)], "back-to-back reuse fits in one way");
+        assert_eq!(
+            events.to_vec(),
+            vec![(2, true)],
+            "back-to-back reuse fits in one way"
+        );
         // Now block 1's interval overlaps block 2's occupied slot.
         let events = opt.record(1, 1);
-        assert_eq!(events, vec![(1, false)], "interval does not fit: OPT would miss");
+        assert_eq!(
+            events.to_vec(),
+            vec![(1, false)],
+            "interval does not fit: OPT would miss"
+        );
     }
 
     #[test]
@@ -291,15 +354,15 @@ mod tests {
         }
         // The ninth access evicts the oldest never-reused entry.
         let events = opt.record(200, 6);
-        assert_eq!(events, vec![(5, false)]);
+        assert_eq!(events.to_vec(), vec![(5, false)]);
     }
 
     #[test]
     fn friendly_sites_insert_at_mru_averse_at_lru() {
         let mut h = Hawkeye::new(64, 4);
         // Manually bias the predictor.
-        h.predictor.insert(1, COUNTER_MAX);
-        h.predictor.insert(2, 0);
+        h.predictor[1] = COUNTER_MAX;
+        h.predictor[2] = 0;
         h.on_fill(3, 0, &req(0x40, 1));
         assert_eq!(h.rrpv.get(3, 0), 0);
         h.on_fill(3, 1, &req(0x80, 2));
@@ -309,7 +372,7 @@ mod tests {
     #[test]
     fn averse_hit_demotes_instead_of_promoting() {
         let mut h = Hawkeye::new(64, 4);
-        h.predictor.insert(2, 0);
+        h.predictor[2] = 0;
         h.on_fill(3, 0, &req(0x40, 2));
         h.on_hit(3, 0, &req(0x40, 2));
         assert_eq!(h.rrpv.get(3, 0), RRPV_MAX);
@@ -318,8 +381,8 @@ mod tests {
     #[test]
     fn victim_prefers_averse_blocks() {
         let mut h = Hawkeye::new(64, 2);
-        h.predictor.insert(1, COUNTER_MAX);
-        h.predictor.insert(2, 0);
+        h.predictor[1] = COUNTER_MAX;
+        h.predictor[2] = 0;
         h.on_fill(3, 0, &req(0x40, 1)); // friendly
         h.on_fill(3, 1, &req(0x80, 2)); // averse
         assert_eq!(h.choose_victim(3, &req(0xC0, 1)), 1);
@@ -328,7 +391,7 @@ mod tests {
     #[test]
     fn evicting_a_friendly_block_detrains_its_loader() {
         let mut h = Hawkeye::new(64, 2);
-        h.predictor.insert(1, COUNTER_MAX);
+        h.predictor[1] = COUNTER_MAX;
         h.on_fill(3, 0, &req(0x40, 1));
         h.on_fill(3, 1, &req(0x80, 1));
         let before = h.counter(1);

@@ -23,7 +23,6 @@ use super::rrip::{DuelWinner, RrpvArray, SetDueling, BRRIP_LONG_ONE_IN, RRPV_LON
 use super::{PolicyRng, ReplacementPolicy};
 use crate::addr::BlockAddr;
 use crate::request::{AccessInfo, AccessSite};
-use std::collections::HashMap;
 
 /// How many consecutive smaller observations it takes to shrink a predicted
 /// live distance by one step (the "shrink slowly" half of the conservative
@@ -32,6 +31,10 @@ const SHRINK_VOTES: u8 = 8;
 
 /// Live distances are capped at this value (ages saturate here).
 const LIVE_DISTANCE_CAP: u16 = 255;
+
+/// Fixed seed of the dueling tie-breaker RNG (Leeway takes no seed
+/// parameter, so resets reuse this constant).
+const LEEWAY_SEED: u64 = 0x1EE7;
 
 /// The Leeway replacement policy.
 #[derive(Debug, Clone)]
@@ -46,9 +49,12 @@ pub struct Leeway {
     /// The site that loaded each block.
     loader: Vec<AccessSite>,
     /// Predictor: site → (predicted live distance, shrink votes).
-    predictor: HashMap<AccessSite, (u16, u8)>,
-    /// Only a subset of sets trains the predictor, as in the original design.
-    sample_interval: usize,
+    /// `AccessSite` is 16-bit, so the table is flat — a direct indexed load
+    /// per check instead of a hash lookup.
+    predictor: Vec<(u16, u8)>,
+    /// Only a subset of sets trains the predictor, as in the original
+    /// design (precomputed so the per-eviction check is an indexed load).
+    sampled: Vec<bool>,
     /// Leeway's reuse-aware adaptive policies are modelled with the same
     /// set-dueling insertion as DRRIP, which keeps the scheme anchored to the
     /// paper's RRIP baseline.
@@ -65,10 +71,13 @@ impl Leeway {
             age: vec![0; sets * ways],
             observed_live: vec![0; sets * ways],
             loader: vec![0; sets * ways],
-            predictor: HashMap::new(),
-            sample_interval: (sets / 64).max(1),
+            predictor: vec![(LIVE_DISTANCE_CAP, 0); usize::from(u16::MAX) + 1],
+            sampled: {
+                let sample_interval = (sets / 64).max(1);
+                (0..sets).map(|set| set % sample_interval == 0).collect()
+            },
             dueling: SetDueling::new(sets),
-            rng: PolicyRng::new(0x1EE7),
+            rng: PolicyRng::new(LEEWAY_SEED),
         }
     }
 
@@ -77,26 +86,22 @@ impl Leeway {
         set * self.ways + way
     }
 
+    #[inline]
     fn is_sampled(&self, set: usize) -> bool {
-        set % self.sample_interval == 0
+        self.sampled[set]
     }
 
     /// Predicted live distance for a site. Unseen sites default to the cap so
     /// nothing is predicted dead before any evidence exists.
+    #[inline]
     pub fn predicted_live_distance(&self, site: AccessSite) -> u16 {
-        self.predictor
-            .get(&site)
-            .map(|&(d, _)| d)
-            .unwrap_or(LIVE_DISTANCE_CAP)
+        self.predictor[usize::from(site)].0
     }
 
     /// Conservative predictor update on eviction: grow immediately, shrink
     /// only after [`SHRINK_VOTES`] consecutive smaller observations.
     fn train(&mut self, site: AccessSite, observed: u16) {
-        let entry = self
-            .predictor
-            .entry(site)
-            .or_insert((LIVE_DISTANCE_CAP, 0));
+        let entry = &mut self.predictor[usize::from(site)];
         if observed >= entry.0 {
             entry.0 = observed;
             entry.1 = 0;
@@ -111,7 +116,10 @@ impl Leeway {
         }
     }
 
-    /// Returns `true` when the block at (`set`, `way`) is predicted dead.
+    /// Returns `true` when the block at (`set`, `way`) is predicted dead
+    /// (the victim search inlines this check with a memoized predictor
+    /// lookup; kept for tests and diagnostics).
+    #[cfg(test)]
     fn is_expired(&self, set: usize, way: usize) -> bool {
         let idx = self.idx(set, way);
         self.age[idx] > self.predicted_live_distance(self.loader[idx])
@@ -138,11 +146,29 @@ impl ReplacementPolicy for Leeway {
         // policy already considers near-eviction (RRPV >= long): this is the
         // reproduction of Leeway's variability-aware rate control, which keeps
         // the scheme anchored to its base policy when predictions are shaky.
+        //
+        // Graph kernels load most of a set's blocks from one or two sites, so
+        // the predicted live distance of the previous way's loader is
+        // memoized instead of looked up per way.
         let mut expired: Option<(u16, usize)> = None;
+        let mut memo: Option<(AccessSite, u16)> = None;
         for way in 0..self.ways {
-            if self.rrpv.get(set, way) >= RRPV_LONG && self.is_expired(set, way) {
-                let age = self.age[self.idx(set, way)];
-                if expired.map_or(true, |(a, _)| age > a) {
+            if self.rrpv.get(set, way) < RRPV_LONG {
+                continue;
+            }
+            let idx = self.idx(set, way);
+            let loader = self.loader[idx];
+            let distance = match memo {
+                Some((site, distance)) if site == loader => distance,
+                _ => {
+                    let distance = self.predicted_live_distance(loader);
+                    memo = Some((loader, distance));
+                    distance
+                }
+            };
+            if self.age[idx] > distance {
+                let age = self.age[idx];
+                if expired.is_none_or(|(a, _)| age > a) {
                     expired = Some((age, way));
                 }
             }
@@ -189,6 +215,16 @@ impl ReplacementPolicy for Leeway {
             let loader = self.loader[idx];
             self.train(loader, observed);
         }
+    }
+
+    fn reset(&mut self) {
+        self.rrpv.reset();
+        self.age.fill(0);
+        self.observed_live.fill(0);
+        self.loader.fill(0);
+        self.predictor.fill((LIVE_DISTANCE_CAP, 0));
+        self.dueling.reset();
+        self.rng = PolicyRng::new(LEEWAY_SEED);
     }
 }
 
@@ -289,14 +325,20 @@ mod tests {
     #[test]
     fn eviction_trains_only_sampled_sets() {
         let mut l = Leeway::new(128, 4);
-        // Set 1 is not sampled (sample interval is 2 for 128 sets).
-        assert!(l.sample_interval >= 2);
-        l.on_fill(1, 0, &req(0, 3));
-        l.on_evict(1, 0, 0, false);
+        // Set 1 is not sampled (sample interval is 2 for 128 sets): even
+        // enough evictions to out-vote the conservative update leave the
+        // prediction untouched.
+        assert!(!l.is_sampled(1));
+        for _ in 0..SHRINK_VOTES + 1 {
+            l.on_fill(1, 0, &req(0, 3));
+            l.on_evict(1, 0, 0, false);
+        }
         assert_eq!(l.predicted_live_distance(3), LIVE_DISTANCE_CAP);
-        // Set 0 is sampled.
-        l.on_fill(0, 0, &req(0, 3));
-        l.on_evict(0, 0, 0, false);
-        assert!(l.predictor.contains_key(&3));
+        // Set 0 is sampled: the same stream shrinks the prediction.
+        for _ in 0..SHRINK_VOTES + 1 {
+            l.on_fill(0, 0, &req(0, 3));
+            l.on_evict(0, 0, 0, false);
+        }
+        assert!(l.predicted_live_distance(3) < LIVE_DISTANCE_CAP);
     }
 }

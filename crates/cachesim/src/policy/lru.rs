@@ -2,9 +2,18 @@
 
 use super::ReplacementPolicy;
 use crate::request::AccessInfo;
+use crate::swar::{broadcast, eq_byte_lanes, first_lane};
 
-/// True LRU: every hit or fill stamps the block with a monotonically
-/// increasing counter; the victim is the block with the oldest stamp.
+/// High bit of every byte lane.
+const LANE_HIGH: u64 = 0x8080_8080_8080_8080;
+
+/// True LRU, kept as a per-set recency permutation packed into `u64` words:
+/// every block holds an 8-bit rank (0 = MRU, `ways - 1` = LRU) and a hit or
+/// fill moves the block to rank 0, pushing the more-recent blocks down by
+/// one. The push-down is a branch-free SWAR add — one compare/add pair
+/// covers eight ways — and the victim scan is the same byte-lane equality
+/// scan the cache uses for partial tags. Victims are identical to a
+/// timestamp implementation: both realize the exact move-to-front order.
 ///
 /// LRU is the reference point of the OPT study (Fig. 11 / Table VII reports
 /// "% misses eliminated over LRU") and is also used for the L1 and L2 levels
@@ -12,30 +21,74 @@ use crate::request::AccessInfo;
 #[derive(Debug, Clone)]
 pub struct Lru {
     ways: usize,
-    stamps: Vec<u64>,
-    clock: u64,
+    /// Packed rank bytes, `words_per_set` words per set. Lanes beyond `ways`
+    /// hold `0xFF`, which the SWAR update never increments (no carry into
+    /// neighbouring lanes) and the victim scan never matches.
+    ranks: Vec<u64>,
+    words_per_set: usize,
+}
+
+/// The identity-permutation words for one set (`0, 1, 2, ...` with `0xFF`
+/// padding lanes).
+fn identity_words(ways: usize, words_per_set: usize) -> Vec<u64> {
+    let mut words = vec![0u64; words_per_set];
+    for lane in 0..words_per_set * 8 {
+        let value = if lane < ways { lane as u64 } else { 0xFF };
+        words[lane / 8] |= value << ((lane % 8) * 8);
+    }
+    words
 }
 
 impl Lru {
     /// Creates an LRU policy for a cache of `sets` × `ways`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` exceeds 64 (ranks must stay below the byte lanes'
+    /// sign bit for the SWAR compare).
     pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(ways <= 64, "LRU supports at most 64 ways");
+        let words_per_set = ways.div_ceil(8);
+        let identity = identity_words(ways, words_per_set);
+        let mut ranks = Vec::with_capacity(sets * words_per_set);
+        for _ in 0..sets {
+            ranks.extend_from_slice(&identity);
+        }
         Self {
             ways,
-            stamps: vec![0; sets * ways],
-            clock: 0,
+            ranks,
+            words_per_set,
         }
     }
 
-    #[inline]
-    fn idx(&self, set: usize, way: usize) -> usize {
-        set * self.ways + way
+    /// Current rank of a way (test/diagnostic helper).
+    #[cfg(test)]
+    fn rank(&self, set: usize, way: usize) -> u8 {
+        let word = self.ranks[set * self.words_per_set + way / 8];
+        (word >> ((way % 8) * 8)) as u8
     }
 
+    /// Moves `way` to rank 0, incrementing every way that was more recent.
     #[inline]
     fn touch(&mut self, set: usize, way: usize) {
-        self.clock += 1;
-        let idx = self.idx(set, way);
-        self.stamps[idx] = self.clock;
+        let base = set * self.words_per_set;
+        let old_shift = (way % 8) * 8;
+        let old = (self.ranks[base + way / 8] >> old_shift) as u8;
+        if old == 0 {
+            return; // already MRU: nothing moves
+        }
+        let threshold = broadcast(old);
+        for word in &mut self.ranks[base..base + self.words_per_set] {
+            // Per-lane `rank < old` for lanes below 0x80: the high bit of
+            // `(lane | 0x80) - old` is clear exactly when lane < old.
+            // Padding lanes (0xFF) always compare "not less" and never
+            // increment, so no carry crosses lanes.
+            let ge_mask = (*word | LANE_HIGH).wrapping_sub(threshold);
+            *word = word.wrapping_add((!ge_mask & LANE_HIGH) >> 7);
+        }
+        // The touched lane itself was not below its own rank: clear it.
+        let word = &mut self.ranks[base + way / 8];
+        *word &= !(0xFFu64 << old_shift);
     }
 }
 
@@ -45,9 +98,15 @@ impl ReplacementPolicy for Lru {
     }
 
     fn choose_victim(&mut self, set: usize, _info: &AccessInfo) -> usize {
-        (0..self.ways)
-            .min_by_key(|&w| self.stamps[self.idx(set, w)])
-            .expect("ways is non-zero")
+        let base = set * self.words_per_set;
+        let pattern = broadcast((self.ways - 1) as u8);
+        for word_index in 0..self.words_per_set {
+            let lanes = eq_byte_lanes(self.ranks[base + word_index], pattern);
+            if lanes != 0 {
+                return word_index * 8 + first_lane(lanes);
+            }
+        }
+        unreachable!("ranks form a permutation of 0..ways")
     }
 
     fn on_fill(&mut self, set: usize, way: usize, _info: &AccessInfo) {
@@ -56,6 +115,13 @@ impl ReplacementPolicy for Lru {
 
     fn on_hit(&mut self, set: usize, way: usize, _info: &AccessInfo) {
         self.touch(set, way);
+    }
+
+    fn reset(&mut self) {
+        let identity = identity_words(self.ways, self.words_per_set);
+        for (index, word) in self.ranks.iter_mut().enumerate() {
+            *word = identity[index % self.words_per_set];
+        }
     }
 }
 
@@ -96,5 +162,68 @@ mod tests {
         let mut lru = Lru::new(1, 2);
         assert!(!lru.should_bypass(0, &AccessInfo::read(0)));
         assert_eq!(lru.name(), "LRU");
+    }
+
+    #[test]
+    fn ranks_stay_a_permutation_under_random_touches() {
+        for ways in [3, 8, 11, 16] {
+            let mut lru = Lru::new(2, ways);
+            let info = AccessInfo::read(0);
+            let mut x = 9u64;
+            for _ in 0..1000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let set = ((x >> 20) & 1) as usize;
+                let way = ((x >> 33) % ways as u64) as usize;
+                lru.on_hit(set, way, &info);
+                assert_eq!(lru.rank(set, way), 0, "touched way is MRU");
+            }
+            for set in 0..2 {
+                let mut seen: Vec<u8> = (0..ways).map(|w| lru.rank(set, w)).collect();
+                seen.sort_unstable();
+                assert_eq!(seen, (0..ways as u8).collect::<Vec<u8>>(), "{ways} ways");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_a_reference_timestamp_lru() {
+        // Drive the SWAR implementation and a naive timestamp LRU with the
+        // same touch stream; victims must agree at every step.
+        let ways = 11usize;
+        let mut lru = Lru::new(1, ways);
+        let info = AccessInfo::read(0);
+        let mut stamps = vec![0u64; ways];
+        let mut clock = 0u64;
+        for way in 0..ways {
+            lru.on_fill(0, way, &info);
+            clock += 1;
+            stamps[way] = clock;
+        }
+        let mut x = 77u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let way = ((x >> 33) % ways as u64) as usize;
+            lru.on_hit(0, way, &info);
+            clock += 1;
+            stamps[way] = clock;
+            let expected = stamps
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &stamp)| stamp)
+                .map(|(w, _)| w)
+                .expect("non-empty");
+            assert_eq!(lru.choose_victim(0, &info), expected);
+        }
+    }
+
+    #[test]
+    fn reset_restores_identity_order() {
+        let mut lru = Lru::new(1, 4);
+        let info = AccessInfo::read(0);
+        for way in 0..4 {
+            lru.on_fill(0, way, &info);
+        }
+        lru.reset();
+        assert_eq!(lru.choose_victim(0, &info), 3, "identity order after reset");
     }
 }

@@ -15,6 +15,7 @@
 //! | [`grasp`] | GRASP | the paper's contribution, plus its ablations |
 //! | [`opt`] | Belady's OPT | offline upper bound (Sec. V-D) |
 
+pub mod dispatch;
 pub mod grasp;
 pub mod hawkeye;
 pub mod leeway;
@@ -27,6 +28,8 @@ pub mod ship;
 
 use crate::addr::BlockAddr;
 use crate::request::AccessInfo;
+
+pub use dispatch::PolicyDispatch;
 
 /// A cache replacement policy driving one set-associative cache.
 ///
@@ -59,6 +62,14 @@ pub trait ReplacementPolicy: std::fmt::Debug {
     /// `had_reuse` tells whether the block received at least one hit while
     /// resident (used by history-based predictors for negative training).
     fn on_evict(&mut self, _set: usize, _way: usize, _block: BlockAddr, _had_reuse: bool) {}
+
+    /// Restores the policy to its just-constructed state.
+    ///
+    /// Called when the owning cache is flushed between experiment phases so
+    /// no replacement metadata (RRPV counters, predictor tables, pin bits)
+    /// survives across a flush. The default is a no-op for stateless
+    /// policies and external implementations.
+    fn reset(&mut self) {}
 }
 
 /// A tiny deterministic pseudo-random generator used by probabilistic

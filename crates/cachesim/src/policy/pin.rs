@@ -21,8 +21,10 @@ use crate::request::AccessInfo;
 pub struct PinX {
     rrpv: RrpvArray,
     ways: usize,
-    pinned: Vec<bool>,
-    pinned_per_set: Vec<usize>,
+    /// Per-set pin bits (bit `w` = way `w`), so the victim search and the
+    /// fill/evict bookkeeping are bit operations instead of `Vec<bool>`
+    /// loads.
+    pinned: Vec<u64>,
     reserved_ways: usize,
     reserved_percent: u8,
 }
@@ -36,20 +38,15 @@ impl PinX {
     /// Panics if `percent` is 0 or greater than 100.
     pub fn new(sets: usize, ways: usize, percent: u8) -> Self {
         assert!((1..=100).contains(&percent), "percent must be in 1..=100");
+        assert!(ways <= 64, "PIN-X supports at most 64 ways");
         let reserved_ways = ((ways * percent as usize) / 100).max(1);
         Self {
             rrpv: RrpvArray::new(sets, ways),
             ways,
-            pinned: vec![false; sets * ways],
-            pinned_per_set: vec![0; sets],
+            pinned: vec![0; sets],
             reserved_ways,
             reserved_percent: percent,
         }
-    }
-
-    #[inline]
-    fn idx(&self, set: usize, way: usize) -> usize {
-        set * self.ways + way
     }
 
     /// Number of ways per set reserved for pinned blocks.
@@ -64,14 +61,14 @@ impl PinX {
 
     /// Number of blocks currently pinned in `set`.
     pub fn pinned_in_set(&self, set: usize) -> usize {
-        self.pinned_per_set[set]
+        self.pinned[set].count_ones() as usize
     }
 
     fn try_pin(&mut self, set: usize, way: usize) {
-        let idx = self.idx(set, way);
-        if !self.pinned[idx] && self.pinned_per_set[set] < self.reserved_ways {
-            self.pinned[idx] = true;
-            self.pinned_per_set[set] += 1;
+        let bit = 1u64 << way;
+        let mask = self.pinned[set];
+        if mask & bit == 0 && (mask.count_ones() as usize) < self.reserved_ways {
+            self.pinned[set] = mask | bit;
         }
     }
 }
@@ -88,44 +85,53 @@ impl ReplacementPolicy for PinX {
     }
 
     fn choose_victim(&mut self, set: usize, _info: &AccessInfo) -> usize {
-        // Standard RRIP victim search restricted to unpinned ways.
-        loop {
-            let mut all_pinned = true;
-            for way in 0..self.ways {
-                if self.pinned[self.idx(set, way)] {
-                    continue;
-                }
-                all_pinned = false;
-                if self.rrpv.get(set, way) == RRPV_MAX {
-                    return way;
-                }
-            }
-            if all_pinned {
-                // Every way is pinned (only possible with PIN-100): fall back
-                // to evicting way 0 so forward progress is maintained. XMem
-                // avoids this by bounding pin requests; the guard keeps the
-                // simulator robust.
-                return 0;
-            }
-            for way in 0..self.ways {
-                if !self.pinned[self.idx(set, way)] {
-                    let v = self.rrpv.get(set, way);
-                    if v < RRPV_MAX {
-                        self.rrpv.set(set, way, v + 1);
-                    }
-                }
-            }
+        // Standard RRIP victim search restricted to unpinned ways. As in
+        // `RrpvArray::find_victim`, the reference loop's repeated
+        // scan-and-age passes collapse into one pass: ageing the unpinned
+        // ways until one reaches `RRPV_MAX` adds exactly `RRPV_MAX - max`
+        // to each, and the victim is the first unpinned way that held the
+        // maximum.
+        let full = if self.ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ways) - 1
+        };
+        let mut unpinned = !self.pinned[set] & full;
+        if unpinned == 0 {
+            // Every way is pinned (only possible with PIN-100): fall back
+            // to evicting way 0 so forward progress is maintained. XMem
+            // avoids this by bounding pin requests; the guard keeps the
+            // simulator robust.
+            return 0;
         }
+        let mut best: Option<(u8, usize)> = None;
+        let mut scan = unpinned;
+        while scan != 0 {
+            let way = scan.trailing_zeros() as usize;
+            let value = self.rrpv.get(set, way);
+            if value == RRPV_MAX {
+                return way;
+            }
+            if best.is_none_or(|(max, _)| value > max) {
+                best = Some((value, way));
+            }
+            scan &= scan - 1;
+        }
+        let (max, victim) = best.expect("at least one unpinned way");
+        let delta = RRPV_MAX - max;
+        while unpinned != 0 {
+            let way = unpinned.trailing_zeros() as usize;
+            let value = self.rrpv.get(set, way);
+            self.rrpv.set(set, way, value + delta);
+            unpinned &= unpinned - 1;
+        }
+        victim
     }
 
     fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo) {
-        let idx = self.idx(set, way);
         // The way may have been vacated by an eviction that already cleared
         // the pin; make sure the bookkeeping is consistent.
-        if self.pinned[idx] {
-            self.pinned[idx] = false;
-            self.pinned_per_set[set] = self.pinned_per_set[set].saturating_sub(1);
-        }
+        self.pinned[set] &= !(1u64 << way);
         if info.hint == ReuseHint::High {
             self.try_pin(set, way);
             self.rrpv.set(set, way, 0);
@@ -142,11 +148,12 @@ impl ReplacementPolicy for PinX {
     }
 
     fn on_evict(&mut self, set: usize, way: usize, _block: BlockAddr, _had_reuse: bool) {
-        let idx = self.idx(set, way);
-        if self.pinned[idx] {
-            self.pinned[idx] = false;
-            self.pinned_per_set[set] -= 1;
-        }
+        self.pinned[set] &= !(1u64 << way);
+    }
+
+    fn reset(&mut self) {
+        self.rrpv.reset();
+        self.pinned.fill(0);
     }
 }
 
@@ -199,7 +206,10 @@ mod tests {
         p.on_fill(0, 3, &low(192));
         for _ in 0..20 {
             let victim = p.choose_victim(0, &low(256));
-            assert!(victim == 2 || victim == 3, "victim {victim} must be unpinned");
+            assert!(
+                victim == 2 || victim == 3,
+                "victim {victim} must be unpinned"
+            );
         }
     }
 

@@ -67,6 +67,33 @@ impl RrpvArray {
         self.rrpv[idx] = value;
     }
 
+    /// Resets every RRPV to the distant value (the just-constructed state).
+    pub fn reset(&mut self) {
+        self.rrpv.fill(RRPV_MAX);
+    }
+
+    /// Lowest way of `set` currently at `RRPV_MAX`, scanned eight RRPVs at a
+    /// time (used by policies that treat distant blocks as preferred
+    /// victims).
+    pub fn first_distant(&self, set: usize) -> Option<usize> {
+        let base = self.idx(set, 0);
+        let slice = &self.rrpv[base..base + self.ways];
+        let pattern = crate::swar::broadcast(RRPV_MAX);
+        let mut offset = 0;
+        while offset + 8 <= slice.len() {
+            let word = u64::from_le_bytes(slice[offset..offset + 8].try_into().expect("8 bytes"));
+            let lanes = crate::swar::eq_byte_lanes(word, pattern);
+            if lanes != 0 {
+                return Some(offset + crate::swar::first_lane(lanes));
+            }
+            offset += 8;
+        }
+        slice[offset..]
+            .iter()
+            .position(|&v| v == RRPV_MAX)
+            .map(|tail| offset + tail)
+    }
+
     /// Decrements the RRPV of a block towards zero (gradual promotion).
     #[inline]
     pub fn decrement(&mut self, set: usize, way: usize) {
@@ -79,18 +106,35 @@ impl RrpvArray {
     /// Standard RRIP victim search: find a way with `RRPV_MAX`, ageing every
     /// block in the set until one reaches it. Ties break towards the lowest
     /// way index, as in the CRC reference implementation.
+    ///
+    /// Implemented without the reference loop's repeated scans. The common
+    /// case — some block already at `RRPV_MAX` — is a SWAR scan over eight
+    /// RRPVs per word. Otherwise, ageing until a block reaches `RRPV_MAX`
+    /// adds exactly `RRPV_MAX - max` to every block and the winner is the
+    /// first way that held the maximum, so one scalar pass plus one add
+    /// replaces the repeated rescans.
     pub fn find_victim(&mut self, set: usize) -> usize {
-        loop {
-            for way in 0..self.ways {
-                if self.get(set, way) == RRPV_MAX {
-                    return way;
-                }
-            }
-            for way in 0..self.ways {
-                let idx = self.idx(set, way);
-                self.rrpv[idx] += 1;
+        // Fast path: some block is already distant.
+        if let Some(way) = self.first_distant(set) {
+            return way;
+        }
+
+        // Slow path: age everything up to RRPV_MAX in one add.
+        let base = self.idx(set, 0);
+        let slice = &mut self.rrpv[base..base + self.ways];
+        let mut max = 0u8;
+        let mut victim = 0usize;
+        for (way, &value) in slice.iter().enumerate() {
+            if value > max {
+                max = value;
+                victim = way;
             }
         }
+        let delta = RRPV_MAX - max;
+        for value in slice.iter_mut() {
+            *value += delta;
+        }
+        victim
     }
 }
 
@@ -100,7 +144,9 @@ impl RrpvArray {
 #[derive(Debug, Clone)]
 pub struct SetDueling {
     sets: usize,
-    leader_stride: usize,
+    /// Precomputed per-set role, so the per-fill lookups are an indexed load
+    /// instead of two integer divisions.
+    roles: Vec<Option<DuelWinner>>,
     psel: i32,
     psel_max: i32,
 }
@@ -121,9 +167,16 @@ impl SetDueling {
         // One leader pair every `stride` sets gives ~32 leaders per policy for
         // a 1024-set LLC and degrades gracefully for smaller caches.
         let leader_stride = (sets / 32).max(2);
+        let roles = (0..sets.max(leader_stride))
+            .map(|set| match set % leader_stride {
+                0 => Some(DuelWinner::Srrip),
+                1 => Some(DuelWinner::Brrip),
+                _ => None,
+            })
+            .collect();
         Self {
             sets,
-            leader_stride,
+            roles,
             psel: 0,
             psel_max: 512,
         }
@@ -131,14 +184,9 @@ impl SetDueling {
 
     /// Returns the policy that the given set must *model* (leader sets) or
     /// `None` when it is a follower.
+    #[inline]
     pub fn leader_policy(&self, set: usize) -> Option<DuelWinner> {
-        if set % self.leader_stride == 0 {
-            Some(DuelWinner::Srrip)
-        } else if set % self.leader_stride == 1 {
-            Some(DuelWinner::Brrip)
-        } else {
-            None
-        }
+        self.roles[set]
     }
 
     /// The policy a follower set should use right now.
@@ -174,6 +222,11 @@ impl SetDueling {
     pub fn sets(&self) -> usize {
         self.sets
     }
+
+    /// Resets the PSEL counter to its neutral starting value.
+    pub fn reset(&mut self) {
+        self.psel = 0;
+    }
 }
 
 /// Static RRIP (SRRIP-HP): insert at `RRPV_LONG`, promote to 0 on hit.
@@ -207,6 +260,10 @@ impl ReplacementPolicy for Srrip {
     fn on_hit(&mut self, set: usize, way: usize, _info: &AccessInfo) {
         self.rrpv.set(set, way, 0);
     }
+
+    fn reset(&mut self) {
+        self.rrpv.reset();
+    }
 }
 
 /// Bimodal RRIP (BRRIP): insert at `RRPV_MAX` most of the time, `RRPV_LONG`
@@ -214,6 +271,7 @@ impl ReplacementPolicy for Srrip {
 #[derive(Debug, Clone)]
 pub struct Brrip {
     rrpv: RrpvArray,
+    seed: u64,
     rng: PolicyRng,
 }
 
@@ -222,6 +280,7 @@ impl Brrip {
     pub fn new(sets: usize, ways: usize, seed: u64) -> Self {
         Self {
             rrpv: RrpvArray::new(sets, ways),
+            seed,
             rng: PolicyRng::new(seed),
         }
     }
@@ -248,6 +307,11 @@ impl ReplacementPolicy for Brrip {
     fn on_hit(&mut self, set: usize, way: usize, _info: &AccessInfo) {
         self.rrpv.set(set, way, 0);
     }
+
+    fn reset(&mut self) {
+        self.rrpv.reset();
+        self.rng = PolicyRng::new(self.seed);
+    }
 }
 
 /// Dynamic RRIP (DRRIP): set-duels SRRIP against BRRIP. This is the scheme
@@ -256,6 +320,7 @@ impl ReplacementPolicy for Brrip {
 pub struct Drrip {
     rrpv: RrpvArray,
     dueling: SetDueling,
+    seed: u64,
     rng: PolicyRng,
 }
 
@@ -265,6 +330,7 @@ impl Drrip {
         Self {
             rrpv: RrpvArray::new(sets, ways),
             dueling: SetDueling::new(sets),
+            seed,
             rng: PolicyRng::new(seed),
         }
     }
@@ -302,6 +368,12 @@ impl ReplacementPolicy for Drrip {
 
     fn on_hit(&mut self, set: usize, way: usize, _info: &AccessInfo) {
         self.rrpv.set(set, way, 0);
+    }
+
+    fn reset(&mut self) {
+        self.rrpv.reset();
+        self.dueling.reset();
+        self.rng = PolicyRng::new(self.seed);
     }
 }
 
@@ -355,7 +427,10 @@ mod tests {
             }
         }
         let frac = distant as f64 / trials as f64;
-        assert!(frac > 0.9, "BRRIP should insert distant most of the time ({frac})");
+        assert!(
+            frac > 0.9,
+            "BRRIP should insert distant most of the time ({frac})"
+        );
         assert!(frac < 1.0, "BRRIP must occasionally insert long");
     }
 

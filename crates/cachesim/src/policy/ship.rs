@@ -12,8 +12,8 @@
 use super::rrip::{RrpvArray, RRPV_LONG, RRPV_MAX};
 use super::ReplacementPolicy;
 use crate::addr::BlockAddr;
+use crate::fast_hash::FxHashMap;
 use crate::request::AccessInfo;
-use std::collections::HashMap;
 
 /// Size of the memory region that forms a signature (16 KiB as in the
 /// original proposal and the paper).
@@ -31,7 +31,7 @@ pub struct ShipMem {
     rrpv: RrpvArray,
     ways: usize,
     /// Signature Hit Counter Table: region id → 3-bit saturating counter.
-    shct: HashMap<u64, u8>,
+    shct: FxHashMap<u64, u8>,
     /// Per-block bookkeeping: the signature that filled the block and whether
     /// it has been re-referenced since the fill.
     fill_signature: Vec<u64>,
@@ -46,7 +46,7 @@ impl ShipMem {
         Self {
             rrpv: RrpvArray::new(sets, ways),
             ways,
-            shct: HashMap::new(),
+            shct: FxHashMap::default(),
             fill_signature: vec![0; sets * ways],
             was_reused: vec![false; sets * ways],
             block_bytes,
@@ -133,6 +133,13 @@ impl ReplacementPolicy for ShipMem {
             self.train_negative(signature);
         }
     }
+
+    fn reset(&mut self) {
+        self.rrpv.reset();
+        self.shct.clear();
+        self.fill_signature.fill(0);
+        self.was_reused.fill(false);
+    }
 }
 
 #[cfg(test)]
@@ -147,7 +154,10 @@ mod tests {
     fn region_signature_granularity() {
         let p = ShipMem::new(4, 4, 64);
         assert_eq!(p.region_blocks(), 256);
-        assert_eq!(p.signature(&req(0)), p.signature(&req(SHIP_REGION_BYTES - 1)));
+        assert_eq!(
+            p.signature(&req(0)),
+            p.signature(&req(SHIP_REGION_BYTES - 1))
+        );
         assert_ne!(p.signature(&req(0)), p.signature(&req(SHIP_REGION_BYTES)));
     }
 

@@ -74,12 +74,14 @@ impl StridePrefetcher {
         None
     }
 
+    /// Clears every stream (used between experiment phases so no stride
+    /// training survives a hierarchy flush).
+    pub fn reset(&mut self) {
+        self.streams.fill(Stream::default());
+    }
+
     fn find_or_allocate(&mut self, site: AccessSite) -> usize {
-        if let Some(idx) = self
-            .streams
-            .iter()
-            .position(|s| s.valid && s.site == site)
-        {
+        if let Some(idx) = self.streams.iter().position(|s| s.valid && s.site == site) {
             return idx;
         }
         if let Some(idx) = self.streams.iter().position(|s| !s.valid) {
@@ -121,7 +123,11 @@ mod tests {
         let mut p = StridePrefetcher::new(4);
         let addrs = [0u64, 4096, 64, 8192, 128, 73, 9999];
         for &a in &addrs {
-            assert_eq!(p.observe(2, a), None, "irregular accesses must not prefetch");
+            assert_eq!(
+                p.observe(2, a),
+                None,
+                "irregular accesses must not prefetch"
+            );
         }
     }
 

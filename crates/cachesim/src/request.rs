@@ -48,6 +48,13 @@ impl RegionLabel {
         matches!(self, RegionLabel::Property)
     }
 
+    /// Index of this label in [`RegionLabel::ALL`] (declaration order), used
+    /// for direct per-region counter indexing on the access hot path.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Short display label.
     pub fn label(self) -> &'static str {
         match self {
@@ -168,5 +175,12 @@ mod tests {
             RegionLabel::ALL.iter().map(|r| r.label()).collect();
         assert_eq!(labels.len(), RegionLabel::ALL.len());
         assert_eq!(RegionLabel::Property.to_string(), "property");
+    }
+
+    #[test]
+    fn region_index_matches_declaration_order() {
+        for (position, &label) in RegionLabel::ALL.iter().enumerate() {
+            assert_eq!(label.index(), position, "{label}");
+        }
     }
 }

@@ -46,17 +46,11 @@ impl CacheStats {
         Self::default()
     }
 
-    fn region_index(region: RegionLabel) -> usize {
-        RegionLabel::ALL
-            .iter()
-            .position(|&r| r == region)
-            .expect("region label is part of ALL")
-    }
-
     /// Records a demand access and its outcome.
+    #[inline]
     pub fn record(&mut self, region: RegionLabel, hit: bool) {
         self.accesses += 1;
-        let idx = Self::region_index(region);
+        let idx = region.index();
         self.region[idx].accesses += 1;
         if hit {
             self.hits += 1;
@@ -76,7 +70,7 @@ impl CacheStats {
 
     /// Per-region counters.
     pub fn region(&self, region: RegionLabel) -> RegionCounters {
-        self.region[Self::region_index(region)]
+        self.region[region.index()]
     }
 
     /// Demand miss ratio in `[0, 1]`.

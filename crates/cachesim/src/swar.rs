@@ -1,0 +1,38 @@
+//! SWAR (SIMD-within-a-register) byte-lane helpers shared by the cache's
+//! fused partial-tag scan and the RRIP victim search.
+
+/// Broadcasts a byte to all eight lanes of a `u64`.
+#[inline]
+pub(crate) fn broadcast(byte: u8) -> u64 {
+    u64::from(byte) * 0x0101_0101_0101_0101
+}
+
+/// Returns a mask with the high bit of every byte lane where `word` equals
+/// `pattern` (a broadcast byte). Standard zero-byte detection.
+#[inline]
+pub(crate) fn eq_byte_lanes(word: u64, pattern: u64) -> u64 {
+    let x = word ^ pattern;
+    x.wrapping_sub(0x0101_0101_0101_0101) & !x & 0x8080_8080_8080_8080
+}
+
+/// Index of the lowest matching byte lane in an [`eq_byte_lanes`] mask.
+#[inline]
+pub(crate) fn first_lane(lanes: u64) -> usize {
+    (lanes.trailing_zeros() / 8) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_matching_lanes() {
+        let word = u64::from_le_bytes([7, 3, 7, 0, 255, 7, 1, 2]);
+        let lanes = eq_byte_lanes(word, broadcast(7));
+        assert_ne!(lanes, 0);
+        assert_eq!(first_lane(lanes), 0);
+        let lanes = eq_byte_lanes(word, broadcast(255));
+        assert_eq!(first_lane(lanes), 4);
+        assert_eq!(eq_byte_lanes(word, broadcast(9)), 0);
+    }
+}

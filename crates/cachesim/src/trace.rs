@@ -11,19 +11,145 @@
 //! 2. **Policy micro-benchmarks**, which measure simulator throughput on
 //!    synthetic traces.
 
+use crate::addr::Address;
 use crate::cache::SetAssocCache;
 use crate::config::CacheConfig;
-use crate::hint::RegionClassifier;
-use crate::policy::ReplacementPolicy;
-use crate::request::AccessInfo;
+use crate::hint::{RegionClassifier, ReuseHint};
+use crate::policy::PolicyDispatch;
+use crate::request::{AccessInfo, AccessKind, RegionLabel};
 use crate::stats::CacheStats;
+
+/// A compact, append-only record of demand LLC accesses.
+///
+/// The OPT study records every post-L2 access of a run; storing full
+/// [`AccessInfo`] values (16 bytes each) made the recording loop both
+/// allocation- and bandwidth-heavy. `LlcTrace` packs each record into a
+/// 64-bit address plus a 32-bit metadata word (kind, hint, region, site) in
+/// struct-of-arrays layout and supports pre-sizing via
+/// [`LlcTrace::with_capacity`] / [`LlcTrace::reserve`], so the hot loop
+/// neither reallocates nor writes padding bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LlcTrace {
+    addrs: Vec<Address>,
+    meta: Vec<u32>,
+}
+
+const META_WRITE_BIT: u32 = 1;
+const META_HINT_SHIFT: u32 = 1;
+const META_REGION_SHIFT: u32 = 3;
+const META_SITE_SHIFT: u32 = 16;
+
+fn encode_meta(info: &AccessInfo) -> u32 {
+    let mut meta = 0u32;
+    if info.is_write() {
+        meta |= META_WRITE_BIT;
+    }
+    meta |= u32::from(info.hint.encode()) << META_HINT_SHIFT;
+    meta |= (info.region.index() as u32) << META_REGION_SHIFT;
+    meta |= u32::from(info.site) << META_SITE_SHIFT;
+    meta
+}
+
+fn decode_record(addr: Address, meta: u32) -> AccessInfo {
+    AccessInfo {
+        addr,
+        kind: if meta & META_WRITE_BIT != 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
+        site: (meta >> META_SITE_SHIFT) as u16,
+        hint: ReuseHint::decode(((meta >> META_HINT_SHIFT) & 0b11) as u8),
+        region: RegionLabel::ALL[((meta >> META_REGION_SHIFT) & 0b111) as usize],
+    }
+}
+
+impl LlcTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty trace with room for `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            addrs: Vec::with_capacity(capacity),
+            meta: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Ensures room for at least `additional` more records.
+    pub fn reserve(&mut self, additional: usize) {
+        self.addrs.reserve(additional);
+        self.meta.reserve(additional);
+    }
+
+    /// Appends one record.
+    #[inline]
+    pub fn push(&mut self, info: &AccessInfo) {
+        self.addrs.push(info.addr);
+        self.meta.push(encode_meta(info));
+    }
+
+    /// Number of recorded accesses.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Returns `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Decodes the record at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn get(&self, index: usize) -> AccessInfo {
+        decode_record(self.addrs[index], self.meta[index])
+    }
+
+    /// Iterates over the decoded records.
+    pub fn iter(&self) -> impl Iterator<Item = AccessInfo> + '_ {
+        self.addrs
+            .iter()
+            .zip(&self.meta)
+            .map(|(&addr, &meta)| decode_record(addr, meta))
+    }
+
+    /// Decodes the whole trace into a `Vec<AccessInfo>` (for consumers that
+    /// need repeated random access, like the OPT replay sweeps).
+    pub fn to_vec(&self) -> Vec<AccessInfo> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a LlcTrace {
+    type Item = AccessInfo;
+    type IntoIter = Box<dyn Iterator<Item = AccessInfo> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl FromIterator<AccessInfo> for LlcTrace {
+    fn from_iter<I: IntoIterator<Item = AccessInfo>>(iter: I) -> Self {
+        let mut trace = Self::new();
+        for info in iter {
+            trace.push(&info);
+        }
+        trace
+    }
+}
 
 /// Replays a recorded LLC access trace through a standalone LLC with the
 /// given policy and returns the resulting statistics.
 pub fn replay(
     trace: &[AccessInfo],
     config: CacheConfig,
-    policy: Box<dyn ReplacementPolicy>,
+    policy: impl Into<PolicyDispatch>,
 ) -> CacheStats {
     let mut cache = SetAssocCache::new("LLC", config, policy);
     for info in trace {
@@ -38,7 +164,7 @@ pub fn replay(
 pub fn replay_with_classifier(
     trace: &[AccessInfo],
     config: CacheConfig,
-    policy: Box<dyn ReplacementPolicy>,
+    policy: impl Into<PolicyDispatch>,
     classifier: &RegionClassifier,
 ) -> CacheStats {
     let mut cache = SetAssocCache::new("LLC", config, policy);
@@ -103,7 +229,11 @@ mod tests {
         let config = llc_config();
         // Hot set of 128 blocks (fits) + 512 cold blocks per round.
         let trace = thrashy_trace(128, 512, 20);
-        let lru = replay(&trace, config, Box::new(Lru::new(config.sets(), config.ways)));
+        let lru = replay(
+            &trace,
+            config,
+            Box::new(Lru::new(config.sets(), config.ways)),
+        );
         let rrip = replay(
             &trace,
             config,
@@ -134,7 +264,11 @@ mod tests {
         let trace = thrashy_trace(64, 300, 10);
         let opt = optimal_misses(&trace, &config);
         for policy in [
-            replay(&trace, config, Box::new(Lru::new(config.sets(), config.ways))),
+            replay(
+                &trace,
+                config,
+                Box::new(Lru::new(config.sets(), config.ways)),
+            ),
             replay(
                 &trace,
                 config,
@@ -148,6 +282,32 @@ mod tests {
         ] {
             assert!(opt.misses <= policy.misses);
         }
+    }
+
+    #[test]
+    fn llc_trace_round_trips_every_field() {
+        let infos = [
+            AccessInfo::read(0x1234)
+                .with_site(77)
+                .with_hint(ReuseHint::High)
+                .with_region(RegionLabel::EdgeArray),
+            AccessInfo::write(u64::MAX - 63)
+                .with_site(u16::MAX)
+                .with_hint(ReuseHint::Moderate)
+                .with_region(RegionLabel::Frontier),
+            AccessInfo::read(0),
+        ];
+        let mut trace = LlcTrace::with_capacity(infos.len());
+        for info in &infos {
+            trace.push(info);
+        }
+        assert_eq!(trace.len(), 3);
+        for (i, expected) in infos.iter().enumerate() {
+            assert_eq!(&trace.get(i), expected);
+        }
+        assert_eq!(trace.to_vec(), infos.to_vec());
+        let rebuilt: LlcTrace = trace.iter().collect();
+        assert_eq!(rebuilt, trace);
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Parallel experiment campaigns: a figure's full grid in one call.
+//!
+//! Every figure of the evaluation is a grid of dataset × reordering ×
+//! application × LLC-policy simulations. The bench harness used to walk that
+//! grid serially, rebuilding and re-reordering the dataset for every cell. A
+//! [`Campaign`] expresses the whole grid declaratively and runs it on a
+//! thread pool:
+//!
+//! * each dataset is **generated once**,
+//! * each (dataset, technique, traversal-direction) graph is **reordered
+//!   once** and shared across cells via `Arc<Csr>`,
+//! * the remaining (app, policy) fan-out runs on worker threads, and
+//! * results are collected **deterministically in grid order** regardless of
+//!   thread count or scheduling.
+//!
+//! Per-cell statistics are bit-identical to running
+//! [`Experiment::run`] serially: every cell simulates an independent
+//! hierarchy, so parallelism only changes wall-clock time.
+//!
+//! ```no_run
+//! use grasp_core::campaign::Campaign;
+//! use grasp_core::datasets::{DatasetKind, Scale};
+//! use grasp_core::policy::PolicyKind;
+//! use grasp_analytics::apps::AppKind;
+//!
+//! let results = Campaign::new(Scale::Small)
+//!     .datasets(&DatasetKind::HIGH_SKEW)
+//!     .apps(&AppKind::ALL)
+//!     .policies(&[PolicyKind::Rrip, PolicyKind::Grasp])
+//!     .run();
+//! for run in results.iter() {
+//!     println!("{} {} {}: {} LLC misses",
+//!         run.cell.dataset, run.cell.app, run.cell.policy, run.result.llc_misses());
+//! }
+//! ```
+
+use crate::datasets::{DatasetKind, Scale};
+use crate::experiment::{Experiment, RunResult};
+use crate::policy::PolicyKind;
+use grasp_analytics::apps::AppKind;
+use grasp_cachesim::config::HierarchyConfig;
+use grasp_graph::types::Direction;
+use grasp_graph::Csr;
+use grasp_reorder::TechniqueKind;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// One coordinate of a campaign grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CampaignCell {
+    /// Dataset the cell simulates.
+    pub dataset: DatasetKind,
+    /// Reordering technique applied to the dataset.
+    pub technique: TechniqueKind,
+    /// Application driving the access stream.
+    pub app: AppKind,
+    /// LLC replacement policy under evaluation.
+    pub policy: PolicyKind,
+}
+
+/// The completed simulation of one [`CampaignCell`].
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// The grid coordinate.
+    pub cell: CampaignCell,
+    /// The simulation outcome (identical to a serial [`Experiment::run`]).
+    pub result: RunResult,
+}
+
+/// A declarative dataset × technique × app × policy grid.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    scale: Scale,
+    datasets: Vec<DatasetKind>,
+    techniques: Vec<TechniqueKind>,
+    apps: Vec<AppKind>,
+    policies: Vec<PolicyKind>,
+    hierarchy: Option<HierarchyConfig>,
+    record_trace: bool,
+    threads: usize,
+}
+
+impl Campaign {
+    /// Creates an empty campaign at the given scale.
+    ///
+    /// Defaults: the DBG reordering of the headline figures, the
+    /// scale-appropriate hierarchy, no trace recording, and one worker per
+    /// available CPU.
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            scale,
+            datasets: Vec::new(),
+            techniques: vec![TechniqueKind::Dbg],
+            apps: Vec::new(),
+            policies: Vec::new(),
+            hierarchy: None,
+            record_trace: false,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    /// Sets the datasets of the grid.
+    #[must_use]
+    pub fn datasets(mut self, datasets: &[DatasetKind]) -> Self {
+        self.datasets = datasets.to_vec();
+        self
+    }
+
+    /// Sets the reordering techniques of the grid (default: DBG only).
+    #[must_use]
+    pub fn techniques(mut self, techniques: &[TechniqueKind]) -> Self {
+        self.techniques = techniques.to_vec();
+        self
+    }
+
+    /// Sets the applications of the grid.
+    #[must_use]
+    pub fn apps(mut self, apps: &[AppKind]) -> Self {
+        self.apps = apps.to_vec();
+        self
+    }
+
+    /// Sets the LLC policies of the grid.
+    #[must_use]
+    pub fn policies(mut self, policies: &[PolicyKind]) -> Self {
+        self.policies = policies.to_vec();
+        self
+    }
+
+    /// Overrides the hierarchy configuration (default: `scale.hierarchy()`).
+    #[must_use]
+    pub fn hierarchy(mut self, hierarchy: HierarchyConfig) -> Self {
+        self.hierarchy = Some(hierarchy);
+        self
+    }
+
+    /// Requests LLC demand-trace recording for every cell (the OPT study).
+    #[must_use]
+    pub fn recording_llc_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Sets the worker-thread count (`1` runs inline on the caller).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The grid coordinates in deterministic grid order: datasets outermost,
+    /// then techniques, applications and policies.
+    pub fn cells(&self) -> Vec<CampaignCell> {
+        let mut cells = Vec::with_capacity(
+            self.datasets.len() * self.techniques.len() * self.apps.len() * self.policies.len(),
+        );
+        for &dataset in &self.datasets {
+            for &technique in &self.techniques {
+                for &app in &self.apps {
+                    for &policy in &self.policies {
+                        cells.push(CampaignCell {
+                            dataset,
+                            technique,
+                            app,
+                            policy,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Builds every cell's experiment, sharing each reordered graph.
+    fn prepare(&self) -> Vec<(CampaignCell, Experiment)> {
+        let hierarchy = self.hierarchy.unwrap_or_else(|| self.scale.hierarchy());
+        // Generate each dataset once.
+        let mut base: HashMap<DatasetKind, Arc<Csr>> = HashMap::new();
+        for &dataset in &self.datasets {
+            base.entry(dataset)
+                .or_insert_with(|| Arc::new(dataset.build(self.scale).graph));
+        }
+        // Reorder once per (dataset, technique, hotness direction) — the
+        // direction is a property of the application, but most applications
+        // share one, so the permutation work collapses across the app axis.
+        let mut reordered: HashMap<(DatasetKind, TechniqueKind, Direction), Arc<Csr>> =
+            HashMap::new();
+        let mut prepared = Vec::new();
+        for cell in self.cells() {
+            let direction = cell.app.hotness_direction();
+            let graph = reordered
+                .entry((cell.dataset, cell.technique, direction))
+                .or_insert_with(|| {
+                    let source = Arc::clone(&base[&cell.dataset]);
+                    let technique = cell.technique.instantiate();
+                    let perm = technique.compute(&source, direction);
+                    Arc::new(grasp_reorder::relabel(&source, &perm))
+                });
+            let mut experiment =
+                Experiment::shared(Arc::clone(graph), cell.app).with_hierarchy(hierarchy);
+            if self.record_trace {
+                experiment = experiment.recording_llc_trace();
+            }
+            prepared.push((cell, experiment));
+        }
+        prepared
+    }
+
+    /// Runs the campaign and returns the results in grid order.
+    pub fn run(&self) -> CampaignResult {
+        let work = self.prepare();
+        let cell_count = work.len();
+        let workers = self.threads.min(cell_count).max(1);
+
+        if workers == 1 {
+            let runs = work
+                .into_iter()
+                .map(|(cell, experiment)| CampaignRun {
+                    cell,
+                    result: experiment.run(cell.policy),
+                })
+                .collect();
+            return CampaignResult { runs };
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let (sender, receiver) = mpsc::channel::<(usize, CampaignRun)>();
+        let work = &work;
+        let cursor = &cursor;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let sender = sender.clone();
+                scope.spawn(move || loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some((cell, experiment)) = work.get(index) else {
+                        break;
+                    };
+                    let run = CampaignRun {
+                        cell: *cell,
+                        result: experiment.run(cell.policy),
+                    };
+                    if sender.send((index, run)).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(sender);
+
+        // Re-assemble in grid order: completion order is scheduling-dependent
+        // but every slot is filled exactly once.
+        let mut slots: Vec<Option<CampaignRun>> = (0..cell_count).map(|_| None).collect();
+        for (index, run) in receiver {
+            slots[index] = Some(run);
+        }
+        let runs = slots
+            .into_iter()
+            .map(|slot| slot.expect("every cell completes exactly once"))
+            .collect();
+        CampaignResult { runs }
+    }
+}
+
+/// The results of a campaign, in deterministic grid order.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    runs: Vec<CampaignRun>,
+}
+
+impl CampaignResult {
+    /// Number of completed cells.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Returns `true` when the campaign had no cells.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Iterates the results in grid order.
+    pub fn iter(&self) -> impl Iterator<Item = &CampaignRun> {
+        self.runs.iter()
+    }
+
+    /// Looks up one cell's result.
+    pub fn get(
+        &self,
+        dataset: DatasetKind,
+        technique: TechniqueKind,
+        app: AppKind,
+        policy: PolicyKind,
+    ) -> Option<&RunResult> {
+        let cell = CampaignCell {
+            dataset,
+            technique,
+            app,
+            policy,
+        };
+        self.runs
+            .iter()
+            .find(|run| run.cell == cell)
+            .map(|run| &run.result)
+    }
+
+    /// Consumes the result set into its grid-ordered runs.
+    pub fn into_runs(self) -> Vec<CampaignRun> {
+        self.runs
+    }
+}
+
+impl IntoIterator for CampaignResult {
+    type Item = CampaignRun;
+    type IntoIter = std::vec::IntoIter<CampaignRun>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.runs.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_campaign() -> Campaign {
+        Campaign::new(Scale::Tiny)
+            .datasets(&[DatasetKind::Twitter])
+            .apps(&[AppKind::PageRank])
+            .policies(&[PolicyKind::Rrip, PolicyKind::Grasp])
+    }
+
+    #[test]
+    fn results_arrive_in_grid_order() {
+        let campaign = tiny_campaign().threads(4);
+        let cells = campaign.cells();
+        let results = campaign.run();
+        assert_eq!(results.len(), cells.len());
+        for (expected, run) in cells.iter().zip(results.iter()) {
+            assert_eq!(expected, &run.cell);
+        }
+    }
+
+    #[test]
+    fn lookup_finds_cells() {
+        let results = tiny_campaign().threads(2).run();
+        let rrip = results
+            .get(
+                DatasetKind::Twitter,
+                TechniqueKind::Dbg,
+                AppKind::PageRank,
+                PolicyKind::Rrip,
+            )
+            .expect("cell exists");
+        assert!(rrip.llc_accesses() > 0);
+        assert!(results
+            .get(
+                DatasetKind::Kron,
+                TechniqueKind::Dbg,
+                AppKind::PageRank,
+                PolicyKind::Rrip,
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn empty_campaign_is_empty() {
+        let results = Campaign::new(Scale::Tiny).run();
+        assert!(results.is_empty());
+        assert_eq!(results.len(), 0);
+    }
+}

@@ -3,7 +3,10 @@
 /// Speed-up (in percent) of a candidate over a baseline given their cycle (or
 /// runtime) counts: positive when the candidate is faster.
 pub fn speedup_pct(baseline: f64, candidate: f64) -> f64 {
-    assert!(baseline > 0.0 && candidate > 0.0, "cycle counts must be positive");
+    assert!(
+        baseline > 0.0 && candidate > 0.0,
+        "cycle counts must be positive"
+    );
     (baseline / candidate - 1.0) * 100.0
 }
 

@@ -32,7 +32,11 @@ impl Scale {
     /// (`tiny` / `small` / `medium` / `large`), defaulting to `Small` so that
     /// the full bench suite completes quickly out of the box.
     pub fn from_env() -> Self {
-        match std::env::var("GRASP_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("GRASP_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "tiny" => Scale::Tiny,
             "medium" => Scale::Medium,
             "large" => Scale::Large,
@@ -298,7 +302,10 @@ mod tests {
         // Not setting the variable in-process (tests run in parallel);
         // only check the default path is sane.
         let s = Scale::from_env();
-        assert!(matches!(s, Scale::Tiny | Scale::Small | Scale::Medium | Scale::Large));
+        assert!(matches!(
+            s,
+            Scale::Tiny | Scale::Small | Scale::Medium | Scale::Large
+        ));
     }
 
     #[test]

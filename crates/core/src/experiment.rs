@@ -6,11 +6,12 @@ use grasp_analytics::mem::{NativeMemory, TracedMemory};
 use grasp_analytics::Workspace;
 use grasp_cachesim::config::HierarchyConfig;
 use grasp_cachesim::hint::RegionClassifier;
-use grasp_cachesim::request::AccessInfo;
 use grasp_cachesim::stats::HierarchyStats;
+use grasp_cachesim::trace::LlcTrace;
 use grasp_cachesim::{Hierarchy, TimingModel};
 use grasp_graph::Csr;
 use grasp_reorder::TechniqueKind;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The outcome of one simulated run.
@@ -25,7 +26,7 @@ pub struct RunResult {
     /// Application output (values, iterations, edges processed).
     pub app: AppResult,
     /// The recorded LLC demand trace, when requested.
-    pub llc_trace: Option<Vec<AccessInfo>>,
+    pub llc_trace: Option<LlcTrace>,
 }
 
 impl RunResult {
@@ -53,9 +54,13 @@ pub struct NativeRunResult {
 
 /// An experiment: a (possibly reordered) graph, an application, and the cache
 /// configuration to evaluate LLC policies under.
+///
+/// The graph is held behind an [`Arc`], so cloning an experiment — the way
+/// the [`crate::campaign`] runner fans one reordered graph out across many
+/// policies and worker threads — shares the CSR instead of copying it.
 #[derive(Debug, Clone)]
 pub struct Experiment {
-    graph: Csr,
+    graph: Arc<Csr>,
     app: AppKind,
     app_config: AppConfig,
     hierarchy: HierarchyConfig,
@@ -68,6 +73,11 @@ impl Experiment {
     /// configuration (scaled hierarchy, traced iteration budget appropriate
     /// for the application).
     pub fn new(graph: Csr, app: AppKind) -> Self {
+        Self::shared(Arc::new(graph), app)
+    }
+
+    /// Creates an experiment over an already-shared graph (no copy).
+    pub fn shared(graph: Arc<Csr>, app: AppKind) -> Self {
         let hierarchy = HierarchyConfig::scaled_default();
         Self {
             graph,
@@ -104,7 +114,7 @@ impl Experiment {
     pub fn with_reordering(mut self, technique: TechniqueKind) -> Self {
         let boxed = technique.instantiate();
         let perm = boxed.compute(&self.graph, self.app.hotness_direction());
-        self.graph = grasp_reorder::relabel(&self.graph, &perm);
+        self.graph = Arc::new(grasp_reorder::relabel(&self.graph, &perm));
         self
     }
 
@@ -142,6 +152,11 @@ impl Experiment {
         &self.graph
     }
 
+    /// The shared handle to the graph under experiment.
+    pub fn graph_arc(&self) -> Arc<Csr> {
+        Arc::clone(&self.graph)
+    }
+
     /// The application under experiment.
     pub fn app(&self) -> AppKind {
         self.app
@@ -159,11 +174,23 @@ impl Experiment {
         if self.record_trace {
             config.record_llc_trace = true;
         }
-        let llc_policy = policy.build(&config.llc);
+        let llc_policy = policy.build_dispatch(&config.llc);
         // The classifier starts disabled; the application programs the ABRs
         // with its Property Array bounds as part of start-up, which rebuilds
         // the classifier with the right bounds (Sec. III-A).
-        let hierarchy = Hierarchy::new(config, llc_policy, RegionClassifier::disabled());
+        let mut hierarchy = Hierarchy::new(config, llc_policy, RegionClassifier::disabled());
+        if self.record_trace {
+            // Rough estimate of post-L1/L2 demand traffic: the edge stream
+            // dominates and the upper levels filter most of it, so a quarter
+            // of the touched edges (per traced iteration) pre-sizes the trace
+            // without reallocation in the common case. The cap bounds the
+            // eager commitment (~50 MB of records) when many recording runs
+            // share a machine — e.g. a recording campaign with one worker per
+            // core; the trace still grows past it if needed.
+            let iterations = self.app_config.max_iterations.max(1) as u64;
+            let estimate = (self.graph.edge_count() * iterations / 4).min(1 << 22) as usize;
+            hierarchy.reserve_llc_trace(estimate);
+        }
         let mut ws = Workspace::new(TracedMemory::new(hierarchy));
         let app = self.app.run(&self.graph, &mut ws, &self.app_config);
         let instructions = app.instruction_estimate();

@@ -10,6 +10,9 @@
 //! * the **experiment runner** ([`experiment`]) — dataset × reordering ×
 //!   application × LLC policy → hierarchy statistics, estimated cycles and
 //!   (optionally) a recorded LLC trace,
+//! * the **campaign runner** ([`campaign`]) — a whole figure's grid of
+//!   experiments, with graphs shared and reordered once and the cells fanned
+//!   out across a thread pool in deterministic grid order,
 //! * **comparison helpers** ([`compare`]) — miss-reduction and speed-up
 //!   percentages, geometric means,
 //! * **report formatting** ([`report`]) — the plain-text tables printed by
@@ -33,12 +36,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 pub mod compare;
 pub mod datasets;
 pub mod experiment;
 pub mod policy;
 pub mod report;
 
+pub use campaign::{Campaign, CampaignCell, CampaignResult, CampaignRun};
 pub use compare::{geometric_mean_speedup, miss_reduction_pct, speedup_pct};
 pub use datasets::{Dataset, DatasetKind, Scale};
 pub use experiment::{Experiment, RunResult};

@@ -9,7 +9,7 @@ use grasp_cachesim::policy::pin::PinX;
 use grasp_cachesim::policy::random::RandomReplacement;
 use grasp_cachesim::policy::rrip::{Brrip, Drrip, Srrip};
 use grasp_cachesim::policy::ship::ShipMem;
-use grasp_cachesim::policy::ReplacementPolicy;
+use grasp_cachesim::policy::{PolicyDispatch, ReplacementPolicy};
 use serde::{Deserialize, Serialize};
 
 /// Seed used for the probabilistic components of the policies, fixed so every
@@ -106,7 +106,36 @@ impl PolicyKind {
         )
     }
 
-    /// Instantiates the policy for an LLC with the given geometry.
+    /// Instantiates the policy for an LLC with the given geometry, as a
+    /// statically-dispatched [`PolicyDispatch`] (the simulation fast path).
+    pub fn build_dispatch(self, config: &CacheConfig) -> PolicyDispatch {
+        let sets = config.sets();
+        let ways = config.ways;
+        match self {
+            PolicyKind::Lru => Lru::new(sets, ways).into(),
+            PolicyKind::Random => RandomReplacement::new(sets, ways, POLICY_SEED).into(),
+            PolicyKind::Srrip => Srrip::new(sets, ways).into(),
+            PolicyKind::Brrip => Brrip::new(sets, ways, POLICY_SEED).into(),
+            PolicyKind::Rrip => Drrip::new(sets, ways, POLICY_SEED).into(),
+            PolicyKind::ShipMem => ShipMem::new(sets, ways, config.block_bytes).into(),
+            PolicyKind::Hawkeye => Hawkeye::new(sets, ways).into(),
+            PolicyKind::Leeway => Leeway::new(sets, ways).into(),
+            PolicyKind::Pin(percent) => PinX::new(sets, ways, percent).into(),
+            PolicyKind::GraspHintsOnly => {
+                Grasp::with_mode(sets, ways, POLICY_SEED, GraspMode::HintsOnly).into()
+            }
+            PolicyKind::GraspInsertionOnly => {
+                Grasp::with_mode(sets, ways, POLICY_SEED, GraspMode::InsertionOnly).into()
+            }
+            PolicyKind::Grasp => Grasp::new(sets, ways, POLICY_SEED).into(),
+        }
+    }
+
+    /// Instantiates the policy as a boxed trait object.
+    ///
+    /// Prefer [`PolicyKind::build_dispatch`]; this remains for callers that
+    /// need a `Box<dyn ReplacementPolicy>` (converting it into a
+    /// [`PolicyDispatch`] keeps dynamic dispatch).
     pub fn build(self, config: &CacheConfig) -> Box<dyn ReplacementPolicy> {
         let sets = config.sets();
         let ways = config.ways;
@@ -120,9 +149,12 @@ impl PolicyKind {
             PolicyKind::Hawkeye => Box::new(Hawkeye::new(sets, ways)),
             PolicyKind::Leeway => Box::new(Leeway::new(sets, ways)),
             PolicyKind::Pin(percent) => Box::new(PinX::new(sets, ways, percent)),
-            PolicyKind::GraspHintsOnly => {
-                Box::new(Grasp::with_mode(sets, ways, POLICY_SEED, GraspMode::HintsOnly))
-            }
+            PolicyKind::GraspHintsOnly => Box::new(Grasp::with_mode(
+                sets,
+                ways,
+                POLICY_SEED,
+                GraspMode::HintsOnly,
+            )),
             PolicyKind::GraspInsertionOnly => Box::new(Grasp::with_mode(
                 sets,
                 ways,
@@ -165,6 +197,12 @@ mod tests {
         for kind in all {
             let policy = kind.build(&config);
             assert!(!policy.name().is_empty(), "{kind}");
+            let dispatch = kind.build_dispatch(&config);
+            assert_eq!(dispatch.name(), policy.name(), "{kind}");
+            assert!(
+                !matches!(dispatch, PolicyDispatch::Dyn(_)),
+                "{kind} must take the static dispatch path"
+            );
         }
     }
 

@@ -69,7 +69,12 @@ impl EdgeList {
     ///
     /// Returns [`GraphError::VertexOutOfBounds`] if either endpoint is outside
     /// the declared vertex range.
-    pub fn push_weighted(&mut self, src: VertexId, dst: VertexId, weight: EdgeWeight) -> Result<()> {
+    pub fn push_weighted(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        weight: EdgeWeight,
+    ) -> Result<()> {
         self.push_edge(Edge::weighted(src, dst, weight))
     }
 

@@ -109,7 +109,11 @@ mod tests {
             for v in csr.vertices() {
                 let ns = csr.out_neighbors(v);
                 for w in ns.windows(2) {
-                    assert!(w[0] < w[1], "duplicate or unsorted neighbour in {}", g.name());
+                    assert!(
+                        w[0] < w[1],
+                        "duplicate or unsorted neighbour in {}",
+                        g.name()
+                    );
                 }
                 assert!(!ns.contains(&v), "self loop in {}", g.name());
             }

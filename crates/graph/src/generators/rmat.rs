@@ -52,10 +52,16 @@ impl Rmat {
     /// Panics if `scale` is 0 or greater than 31, if `edge_factor` is 0, or if
     /// the probabilities are negative or sum to more than 1.
     pub fn with_probabilities(scale: u32, edge_factor: u64, a: f64, b: f64, c: f64) -> Self {
-        assert!(scale >= 1 && scale <= 31, "scale must be in 1..=31");
+        assert!((1..=31).contains(&scale), "scale must be in 1..=31");
         assert!(edge_factor >= 1, "edge_factor must be at least 1");
-        assert!(a >= 0.0 && b >= 0.0 && c >= 0.0, "probabilities must be non-negative");
-        assert!(a + b + c <= 1.0 + 1e-9, "probabilities must sum to at most 1");
+        assert!(
+            a >= 0.0 && b >= 0.0 && c >= 0.0,
+            "probabilities must be non-negative"
+        );
+        assert!(
+            a + b + c <= 1.0 + 1e-9,
+            "probabilities must sum to at most 1"
+        );
         Self {
             scale,
             edge_factor,

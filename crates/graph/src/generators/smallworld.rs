@@ -43,7 +43,10 @@ impl SmallWorld {
             vertices <= u64::from(u32::MAX),
             "vertices must fit in a u32"
         );
-        assert!(degree > 0 && degree < vertices, "degree must be in 1..vertices");
+        assert!(
+            degree > 0 && degree < vertices,
+            "degree must be in 1..vertices"
+        );
         assert!(
             (0.0..=1.0).contains(&rewire_probability),
             "rewire_probability must be in [0, 1]"

@@ -60,12 +60,10 @@ pub fn read_text_edge_list<R: Read>(reader: R) -> Result<EdgeList> {
 }
 
 fn parse_field(field: Option<&str>, line_no: usize, name: &str) -> Result<u32> {
-    let text = field.ok_or_else(|| {
-        GraphError::Format(format!("line {}: missing {name} field", line_no + 1))
-    })?;
-    text.parse().map_err(|_| {
-        GraphError::Format(format!("line {}: invalid {name} '{text}'", line_no + 1))
-    })
+    let text = field
+        .ok_or_else(|| GraphError::Format(format!("line {}: missing {name} field", line_no + 1)))?;
+    text.parse()
+        .map_err(|_| GraphError::Format(format!("line {}: invalid {name} '{text}'", line_no + 1)))
 }
 
 /// Writes a text edge list to a writer (weights included only when ≠ 1).
@@ -75,7 +73,12 @@ fn parse_field(field: Option<&str>, line_no: usize, name: &str) -> Result<u32> {
 /// Returns [`GraphError::Io`] on write failures.
 pub fn write_text_edge_list<W: Write>(writer: W, edges: &EdgeList) -> Result<()> {
     let mut writer = BufWriter::new(writer);
-    writeln!(writer, "# grasp-graph edge list: {} vertices, {} edges", edges.vertex_count(), edges.edge_count())?;
+    writeln!(
+        writer,
+        "# grasp-graph edge list: {} vertices, {} edges",
+        edges.vertex_count(),
+        edges.edge_count()
+    )?;
     for e in edges.iter() {
         if e.weight == 1 {
             writeln!(writer, "{} {}", e.src, e.dst)?;
@@ -237,7 +240,10 @@ mod tests {
             from_binary(&bytes[..bytes.len() - 4]),
             Err(GraphError::Format(_))
         ));
-        assert!(matches!(from_binary(&bytes[..10]), Err(GraphError::Format(_))));
+        assert!(matches!(
+            from_binary(&bytes[..10]),
+            Err(GraphError::Format(_))
+        ));
     }
 
     #[test]

@@ -19,7 +19,8 @@ pub fn relabel(graph: &Csr, perm: &Permutation) -> Csr {
         graph.vertex_count(),
         "permutation length must match the vertex count"
     );
-    let mut edges = EdgeList::with_capacity(graph.vertex_count() as u64, graph.edge_count() as usize);
+    let mut edges =
+        EdgeList::with_capacity(graph.vertex_count() as u64, graph.edge_count() as usize);
     for (src, dst, weight) in graph.edges() {
         edges
             .push_edge(Edge::weighted(perm.new_id(src), perm.new_id(dst), weight))

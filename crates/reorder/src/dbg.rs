@@ -131,7 +131,10 @@ mod tests {
         let mut last_group = 0usize;
         for v in reordered.vertices() {
             let group = dbg.group_of(reordered.out_degree(v), avg);
-            assert!(group >= last_group, "groups must be non-decreasing over new IDs");
+            assert!(
+                group >= last_group,
+                "groups must be non-decreasing over new IDs"
+            );
             last_group = group;
         }
     }

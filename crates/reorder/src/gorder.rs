@@ -256,13 +256,18 @@ mod tests {
     #[test]
     fn multiple_passes_still_valid() {
         let g = Rmat::new(7, 4).generate(8);
-        let perm = GorderLite::new(4).with_passes(2).compute(&g, Direction::Out);
+        let perm = GorderLite::new(4)
+            .with_passes(2)
+            .compute(&g, Direction::Out);
         assert!(perm.is_valid());
     }
 
     #[test]
     fn names_reflect_composition() {
         assert_eq!(GorderLite::default().name(), "Gorder");
-        assert_eq!(GorderLite::default().followed_by_dbg().name(), "Gorder(+DBG)");
+        assert_eq!(
+            GorderLite::default().followed_by_dbg().name(),
+            "Gorder(+DBG)"
+        );
     }
 }

@@ -61,7 +61,11 @@ proptest! {
 #[test]
 fn segregating_techniques_build_a_hot_prefix() {
     let g = Rmat::new(11, 12).generate(21);
-    for kind in [TechniqueKind::Sort, TechniqueKind::HubSort, TechniqueKind::Dbg] {
+    for kind in [
+        TechniqueKind::Sort,
+        TechniqueKind::HubSort,
+        TechniqueKind::Dbg,
+    ] {
         let technique = kind.instantiate();
         assert!(technique.segregates_hot_vertices());
         let perm = technique.compute(&g, Direction::Out);

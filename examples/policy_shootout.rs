@@ -8,9 +8,9 @@
 //! ```
 
 use grasp_suite::analytics::apps::AppKind;
+use grasp_suite::core::campaign::Campaign;
 use grasp_suite::core::compare::{miss_reduction_pct, speedup_pct};
 use grasp_suite::core::datasets::{DatasetKind, Scale};
-use grasp_suite::core::experiment::Experiment;
 use grasp_suite::core::policy::PolicyKind;
 use grasp_suite::core::report::Table;
 use grasp_suite::reorder::TechniqueKind;
@@ -36,16 +36,6 @@ fn main() {
     let scale = Scale::from_env();
 
     println!("Dataset {dataset_kind}, application {app}, scale {scale:?}");
-    let dataset = dataset_kind.build(scale);
-    let experiment = Experiment::new(dataset.graph, app)
-        .with_hierarchy(scale.hierarchy())
-        .with_reordering(TechniqueKind::Dbg);
-
-    let baseline = experiment.run(PolicyKind::Rrip);
-    let mut table = Table::new(
-        format!("{app} on {dataset_kind}: every policy vs the RRIP baseline"),
-        &["policy", "LLC misses", "misses eliminated (%)", "speed-up (%)"],
-    );
     let policies = [
         PolicyKind::Lru,
         PolicyKind::Rrip,
@@ -58,16 +48,35 @@ fn main() {
         PolicyKind::GraspInsertionOnly,
         PolicyKind::Grasp,
     ];
-    for policy in policies {
-        let run = experiment.run(policy);
+    // One parallel campaign: the dataset is generated and DBG-reordered once,
+    // then every policy runs concurrently.
+    let results = Campaign::new(scale)
+        .datasets(&[dataset_kind])
+        .apps(&[app])
+        .policies(&policies)
+        .run();
+
+    let baseline = results
+        .get(dataset_kind, TechniqueKind::Dbg, app, PolicyKind::Rrip)
+        .expect("baseline cell");
+    let mut table = Table::new(
+        format!("{app} on {dataset_kind}: every policy vs the RRIP baseline"),
+        &[
+            "policy",
+            "LLC misses",
+            "misses eliminated (%)",
+            "speed-up (%)",
+        ],
+    );
+    for run in results.iter() {
         table.push_row(vec![
-            policy.label().to_owned(),
-            run.llc_misses().to_string(),
+            run.cell.policy.label().to_owned(),
+            run.result.llc_misses().to_string(),
             format!(
                 "{:.1}",
-                miss_reduction_pct(baseline.llc_misses(), run.llc_misses())
+                miss_reduction_pct(baseline.llc_misses(), run.result.llc_misses())
             ),
-            format!("{:.1}", speedup_pct(baseline.cycles, run.cycles)),
+            format!("{:.1}", speedup_pct(baseline.cycles, run.result.cycles)),
         ]);
     }
     println!("{table}");

@@ -8,17 +8,20 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use grasp_suite::analytics::apps::AppKind;
 use grasp_suite::core::compare::{miss_reduction_pct, speedup_pct};
 use grasp_suite::core::datasets::{DatasetKind, Scale};
 use grasp_suite::core::experiment::Experiment;
 use grasp_suite::core::policy::PolicyKind;
 use grasp_suite::graph::degree::SkewReport;
-use grasp_suite::analytics::apps::AppKind;
 use grasp_suite::reorder::TechniqueKind;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Building a Twitter-like power-law graph ({:?} scale)...", scale);
+    println!(
+        "Building a Twitter-like power-law graph ({:?} scale)...",
+        scale
+    );
     let dataset = DatasetKind::Twitter.build(scale);
     let skew = SkewReport::for_in_edges(&dataset.graph);
     println!(

@@ -1,0 +1,155 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the subset the workspace uses: little-endian `Buf`
+//! reads over `&[u8]`, `BufMut` writes into a growable buffer, and the
+//! `BytesMut::freeze` → [`Bytes`] handoff. Semantics match the real crate
+//! for this subset (panics on out-of-bounds reads, advancing cursors).
+
+/// Read cursor over a byte source.
+pub trait Buf {
+    /// Bytes remaining to be read.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes into `dst` and advances the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads a little-endian `u32` and advances the cursor.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut buf = [0u8; 4];
+        self.copy_to_slice(&mut buf);
+        u32::from_le_bytes(buf)
+    }
+
+    /// Reads a little-endian `u64` and advances the cursor.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut buf = [0u8; 8];
+        self.copy_to_slice(&mut buf);
+        u64::from_le_bytes(buf)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Write sink for growable byte buffers.
+pub trait BufMut {
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, value: u32) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, value: u64) {
+        self.put_slice(&value.to_le_bytes());
+    }
+}
+
+/// A growable, uniquely-owned byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with the given capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Length of the buffered data.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when no bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+/// An immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_le_values() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u64_le(0x0102_0304_0506_0708);
+        buf.put_u32_le(0xAABB_CCDD);
+        let frozen = buf.freeze();
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.remaining(), 12);
+        assert_eq!(cursor.get_u64_le(), 0x0102_0304_0506_0708);
+        assert_eq!(cursor.get_u32_le(), 0xAABB_CCDD);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut cursor: &[u8] = &[1, 2];
+        let _ = cursor.get_u32_le();
+    }
+}

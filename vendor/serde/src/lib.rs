@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names (so `use serde::{...}`
+//! resolves) and re-exports the no-op derive macros from the local
+//! `serde_derive` stub. The workspace uses the derives purely as inert
+//! markers; nothing is serialized at run time in this environment.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
