@@ -45,7 +45,7 @@ pub mod workspace;
 
 pub use frontier::Frontier;
 pub use layout::{AddressSpace, ArrayHandle};
-pub use mem::{MemoryModel, NativeMemory, TracedMemory};
+pub use mem::{MemoryModel, NativeMemory, RecordingMemory, TracedMemory};
 pub use props::{PropertyLayout, PropertySet};
 pub use workspace::Workspace;
 

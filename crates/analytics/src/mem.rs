@@ -1,8 +1,12 @@
 //! Memory models: where the applications' memory accesses go.
 
 use grasp_cachesim::addr::Address;
+use grasp_cachesim::config::HierarchyConfig;
+use grasp_cachesim::hint::RegionClassifier;
 use grasp_cachesim::request::{AccessKind, AccessSite, RegionLabel};
+use grasp_cachesim::stage::UpperLevels;
 use grasp_cachesim::stats::HierarchyStats;
+use grasp_cachesim::trace::LlcTrace;
 use grasp_cachesim::Hierarchy;
 
 /// A sink for the memory accesses an application performs.
@@ -99,6 +103,61 @@ impl MemoryModel for TracedMemory {
     }
 }
 
+/// The recording model of the record-once / replay-many pipeline: accesses
+/// run through the policy-independent upper levels
+/// ([`grasp_cachesim::stage::UpperLevels`]) only, and everything that escapes
+/// L2 is appended to an [`LlcTrace`] instead of being simulated. No LLC
+/// exists during recording — the trace is later replayed under each LLC
+/// policy of interest.
+#[derive(Debug)]
+pub struct RecordingMemory {
+    upper: UpperLevels,
+    trace: LlcTrace,
+    accesses: u64,
+}
+
+impl RecordingMemory {
+    /// Creates a recording model for the given hierarchy configuration (the
+    /// LLC geometry still matters: it sizes the classifier's High/Moderate
+    /// regions and is the default geometry replays use).
+    pub fn new(config: HierarchyConfig) -> Self {
+        Self {
+            upper: UpperLevels::new(config, RegionClassifier::disabled()),
+            trace: LlcTrace::new(),
+            accesses: 0,
+        }
+    }
+
+    /// Pre-sizes the trace for roughly `expected_records` post-L2 records.
+    pub fn reserve_trace(&mut self, expected_records: usize) {
+        self.trace.reserve(expected_records);
+    }
+
+    /// Finishes the recording: attaches the upper-level statistics and the
+    /// programmed ABR bounds to the trace and returns it.
+    pub fn finish(self) -> LlcTrace {
+        let mut trace = self.trace;
+        trace.set_context(self.upper.record_context());
+        trace
+    }
+}
+
+impl MemoryModel for RecordingMemory {
+    #[inline]
+    fn touch(&mut self, addr: Address, kind: AccessKind, site: AccessSite, region: RegionLabel) {
+        self.accesses += 1;
+        self.upper.access(addr, kind, site, region, &mut self.trace);
+    }
+
+    fn program_property_bounds(&mut self, bounds: &[(Address, Address)]) {
+        self.upper.program_abrs(bounds);
+    }
+
+    fn access_count(&self) -> u64 {
+        self.accesses
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +202,31 @@ mod tests {
         m.program_property_bounds(&[(0x8000_0000, 0x8000_0000 + (1 << 21))]);
         m.touch(0x8000_0000, AccessKind::Read, 1, RegionLabel::Property);
         let trace = m.into_hierarchy().into_llc_trace();
-        assert_eq!(trace.get(0).hint, ReuseHint::High);
+        assert_eq!(trace.demand_vec()[0].hint, ReuseHint::High);
+        assert_eq!(
+            trace.abr_bounds(),
+            &[(0x8000_0000, 0x8000_0000 + (1 << 21))],
+            "programmed bounds travel with the trace"
+        );
+    }
+
+    #[test]
+    fn recording_memory_captures_the_post_l2_stream() {
+        let config = HierarchyConfig::scaled_default().without_prefetch();
+        let mut m = RecordingMemory::new(config);
+        m.program_property_bounds(&[(0, 1 << 21)]);
+        for i in 0..100u64 {
+            m.touch(i * 64, AccessKind::Read, 3, RegionLabel::Property);
+        }
+        assert_eq!(m.access_count(), 100);
+        let trace = m.finish();
+        assert_eq!(
+            trace.demand_len(),
+            100,
+            "distinct blocks all escape the upper levels"
+        );
+        assert_eq!(trace.context().l1.accesses, 100);
+        assert_eq!(trace.demand_vec()[0].hint, ReuseHint::High);
+        assert_eq!(trace.abr_bounds(), &[(0, 1 << 21)]);
     }
 }

@@ -1,20 +1,23 @@
 //! Fig. 11 and Table VII — GRASP vs Belady's optimal replacement (OPT).
 //!
-//! The LLC demand-access trace of every workload (recorded under the RRIP
-//! run) is replayed under LRU, RRIP and GRASP, and post-processed with
-//! Belady's MIN; the figure reports the percentage of misses each scheme
-//! eliminates relative to LRU. Table VII repeats the average over a sweep of
-//! LLC sizes.
+//! Each workload's post-L2 stream is captured once by the record phase of a
+//! replay-mode campaign. Online policies (LRU, RRIP, GRASP) and Belady's MIN
+//! then replay the same **demand** stream — OPT cannot model prefetches, so
+//! giving them only to the online policies would break its lower bound — for
+//! several LLC sizes, with reuse hints recomputed from the Address Bound
+//! Register bounds that travel with the trace. The figure reports the
+//! percentage of misses each scheme eliminates relative to LRU; Table VII
+//! repeats the average over a sweep of LLC sizes.
 //!
 //! Paper reference (16 MB LLC): RRIP eliminates 15.2%, GRASP 19.7%, OPT 34.3%
 //! of LRU's misses; the gap between GRASP and OPT is the remaining headroom.
 
 use grasp_analytics::apps::AppKind;
-use grasp_bench::{banner, figure_campaign, harness_scale, pct};
+use grasp_bench::{banner, dump_json, figure_campaign, harness_scale, pct};
 use grasp_cachesim::config::CacheConfig;
 use grasp_cachesim::hint::{AddressBoundRegisters, RegionClassifier};
 use grasp_cachesim::policy::opt::optimal_misses;
-use grasp_cachesim::request::{AccessInfo, RegionLabel};
+use grasp_cachesim::request::AccessInfo;
 use grasp_cachesim::trace::{misses_eliminated_pct, replay_with_classifier};
 use grasp_core::compare::arithmetic_mean;
 use grasp_core::datasets::DatasetKind;
@@ -22,74 +25,72 @@ use grasp_core::policy::PolicyKind;
 use grasp_core::report::Table;
 use grasp_reorder::TechniqueKind;
 
-/// Rebuilds the region classifier for a given LLC size from the property
-/// regions observed in the trace (the bench records which addresses carry the
-/// Property label, and the bounds are recovered from the address extremes).
-fn classifier_for(trace: &[AccessInfo], llc_bytes: u64) -> RegionClassifier {
-    let mut min = u64::MAX;
-    let mut max = 0u64;
-    for info in trace {
-        if info.region == RegionLabel::Property {
-            min = min.min(info.addr);
-            max = max.max(info.addr);
-        }
-    }
+/// One recorded workload: the pre-decoded demand stream every scheme (online
+/// and OPT) replays, plus the recorded ABR bounds for reclassification.
+struct Recording {
+    app: AppKind,
+    dataset: DatasetKind,
+    abr_bounds: Vec<(u64, u64)>,
+    demands: Vec<AccessInfo>,
+}
+
+/// Rebuilds the region classifier for a given LLC size from the ABR bounds
+/// the application programmed during the recording run (carried by the
+/// trace), mirroring what the hardware would do at that capacity.
+fn classifier_for(bounds: &[(u64, u64)], llc_bytes: u64) -> RegionClassifier {
     let mut abrs = AddressBoundRegisters::new();
-    if min < max {
-        abrs.program(min, max + 1);
+    for &(start, end) in bounds {
+        abrs.program(start, end);
     }
     RegionClassifier::new(abrs, llc_bytes)
 }
 
-fn replay_all(trace: &[AccessInfo], llc_bytes: u64) -> (u64, u64, u64, u64) {
+fn replay_all(recording: &Recording, llc_bytes: u64) -> (u64, u64, u64, u64) {
     let config = CacheConfig::new(llc_bytes, 16, 64);
-    let classifier = classifier_for(trace, llc_bytes);
-    let lru = replay_with_classifier(
-        trace,
-        config,
-        PolicyKind::Lru.build_dispatch(&config),
-        &classifier,
-    );
-    let rrip = replay_with_classifier(
-        trace,
-        config,
-        PolicyKind::Rrip.build_dispatch(&config),
-        &classifier,
-    );
-    let grasp = replay_with_classifier(
-        trace,
-        config,
-        PolicyKind::Grasp.build_dispatch(&config),
-        &classifier,
-    );
-    let opt = optimal_misses(trace, &config);
-    (lru.misses, rrip.misses, grasp.misses, opt.misses)
+    let classifier = classifier_for(&recording.abr_bounds, llc_bytes);
+    let mut misses = [0u64; 3];
+    for (slot, policy) in [PolicyKind::Lru, PolicyKind::Rrip, PolicyKind::Grasp]
+        .into_iter()
+        .enumerate()
+    {
+        misses[slot] = replay_with_classifier(
+            &recording.demands,
+            config,
+            policy.build_dispatch(&config),
+            &classifier,
+        )
+        .misses;
+    }
+    let opt = optimal_misses(&recording.demands, &config);
+    (misses[0], misses[1], misses[2], opt.misses)
 }
 
 fn main() {
     banner("Fig. 11 / Table VII: GRASP vs Belady's OPT");
     let scale = harness_scale();
 
-    // Record one LLC trace per (app, dataset) pair under the RRIP run; the
-    // whole recording grid runs as one parallel campaign, and each compact
-    // trace is decoded once for the replay sweeps below.
+    // Record one post-L2 stream per (app, dataset) pair: the replay-mode
+    // campaign runs each application exactly once and hands the trace back.
+    let started = std::time::Instant::now();
     let recordings = figure_campaign(scale, &DatasetKind::HIGH_SKEW, &AppKind::ALL, &[])
         .recording_llc_trace()
         .run();
-    let mut traces: Vec<(AppKind, DatasetKind, Vec<AccessInfo>)> = Vec::new();
+    let mut workloads: Vec<Recording> = Vec::new();
     for app in AppKind::ALL {
         for kind in DatasetKind::HIGH_SKEW {
             let run = recordings
                 .get(kind, TechniqueKind::Dbg, app, PolicyKind::Rrip)
                 .expect("recording cell");
-            let trace = run
-                .llc_trace
-                .as_ref()
-                .map(|t| t.to_vec())
-                .unwrap_or_default();
-            traces.push((app, kind, trace));
+            let trace = run.llc_trace.as_ref();
+            workloads.push(Recording {
+                app,
+                dataset: kind,
+                abr_bounds: trace.map(|t| t.abr_bounds().to_vec()).unwrap_or_default(),
+                demands: trace.map(|t| t.demand_vec()).unwrap_or_default(),
+            });
         }
     }
+    let wall_ms = started.elapsed().as_millis();
 
     // Fig. 11: per-workload miss elimination over LRU at the default LLC size.
     let default_llc = scale.llc_bytes();
@@ -103,8 +104,8 @@ fn main() {
     let mut rrip_all = Vec::new();
     let mut grasp_all = Vec::new();
     let mut opt_all = Vec::new();
-    for (app, kind, trace) in &traces {
-        let (lru, rrip, grasp, opt) = replay_all(trace, default_llc);
+    for recording in &workloads {
+        let (lru, rrip, grasp, opt) = replay_all(recording, default_llc);
         let r = misses_eliminated_pct(lru, rrip);
         let g = misses_eliminated_pct(lru, grasp);
         let o = misses_eliminated_pct(lru, opt);
@@ -112,8 +113,8 @@ fn main() {
         grasp_all.push(g);
         opt_all.push(o);
         fig11.push_row(vec![
-            app.label().to_owned(),
-            kind.label().to_owned(),
+            recording.app.label().to_owned(),
+            recording.dataset.label().to_owned(),
             pct(r),
             pct(g),
             pct(o),
@@ -147,8 +148,8 @@ fn main() {
         let mut rrip_avg = Vec::new();
         let mut grasp_avg = Vec::new();
         let mut opt_avg = Vec::new();
-        for (_, _, trace) in &traces {
-            let (lru, rrip, grasp, opt) = replay_all(trace, llc_bytes);
+        for recording in &workloads {
+            let (lru, rrip, grasp, opt) = replay_all(recording, llc_bytes);
             rrip_avg.push(misses_eliminated_pct(lru, rrip));
             grasp_avg.push(misses_eliminated_pct(lru, grasp));
             opt_avg.push(misses_eliminated_pct(lru, opt));
@@ -162,4 +163,5 @@ fn main() {
     }
     println!("{table7}");
     println!("Paper (1->32 MB): RRIP ~16% flat, GRASP 15.4% -> 21.2%, OPT 27.5% -> 34.5%.");
+    dump_json("fig11_table7", wall_ms, &[&fig11, &table7]);
 }

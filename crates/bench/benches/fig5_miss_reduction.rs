@@ -10,7 +10,7 @@
 //! Hawkeye average -4.8% and -22.7% respectively.
 
 use grasp_analytics::apps::AppKind;
-use grasp_bench::{banner, figure_campaign, harness_scale, pct};
+use grasp_bench::{banner, dump_json, figure_campaign, harness_scale, pct};
 use grasp_core::compare::{arithmetic_mean, miss_reduction_pct};
 use grasp_core::datasets::DatasetKind;
 use grasp_core::policy::PolicyKind;
@@ -21,7 +21,9 @@ fn main() {
     banner("Fig. 5: LLC misses eliminated over the RRIP baseline");
     let scale = harness_scale();
     let schemes = PolicyKind::FIG5_SCHEMES;
+    let started = std::time::Instant::now();
     let results = figure_campaign(scale, &DatasetKind::HIGH_SKEW, &AppKind::ALL, &schemes).run();
+    let wall_ms = started.elapsed().as_millis();
 
     let mut table = Table::new(
         "Fig. 5 — % LLC misses eliminated vs RRIP (positive is better)",
@@ -53,4 +55,5 @@ fn main() {
     table.push_row(mean_row);
     println!("{table}");
     println!("Paper averages: SHiP-MEM -4.8, Hawkeye -22.7, Leeway +1.1, GRASP +6.4.");
+    dump_json("fig5", wall_ms, &[&table]);
 }

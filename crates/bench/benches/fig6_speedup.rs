@@ -10,7 +10,7 @@
 //! slowdown; SHiP-MEM and Hawkeye average -5.5% and -16.2%; Leeway +0.9%.
 
 use grasp_analytics::apps::AppKind;
-use grasp_bench::{banner, figure_campaign, harness_scale, pct};
+use grasp_bench::{banner, dump_json, figure_campaign, harness_scale, pct};
 use grasp_core::compare::{geometric_mean_speedup, speedup_pct};
 use grasp_core::datasets::DatasetKind;
 use grasp_core::policy::PolicyKind;
@@ -21,7 +21,9 @@ fn main() {
     banner("Fig. 6: speed-up over the RRIP baseline");
     let scale = harness_scale();
     let schemes = PolicyKind::FIG5_SCHEMES;
+    let started = std::time::Instant::now();
     let results = figure_campaign(scale, &DatasetKind::HIGH_SKEW, &AppKind::ALL, &schemes).run();
+    let wall_ms = started.elapsed().as_millis();
 
     let mut table = Table::new(
         "Fig. 6 — speed-up (%) vs RRIP under the analytic timing model",
@@ -53,4 +55,5 @@ fn main() {
     table.push_row(mean_row);
     println!("{table}");
     println!("Paper GM: SHiP-MEM -5.5, Hawkeye -16.2, Leeway +0.9, GRASP +5.2.");
+    dump_json("fig6", wall_ms, &[&table]);
 }

@@ -6,7 +6,7 @@
 //! 0.4/1.1/2.0/2.5%.
 
 use grasp_analytics::apps::AppKind;
-use grasp_bench::{banner, figure_campaign, harness_scale, pct};
+use grasp_bench::{banner, dump_json, figure_campaign, harness_scale, pct};
 use grasp_core::compare::{geometric_mean_speedup, speedup_pct};
 use grasp_core::datasets::DatasetKind;
 use grasp_core::policy::PolicyKind;
@@ -23,7 +23,9 @@ fn main() {
         PolicyKind::Pin(100),
         PolicyKind::Grasp,
     ];
+    let started = std::time::Instant::now();
     let results = figure_campaign(scale, &DatasetKind::HIGH_SKEW, &AppKind::ALL, &schemes).run();
+    let wall_ms = started.elapsed().as_millis();
 
     let mut table = Table::new(
         "Fig. 8 — speed-up (%) over RRIP",
@@ -57,4 +59,5 @@ fn main() {
     table.push_row(mean_row);
     println!("{table}");
     println!("Paper GM: PIN-25 +0.4, PIN-50 +1.1, PIN-75 +2.0, PIN-100 +2.5, GRASP +5.2.");
+    dump_json("fig8", wall_ms, &[&table]);
 }

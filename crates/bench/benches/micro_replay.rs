@@ -1,0 +1,109 @@
+//! Micro-benchmark of the record-once / replay-many pipeline: an 8-policy
+//! LLC sweep on one (dataset, reordering, application) cell, direct path vs
+//! record + replay.
+//!
+//! The direct path re-executes the application and re-simulates L1/L2 for
+//! every policy; the replay path pays them once ([`Experiment::record`]) and
+//! then drives only the LLC stage from the recorded post-L2 stream. The
+//! sweep runs under two hierarchies:
+//!
+//! * the paper's Table VI geometry (`paper`), where the 32 KiB L1 filters
+//!   most traffic and the pipeline's advantage is largest, and
+//! * the reproduction's scaled-down geometry (`scaled`), whose deliberately
+//!   tiny 4 KiB L1 passes an unusually large share of the stream through to
+//!   the LLC — the worst case for replay.
+//!
+//! The acceptance bar for the pipeline is a ≥3x end-to-end speed-up on the
+//! paper-scale sweep, with bit-identical statistics on every cell (asserted
+//! here, not just eyeballed).
+
+use grasp_analytics::apps::AppKind;
+use grasp_bench::{banner, dataset, dump_json, harness_scale};
+use grasp_cachesim::config::HierarchyConfig;
+use grasp_core::datasets::DatasetKind;
+use grasp_core::experiment::Experiment;
+use grasp_core::policy::PolicyKind;
+use grasp_core::report::Table;
+use grasp_reorder::TechniqueKind;
+use std::time::Instant;
+
+const SWEEP: [PolicyKind; 8] = [
+    PolicyKind::Lru,
+    PolicyKind::Srrip,
+    PolicyKind::Rrip,
+    PolicyKind::ShipMem,
+    PolicyKind::Hawkeye,
+    PolicyKind::Leeway,
+    PolicyKind::Pin(75),
+    PolicyKind::Grasp,
+];
+
+fn main() {
+    banner("micro: direct vs record/replay, 8-policy sweep on one cell");
+    let scale = harness_scale();
+    let ds = dataset(DatasetKind::Twitter, scale);
+
+    let mut table = Table::new(
+        "Record-once / replay-many vs direct (8-policy sweep, one cell)",
+        &[
+            "hierarchy",
+            "direct ms",
+            "replay ms",
+            "speed-up",
+            "trace records",
+        ],
+    );
+    let mut total_ms = 0u128;
+    let mut paper_speedup = 0.0;
+    for (label, hierarchy) in [
+        ("paper (Table VI)", HierarchyConfig::paper_scale()),
+        ("scaled", scale.hierarchy()),
+    ] {
+        let exp = Experiment::new(ds.graph.clone(), AppKind::PageRank)
+            .with_hierarchy(hierarchy)
+            .with_reordering(TechniqueKind::Dbg);
+
+        // Warm up allocators and the graph working set once.
+        let _ = exp.run(PolicyKind::Lru);
+
+        let started = Instant::now();
+        let direct: Vec<_> = SWEEP.iter().map(|&p| exp.run(p)).collect();
+        let direct_time = started.elapsed();
+
+        let started = Instant::now();
+        let recorded = exp.record();
+        let replayed: Vec<_> = SWEEP.iter().map(|&p| recorded.replay(p)).collect();
+        let replay_time = started.elapsed();
+
+        for (a, b) in direct.iter().zip(&replayed) {
+            assert_eq!(
+                a.stats, b.stats,
+                "{label}/{}: replay diverged from the direct path",
+                a.policy
+            );
+        }
+
+        let speedup = direct_time.as_secs_f64() / replay_time.as_secs_f64().max(1e-9);
+        if label.starts_with("paper") {
+            paper_speedup = speedup;
+        }
+        total_ms += (direct_time + replay_time).as_millis();
+        table.push_row(vec![
+            label.into(),
+            format!("{:.1}", direct_time.as_secs_f64() * 1e3),
+            format!("{:.1}", replay_time.as_secs_f64() * 1e3),
+            format!("{speedup:.2}x"),
+            recorded.trace().len().to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "stats bit-identical across all {} policies on both hierarchies",
+        SWEEP.len()
+    );
+    assert!(
+        paper_speedup >= 3.0,
+        "paper-scale pipeline speed-up {paper_speedup:.2}x fell below the 3x acceptance bar"
+    );
+    dump_json("micro_replay", total_ms, &[&table]);
+}

@@ -84,6 +84,7 @@ impl BaselineCache {
                 return AccessOutcome {
                     hit: true,
                     evicted: None,
+                    evicted_dirty: false,
                     bypassed: false,
                 };
             }
@@ -94,6 +95,7 @@ impl BaselineCache {
             return AccessOutcome {
                 hit: false,
                 evicted: None,
+                evicted_dirty: false,
                 bypassed: true,
             };
         }
@@ -104,8 +106,10 @@ impl BaselineCache {
 
         let idx = self.idx(set, way);
         let mut evicted = None;
+        let mut evicted_dirty = false;
         if self.valid[idx] {
             evicted = Some(self.tags[idx]);
+            evicted_dirty = self.dirty[idx];
             self.stats.evictions += 1;
             self.policy
                 .on_evict(set, way, self.tags[idx], self.reused[idx]);
@@ -119,6 +123,7 @@ impl BaselineCache {
         AccessOutcome {
             hit: false,
             evicted,
+            evicted_dirty,
             bypassed: false,
         }
     }

@@ -103,6 +103,22 @@ pub fn synthetic_mixed_trace(len: usize) -> Vec<grasp_cachesim::AccessInfo> {
     trace
 }
 
+/// Writes a figure's tables as machine-readable JSON to
+/// `BENCH_<figure>.json` (in `GRASP_BENCH_JSON_DIR`, default the current
+/// directory), so per-figure results and campaign wall-clock times can be
+/// tracked across PRs. Failures are reported but never abort a bench run.
+pub fn dump_json(figure: &str, wall_ms: u128, tables: &[&grasp_core::report::Table]) {
+    let dir = std::env::var("GRASP_BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_owned());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{figure}.json"));
+    match std::fs::write(&path, grasp_core::report::to_json(figure, wall_ms, tables)) {
+        Ok(()) => println!(
+            "results written to {} ({wall_ms} ms campaign)",
+            path.display()
+        ),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+}
+
 /// Prints the standard harness banner (scale, datasets, applications).
 pub fn banner(what: &str) {
     let scale = harness_scale();

@@ -24,6 +24,9 @@ pub struct AccessOutcome {
     pub hit: bool,
     /// The block that was evicted to make room, if any.
     pub evicted: Option<BlockAddr>,
+    /// Whether the evicted block was dirty (its writeback must be sent to the
+    /// next level down).
+    pub evicted_dirty: bool,
     /// Whether the fill was bypassed (miss with no allocation).
     pub bypassed: bool,
 }
@@ -223,6 +226,7 @@ impl SetAssocCache {
             return AccessOutcome {
                 hit: true,
                 evicted: None,
+                evicted_dirty: false,
                 bypassed: false,
             };
         }
@@ -233,6 +237,7 @@ impl SetAssocCache {
             return AccessOutcome {
                 hit: false,
                 evicted: None,
+                evicted_dirty: false,
                 bypassed: true,
             };
         }
@@ -249,8 +254,10 @@ impl SetAssocCache {
         let bit = 1u64 << way;
         let idx = set * self.ways + way;
         let mut evicted = None;
+        let mut evicted_dirty = false;
         if valid & bit != 0 {
             evicted = Some(self.tags[idx]);
+            evicted_dirty = self.dirty[set] & bit != 0;
             self.stats.evictions += 1;
             self.policy
                 .on_evict(set, way, self.tags[idx], self.reused[set] & bit != 0);
@@ -269,8 +276,28 @@ impl SetAssocCache {
         AccessOutcome {
             hit: false,
             evicted,
+            evicted_dirty,
             bypassed: false,
         }
+    }
+
+    /// Receives the writeback of a dirty victim evicted by the level above.
+    ///
+    /// Writebacks are non-allocating: a hit refreshes the resident copy (the
+    /// block becomes dirty here), a miss is forwarded towards memory without
+    /// disturbing the replacement policy. Returns `true` on a hit.
+    pub fn writeback(&mut self, addr: u64) -> bool {
+        let block = addr >> self.block_shift;
+        let set = self.set_of(block);
+        let hit = match self.find_way(set, block) {
+            Some(way) => {
+                self.dirty[set] |= 1u64 << way;
+                true
+            }
+            None => false,
+        };
+        self.stats.record_writeback(hit);
+        hit
     }
 
     /// Invalidates every block and resets the replacement policy to its

@@ -1,19 +1,20 @@
 //! The simulated three-level cache hierarchy (L1-D → L2 → LLC).
 //!
 //! The hierarchy is the reproduction's stand-in for the Sniper-simulated
-//! memory system of Table VI. L1 and L2 are LRU-managed filters; the LLC uses
-//! whichever replacement policy the experiment is evaluating. GRASP's region
-//! classification happens alongside the (virtual) address on its way to the
-//! LLC: the [`RegionClassifier`] attaches a 2-bit reuse hint to every LLC
-//! request, exactly as in Fig. 4 of the paper.
+//! memory system of Table VI, composed from the two stages of
+//! [`crate::stage`]: the policy-independent upper levels
+//! ([`UpperLevels`]: L1 + L2 + prefetcher + GRASP's region classification,
+//! exactly as in Fig. 4 of the paper) and the LLC stage ([`LlcStage`]) under
+//! whichever replacement policy the experiment is evaluating. When trace
+//! recording is enabled, every post-L2 request is appended to an
+//! [`LlcTrace`] *and* simulated — the same stream that, replayed through
+//! [`LlcTrace::replay`], reproduces this hierarchy's statistics bit-for-bit.
 
-use crate::cache::SetAssocCache;
 use crate::config::HierarchyConfig;
 use crate::hint::RegionClassifier;
-use crate::policy::lru::Lru;
 use crate::policy::PolicyDispatch;
-use crate::prefetch::StridePrefetcher;
 use crate::request::{AccessInfo, AccessKind, AccessSite, RegionLabel};
+use crate::stage::{LlcSink, LlcStage, UpperLevels};
 use crate::stats::HierarchyStats;
 use crate::timing::TimingModel;
 use crate::trace::LlcTrace;
@@ -21,23 +22,50 @@ use crate::trace::LlcTrace;
 /// A three-level cache hierarchy with an L1 stride prefetcher and GRASP's
 /// address classification in front of the LLC.
 pub struct Hierarchy {
-    config: HierarchyConfig,
-    l1: SetAssocCache,
-    l2: SetAssocCache,
-    llc: SetAssocCache,
-    classifier: RegionClassifier,
-    prefetcher: Option<StridePrefetcher>,
-    memory_accesses: u64,
+    upper: UpperLevels,
+    llc: LlcStage,
+    recording: bool,
     llc_trace: LlcTrace,
 }
 
 impl std::fmt::Debug for Hierarchy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Hierarchy")
-            .field("config", &self.config)
+            .field("config", self.upper.config())
             .field("llc_policy", &self.llc.policy_name())
-            .field("memory_accesses", &self.memory_accesses)
+            .field("memory_accesses", &self.llc.memory_accesses())
             .finish()
+    }
+}
+
+/// Sink used on the direct simulation path: optionally records each post-L2
+/// request, then forwards it into the LLC stage.
+struct SimulateAndRecord<'a> {
+    llc: &'a mut LlcStage,
+    trace: &'a mut LlcTrace,
+    recording: bool,
+}
+
+impl LlcSink for SimulateAndRecord<'_> {
+    fn demand(&mut self, info: &AccessInfo) -> bool {
+        if self.recording {
+            self.trace.push(info);
+        }
+        self.llc.demand(info)
+    }
+
+    fn prefetch(&mut self, info: &AccessInfo) {
+        if self.recording {
+            self.trace.push_prefetch(info);
+        }
+        self.llc.prefetch(info);
+    }
+
+    fn writeback(&mut self, addr: u64) {
+        if self.recording {
+            self.trace.push_writeback(addr);
+        }
+        self.llc.writeback(addr);
     }
 }
 
@@ -52,21 +80,10 @@ impl Hierarchy {
         llc_policy: impl Into<PolicyDispatch>,
         classifier: RegionClassifier,
     ) -> Self {
-        let l1 = SetAssocCache::new(
-            "L1-D",
-            config.l1,
-            Lru::new(config.l1.sets(), config.l1.ways),
-        );
-        let l2 = SetAssocCache::new("L2", config.l2, Lru::new(config.l2.sets(), config.l2.ways));
-        let llc = SetAssocCache::new("LLC", config.llc, llc_policy);
         Self {
-            config,
-            l1,
-            l2,
-            llc,
-            classifier,
-            prefetcher: config.prefetch.then(StridePrefetcher::default),
-            memory_accesses: 0,
+            upper: UpperLevels::new(config, classifier),
+            llc: LlcStage::new(config.llc, llc_policy),
+            recording: config.record_llc_trace,
             llc_trace: LlcTrace::new(),
         }
     }
@@ -75,14 +92,14 @@ impl Hierarchy {
     /// recording loop does not reallocate (only meaningful when
     /// [`HierarchyConfig::record_llc_trace`] is set).
     pub fn reserve_llc_trace(&mut self, expected_records: usize) {
-        if self.config.record_llc_trace {
+        if self.recording {
             self.llc_trace.reserve(expected_records);
         }
     }
 
     /// The hierarchy configuration.
     pub fn config(&self) -> &HierarchyConfig {
-        &self.config
+        self.upper.config()
     }
 
     /// Name of the LLC replacement policy.
@@ -92,7 +109,7 @@ impl Hierarchy {
 
     /// The region classifier in use.
     pub fn classifier(&self) -> &RegionClassifier {
-        &self.classifier
+        self.upper.classifier()
     }
 
     /// Programs the Address Bound Registers with the bounds of the
@@ -102,11 +119,7 @@ impl Hierarchy {
     /// graph framework calls this once at application start-up, after it has
     /// allocated its Property Arrays.
     pub fn program_abrs(&mut self, bounds: &[(u64, u64)]) {
-        let mut abrs = crate::hint::AddressBoundRegisters::new();
-        for &(start, end) in bounds {
-            abrs.program(start, end);
-        }
-        self.classifier = RegionClassifier::new(abrs, self.config.llc.size_bytes);
+        self.upper.program_abrs(bounds);
     }
 
     /// Performs one demand memory access.
@@ -119,31 +132,12 @@ impl Hierarchy {
         site: AccessSite,
         region: RegionLabel,
     ) -> bool {
-        let base = AccessInfo {
-            addr,
-            kind,
-            site,
-            hint: crate::hint::ReuseHint::Default,
-            region,
+        let mut sink = SimulateAndRecord {
+            llc: &mut self.llc,
+            trace: &mut self.llc_trace,
+            recording: self.recording,
         };
-
-        let on_chip = self.demand_access(&base);
-
-        // The prefetcher observes the demand stream at L1 and issues at most
-        // one prefetch per access.
-        if let Some(prefetcher) = self.prefetcher.as_mut() {
-            if let Some(predicted) = prefetcher.observe(site, addr) {
-                let pf = AccessInfo {
-                    addr: predicted,
-                    kind: AccessKind::Read,
-                    site,
-                    hint: crate::hint::ReuseHint::Default,
-                    region,
-                };
-                self.prefetch_access(&pf);
-            }
-        }
-        on_chip
+        self.upper.access(addr, kind, site, region, &mut sink)
     }
 
     /// Convenience wrapper for a read access.
@@ -156,56 +150,30 @@ impl Hierarchy {
         self.access(addr, AccessKind::Write, site, region)
     }
 
-    fn demand_access(&mut self, info: &AccessInfo) -> bool {
-        if self.l1.access(info).is_hit() {
-            return true;
-        }
-        if self.l2.access(info).is_hit() {
-            return true;
-        }
-        // The LLC request carries the 2-bit reuse hint computed by GRASP's
-        // classification logic (Fig. 4).
-        let llc_info = info.with_hint(self.classifier.classify(info.addr));
-        if self.config.record_llc_trace {
-            self.llc_trace.push(&llc_info);
-        }
-        let hit = self.llc.access(&llc_info).is_hit();
-        if !hit {
-            self.memory_accesses += 1;
-        }
-        hit
-    }
-
-    fn prefetch_access(&mut self, info: &AccessInfo) {
-        if self.l1.prefetch(info).is_hit() {
-            return;
-        }
-        if self.l2.prefetch(info).is_hit() {
-            return;
-        }
-        let llc_info = info.with_hint(self.classifier.classify(info.addr));
-        self.llc.prefetch(&llc_info);
-    }
-
     /// Accumulated statistics of every level.
     pub fn stats(&self) -> HierarchyStats {
         HierarchyStats {
-            l1: self.l1.stats().clone(),
-            l2: self.l2.stats().clone(),
+            l1: self.upper.l1_stats().clone(),
+            l2: self.upper.l2_stats().clone(),
             llc: self.llc.stats().clone(),
-            memory_accesses: self.memory_accesses,
+            memory_accesses: self.llc.memory_accesses(),
         }
     }
 
-    /// The recorded LLC demand-access trace (empty unless
-    /// [`HierarchyConfig::record_llc_trace`] is set).
+    /// The recorded post-L2 trace (empty unless
+    /// [`HierarchyConfig::record_llc_trace`] is set). The upper-level
+    /// context is only attached on [`Hierarchy::into_llc_trace`].
     pub fn llc_trace(&self) -> &LlcTrace {
         &self.llc_trace
     }
 
-    /// Consumes the hierarchy and returns the recorded LLC trace.
+    /// Consumes the hierarchy and returns the recorded trace, with the
+    /// upper-level statistics and programmed ABR bounds attached so the
+    /// trace alone can reproduce full hierarchy statistics on replay.
     pub fn into_llc_trace(self) -> LlcTrace {
-        self.llc_trace
+        let mut trace = self.llc_trace;
+        trace.set_context(self.upper.record_context());
+        trace
     }
 
     /// Estimated execution cycles under `model`, given `instructions` of
@@ -218,13 +186,13 @@ impl Hierarchy {
     /// clears the prefetcher's stride training (used between warm-up and the
     /// region of interest). Without the policy/prefetcher resets, stale RRPV
     /// counters, predictor tables and trained strides from the warm-up phase
-    /// would leak into the measured phase.
+    /// would leak into the measured phase. When recording, a flush marker is
+    /// appended so replay reproduces the reset at the same stream position.
     pub fn flush(&mut self) {
-        self.l1.flush();
-        self.l2.flush();
+        self.upper.flush();
         self.llc.flush();
-        if let Some(prefetcher) = self.prefetcher.as_mut() {
-            prefetcher.reset();
+        if self.recording {
+            self.llc_trace.push_flush();
         }
     }
 }
@@ -235,6 +203,7 @@ mod tests {
     use crate::config::HierarchyConfig;
     use crate::hint::{AddressBoundRegisters, ReuseHint};
     use crate::policy::rrip::Drrip;
+    use crate::trace::TraceEvent;
 
     fn hierarchy(classifier: RegionClassifier) -> Hierarchy {
         let config = HierarchyConfig::scaled_default().with_llc_trace();
@@ -286,10 +255,10 @@ mod tests {
         // far past the two LLC-sized regions is Low-Reuse.
         h.read(0x0, 1, RegionLabel::Property);
         h.read(0xF0000, 1, RegionLabel::Property);
-        let trace = h.llc_trace();
-        assert_eq!(trace.len(), 2);
-        assert_eq!(trace.get(0).hint, ReuseHint::High);
-        assert_eq!(trace.get(1).hint, ReuseHint::Low);
+        let demands = h.llc_trace().demand_vec();
+        assert_eq!(demands.len(), 2);
+        assert_eq!(demands[0].hint, ReuseHint::High);
+        assert_eq!(demands[1].hint, ReuseHint::Low);
     }
 
     #[test]
@@ -339,11 +308,63 @@ mod tests {
     }
 
     #[test]
+    fn flush_markers_are_recorded() {
+        let mut h = hierarchy(RegionClassifier::disabled());
+        h.read(0x40, 1, RegionLabel::Other);
+        h.flush();
+        h.read(0x40, 1, RegionLabel::Other);
+        let events = h.llc_trace().to_vec();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(events[1], TraceEvent::Flush));
+    }
+
+    #[test]
     fn trace_recording_can_be_disabled() {
         let config = HierarchyConfig::scaled_default();
         let llc = Box::new(Drrip::new(config.llc.sets(), config.llc.ways, 1));
         let mut h = Hierarchy::new(config, llc, RegionClassifier::disabled());
         h.read(0x123456, 1, RegionLabel::Property);
         assert!(h.llc_trace().is_empty());
+    }
+
+    #[test]
+    fn dirty_victims_reach_the_llc_as_writebacks() {
+        let mut h = hierarchy(RegionClassifier::disabled());
+        // Touch far more distinct blocks than L1 + L2 hold, writing each:
+        // dirty victims must spill past L2.
+        for i in 0..8192u64 {
+            h.write(i * 64 * 17, 1, RegionLabel::Property);
+        }
+        let stats = h.stats();
+        assert!(stats.llc.writeback_accesses > 0);
+        // The recorded trace carries the same writebacks.
+        let recorded = h
+            .llc_trace()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Writeback(_)))
+            .count() as u64;
+        assert_eq!(recorded, stats.llc.writeback_accesses);
+    }
+
+    #[test]
+    fn recorded_trace_replays_to_identical_hierarchy_stats() {
+        let config = HierarchyConfig::scaled_default().with_llc_trace();
+        let llc = Box::new(Drrip::new(config.llc.sets(), config.llc.ways, 1));
+        let mut h = Hierarchy::new(config, llc, RegionClassifier::disabled());
+        let mut x = 3u64;
+        for i in 0..30_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(13);
+            let addr = (x >> 24) % (4 * 1024 * 1024);
+            if i % 3 == 0 {
+                h.write(addr, 2, RegionLabel::Property);
+            } else {
+                h.read(addr, 1, RegionLabel::Property);
+            }
+        }
+        let direct = h.stats();
+        let trace = h.into_llc_trace();
+        let llc = Box::new(Drrip::new(config.llc.sets(), config.llc.ways, 1));
+        let replayed = trace.replay(config.llc, llc);
+        assert_eq!(direct, replayed, "replay must be bit-identical");
     }
 }

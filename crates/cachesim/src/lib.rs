@@ -50,6 +50,7 @@ pub mod hint;
 pub mod policy;
 pub mod prefetch;
 pub mod request;
+pub mod stage;
 pub mod stats;
 mod swar;
 pub mod timing;
@@ -62,6 +63,7 @@ pub use hierarchy::Hierarchy;
 pub use hint::{AddressBoundRegisters, RegionClassifier, ReuseHint};
 pub use policy::PolicyDispatch;
 pub use request::{AccessInfo, AccessKind, RegionLabel};
+pub use stage::{LlcSink, LlcStage, UpperLevels};
 pub use stats::{CacheStats, HierarchyStats};
 pub use timing::TimingModel;
-pub use trace::LlcTrace;
+pub use trace::{LlcTrace, TraceEvent};

@@ -25,36 +25,54 @@ use std::collections::VecDeque;
 const COUNTER_MAX: u8 = 7;
 const FRIENDLY_THRESHOLD: u8 = 4;
 
-/// Non-block metadata of one history entry (see [`OptGen`]).
-#[derive(Debug, Clone, Copy)]
-struct HistoryMeta {
-    site: AccessSite,
-    /// Number of liveness intervals that currently overlap this position.
-    occupancy: u8,
-    /// Whether a later access to the same block was observed while this entry
-    /// was inside the window (i.e. it served as the start of a usage interval).
-    reused: bool,
-}
-
 /// OPTgen for a single sampled set: a sliding window of past accesses with an
 /// occupancy vector that answers "would OPT have hit this access?".
 ///
-/// The window is stored struct-of-arrays: the per-access backward search for
-/// a block's previous use — the dominant cost of sampled accesses — scans a
-/// dense `u64` sequence instead of striding over 16-byte entries.
+/// Finding a block's previous use — once the dominant cost of sampled
+/// accesses — is gated by a counting presence filter: a zero count for the
+/// block's fingerprint proves the block is not in the window, so the exact
+/// backward search (which is fast when it succeeds: reused blocks recur
+/// within a few entries) only runs for present-or-colliding blocks. Cold
+/// single-use blocks — the bulk of a graph workload's stream — pay one byte
+/// load instead of a full-window scan.
 #[derive(Debug, Clone, Default)]
 struct OptGen {
     blocks: VecDeque<BlockAddr>,
-    meta: VecDeque<HistoryMeta>,
+    /// Per-entry: the site that performed the access.
+    sites: VecDeque<AccessSite>,
+    /// Per-entry: number of liveness intervals overlapping this position.
+    /// Kept as its own byte deque so the interval check (`max < ways`) and
+    /// the interval bump (`+= 1`) run over dense byte slices the compiler
+    /// vectorizes, instead of striding over wide mixed entries.
+    occupancy: VecDeque<u8>,
+    /// Per-entry: whether a later access to the same block was observed while
+    /// the entry was inside the window (it started a usage interval).
+    reused: VecDeque<bool>,
+    /// Counting presence filter over the window, indexed by the block
+    /// fingerprint (256 counters; `u16` so even a maximum-associativity
+    /// window of `64 * 8` entries hashing to one fingerprint cannot
+    /// overflow).
+    filter: Vec<u16>,
     capacity: usize,
     ways: u8,
+}
+
+/// 8-bit block fingerprint for the presence filter. The low 6+ bits of a
+/// block address encode the set index (constant within one OPTgen instance),
+/// so the fingerprint folds the higher bits.
+#[inline]
+fn fingerprint(block: BlockAddr) -> usize {
+    (((block >> 6) ^ (block >> 14) ^ (block >> 22)) & 0xFF) as usize
 }
 
 impl OptGen {
     fn new(ways: usize) -> Self {
         Self {
             blocks: VecDeque::new(),
-            meta: VecDeque::new(),
+            sites: VecDeque::new(),
+            occupancy: VecDeque::new(),
+            reused: VecDeque::new(),
+            filter: vec![0; 256],
             // The ISCA'16 design tracks 8x the associativity of usage
             // intervals per sampled set.
             capacity: ways * 8,
@@ -62,14 +80,65 @@ impl OptGen {
         }
     }
 
-    /// Logical index of the most recent history entry for `block`.
+    /// Returns `true` when no position in `[from..]` is already at full
+    /// occupancy (OPT would have room for the whole usage interval). A
+    /// max-reduce over the byte slices: branch-free, so it vectorizes.
+    #[inline]
+    fn interval_fits(&self, from: usize) -> bool {
+        let (a, b) = self.occupancy.as_slices();
+        let max = if from < a.len() {
+            let ma = a[from..].iter().copied().fold(0, u8::max);
+            let mb = b.iter().copied().fold(0, u8::max);
+            ma.max(mb)
+        } else {
+            b[from - a.len()..].iter().copied().fold(0, u8::max)
+        };
+        max < self.ways
+    }
+
+    /// Adds one liveness interval over `[from..]`.
+    #[inline]
+    fn occupy_interval(&mut self, from: usize) {
+        let split = {
+            let (a, _) = self.occupancy.as_slices();
+            a.len()
+        };
+        let (a, b) = self.occupancy.as_mut_slices();
+        if from < split {
+            for slot in &mut a[from..] {
+                *slot += 1;
+            }
+            for slot in b {
+                *slot += 1;
+            }
+        } else {
+            for slot in &mut b[from - split..] {
+                *slot += 1;
+            }
+        }
+    }
+
+    /// Logical index of the most recent history entry for `block` (`None`
+    /// proven cheaply by the presence filter for most cold blocks).
     #[inline]
     fn rposition_block(&self, block: BlockAddr) -> Option<usize> {
+        if self.filter[fingerprint(block)] == 0 {
+            return None;
+        }
         let (front, back) = self.blocks.as_slices();
         if let Some(pos) = back.iter().rposition(|&b| b == block) {
             return Some(front.len() + pos);
         }
         front.iter().rposition(|&b| b == block)
+    }
+
+    /// Drops every window entry (used on a hierarchy flush).
+    fn clear(&mut self) {
+        self.blocks.clear();
+        self.sites.clear();
+        self.occupancy.clear();
+        self.reused.clear();
+        self.filter.fill(0);
     }
 
     /// Records an access to `block` by `site`. Returns up to two training
@@ -86,31 +155,27 @@ impl OptGen {
     fn record(&mut self, block: BlockAddr, site: AccessSite) -> TrainingEvents {
         let mut events = TrainingEvents::default();
         if let Some(prev_pos) = self.rposition_block(block) {
-            let prev_site = self.meta[prev_pos].site;
-            let interval_fits = self
-                .meta
-                .range(prev_pos..)
-                .all(|entry| entry.occupancy < self.ways);
+            let prev_site = self.sites[prev_pos];
+            let interval_fits = self.interval_fits(prev_pos);
             if interval_fits {
-                for entry in self.meta.range_mut(prev_pos..) {
-                    entry.occupancy += 1;
-                }
+                self.occupy_interval(prev_pos);
             }
-            self.meta[prev_pos].reused = true;
+            self.reused[prev_pos] = true;
             events.push(prev_site, interval_fits);
         }
+        self.filter[fingerprint(block)] += 1;
         self.blocks.push_back(block);
-        self.meta.push_back(HistoryMeta {
-            site,
-            occupancy: 0,
-            reused: false,
-        });
+        self.sites.push_back(site);
+        self.occupancy.push_back(0);
+        self.reused.push_back(false);
         if self.blocks.len() > self.capacity {
-            self.blocks.pop_front();
-            if let Some(evicted) = self.meta.pop_front() {
-                if !evicted.reused {
-                    events.push(evicted.site, false);
-                }
+            if let Some(evicted_block) = self.blocks.pop_front() {
+                self.filter[fingerprint(evicted_block)] -= 1;
+            }
+            let evicted_site = self.sites.pop_front();
+            self.occupancy.pop_front();
+            if let (Some(evicted_site), Some(false)) = (evicted_site, self.reused.pop_front()) {
+                events.push(evicted_site, false);
             }
         }
         events
@@ -298,8 +363,7 @@ impl ReplacementPolicy for Hawkeye {
     fn reset(&mut self) {
         self.rrpv.reset();
         for optgen in &mut self.optgen {
-            optgen.blocks.clear();
-            optgen.meta.clear();
+            optgen.clear();
         }
         self.predictor.fill(FRIENDLY_THRESHOLD);
         self.loader.fill(0);

@@ -1,0 +1,471 @@
+//! The staged view of the cache hierarchy: an upper-level filter stage
+//! (L1 + L2 + stride prefetcher + GRASP's region classification) feeding a
+//! last-level-cache stage through the [`LlcSink`] interface.
+//!
+//! The split exists because everything above the LLC is **independent of the
+//! LLC replacement policy**: L1 and L2 are LRU-managed, the prefetcher
+//! observes the demand stream at L1, and nothing the LLC decides flows back
+//! upward. The post-L2 request stream — demand fills, prefetch fills and
+//! dirty-victim writebacks, each demand/prefetch request carrying its 2-bit
+//! reuse hint — is therefore a pure function of the application. The
+//! record-once / replay-many experiment pipeline exploits exactly this:
+//!
+//! ```text
+//!             ┌────────────────────────── UpperLevels ─────────────────────────┐
+//!  app access │ L1-D (LRU) → L2 (LRU) → RegionClassifier (ABRs → reuse hint)   │
+//!             └──────────────┬─────────────────────────────────────────────────┘
+//!                            │ demand / prefetch / writeback   (LlcSink)
+//!              ┌─────────────┴─────────────┐
+//!              │  LlcStage (policy X)      │   ← simulate now (direct path)
+//!              │  LlcTrace (recorder)      │   ← or record once, replay per policy
+//!              └───────────────────────────┘
+//! ```
+//!
+//! [`crate::Hierarchy`] composes the two stages back into the classic
+//! three-level simulator; [`crate::trace::LlcTrace`] implements [`LlcSink`] as
+//! a pure recorder, and [`LlcTrace::replay`](crate::trace::LlcTrace::replay)
+//! drives a fresh [`LlcStage`] from the recorded stream — through the *same*
+//! code path, which is what makes replayed statistics bit-identical to direct
+//! simulation.
+
+use crate::addr::Address;
+use crate::cache::{AccessOutcome, SetAssocCache};
+use crate::config::{CacheConfig, HierarchyConfig};
+use crate::hint::RegionClassifier;
+use crate::policy::lru::Lru;
+use crate::policy::PolicyDispatch;
+use crate::prefetch::StridePrefetcher;
+use crate::request::{AccessInfo, AccessKind, AccessSite, RegionLabel};
+use crate::stats::CacheStats;
+
+/// Consumer of the post-L2 request stream produced by [`UpperLevels`].
+///
+/// Implemented by [`LlcStage`] (simulate the LLC now) and by
+/// [`crate::trace::LlcTrace`] (record the stream for later replay).
+pub trait LlcSink {
+    /// A demand request that missed L1 and L2. Returns `true` when the
+    /// request hits on chip (i.e. in the LLC); recorders return `false`.
+    fn demand(&mut self, info: &AccessInfo) -> bool;
+
+    /// A prefetch request that missed L1 and L2.
+    fn prefetch(&mut self, info: &AccessInfo);
+
+    /// The writeback of a dirty victim evicted from L2 (or evicted from L1
+    /// and absent in L2).
+    fn writeback(&mut self, addr: Address);
+}
+
+/// The policy-independent upper levels of the hierarchy: L1-D and L2 (both
+/// LRU), the L1 stride prefetcher, and the region classifier that attaches
+/// GRASP's reuse hint to every request on its way to the LLC.
+pub struct UpperLevels {
+    config: HierarchyConfig,
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    classifier: RegionClassifier,
+    prefetcher: Option<StridePrefetcher>,
+    abr_bounds: Vec<(Address, Address)>,
+}
+
+impl std::fmt::Debug for UpperLevels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpperLevels")
+            .field("config", &self.config)
+            .field("classifier_enabled", &self.classifier.is_enabled())
+            .finish()
+    }
+}
+
+impl UpperLevels {
+    /// Creates the filter stage with the given configuration and classifier.
+    pub fn new(config: HierarchyConfig, classifier: RegionClassifier) -> Self {
+        let l1 = SetAssocCache::new(
+            "L1-D",
+            config.l1,
+            Lru::new(config.l1.sets(), config.l1.ways),
+        );
+        let l2 = SetAssocCache::new("L2", config.l2, Lru::new(config.l2.sets(), config.l2.ways));
+        Self {
+            config,
+            l1,
+            l2,
+            classifier,
+            prefetcher: config.prefetch.then(StridePrefetcher::default),
+            abr_bounds: Vec::new(),
+        }
+    }
+
+    /// The hierarchy configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// The region classifier in use.
+    pub fn classifier(&self) -> &RegionClassifier {
+        &self.classifier
+    }
+
+    /// Programs the Address Bound Registers with the bounds of the
+    /// application's Property Arrays and rebuilds the region classifier
+    /// (the software side of GRASP's interface, Sec. III-A).
+    pub fn program_abrs(&mut self, bounds: &[(Address, Address)]) {
+        let mut abrs = crate::hint::AddressBoundRegisters::new();
+        for &(start, end) in bounds {
+            abrs.program(start, end);
+        }
+        self.classifier = RegionClassifier::new(abrs, self.config.llc.size_bytes);
+        self.abr_bounds = bounds.to_vec();
+    }
+
+    /// The most recently programmed ABR bounds (empty when unprogrammed).
+    pub fn abr_bounds(&self) -> &[(Address, Address)] {
+        &self.abr_bounds
+    }
+
+    /// Accumulated L1-D statistics.
+    pub fn l1_stats(&self) -> &CacheStats {
+        self.l1.stats()
+    }
+
+    /// Accumulated L2 statistics.
+    pub fn l2_stats(&self) -> &CacheStats {
+        self.l2.stats()
+    }
+
+    /// Snapshot of everything a recorded trace carries alongside the post-L2
+    /// stream (the single source of truth for both recording paths: the
+    /// trace-recording [`crate::Hierarchy`] and the LLC-free recorder).
+    pub fn record_context(&self) -> crate::trace::RecordContext {
+        crate::trace::RecordContext {
+            l1: self.l1.stats().clone(),
+            l2: self.l2.stats().clone(),
+            abr_bounds: self.abr_bounds.clone(),
+        }
+    }
+
+    /// Performs one demand access, forwarding whatever escapes L2 — the
+    /// demand request itself, at most one prefetch request, and any dirty
+    /// victim writebacks — into `sink`. Returns `true` if the demand access
+    /// hit somewhere on chip.
+    pub fn access(
+        &mut self,
+        addr: Address,
+        kind: AccessKind,
+        site: AccessSite,
+        region: RegionLabel,
+        sink: &mut impl LlcSink,
+    ) -> bool {
+        let base = AccessInfo {
+            addr,
+            kind,
+            site,
+            hint: crate::hint::ReuseHint::Default,
+            region,
+        };
+
+        let on_chip = self.demand(&base, sink);
+
+        // The prefetcher observes the demand stream at L1 and issues at most
+        // one prefetch per access.
+        if let Some(prefetcher) = self.prefetcher.as_mut() {
+            if let Some(predicted) = prefetcher.observe(site, addr) {
+                let pf = AccessInfo {
+                    addr: predicted,
+                    kind: AccessKind::Read,
+                    site,
+                    hint: crate::hint::ReuseHint::Default,
+                    region,
+                };
+                self.prefetch(&pf, sink);
+            }
+        }
+        on_chip
+    }
+
+    fn demand(&mut self, info: &AccessInfo, sink: &mut impl LlcSink) -> bool {
+        let l1 = self.l1.access(info);
+        if l1.is_hit() {
+            return true;
+        }
+        let l2 = self.l2.access(info);
+        let mut on_chip = l2.is_hit();
+        if !on_chip {
+            // The LLC request carries the 2-bit reuse hint computed by
+            // GRASP's classification logic (Fig. 4).
+            let llc_info = info.with_hint(self.classifier.classify(info.addr));
+            on_chip = sink.demand(&llc_info);
+        }
+        self.drain_writebacks(&l1, &l2, sink);
+        on_chip
+    }
+
+    fn prefetch(&mut self, info: &AccessInfo, sink: &mut impl LlcSink) {
+        let l1 = self.l1.prefetch(info);
+        let mut l2 = AccessOutcome {
+            hit: true,
+            evicted: None,
+            evicted_dirty: false,
+            bypassed: false,
+        };
+        if !l1.is_hit() {
+            l2 = self.l2.prefetch(info);
+            if !l2.is_hit() {
+                let llc_info = info.with_hint(self.classifier.classify(info.addr));
+                sink.prefetch(&llc_info);
+            }
+        }
+        self.drain_writebacks(&l1, &l2, sink);
+    }
+
+    /// Routes the dirty victims of one access down the hierarchy: an L1
+    /// victim is written back into L2 (and forwarded to the LLC when L2 does
+    /// not hold the block), an L2 victim goes straight to the LLC.
+    fn drain_writebacks(
+        &mut self,
+        l1: &AccessOutcome,
+        l2: &AccessOutcome,
+        sink: &mut impl LlcSink,
+    ) {
+        if l1.evicted_dirty {
+            if let Some(block) = l1.evicted {
+                let addr = block * self.config.l1.block_bytes;
+                if !self.l2.writeback(addr) {
+                    sink.writeback(addr);
+                }
+            }
+        }
+        if l2.evicted_dirty {
+            if let Some(block) = l2.evicted {
+                sink.writeback(block * self.config.l2.block_bytes);
+            }
+        }
+    }
+
+    /// Invalidates both levels, resets their LRU state and clears the
+    /// prefetcher's stride training.
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+        if let Some(prefetcher) = self.prefetcher.as_mut() {
+            prefetcher.reset();
+        }
+    }
+}
+
+/// The LLC stage: a single set-associative cache under the replacement policy
+/// being evaluated, plus the count of demand requests that fell through to
+/// main memory.
+///
+/// Both the direct simulation path ([`crate::Hierarchy`]) and trace replay
+/// ([`crate::trace::LlcTrace::replay`]) drive this same type, which is what
+/// guarantees bit-identical statistics between the two.
+pub struct LlcStage {
+    cache: SetAssocCache,
+    memory_accesses: u64,
+}
+
+impl std::fmt::Debug for LlcStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LlcStage")
+            .field("policy", &self.cache.policy_name())
+            .field("memory_accesses", &self.memory_accesses)
+            .finish()
+    }
+}
+
+impl LlcStage {
+    /// Creates the LLC stage with the given geometry and replacement policy.
+    pub fn new(config: CacheConfig, policy: impl Into<PolicyDispatch>) -> Self {
+        Self {
+            cache: SetAssocCache::new("LLC", config, policy),
+            memory_accesses: 0,
+        }
+    }
+
+    /// Name of the replacement policy managing the LLC.
+    pub fn policy_name(&self) -> &'static str {
+        self.cache.policy_name()
+    }
+
+    /// Accumulated LLC statistics.
+    pub fn stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    /// Demand requests that had to go to main memory (== demand LLC misses).
+    pub fn memory_accesses(&self) -> u64 {
+        self.memory_accesses
+    }
+
+    /// Simulates one demand request; returns `true` on an LLC hit.
+    #[inline]
+    pub fn demand(&mut self, info: &AccessInfo) -> bool {
+        let hit = self.cache.access(info).is_hit();
+        if !hit {
+            self.memory_accesses += 1;
+        }
+        hit
+    }
+
+    /// Simulates one prefetch request.
+    #[inline]
+    pub fn prefetch(&mut self, info: &AccessInfo) {
+        self.cache.prefetch(info);
+    }
+
+    /// Receives the writeback of a dirty victim from the upper levels.
+    #[inline]
+    pub fn writeback(&mut self, addr: Address) {
+        self.cache.writeback(addr);
+    }
+
+    /// Invalidates the cache and resets the replacement policy (statistics
+    /// and the memory-access count keep accumulating, mirroring
+    /// [`crate::Hierarchy::flush`]).
+    pub fn flush(&mut self) {
+        self.cache.flush();
+    }
+
+    /// Consumes the stage and returns the LLC statistics.
+    pub fn into_stats(self) -> CacheStats {
+        self.cache.stats().clone()
+    }
+}
+
+impl LlcSink for LlcStage {
+    fn demand(&mut self, info: &AccessInfo) -> bool {
+        LlcStage::demand(self, info)
+    }
+
+    fn prefetch(&mut self, info: &AccessInfo) {
+        LlcStage::prefetch(self, info);
+    }
+
+    fn writeback(&mut self, addr: Address) {
+        LlcStage::writeback(self, addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::rrip::Drrip;
+
+    /// A sink that counts what reaches it.
+    #[derive(Default)]
+    struct Counter {
+        demands: usize,
+        prefetches: usize,
+        writebacks: usize,
+    }
+
+    impl LlcSink for Counter {
+        fn demand(&mut self, _info: &AccessInfo) -> bool {
+            self.demands += 1;
+            false
+        }
+
+        fn prefetch(&mut self, _info: &AccessInfo) {
+            self.prefetches += 1;
+        }
+
+        fn writeback(&mut self, _addr: Address) {
+            self.writebacks += 1;
+        }
+    }
+
+    fn upper() -> UpperLevels {
+        UpperLevels::new(
+            HierarchyConfig::scaled_default(),
+            RegionClassifier::disabled(),
+        )
+    }
+
+    #[test]
+    fn repeated_accesses_are_filtered() {
+        let mut u = upper();
+        let mut sink = Counter::default();
+        for _ in 0..10 {
+            u.access(0x40, AccessKind::Read, 1, RegionLabel::Property, &mut sink);
+        }
+        assert_eq!(sink.demands, 1, "only the first access escapes L1");
+        assert_eq!(u.l1_stats().accesses, 10);
+        assert_eq!(u.l2_stats().accesses, 1);
+    }
+
+    #[test]
+    fn streaming_accesses_produce_prefetch_requests() {
+        let mut u = upper();
+        let mut sink = Counter::default();
+        for i in 0..4096u64 {
+            u.access(
+                i * 64,
+                AccessKind::Read,
+                2,
+                RegionLabel::EdgeArray,
+                &mut sink,
+            );
+        }
+        assert!(sink.prefetches > 0, "stride stream must trigger prefetches");
+    }
+
+    #[test]
+    fn dirty_victims_are_written_back_post_l2() {
+        let mut u = upper();
+        let mut sink = Counter::default();
+        // Write far more distinct blocks than L1 + L2 hold: dirty victims
+        // must eventually spill past L2 into the sink.
+        for i in 0..4096u64 {
+            u.access(
+                i * 64 * 17,
+                AccessKind::Write,
+                3,
+                RegionLabel::Property,
+                &mut sink,
+            );
+        }
+        assert!(sink.writebacks > 0, "dirty evictions must reach the LLC");
+        assert!(
+            sink.writebacks <= 2 * (sink.demands + sink.prefetches),
+            "at most two post-L2 writebacks per filled request (one per level)"
+        );
+    }
+
+    #[test]
+    fn clean_traffic_produces_no_writebacks() {
+        let mut u = upper();
+        let mut sink = Counter::default();
+        for i in 0..4096u64 {
+            u.access(
+                i * 64 * 17,
+                AccessKind::Read,
+                3,
+                RegionLabel::Property,
+                &mut sink,
+            );
+        }
+        assert_eq!(sink.writebacks, 0, "reads never dirty a block");
+    }
+
+    #[test]
+    fn llc_stage_counts_memory_accesses() {
+        let config = CacheConfig::new(64 * 256, 16, 64);
+        let mut stage = LlcStage::new(config, Drrip::new(config.sets(), config.ways, 1));
+        stage.demand(&AccessInfo::read(0x40));
+        stage.demand(&AccessInfo::read(0x40));
+        assert_eq!(stage.stats().accesses, 2);
+        assert_eq!(stage.stats().misses, 1);
+        assert_eq!(stage.memory_accesses(), 1);
+    }
+
+    #[test]
+    fn llc_stage_flush_keeps_counters() {
+        let config = CacheConfig::new(64 * 256, 16, 64);
+        let mut stage = LlcStage::new(config, Drrip::new(config.sets(), config.ways, 1));
+        stage.demand(&AccessInfo::read(0x40));
+        stage.flush();
+        stage.demand(&AccessInfo::read(0x40));
+        assert_eq!(stage.memory_accesses(), 2, "flush invalidates the block");
+        assert_eq!(stage.stats().accesses, 2);
+    }
+}

@@ -36,6 +36,12 @@ pub struct CacheStats {
     pub prefetch_accesses: u64,
     /// Prefetch requests that missed and triggered a fill at this level.
     pub prefetch_fills: u64,
+    /// Writebacks of dirty victims received from the level above (not counted
+    /// in `accesses`).
+    pub writeback_accesses: u64,
+    /// Writebacks that found their block resident at this level. Misses are
+    /// forwarded towards memory without allocating.
+    pub writeback_hits: u64,
     /// Per-region demand counters, indexed by [`RegionLabel::ALL`] order.
     region: [RegionCounters; RegionLabel::ALL.len()],
 }
@@ -65,6 +71,14 @@ impl CacheStats {
         self.prefetch_accesses += 1;
         if filled {
             self.prefetch_fills += 1;
+        }
+    }
+
+    /// Records a writeback received from the level above and whether it hit.
+    pub fn record_writeback(&mut self, hit: bool) {
+        self.writeback_accesses += 1;
+        if hit {
+            self.writeback_hits += 1;
         }
     }
 
@@ -175,5 +189,17 @@ mod tests {
         assert_eq!(s.prefetch_accesses, 2);
         assert_eq!(s.prefetch_fills, 1);
         assert_eq!(s.accesses, 0, "prefetches are not demand accesses");
+    }
+
+    #[test]
+    fn writeback_counters_are_separate() {
+        let mut s = CacheStats::new();
+        s.record_writeback(true);
+        s.record_writeback(false);
+        s.record_writeback(false);
+        assert_eq!(s.writeback_accesses, 3);
+        assert_eq!(s.writeback_hits, 1);
+        assert_eq!(s.accesses, 0, "writebacks are not demand accesses");
+        assert_eq!(s.miss_ratio(), 0.0);
     }
 }

@@ -1,15 +1,40 @@
-//! LLC access traces and trace replay.
+//! The canonical post-L2 request stream: recording and replay.
 //!
-//! Two workflows use recorded traces:
+//! [`LlcTrace`] is the exchange format of the record-once / replay-many
+//! experiment pipeline. One recording run captures everything the LLC will
+//! ever see — demand requests, prefetch requests and dirty-victim writebacks,
+//! in program order, each demand/prefetch request carrying the reuse hint the
+//! classifier attached at record time — together with the upper-level (L1/L2)
+//! statistics and the programmed Address Bound Register bounds. Because the
+//! upper levels are independent of the LLC replacement policy, a single
+//! recording can then be replayed under any number of policies, and
+//! [`LlcTrace::replay`] reproduces the **full** [`HierarchyStats`] of a
+//! direct simulation bit-for-bit.
 //!
-//! 1. **OPT comparison (Fig. 11 / Table VII).** The hierarchy records the
-//!    demand LLC access stream; [`crate::policy::opt::optimal_misses`]
-//!    computes the minimum achievable misses while [`replay`] re-runs the same
-//!    stream under online policies (LRU, RRIP, GRASP) — possibly for a
-//!    *different* LLC size, in which case [`replay_with_classifier`]
-//!    recomputes the reuse hints for the new High/Moderate region extents.
-//! 2. **Policy micro-benchmarks**, which measure simulator throughput on
-//!    synthetic traces.
+//! Three workflows use recorded traces:
+//!
+//! 1. **Replay-mode campaigns** (`grasp-core`): record each
+//!    (dataset, reordering, application) cell once, fan the stream out across
+//!    the policy grid.
+//! 2. **OPT comparison (Fig. 11 / Table VII).**
+//!    [`crate::policy::opt::optimal_misses`] computes the minimum achievable
+//!    misses on the demand stream ([`LlcTrace::demand_vec`]) while the online
+//!    policies replay the same stream — possibly for a *different* LLC size,
+//!    in which case [`LlcTrace::replay_with_classifier`] recomputes the reuse
+//!    hints for the new High/Moderate region extents (the recorded ABR bounds
+//!    make that classifier reconstructible from the trace alone).
+//! 3. **Policy micro-benchmarks**, which measure simulator throughput on
+//!    synthetic traces (the [`replay`] free function).
+//!
+//! # Layout
+//!
+//! Records are packed into a struct-of-arrays pair of a 64-bit address and a
+//! 32-bit metadata word (kind, hint, region, site — 12 bytes per record), and
+//! the arrays are **chunked**: storage grows in fixed-size chunks of
+//! [`CHUNK_RECORDS`] records instead of one contiguous allocation. Appending
+//! never relocates more than one chunk, so a long recording costs neither the
+//! 2× transient footprint nor the O(len) copy of `Vec` doubling — the trace
+//! spills gracefully as it grows.
 
 use crate::addr::Address;
 use crate::cache::SetAssocCache;
@@ -17,30 +42,38 @@ use crate::config::CacheConfig;
 use crate::hint::{RegionClassifier, ReuseHint};
 use crate::policy::PolicyDispatch;
 use crate::request::{AccessInfo, AccessKind, RegionLabel};
-use crate::stats::CacheStats;
+use crate::stage::{LlcSink, LlcStage};
+use crate::stats::{CacheStats, HierarchyStats};
 
-/// A compact, append-only record of demand LLC accesses.
-///
-/// The OPT study records every post-L2 access of a run; storing full
-/// [`AccessInfo`] values (16 bytes each) made the recording loop both
-/// allocation- and bandwidth-heavy. `LlcTrace` packs each record into a
-/// 64-bit address plus a 32-bit metadata word (kind, hint, region, site) in
-/// struct-of-arrays layout and supports pre-sizing via
-/// [`LlcTrace::with_capacity`] / [`LlcTrace::reserve`], so the hot loop
-/// neither reallocates nor writes padding bytes.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct LlcTrace {
-    addrs: Vec<Address>,
-    meta: Vec<u32>,
-}
+/// Records per storage chunk (a 64 Ki-record chunk is 768 KiB).
+pub const CHUNK_RECORDS: usize = 1 << 16;
+const CHUNK_SHIFT: u32 = CHUNK_RECORDS.trailing_zeros();
+const CHUNK_MASK: usize = CHUNK_RECORDS - 1;
 
 const META_WRITE_BIT: u32 = 1;
 const META_HINT_SHIFT: u32 = 1;
 const META_REGION_SHIFT: u32 = 3;
+/// Event-kind bits (mutually exclusive; all clear = demand).
+const META_PREFETCH_BIT: u32 = 1 << 6;
+const META_WRITEBACK_BIT: u32 = 1 << 7;
+const META_FLUSH_BIT: u32 = 1 << 8;
 const META_SITE_SHIFT: u32 = 16;
 
-fn encode_meta(info: &AccessInfo) -> u32 {
-    let mut meta = 0u32;
+/// One event of the recorded post-L2 stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A demand request that missed L1 and L2 (hint attached at record time).
+    Demand(AccessInfo),
+    /// A prefetch request that missed L1 and L2.
+    Prefetch(AccessInfo),
+    /// The writeback of a dirty victim evicted past L2.
+    Writeback(Address),
+    /// A hierarchy flush between experiment phases.
+    Flush,
+}
+
+fn encode_meta(info: &AccessInfo, kind_bit: u32) -> u32 {
+    let mut meta = kind_bit;
     if info.is_write() {
         meta |= META_WRITE_BIT;
     }
@@ -50,7 +83,7 @@ fn encode_meta(info: &AccessInfo) -> u32 {
     meta
 }
 
-fn decode_record(addr: Address, meta: u32) -> AccessInfo {
+fn decode_info(addr: Address, meta: u32) -> AccessInfo {
     AccessInfo {
         addr,
         kind: if meta & META_WRITE_BIT != 0 {
@@ -64,73 +97,289 @@ fn decode_record(addr: Address, meta: u32) -> AccessInfo {
     }
 }
 
+fn decode_event(addr: Address, meta: u32) -> TraceEvent {
+    if meta & META_WRITEBACK_BIT != 0 {
+        TraceEvent::Writeback(addr)
+    } else if meta & META_FLUSH_BIT != 0 {
+        TraceEvent::Flush
+    } else if meta & META_PREFETCH_BIT != 0 {
+        TraceEvent::Prefetch(decode_info(addr, meta))
+    } else {
+        TraceEvent::Demand(decode_info(addr, meta))
+    }
+}
+
+/// One fixed-capacity struct-of-arrays storage chunk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Chunk {
+    addrs: Vec<Address>,
+    meta: Vec<u32>,
+}
+
+impl Chunk {
+    fn is_full(&self) -> bool {
+        self.addrs.len() == CHUNK_RECORDS
+    }
+}
+
+/// Upper-level state recorded alongside the post-L2 stream: everything replay
+/// needs to rebuild full hierarchy statistics (and the classifier) without
+/// re-running the application.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordContext {
+    /// Final L1-D statistics of the recording run.
+    pub l1: CacheStats,
+    /// Final L2 statistics of the recording run.
+    pub l2: CacheStats,
+    /// The Address Bound Register bounds the application programmed (empty
+    /// when the ABRs stayed unprogrammed).
+    pub abr_bounds: Vec<(Address, Address)>,
+}
+
+/// A compact, append-only record of the post-L2 request stream (see the
+/// module docs for the role it plays in the record/replay pipeline).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LlcTrace {
+    chunks: Vec<Chunk>,
+    len: usize,
+    demand_len: usize,
+    context: RecordContext,
+}
+
 impl LlcTrace {
     /// Creates an empty trace.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Creates an empty trace with room for `capacity` records.
+    /// Creates an empty trace with chunk slots pre-reserved for `capacity`
+    /// records.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self {
-            addrs: Vec::with_capacity(capacity),
-            meta: Vec::with_capacity(capacity),
+        let mut trace = Self::default();
+        trace.reserve(capacity);
+        trace
+    }
+
+    /// Pre-reserves storage for at least `additional` more records. Only
+    /// bounded work is done eagerly: the chunk directory is sized and the
+    /// current chunk is grown to its fixed capacity; further chunks are
+    /// allocated lazily as recording proceeds.
+    pub fn reserve(&mut self, additional: usize) {
+        let total_chunks = (self.len + additional).div_ceil(CHUNK_RECORDS);
+        self.chunks
+            .reserve(total_chunks.saturating_sub(self.chunks.len()));
+        if additional > 0 {
+            if self.chunks.is_empty() {
+                self.chunks.push(Chunk::default());
+            }
+            let last = self.chunks.last_mut().expect("just ensured");
+            let want = additional.min(CHUNK_RECORDS - last.addrs.len());
+            last.addrs.reserve(want);
+            last.meta.reserve(want);
         }
     }
 
-    /// Ensures room for at least `additional` more records.
-    pub fn reserve(&mut self, additional: usize) {
-        self.addrs.reserve(additional);
-        self.meta.reserve(additional);
+    /// Estimated number of post-L2 records for a run over `edges` edges and
+    /// `iterations` traced iterations.
+    ///
+    /// The edge stream dominates the access stream and the upper levels
+    /// filter most of it, so a quarter of the touched edges pre-sizes the
+    /// trace without reallocation in the common case. The cap bounds the
+    /// eager commitment (~50 MB of records) when many recording runs share a
+    /// machine — e.g. a recording campaign with one worker per core; the
+    /// trace still grows past it chunk by chunk if needed.
+    pub fn estimate_capacity(edges: u64, iterations: u64) -> usize {
+        (edges * iterations.max(1) / 4).min(1 << 22) as usize
     }
 
-    /// Appends one record.
+    #[inline]
+    fn push_raw(&mut self, addr: Address, meta: u32) {
+        if self.chunks.last().is_none_or(Chunk::is_full) {
+            let mut chunk = Chunk::default();
+            chunk.addrs.reserve(CHUNK_RECORDS);
+            chunk.meta.reserve(CHUNK_RECORDS);
+            self.chunks.push(chunk);
+        }
+        let chunk = self.chunks.last_mut().expect("just ensured");
+        chunk.addrs.push(addr);
+        chunk.meta.push(meta);
+        self.len += 1;
+    }
+
+    /// Appends one demand record.
     #[inline]
     pub fn push(&mut self, info: &AccessInfo) {
-        self.addrs.push(info.addr);
-        self.meta.push(encode_meta(info));
+        self.push_raw(info.addr, encode_meta(info, 0));
+        self.demand_len += 1;
     }
 
-    /// Number of recorded accesses.
+    /// Appends one prefetch record.
+    #[inline]
+    pub fn push_prefetch(&mut self, info: &AccessInfo) {
+        self.push_raw(info.addr, encode_meta(info, META_PREFETCH_BIT));
+    }
+
+    /// Appends one writeback record.
+    #[inline]
+    pub fn push_writeback(&mut self, addr: Address) {
+        self.push_raw(addr, META_WRITEBACK_BIT);
+    }
+
+    /// Appends a flush marker (hierarchy flushed between experiment phases).
+    pub fn push_flush(&mut self) {
+        self.push_raw(0, META_FLUSH_BIT);
+    }
+
+    /// Total number of recorded events (demand + prefetch + writeback +
+    /// flush markers).
     pub fn len(&self) -> usize {
-        self.addrs.len()
+        self.len
     }
 
     /// Returns `true` when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.addrs.is_empty()
+        self.len == 0
     }
 
-    /// Decodes the record at `index`.
+    /// Number of demand records (== the LLC's demand accesses).
+    pub fn demand_len(&self) -> usize {
+        self.demand_len
+    }
+
+    /// Upper-level statistics and ABR bounds recorded alongside the stream.
+    pub fn context(&self) -> &RecordContext {
+        &self.context
+    }
+
+    /// Attaches the recording run's upper-level context (called once, when
+    /// recording finishes).
+    pub fn set_context(&mut self, context: RecordContext) {
+        self.context = context;
+    }
+
+    /// The Address Bound Register bounds programmed during the recording run.
+    pub fn abr_bounds(&self) -> &[(Address, Address)] {
+        &self.context.abr_bounds
+    }
+
+    /// Decodes the event at `index`.
     ///
     /// # Panics
     ///
     /// Panics if `index >= len()`.
-    pub fn get(&self, index: usize) -> AccessInfo {
-        decode_record(self.addrs[index], self.meta[index])
+    pub fn get(&self, index: usize) -> TraceEvent {
+        assert!(
+            index < self.len,
+            "index {index} out of bounds ({})",
+            self.len
+        );
+        let chunk = &self.chunks[index >> CHUNK_SHIFT];
+        let offset = index & CHUNK_MASK;
+        decode_event(chunk.addrs[offset], chunk.meta[offset])
     }
 
-    /// Iterates over the decoded records.
-    pub fn iter(&self) -> impl Iterator<Item = AccessInfo> + '_ {
-        self.addrs
-            .iter()
-            .zip(&self.meta)
-            .map(|(&addr, &meta)| decode_record(addr, meta))
+    /// Iterates over the decoded events in record order.
+    pub fn iter(&self) -> impl Iterator<Item = TraceEvent> + '_ {
+        self.chunks.iter().flat_map(|chunk| {
+            chunk
+                .addrs
+                .iter()
+                .zip(&chunk.meta)
+                .map(|(&addr, &meta)| decode_event(addr, meta))
+        })
     }
 
-    /// Decodes the whole trace into a `Vec<AccessInfo>` (for consumers that
-    /// need repeated random access, like the OPT replay sweeps).
-    pub fn to_vec(&self) -> Vec<AccessInfo> {
+    /// Decodes the whole event stream into a `Vec`.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
         self.iter().collect()
+    }
+
+    /// Iterates over the demand requests only (the stream Belady's OPT and
+    /// the legacy single-cache replay helpers operate on).
+    pub fn demand_accesses(&self) -> impl Iterator<Item = AccessInfo> + '_ {
+        self.iter().filter_map(|event| match event {
+            TraceEvent::Demand(info) => Some(info),
+            _ => None,
+        })
+    }
+
+    /// Decodes the demand requests into a `Vec<AccessInfo>` (for consumers
+    /// that need repeated random access, like the OPT replay sweeps).
+    pub fn demand_vec(&self) -> Vec<AccessInfo> {
+        self.demand_accesses().collect()
+    }
+
+    /// Replays the recorded stream through a fresh [`LlcStage`] with the
+    /// given policy and returns the **full** hierarchy statistics of the run:
+    /// the recorded L1/L2 stats plus the replayed LLC stats, bit-identical to
+    /// having simulated the whole hierarchy directly under that policy.
+    pub fn replay(&self, config: CacheConfig, policy: impl Into<PolicyDispatch>) -> HierarchyStats {
+        self.replay_impl(config, policy, None)
+    }
+
+    /// Replays with reuse hints *recomputed* by `classifier` (used when the
+    /// replayed LLC size differs from the size the trace was recorded with,
+    /// e.g. the Table VII LLC-size sweep — rebuild the classifier from
+    /// [`LlcTrace::abr_bounds`]). The recorded L1/L2 statistics still
+    /// describe the recording hierarchy.
+    pub fn replay_with_classifier(
+        &self,
+        config: CacheConfig,
+        policy: impl Into<PolicyDispatch>,
+        classifier: &RegionClassifier,
+    ) -> HierarchyStats {
+        self.replay_impl(config, policy, Some(classifier))
+    }
+
+    fn replay_impl(
+        &self,
+        config: CacheConfig,
+        policy: impl Into<PolicyDispatch>,
+        reclassify: Option<&RegionClassifier>,
+    ) -> HierarchyStats {
+        let rehint = |info: AccessInfo| match reclassify {
+            Some(classifier) => info.with_hint(classifier.classify(info.addr)),
+            None => info,
+        };
+        let mut stage = LlcStage::new(config, policy);
+        for event in self.iter() {
+            match event {
+                TraceEvent::Demand(info) => {
+                    stage.demand(&rehint(info));
+                }
+                TraceEvent::Prefetch(info) => stage.prefetch(&rehint(info)),
+                TraceEvent::Writeback(addr) => stage.writeback(addr),
+                TraceEvent::Flush => stage.flush(),
+            }
+        }
+        self.assemble(stage)
+    }
+
+    fn assemble(&self, stage: LlcStage) -> HierarchyStats {
+        HierarchyStats {
+            l1: self.context.l1.clone(),
+            l2: self.context.l2.clone(),
+            memory_accesses: stage.memory_accesses(),
+            llc: stage.into_stats(),
+        }
     }
 }
 
-impl<'a> IntoIterator for &'a LlcTrace {
-    type Item = AccessInfo;
-    type IntoIter = Box<dyn Iterator<Item = AccessInfo> + 'a>;
+/// Recording sink: the trace consumes the post-L2 stream produced by
+/// [`crate::stage::UpperLevels`] without simulating an LLC (demand requests
+/// report a miss, which nothing above the LLC observes).
+impl LlcSink for LlcTrace {
+    fn demand(&mut self, info: &AccessInfo) -> bool {
+        self.push(info);
+        false
+    }
 
-    fn into_iter(self) -> Self::IntoIter {
-        Box::new(self.iter())
+    fn prefetch(&mut self, info: &AccessInfo) {
+        self.push_prefetch(info);
+    }
+
+    fn writeback(&mut self, addr: Address) {
+        self.push_writeback(addr);
     }
 }
 
@@ -144,8 +393,9 @@ impl FromIterator<AccessInfo> for LlcTrace {
     }
 }
 
-/// Replays a recorded LLC access trace through a standalone LLC with the
-/// given policy and returns the resulting statistics.
+/// Replays a demand-access trace through a standalone LLC with the given
+/// policy and returns the resulting statistics (synthetic-trace workflows;
+/// recorded runs should prefer [`LlcTrace::replay`]).
 pub fn replay(
     trace: &[AccessInfo],
     config: CacheConfig,
@@ -158,9 +408,8 @@ pub fn replay(
     cache.stats().clone()
 }
 
-/// Replays a trace with reuse hints *recomputed* by `classifier` (used when
-/// the replayed LLC size differs from the size the trace was recorded with,
-/// e.g. the Table VII LLC-size sweep).
+/// Replays a demand-access trace with reuse hints *recomputed* by
+/// `classifier` (LLC-size sweeps over synthetic or decoded traces).
 pub fn replay_with_classifier(
     trace: &[AccessInfo],
     config: CacheConfig,
@@ -302,12 +551,81 @@ mod tests {
             trace.push(info);
         }
         assert_eq!(trace.len(), 3);
+        assert_eq!(trace.demand_len(), 3);
         for (i, expected) in infos.iter().enumerate() {
-            assert_eq!(&trace.get(i), expected);
+            assert_eq!(trace.get(i), TraceEvent::Demand(*expected));
         }
-        assert_eq!(trace.to_vec(), infos.to_vec());
-        let rebuilt: LlcTrace = trace.iter().collect();
+        assert_eq!(trace.demand_vec(), infos.to_vec());
+        let rebuilt: LlcTrace = trace.demand_accesses().collect();
         assert_eq!(rebuilt, trace);
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let demand = AccessInfo::write(0x40)
+            .with_site(9)
+            .with_hint(ReuseHint::Low)
+            .with_region(RegionLabel::Property);
+        let prefetch = AccessInfo::read(0x80)
+            .with_site(9)
+            .with_hint(ReuseHint::Moderate)
+            .with_region(RegionLabel::EdgeArray);
+        let mut trace = LlcTrace::new();
+        trace.push(&demand);
+        trace.push_prefetch(&prefetch);
+        trace.push_writeback(0xFFC0);
+        trace.push_flush();
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.demand_len(), 1);
+        assert_eq!(
+            trace.to_vec(),
+            vec![
+                TraceEvent::Demand(demand),
+                TraceEvent::Prefetch(prefetch),
+                TraceEvent::Writeback(0xFFC0),
+                TraceEvent::Flush,
+            ]
+        );
+        assert_eq!(trace.demand_vec(), vec![demand]);
+    }
+
+    #[test]
+    fn chunked_storage_preserves_order_across_boundaries() {
+        let mut trace = LlcTrace::new();
+        let total = CHUNK_RECORDS + CHUNK_RECORDS / 2;
+        for i in 0..total {
+            trace.push(&AccessInfo::read(i as u64 * 64).with_site((i % 7) as u16));
+        }
+        assert_eq!(trace.len(), total);
+        // Spot-check around the chunk boundary plus random access deep in.
+        for i in [
+            0,
+            CHUNK_RECORDS - 1,
+            CHUNK_RECORDS,
+            CHUNK_RECORDS + 1,
+            total - 1,
+        ] {
+            match trace.get(i) {
+                TraceEvent::Demand(info) => {
+                    assert_eq!(info.addr, i as u64 * 64);
+                    assert_eq!(info.site, (i % 7) as u16);
+                }
+                other => panic!("expected demand at {i}, got {other:?}"),
+            }
+        }
+        assert_eq!(trace.iter().count(), total);
+    }
+
+    #[test]
+    fn capacity_estimate_scales_and_caps() {
+        assert_eq!(LlcTrace::estimate_capacity(1000, 4), 1000);
+        // Zero iterations are clamped to one traced iteration.
+        assert_eq!(LlcTrace::estimate_capacity(1000, 0), 250);
+        assert_eq!(
+            LlcTrace::estimate_capacity(u64::MAX / 8, 2),
+            1 << 22,
+            "estimate must stay capped for huge runs"
+        );
     }
 
     #[test]
@@ -315,6 +633,20 @@ mod tests {
         assert!((misses_eliminated_pct(100, 80) - 20.0).abs() < 1e-12);
         assert!((misses_eliminated_pct(100, 120) + 20.0).abs() < 1e-12);
         assert_eq!(misses_eliminated_pct(0, 10), 0.0);
+    }
+
+    #[test]
+    fn trace_replay_reports_full_hierarchy_stats() {
+        let mut trace: LlcTrace = thrashy_trace(32, 128, 4).into_iter().collect();
+        let mut context = RecordContext::default();
+        context.l1.record(RegionLabel::Property, false);
+        context.l2.record(RegionLabel::Property, false);
+        trace.set_context(context);
+        let config = llc_config();
+        let stats = trace.replay(config, Box::new(Lru::new(config.sets(), config.ways)));
+        assert_eq!(stats.l1.accesses, 1, "recorded upper stats are carried");
+        assert_eq!(stats.llc.accesses as usize, trace.demand_len());
+        assert_eq!(stats.memory_accesses, stats.llc.misses);
     }
 
     #[test]
@@ -329,14 +661,15 @@ mod tests {
         assert_eq!(small.classify(addr), ReuseHint::Low);
         assert_eq!(large.classify(addr), ReuseHint::High);
 
-        let trace = vec![AccessInfo::read(addr).with_hint(small.classify(addr))];
+        let trace: LlcTrace = [AccessInfo::read(addr).with_hint(small.classify(addr))]
+            .into_iter()
+            .collect();
         let config = llc_config();
-        let stats = replay_with_classifier(
-            &trace,
+        let stats = trace.replay_with_classifier(
             config,
             Box::new(Grasp::new(config.sets(), config.ways, 1)),
             &large,
         );
-        assert_eq!(stats.accesses, 1);
+        assert_eq!(stats.llc.accesses, 1);
     }
 }

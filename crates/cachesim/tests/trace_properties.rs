@@ -1,0 +1,97 @@
+//! Property tests for the canonical post-L2 trace: the chunked SoA storage
+//! must round-trip arbitrary event sequences exactly (`push`/`get`/`iter`/
+//! `to_vec` always agree), and replay must be deterministic.
+
+use grasp_cachesim::config::CacheConfig;
+use grasp_cachesim::hint::ReuseHint;
+use grasp_cachesim::policy::grasp::Grasp;
+use grasp_cachesim::policy::lru::Lru;
+use grasp_cachesim::request::{AccessInfo, RegionLabel};
+use grasp_cachesim::trace::{LlcTrace, TraceEvent};
+use proptest::prelude::*;
+
+/// An arbitrary event: selector (demand read / demand write / prefetch /
+/// writeback), block index, site, hint selector, region selector.
+fn arb_events() -> impl Strategy<Value = Vec<TraceEvent>> {
+    proptest::collection::vec((0u8..4, 0u64..4096, 0u16..32, 0u8..4, 0u8..5), 1..800).prop_map(
+        |entries| {
+            entries
+                .into_iter()
+                .map(|(kind, blk, site, hint, region)| {
+                    let addr = blk * 64;
+                    let info = AccessInfo::read(addr)
+                        .with_site(site)
+                        .with_hint(ReuseHint::decode(hint))
+                        .with_region(RegionLabel::ALL[region as usize]);
+                    match kind {
+                        0 => TraceEvent::Demand(info),
+                        1 => TraceEvent::Demand(AccessInfo {
+                            kind: grasp_cachesim::AccessKind::Write,
+                            ..info
+                        }),
+                        2 => TraceEvent::Prefetch(info),
+                        _ => TraceEvent::Writeback(addr),
+                    }
+                })
+                .collect()
+        },
+    )
+}
+
+fn build(events: &[TraceEvent]) -> LlcTrace {
+    let mut trace = LlcTrace::new();
+    for event in events {
+        match event {
+            TraceEvent::Demand(info) => trace.push(info),
+            TraceEvent::Prefetch(info) => trace.push_prefetch(info),
+            TraceEvent::Writeback(addr) => trace.push_writeback(*addr),
+            TraceEvent::Flush => trace.push_flush(),
+        }
+    }
+    trace
+}
+
+proptest! {
+    #[test]
+    fn push_get_iter_and_to_vec_agree(events in arb_events()) {
+        let trace = build(&events);
+        prop_assert_eq!(trace.len(), events.len());
+        let demand_count = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Demand(_)))
+            .count();
+        prop_assert_eq!(trace.demand_len(), demand_count);
+        // get() agrees with the source events...
+        for (i, expected) in events.iter().enumerate() {
+            prop_assert_eq!(&trace.get(i), expected, "index {}", i);
+        }
+        // ...and with iter() / to_vec().
+        let iterated: Vec<TraceEvent> = trace.iter().collect();
+        prop_assert_eq!(&iterated, &events);
+        prop_assert_eq!(&trace.to_vec(), &events);
+        // The demand view is the demand subsequence, in order.
+        let demands: Vec<AccessInfo> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Demand(info) => Some(*info),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(trace.demand_vec(), demands);
+    }
+
+    #[test]
+    fn replay_is_deterministic_across_repeated_runs(events in arb_events()) {
+        let trace = build(&events);
+        let config = CacheConfig::new(64 * 128, 8, 64);
+        let lru_a = trace.replay(config, Lru::new(config.sets(), config.ways));
+        let lru_b = trace.replay(config, Lru::new(config.sets(), config.ways));
+        prop_assert_eq!(&lru_a, &lru_b);
+        let grasp_a = trace.replay(config, Grasp::new(config.sets(), config.ways, 7));
+        let grasp_b = trace.replay(config, Grasp::new(config.sets(), config.ways, 7));
+        prop_assert_eq!(&grasp_a, &grasp_b);
+        // Internal consistency of the replayed hierarchy view.
+        prop_assert_eq!(lru_a.llc.accesses as usize, trace.demand_len());
+        prop_assert_eq!(lru_a.memory_accesses, lru_a.llc.misses);
+    }
+}

@@ -4,18 +4,27 @@
 //! application × LLC-policy simulations. The bench harness used to walk that
 //! grid serially, rebuilding and re-reordering the dataset for every cell. A
 //! [`Campaign`] expresses the whole grid declaratively and runs it on a
-//! thread pool:
+//! thread pool according to an execution plan:
 //!
 //! * each dataset is **generated once**,
 //! * each (dataset, technique, traversal-direction) graph is **reordered
 //!   once** and shared across cells via `Arc<Csr>`,
-//! * the remaining (app, policy) fan-out runs on worker threads, and
+//! * in the default [`ExecutionMode::Replay`] plan, each
+//!   (dataset, technique, application) cell is **executed once** — the
+//!   application runs through the policy-independent upper levels and the
+//!   post-L2 stream is recorded ([`Experiment::record`]) — and the policy
+//!   axis is served by **replaying** the recorded stream, so an N-policy
+//!   sweep pays the application and L1/L2 cost once instead of N times,
+//! * both the record jobs and the replay jobs fan out on worker threads, and
 //! * results are collected **deterministically in grid order** regardless of
-//!   thread count or scheduling.
+//!   mode, thread count or scheduling.
 //!
-//! Per-cell statistics are bit-identical to running
-//! [`Experiment::run`] serially: every cell simulates an independent
-//! hierarchy, so parallelism only changes wall-clock time.
+//! Per-cell statistics are bit-identical to running [`Experiment::run`]
+//! serially — in replay mode because the recorded stream is replayed through
+//! the same LLC-stage code the direct path simulates (pinned by
+//! `tests/replay_parity.rs`). [`ExecutionMode::Direct`] keeps the original
+//! run-every-cell plan as a fallback for workloads where recording is
+//! undesirable (e.g. single-policy grids dominated by trace volume).
 //!
 //! ```no_run
 //! use grasp_core::campaign::Campaign;
@@ -45,6 +54,19 @@ use grasp_reorder::TechniqueKind;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
+
+/// How a campaign turns its grid into simulations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Record each (dataset, technique, application) stream once, replay it
+    /// under every policy of the grid (the default: several times faster for
+    /// multi-policy sweeps, bit-identical results).
+    #[default]
+    Replay,
+    /// Run every cell through the full hierarchy independently (the original
+    /// plan; no traces are kept alive beyond a cell).
+    Direct,
+}
 
 /// One coordinate of a campaign grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,6 +100,7 @@ pub struct Campaign {
     policies: Vec<PolicyKind>,
     hierarchy: Option<HierarchyConfig>,
     record_trace: bool,
+    mode: ExecutionMode,
     threads: usize,
 }
 
@@ -85,8 +108,8 @@ impl Campaign {
     /// Creates an empty campaign at the given scale.
     ///
     /// Defaults: the DBG reordering of the headline figures, the
-    /// scale-appropriate hierarchy, no trace recording, and one worker per
-    /// available CPU.
+    /// scale-appropriate hierarchy, no trace recording, the record/replay
+    /// execution plan, and one worker per available CPU.
     pub fn new(scale: Scale) -> Self {
         Self {
             scale,
@@ -96,6 +119,7 @@ impl Campaign {
             policies: Vec::new(),
             hierarchy: None,
             record_trace: false,
+            mode: ExecutionMode::default(),
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         }
     }
@@ -135,11 +159,24 @@ impl Campaign {
         self
     }
 
-    /// Requests LLC demand-trace recording for every cell (the OPT study).
+    /// Requests an LLC trace in every cell's [`RunResult`] (the OPT study).
     #[must_use]
     pub fn recording_llc_trace(mut self) -> Self {
         self.record_trace = true;
         self
+    }
+
+    /// Selects the execution plan (default: [`ExecutionMode::Replay`]).
+    #[must_use]
+    pub fn execution(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand for selecting the direct (run-every-cell) plan.
+    #[must_use]
+    pub fn direct(self) -> Self {
+        self.execution(ExecutionMode::Direct)
     }
 
     /// Sets the worker-thread count (`1` runs inline on the caller).
@@ -172,94 +209,162 @@ impl Campaign {
         cells
     }
 
-    /// Builds every cell's experiment, sharing each reordered graph.
-    fn prepare(&self) -> Vec<(CampaignCell, Experiment)> {
-        let hierarchy = self.hierarchy.unwrap_or_else(|| self.scale.hierarchy());
-        // Generate each dataset once.
-        let mut base: HashMap<DatasetKind, Arc<Csr>> = HashMap::new();
-        for &dataset in &self.datasets {
-            base.entry(dataset)
-                .or_insert_with(|| Arc::new(dataset.build(self.scale).graph));
+    /// Runs the campaign under its execution plan and returns the results in
+    /// grid order.
+    pub fn run(&self) -> CampaignResult {
+        match self.mode {
+            ExecutionMode::Replay => self.run_replay(),
+            ExecutionMode::Direct => self.run_direct(),
         }
+    }
+
+    /// Builds the experiment of one (dataset, technique, app) coordinate,
+    /// sharing generated datasets and reordered graphs through the caches.
+    fn experiment_for(
+        &self,
+        base: &mut HashMap<DatasetKind, Arc<Csr>>,
+        reordered: &mut HashMap<(DatasetKind, TechniqueKind, Direction), Arc<Csr>>,
+        dataset: DatasetKind,
+        technique: TechniqueKind,
+        app: AppKind,
+    ) -> Experiment {
+        let hierarchy = self.hierarchy.unwrap_or_else(|| self.scale.hierarchy());
+        let source = base
+            .entry(dataset)
+            .or_insert_with(|| Arc::new(dataset.build(self.scale).graph));
+        let source = Arc::clone(source);
         // Reorder once per (dataset, technique, hotness direction) — the
         // direction is a property of the application, but most applications
         // share one, so the permutation work collapses across the app axis.
-        let mut reordered: HashMap<(DatasetKind, TechniqueKind, Direction), Arc<Csr>> =
-            HashMap::new();
-        let mut prepared = Vec::new();
-        for cell in self.cells() {
-            let direction = cell.app.hotness_direction();
-            let graph = reordered
-                .entry((cell.dataset, cell.technique, direction))
-                .or_insert_with(|| {
-                    let source = Arc::clone(&base[&cell.dataset]);
-                    let technique = cell.technique.instantiate();
-                    let perm = technique.compute(&source, direction);
-                    Arc::new(grasp_reorder::relabel(&source, &perm))
-                });
-            let mut experiment =
-                Experiment::shared(Arc::clone(graph), cell.app).with_hierarchy(hierarchy);
-            if self.record_trace {
-                experiment = experiment.recording_llc_trace();
-            }
-            prepared.push((cell, experiment));
-        }
-        prepared
+        let direction = app.hotness_direction();
+        let graph = reordered
+            .entry((dataset, technique, direction))
+            .or_insert_with(|| {
+                let boxed = technique.instantiate();
+                let perm = boxed.compute(&source, direction);
+                Arc::new(grasp_reorder::relabel(&source, &perm))
+            });
+        Experiment::shared(Arc::clone(graph), app).with_hierarchy(hierarchy)
     }
 
-    /// Runs the campaign and returns the results in grid order.
-    pub fn run(&self) -> CampaignResult {
-        let work = self.prepare();
-        let cell_count = work.len();
-        let workers = self.threads.min(cell_count).max(1);
-
-        if workers == 1 {
-            let runs = work
-                .into_iter()
-                .map(|(cell, experiment)| CampaignRun {
-                    cell,
-                    result: experiment.run(cell.policy),
-                })
-                .collect();
-            return CampaignResult { runs };
-        }
-
-        let cursor = AtomicUsize::new(0);
-        let (sender, receiver) = mpsc::channel::<(usize, CampaignRun)>();
-        let work = &work;
-        let cursor = &cursor;
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let sender = sender.clone();
-                scope.spawn(move || loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some((cell, experiment)) = work.get(index) else {
-                        break;
-                    };
-                    let run = CampaignRun {
-                        cell: *cell,
-                        result: experiment.run(cell.policy),
-                    };
-                    if sender.send((index, run)).is_err() {
-                        break;
-                    }
-                });
-            }
-        });
-        drop(sender);
-
-        // Re-assemble in grid order: completion order is scheduling-dependent
-        // but every slot is filled exactly once.
-        let mut slots: Vec<Option<CampaignRun>> = (0..cell_count).map(|_| None).collect();
-        for (index, run) in receiver {
-            slots[index] = Some(run);
-        }
-        let runs = slots
+    /// The direct plan: every cell simulates the full hierarchy.
+    fn run_direct(&self) -> CampaignResult {
+        let mut base = HashMap::new();
+        let mut reordered = HashMap::new();
+        let work: Vec<(CampaignCell, Experiment)> = self
+            .cells()
             .into_iter()
-            .map(|slot| slot.expect("every cell completes exactly once"))
+            .map(|cell| {
+                let mut experiment = self.experiment_for(
+                    &mut base,
+                    &mut reordered,
+                    cell.dataset,
+                    cell.technique,
+                    cell.app,
+                );
+                if self.record_trace {
+                    experiment = experiment.recording_llc_trace();
+                }
+                (cell, experiment)
+            })
             .collect();
+        let runs = parallel_map(&work, self.threads, |(cell, experiment)| CampaignRun {
+            cell: *cell,
+            result: experiment.run(cell.policy),
+        });
         CampaignResult { runs }
     }
+
+    /// The record-once / replay-many plan: one recording per unique
+    /// (dataset, technique, app) stream, then one cheap replay per cell.
+    fn run_replay(&self) -> CampaignResult {
+        let mut base = HashMap::new();
+        let mut reordered = HashMap::new();
+        // Unique streams in first-seen grid order, plus each cell's index
+        // into the stream list.
+        let mut stream_index: HashMap<(DatasetKind, TechniqueKind, AppKind), usize> =
+            HashMap::new();
+        let mut streams: Vec<Experiment> = Vec::new();
+        let cells: Vec<(CampaignCell, usize)> = self
+            .cells()
+            .into_iter()
+            .map(|cell| {
+                let key = (cell.dataset, cell.technique, cell.app);
+                let index = *stream_index.entry(key).or_insert_with(|| {
+                    streams.push(self.experiment_for(
+                        &mut base,
+                        &mut reordered,
+                        cell.dataset,
+                        cell.technique,
+                        cell.app,
+                    ));
+                    streams.len() - 1
+                });
+                (cell, index)
+            })
+            .collect();
+
+        // Phase 1: record each stream once (application + upper levels).
+        let records = parallel_map(&streams, self.threads, Experiment::record);
+
+        // Phase 2: fan each recorded stream out across its policies.
+        let runs = parallel_map(&cells, self.threads, |&(cell, index)| {
+            let recorded = &records[index];
+            let result = if self.record_trace {
+                recorded.replay_with_trace(cell.policy)
+            } else {
+                recorded.replay(cell.policy)
+            };
+            CampaignRun { cell, result }
+        });
+        CampaignResult { runs }
+    }
+}
+
+/// Maps `work` through `f` on up to `threads` workers, returning results in
+/// input order. With one worker (or one item) the map runs inline on the
+/// caller; otherwise items are pulled off a shared cursor and re-assembled by
+/// index, so the output order never depends on scheduling.
+fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
+    work: &[T],
+    threads: usize,
+    f: F,
+) -> Vec<R> {
+    let workers = threads.min(work.len()).max(1);
+    if workers == 1 {
+        return work.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (sender, receiver) = mpsc::channel::<(usize, R)>();
+    let cursor = &cursor;
+    let f = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let sender = sender.clone();
+            scope.spawn(move || loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = work.get(index) else {
+                    break;
+                };
+                if sender.send((index, f(item))).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(sender);
+
+    // Re-assemble in input order: completion order is scheduling-dependent
+    // but every slot is filled exactly once.
+    let mut slots: Vec<Option<R>> = (0..work.len()).map(|_| None).collect();
+    for (index, result) in receiver {
+        slots[index] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every item completes exactly once"))
+        .collect()
 }
 
 /// The results of a campaign, in deterministic grid order.
@@ -368,5 +473,18 @@ mod tests {
         let results = Campaign::new(Scale::Tiny).run();
         assert!(results.is_empty());
         assert_eq!(results.len(), 0);
+    }
+
+    #[test]
+    fn replay_and_direct_plans_agree_bit_for_bit() {
+        let replayed = tiny_campaign().threads(4).run();
+        let direct = tiny_campaign().direct().threads(4).run();
+        assert_eq!(replayed.len(), direct.len());
+        for (a, b) in replayed.iter().zip(direct.iter()) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.result.stats, b.result.stats, "{:?}", a.cell);
+            assert_eq!(a.result.app.values, b.result.app.values, "{:?}", a.cell);
+            assert!((a.result.cycles - b.result.cycles).abs() < 1e-12);
+        }
     }
 }

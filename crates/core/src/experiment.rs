@@ -2,9 +2,9 @@
 
 use crate::policy::PolicyKind;
 use grasp_analytics::apps::{AppConfig, AppKind, AppResult};
-use grasp_analytics::mem::{NativeMemory, TracedMemory};
+use grasp_analytics::mem::{NativeMemory, RecordingMemory, TracedMemory};
 use grasp_analytics::Workspace;
-use grasp_cachesim::config::HierarchyConfig;
+use grasp_cachesim::config::{CacheConfig, HierarchyConfig};
 use grasp_cachesim::hint::RegionClassifier;
 use grasp_cachesim::stats::HierarchyStats;
 use grasp_cachesim::trace::LlcTrace;
@@ -50,6 +50,62 @@ pub struct NativeRunResult {
     /// Wall-clock time of the application kernel (excluding graph loading and
     /// reordering).
     pub runtime: Duration,
+}
+
+/// The record of one (graph, application) execution: the application's
+/// output plus the canonical post-L2 request stream, ready to be replayed
+/// under any number of LLC policies.
+///
+/// Produced by [`Experiment::record`]. The trace is behind an [`Arc`], so
+/// cloning a `RecordedRun` — the way the replay-mode campaign fans one
+/// recording out across policy workers — shares the stream instead of
+/// copying it.
+#[derive(Debug, Clone)]
+pub struct RecordedRun {
+    trace: Arc<LlcTrace>,
+    app: AppResult,
+    instructions: u64,
+    llc: CacheConfig,
+    timing: TimingModel,
+}
+
+impl RecordedRun {
+    /// The recorded post-L2 stream.
+    pub fn trace(&self) -> &LlcTrace {
+        &self.trace
+    }
+
+    /// The application output of the recording run (identical for every
+    /// policy — the LLC cannot change program results).
+    pub fn app(&self) -> &AppResult {
+        &self.app
+    }
+
+    /// Replays the stream under `policy` and returns a [`RunResult`]
+    /// bit-identical to [`Experiment::run`] with the same policy.
+    pub fn replay(&self, policy: PolicyKind) -> RunResult {
+        self.replay_inner(policy, false)
+    }
+
+    /// Like [`RecordedRun::replay`], but the result also carries a copy of
+    /// the recorded trace (the OPT study asks for it).
+    pub fn replay_with_trace(&self, policy: PolicyKind) -> RunResult {
+        self.replay_inner(policy, true)
+    }
+
+    fn replay_inner(&self, policy: PolicyKind, with_trace: bool) -> RunResult {
+        let stats = self
+            .trace
+            .replay(self.llc, policy.build_dispatch(&self.llc));
+        let cycles = self.timing.cycles(&stats, self.instructions);
+        RunResult {
+            policy,
+            stats,
+            cycles,
+            app: self.app.clone(),
+            llc_trace: with_trace.then(|| (*self.trace).clone()),
+        }
+    }
 }
 
 /// An experiment: a (possibly reordered) graph, an application, and the cache
@@ -180,16 +236,7 @@ impl Experiment {
         // the classifier with the right bounds (Sec. III-A).
         let mut hierarchy = Hierarchy::new(config, llc_policy, RegionClassifier::disabled());
         if self.record_trace {
-            // Rough estimate of post-L1/L2 demand traffic: the edge stream
-            // dominates and the upper levels filter most of it, so a quarter
-            // of the touched edges (per traced iteration) pre-sizes the trace
-            // without reallocation in the common case. The cap bounds the
-            // eager commitment (~50 MB of records) when many recording runs
-            // share a machine — e.g. a recording campaign with one worker per
-            // core; the trace still grows past it if needed.
-            let iterations = self.app_config.max_iterations.max(1) as u64;
-            let estimate = (self.graph.edge_count() * iterations / 4).min(1 << 22) as usize;
-            hierarchy.reserve_llc_trace(estimate);
+            hierarchy.reserve_llc_trace(self.trace_capacity_estimate());
         }
         let mut ws = Workspace::new(TracedMemory::new(hierarchy));
         let app = self.app.run(&self.graph, &mut ws, &self.app_config);
@@ -208,6 +255,37 @@ impl Experiment {
             cycles,
             app,
             llc_trace,
+        }
+    }
+
+    fn trace_capacity_estimate(&self) -> usize {
+        LlcTrace::estimate_capacity(
+            self.graph.edge_count(),
+            self.app_config.max_iterations as u64,
+        )
+    }
+
+    /// Runs the application once through the upper levels only (L1 + L2 +
+    /// prefetcher + classifier, no LLC) and captures the canonical post-L2
+    /// request stream — the record half of the record-once / replay-many
+    /// pipeline. The returned [`RecordedRun`] replays the stream under any
+    /// LLC policy, producing [`RunResult`]s bit-identical to
+    /// [`Experiment::run`] at a fraction of the cost.
+    pub fn record(&self) -> RecordedRun {
+        let mut config = self.hierarchy;
+        config.record_llc_trace = true;
+        let mut memory = RecordingMemory::new(config);
+        memory.reserve_trace(self.trace_capacity_estimate());
+        let mut ws = Workspace::new(memory);
+        let app = self.app.run(&self.graph, &mut ws, &self.app_config);
+        let instructions = app.instruction_estimate();
+        let trace = ws.into_memory().finish();
+        RecordedRun {
+            trace: Arc::new(trace),
+            app,
+            instructions,
+            llc: self.hierarchy.llc,
+            timing: self.timing,
         }
     }
 
@@ -270,7 +348,38 @@ mod tests {
         let exp = small_experiment(AppKind::PageRank).recording_llc_trace();
         let result = exp.run(PolicyKind::Rrip);
         let trace = result.llc_trace.as_ref().expect("trace was requested");
-        assert_eq!(trace.len() as u64, result.llc_accesses());
+        assert_eq!(trace.demand_len() as u64, result.llc_accesses());
+        assert!(
+            trace.len() >= trace.demand_len(),
+            "the stream also carries prefetches and writebacks"
+        );
+    }
+
+    #[test]
+    fn replay_matches_direct_execution_bit_for_bit() {
+        let exp = small_experiment(AppKind::PageRank);
+        let recorded = exp.record();
+        for policy in [PolicyKind::Lru, PolicyKind::Rrip, PolicyKind::Grasp] {
+            let direct = exp.run(policy);
+            let replayed = recorded.replay(policy);
+            assert_eq!(direct.stats, replayed.stats, "{policy}");
+            assert_eq!(direct.app.values, replayed.app.values, "{policy}");
+            assert!((direct.cycles - replayed.cycles).abs() < 1e-12, "{policy}");
+            assert!(replayed.llc_trace.is_none());
+        }
+    }
+
+    #[test]
+    fn replay_with_trace_carries_the_recorded_stream() {
+        let exp = small_experiment(AppKind::PageRank);
+        let recorded = exp.record();
+        let direct = exp.recording_llc_trace().run(PolicyKind::Rrip);
+        let replayed = recorded.replay_with_trace(PolicyKind::Rrip);
+        assert_eq!(
+            direct.llc_trace.expect("direct trace"),
+            replayed.llc_trace.expect("replayed trace"),
+            "record() and a recording run() capture the same stream"
+        );
     }
 
     #[test]

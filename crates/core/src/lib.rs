@@ -9,10 +9,14 @@
 //!   the PIN-X configurations,
 //! * the **experiment runner** ([`experiment`]) — dataset × reordering ×
 //!   application × LLC policy → hierarchy statistics, estimated cycles and
-//!   (optionally) a recorded LLC trace,
+//!   (optionally) a recorded LLC trace; [`experiment::Experiment::record`]
+//!   captures the post-L2 stream once so any number of policies can be
+//!   evaluated by replay,
 //! * the **campaign runner** ([`campaign`]) — a whole figure's grid of
-//!   experiments, with graphs shared and reordered once and the cells fanned
-//!   out across a thread pool in deterministic grid order,
+//!   experiments under a record-once / replay-many execution plan (direct
+//!   per-cell simulation remains as a fallback), with graphs shared and
+//!   reordered once and both phases fanned out across a thread pool in
+//!   deterministic grid order,
 //! * **comparison helpers** ([`compare`]) — miss-reduction and speed-up
 //!   percentages, geometric means,
 //! * **report formatting** ([`report`]) — the plain-text tables printed by
@@ -43,9 +47,9 @@ pub mod experiment;
 pub mod policy;
 pub mod report;
 
-pub use campaign::{Campaign, CampaignCell, CampaignResult, CampaignRun};
+pub use campaign::{Campaign, CampaignCell, CampaignResult, CampaignRun, ExecutionMode};
 pub use compare::{geometric_mean_speedup, miss_reduction_pct, speedup_pct};
 pub use datasets::{Dataset, DatasetKind, Scale};
-pub use experiment::{Experiment, RunResult};
+pub use experiment::{Experiment, RecordedRun, RunResult};
 pub use policy::PolicyKind;
 pub use report::Table;

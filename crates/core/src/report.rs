@@ -1,4 +1,7 @@
-//! Plain-text report tables printed by the bench harness.
+//! Report tables printed by the bench harness, plus the machine-readable
+//! JSON writer the benches use to dump per-figure results
+//! (`BENCH_<figure>.json`) so the performance trajectory can be tracked
+//! across PRs.
 
 use serde::{Deserialize, Serialize};
 
@@ -58,6 +61,69 @@ impl Table {
     }
 }
 
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let cells: Vec<String> = items
+        .iter()
+        .map(|c| format!("\"{}\"", json_escape(c)))
+        .collect();
+    format!("[{}]", cells.join(","))
+}
+
+/// Serializes one or more tables into a stable, machine-readable JSON
+/// document:
+///
+/// ```json
+/// {"figure":"fig5","wall_ms":1234,
+///  "tables":[{"title":"...","headers":[...],"rows":[[...],[...]]}]}
+/// ```
+///
+/// `wall_ms` is the wall-clock time the figure's campaign took, so the
+/// per-PR `BENCH_<figure>.json` dumps double as a performance trajectory.
+pub fn to_json(figure: &str, wall_ms: u128, tables: &[&Table]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"figure\":\"{}\",\"wall_ms\":{},\"tables\":[",
+        json_escape(figure),
+        wall_ms
+    ));
+    for (i, table) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"title\":\"{}\",\"headers\":{},\"rows\":[",
+            json_escape(&table.title),
+            json_string_array(&table.headers)
+        ));
+        for (r, row) in table.rows.iter().enumerate() {
+            if r > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string_array(row));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
 impl std::fmt::Display for Table {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Compute column widths over headers and cells.
@@ -112,6 +178,27 @@ mod tests {
         let mut t = Table::new("demo", &["dataset", "RRIP", "GRASP"]);
         t.push_numeric_row("tw", &[1.234, 5.678]);
         assert_eq!(t.rows()[0], vec!["tw", "1.2", "5.7"]);
+    }
+
+    #[test]
+    fn json_output_is_wellformed_and_escaped() {
+        let mut t = Table::new("Fig \"5\"", &["dataset", "GRASP"]);
+        t.push_numeric_row("lj\n", &[6.4]);
+        let json = to_json("fig5", 42, &[&t]);
+        assert!(json.starts_with("{\"figure\":\"fig5\",\"wall_ms\":42,"));
+        assert!(json.contains("\"title\":\"Fig \\\"5\\\"\""));
+        assert!(json.contains("\"headers\":[\"dataset\",\"GRASP\"]"));
+        assert!(json.contains("\"rows\":[[\"lj\\n\",\"6.4\"]]"));
+        assert!(json.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn json_output_joins_multiple_tables() {
+        let a = Table::new("a", &["x"]);
+        let b = Table::new("b", &["y"]);
+        let json = to_json("combo", 0, &[&a, &b]);
+        assert_eq!(json.matches("\"title\"").count(), 2);
+        assert!(json.contains("\"rows\":[]"));
     }
 
     #[test]

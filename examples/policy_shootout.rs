@@ -48,8 +48,10 @@ fn main() {
         PolicyKind::GraspInsertionOnly,
         PolicyKind::Grasp,
     ];
-    // One parallel campaign: the dataset is generated and DBG-reordered once,
-    // then every policy runs concurrently.
+    // One replay-mode campaign: the dataset is generated and DBG-reordered
+    // once, the application executes once to record the post-L2 stream, and
+    // every policy is evaluated by replaying that stream — bit-identical to
+    // simulating each policy from scratch, at a fraction of the cost.
     let results = Campaign::new(scale)
         .datasets(&[dataset_kind])
         .apps(&[app])

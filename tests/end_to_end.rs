@@ -99,20 +99,21 @@ fn recorded_traces_are_consistent_with_opt() {
         .recording_llc_trace();
     let run = exp.run(PolicyKind::Rrip);
     let trace = run.llc_trace.as_ref().expect("trace requested");
-    assert_eq!(trace.len() as u64, run.llc_accesses());
-    // Belady's OPT on the same trace can never miss more than the online
+    assert_eq!(trace.demand_len() as u64, run.llc_accesses());
+    // Belady's OPT on the demand stream can never miss more than the online
     // policy did.
-    let opt = optimal_misses(&trace.to_vec(), &SCALE.hierarchy().llc);
+    let opt = optimal_misses(&trace.demand_vec(), &SCALE.hierarchy().llc);
     assert!(opt.misses <= run.llc_misses());
-    // The trace is dominated by Property Array accesses (Fig. 2's claim).
+    // The demand stream is dominated by Property Array accesses (Fig. 2's
+    // claim).
     let property = trace
-        .iter()
+        .demand_accesses()
         .filter(|info| info.region == RegionLabel::Property)
         .count();
     assert!(
-        property * 2 > trace.len(),
+        property * 2 > trace.demand_len(),
         "property accesses should dominate the LLC trace ({property} of {})",
-        trace.len()
+        trace.demand_len()
     );
 }
 

@@ -20,7 +20,7 @@ fn hint_histogram(app: AppKind, reorder: TechniqueKind) -> (u64, u64, u64, u64) 
     let run = exp.run(PolicyKind::Rrip);
     let trace = run.llc_trace.expect("trace requested");
     let mut counts = (0u64, 0u64, 0u64, 0u64);
-    for info in &trace {
+    for info in trace.demand_accesses() {
         match info.hint {
             ReuseHint::High => counts.0 += 1,
             ReuseHint::Moderate => counts.1 += 1,

@@ -1,0 +1,137 @@
+//! The record-once / replay-many pipeline must be a pure wall-clock
+//! optimization: replay-mode campaign results bit-identical to serial
+//! `Experiment::run` across the full policy grid, and `LlcTrace::replay`
+//! reproducing complete `HierarchyStats` — not just LLC miss counts.
+
+use grasp_suite::analytics::apps::AppKind;
+use grasp_suite::core::campaign::{Campaign, ExecutionMode};
+use grasp_suite::core::datasets::{DatasetKind, Scale};
+use grasp_suite::core::experiment::Experiment;
+use grasp_suite::core::policy::PolicyKind;
+use grasp_suite::reorder::TechniqueKind;
+
+const SCALE: Scale = Scale::Tiny;
+
+/// The full policy roster of the evaluation (paper schemes, ablations and
+/// sanity baselines).
+const FULL_GRID: [PolicyKind; 13] = [
+    PolicyKind::Lru,
+    PolicyKind::Random,
+    PolicyKind::Srrip,
+    PolicyKind::Brrip,
+    PolicyKind::Rrip,
+    PolicyKind::ShipMem,
+    PolicyKind::Hawkeye,
+    PolicyKind::Leeway,
+    PolicyKind::Pin(50),
+    PolicyKind::Pin(100),
+    PolicyKind::GraspHintsOnly,
+    PolicyKind::GraspInsertionOnly,
+    PolicyKind::Grasp,
+];
+
+#[test]
+fn replay_campaign_matches_serial_experiments_across_the_full_policy_grid() {
+    let results = Campaign::new(SCALE)
+        .datasets(&[DatasetKind::Twitter])
+        .apps(&[AppKind::PageRank, AppKind::Sssp])
+        .policies(&FULL_GRID)
+        .threads(4)
+        .run();
+    assert_eq!(results.len(), 2 * FULL_GRID.len());
+    for run in results.iter() {
+        let cell = run.cell;
+        let dataset = cell.dataset.build(SCALE);
+        let serial = Experiment::new(dataset.graph, cell.app)
+            .with_hierarchy(SCALE.hierarchy())
+            .with_reordering(cell.technique)
+            .run(cell.policy);
+        assert_eq!(
+            serial.stats, run.result.stats,
+            "{}/{}/{}: replayed stats diverged from serial",
+            cell.dataset, cell.app, cell.policy
+        );
+        assert_eq!(
+            serial.app.values, run.result.app.values,
+            "app output diverged"
+        );
+        assert!(
+            (serial.cycles - run.result.cycles).abs() < 1e-9,
+            "timing model diverged"
+        );
+    }
+}
+
+#[test]
+fn replay_and_direct_modes_agree_for_every_technique() {
+    for technique in [TechniqueKind::Identity, TechniqueKind::Dbg] {
+        let campaign = |mode: ExecutionMode| {
+            Campaign::new(SCALE)
+                .datasets(&[DatasetKind::Kron])
+                .techniques(&[technique])
+                .apps(&[AppKind::PageRankDelta])
+                .policies(&[PolicyKind::Rrip, PolicyKind::Hawkeye, PolicyKind::Grasp])
+                .execution(mode)
+                .threads(4)
+                .run()
+        };
+        let replayed = campaign(ExecutionMode::Replay);
+        let direct = campaign(ExecutionMode::Direct);
+        assert_eq!(replayed.len(), direct.len());
+        for (a, b) in replayed.iter().zip(direct.iter()) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.result.stats, b.result.stats, "{technique} {:?}", a.cell);
+        }
+    }
+}
+
+#[test]
+fn recorded_stream_replays_deterministically() {
+    let dataset = DatasetKind::Twitter.build(SCALE);
+    let exp = Experiment::new(dataset.graph, AppKind::PageRank)
+        .with_hierarchy(SCALE.hierarchy())
+        .with_reordering(TechniqueKind::Dbg);
+    let recorded = exp.record();
+    for policy in [PolicyKind::Rrip, PolicyKind::Grasp] {
+        let a = recorded.replay(policy);
+        let b = recorded.replay(policy);
+        assert_eq!(a.stats, b.stats, "{policy}: replay must be deterministic");
+        assert_eq!(a.cycles, b.cycles);
+    }
+}
+
+#[test]
+fn two_recordings_of_the_same_cell_are_identical() {
+    let dataset = DatasetKind::Kron.build(SCALE);
+    let exp = Experiment::new(dataset.graph, AppKind::Radii)
+        .with_hierarchy(SCALE.hierarchy())
+        .with_reordering(TechniqueKind::Dbg);
+    let a = exp.record();
+    let b = exp.record();
+    assert_eq!(a.trace(), b.trace(), "recording must be deterministic");
+    assert_eq!(a.app().values, b.app().values);
+}
+
+#[test]
+fn replayed_hierarchy_stats_carry_upper_levels_and_memory_traffic() {
+    let dataset = DatasetKind::Twitter.build(SCALE);
+    let exp = Experiment::new(dataset.graph, AppKind::PageRank)
+        .with_hierarchy(SCALE.hierarchy())
+        .with_reordering(TechniqueKind::Dbg);
+    let direct = exp.run(PolicyKind::Grasp);
+    let replayed = exp.record().replay(PolicyKind::Grasp);
+    // Spot-check the pieces a shallow parity test could miss: L1/L2 stats,
+    // per-region counters, prefetch and writeback counters, memory traffic.
+    assert_eq!(direct.stats.l1, replayed.stats.l1);
+    assert_eq!(direct.stats.l2, replayed.stats.l2);
+    assert_eq!(
+        direct.stats.llc.prefetch_accesses,
+        replayed.stats.llc.prefetch_accesses
+    );
+    assert_eq!(
+        direct.stats.llc.writeback_accesses,
+        replayed.stats.llc.writeback_accesses
+    );
+    assert_eq!(direct.stats.memory_accesses, replayed.stats.memory_accesses);
+    assert!(replayed.stats.llc.accesses > 0);
+}
