@@ -9,6 +9,13 @@
 //! percentage of misses each scheme eliminates relative to LRU; Table VII
 //! repeats the average over a sweep of LLC sizes.
 //!
+//! Every replay is **chunk-native**: the online policies stream the demand
+//! view straight off the recorded trace's 12-byte-per-record storage
+//! ([`LlcTrace::replay_demand_with_classifier`]), and Belady's OPT consumes
+//! the chunks directly ([`optimal_misses_trace`]) — no 16-byte-per-access
+//! `Vec<AccessInfo>` is ever materialized, which is what keeps the
+//! paper-scale (billions of accesses) sweep RAM-feasible.
+//!
 //! Paper reference (16 MB LLC): RRIP eliminates 15.2%, GRASP 19.7%, OPT 34.3%
 //! of LRU's misses; the gap between GRASP and OPT is the remaining headroom.
 
@@ -16,22 +23,21 @@ use grasp_analytics::apps::AppKind;
 use grasp_bench::{banner, dump_json, figure_campaign, harness_scale, pct};
 use grasp_cachesim::config::CacheConfig;
 use grasp_cachesim::hint::{AddressBoundRegisters, RegionClassifier};
-use grasp_cachesim::policy::opt::optimal_misses;
-use grasp_cachesim::request::AccessInfo;
-use grasp_cachesim::trace::{misses_eliminated_pct, replay_with_classifier};
+use grasp_cachesim::policy::opt::optimal_misses_trace;
+use grasp_cachesim::trace::{misses_eliminated_pct, LlcTrace};
 use grasp_core::compare::arithmetic_mean;
 use grasp_core::datasets::DatasetKind;
 use grasp_core::policy::PolicyKind;
 use grasp_core::report::Table;
 use grasp_reorder::TechniqueKind;
 
-/// One recorded workload: the pre-decoded demand stream every scheme (online
-/// and OPT) replays, plus the recorded ABR bounds for reclassification.
+/// One recorded workload: the chunked post-L2 trace every scheme (online and
+/// OPT) replays the demand view of, with the recorded ABR bounds for
+/// reclassification travelling inside the trace.
 struct Recording {
     app: AppKind,
     dataset: DatasetKind,
-    abr_bounds: Vec<(u64, u64)>,
-    demands: Vec<AccessInfo>,
+    trace: LlcTrace,
 }
 
 /// Rebuilds the region classifier for a given LLC size from the ABR bounds
@@ -47,21 +53,18 @@ fn classifier_for(bounds: &[(u64, u64)], llc_bytes: u64) -> RegionClassifier {
 
 fn replay_all(recording: &Recording, llc_bytes: u64) -> (u64, u64, u64, u64) {
     let config = CacheConfig::new(llc_bytes, 16, 64);
-    let classifier = classifier_for(&recording.abr_bounds, llc_bytes);
+    let classifier = classifier_for(recording.trace.abr_bounds(), llc_bytes);
     let mut misses = [0u64; 3];
     for (slot, policy) in [PolicyKind::Lru, PolicyKind::Rrip, PolicyKind::Grasp]
         .into_iter()
         .enumerate()
     {
-        misses[slot] = replay_with_classifier(
-            &recording.demands,
-            config,
-            policy.build_dispatch(&config),
-            &classifier,
-        )
-        .misses;
+        misses[slot] = recording
+            .trace
+            .replay_demand_with_classifier(config, policy.build_dispatch(&config), &classifier)
+            .misses;
     }
-    let opt = optimal_misses(&recording.demands, &config);
+    let opt = optimal_misses_trace(&recording.trace, &config);
     (misses[0], misses[1], misses[2], opt.misses)
 }
 
@@ -81,12 +84,11 @@ fn main() {
             let run = recordings
                 .get(kind, TechniqueKind::Dbg, app, PolicyKind::Rrip)
                 .expect("recording cell");
-            let trace = run.llc_trace.as_ref();
             workloads.push(Recording {
                 app,
                 dataset: kind,
-                abr_bounds: trace.map(|t| t.abr_bounds().to_vec()).unwrap_or_default(),
-                demands: trace.map(|t| t.demand_vec()).unwrap_or_default(),
+                // Cloning shares the Arc-frozen chunks — no record copies.
+                trace: run.llc_trace.clone().unwrap_or_default(),
             });
         }
     }

@@ -1,21 +1,36 @@
-//! Micro-benchmark of the record-once / replay-many pipeline: an 8-policy
-//! LLC sweep on one (dataset, reordering, application) cell, direct path vs
-//! record + replay.
+//! Micro-benchmark of the record/replay pipeline: policy sweeps on one
+//! (dataset, reordering, application) cell, comparing three execution plans:
 //!
-//! The direct path re-executes the application and re-simulates L1/L2 for
-//! every policy; the replay path pays them once ([`Experiment::record`]) and
-//! then drives only the LLC stage from the recorded post-L2 stream. The
-//! sweep runs under two hierarchies:
+//! 1. **direct** — re-execute the application and re-simulate L1/L2 for
+//!    every policy;
+//! 2. **buffered replay** (PR 2) — record the post-L2 stream once
+//!    ([`Experiment::record`]), then replay the finished buffer per policy;
+//! 3. **streaming** — record and replay **concurrently**
+//!    ([`Experiment::sweep_streaming`]): frozen trace chunks flow through a
+//!    bounded channel to one replayer per policy while the application is
+//!    still running, so the fan-out overlaps the record phase instead of
+//!    barriering on it, and the peak trace footprint is channel-depth ×
+//!    chunk-size instead of the whole stream.
 //!
-//! * the paper's Table VI geometry (`paper`), where the 32 KiB L1 filters
-//!   most traffic and the pipeline's advantage is largest, and
-//! * the reproduction's scaled-down geometry (`scaled`), whose deliberately
-//!   tiny 4 KiB L1 passes an unusually large share of the stream through to
-//!   the LLC — the worst case for replay.
+//! The sweeps run under two hierarchies: the paper's Table VI geometry
+//! (`paper`), where the 32 KiB L1 filters most traffic, and the
+//! reproduction's scaled-down geometry (`scaled`), whose deliberately tiny
+//! 4 KiB L1 passes an unusually large share of the stream through to the
+//! LLC.
 //!
-//! The acceptance bar for the pipeline is a ≥3x end-to-end speed-up on the
-//! paper-scale sweep, with bit-identical statistics on every cell (asserted
-//! here, not just eyeballed).
+//! Acceptance bars, both with bit-identical statistics asserted per cell:
+//!
+//! * buffered replay ≥ 3x over direct on the paper-scale 8-policy sweep
+//!   (PR 2's bar);
+//! * streaming ≥ 1.5x end-to-end over buffered replay on the paper-scale
+//!   wide sweep. The streaming win comes from overlap and concurrent
+//!   consumers, and the serial record phase bounds the ideal at ~1.7x on
+//!   this workload, so the bar only applies where the margin is physically
+//!   available: ≥ 4 hardware threads (recorder + at least three replay
+//!   consumers). Below that — and under `GRASP_BENCH_NO_SPEEDUP_BARS=1`,
+//!   which CI's trajectory job sets for shared runners — the mode still
+//!   runs and is asserted bit-identical, but the bar is reported, not
+//!   enforced.
 
 use grasp_analytics::apps::AppKind;
 use grasp_bench::{banner, dataset, dump_json, harness_scale};
@@ -38,10 +53,38 @@ const SWEEP: [PolicyKind; 8] = [
     PolicyKind::Grasp,
 ];
 
+/// The streaming comparison sweeps the full policy zoo plus a PIN-X
+/// parameter ladder — the shape of a real design-space exploration, and wide
+/// enough that the replay fan-out is a meaningful share of the buffered
+/// pipeline's end-to-end time.
+const WIDE_SWEEP: [PolicyKind; 20] = [
+    PolicyKind::Lru,
+    PolicyKind::Random,
+    PolicyKind::Srrip,
+    PolicyKind::Brrip,
+    PolicyKind::Rrip,
+    PolicyKind::ShipMem,
+    PolicyKind::Hawkeye,
+    PolicyKind::Leeway,
+    PolicyKind::Pin(10),
+    PolicyKind::Pin(25),
+    PolicyKind::Pin(30),
+    PolicyKind::Pin(40),
+    PolicyKind::Pin(50),
+    PolicyKind::Pin(60),
+    PolicyKind::Pin(75),
+    PolicyKind::Pin(90),
+    PolicyKind::Pin(100),
+    PolicyKind::GraspHintsOnly,
+    PolicyKind::GraspInsertionOnly,
+    PolicyKind::Grasp,
+];
+
 fn main() {
-    banner("micro: direct vs record/replay, 8-policy sweep on one cell");
+    banner("micro: direct vs buffered replay vs streaming policy sweeps on one cell");
     let scale = harness_scale();
     let ds = dataset(DatasetKind::Twitter, scale);
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let mut table = Table::new(
         "Record-once / replay-many vs direct (8-policy sweep, one cell)",
@@ -53,8 +96,19 @@ fn main() {
             "trace records",
         ],
     );
+    // The worker count is machine-dependent, so it is reported in prose
+    // below, never in the table (the bench-diff trajectory gate compares
+    // titles and non-timing cells across machines).
+    let mut streaming_table = Table::new(
+        format!(
+            "Streaming vs buffered replay ({}-policy sweep)",
+            WIDE_SWEEP.len()
+        ),
+        &["hierarchy", "buffered ms", "streaming ms", "speed-up"],
+    );
     let mut total_ms = 0u128;
     let mut paper_speedup = 0.0;
+    let mut paper_streaming_speedup = 0.0;
     for (label, hierarchy) in [
         ("paper (Table VI)", HierarchyConfig::paper_scale()),
         ("scaled", scale.hierarchy()),
@@ -95,15 +149,86 @@ fn main() {
             format!("{speedup:.2}x"),
             recorded.trace().len().to_string(),
         ]);
+
+        // The streaming comparison: the same wide sweep, once as PR 2's
+        // buffered record-then-fan-out barrier, once through the streaming
+        // pipeline with the record phase overlapped by concurrent consumers.
+        let started = Instant::now();
+        let wide_recorded = exp.record();
+        let wide_buffered: Vec<_> = WIDE_SWEEP
+            .iter()
+            .map(|&p| wide_recorded.replay(p))
+            .collect();
+        drop(wide_recorded);
+        let buffered_time = started.elapsed();
+
+        let started = Instant::now();
+        let streamed = exp.sweep_streaming(&WIDE_SWEEP, workers.saturating_sub(1).max(1));
+        let streaming_time = started.elapsed();
+
+        for (a, b) in wide_buffered.iter().zip(&streamed) {
+            assert_eq!(
+                a.stats, b.stats,
+                "{label}/{}: streaming diverged from buffered replay",
+                a.policy
+            );
+        }
+
+        let streaming_speedup =
+            buffered_time.as_secs_f64() / streaming_time.as_secs_f64().max(1e-9);
+        if label.starts_with("paper") {
+            paper_streaming_speedup = streaming_speedup;
+        }
+        total_ms += (buffered_time + streaming_time).as_millis();
+        streaming_table.push_row(vec![
+            label.into(),
+            format!("{:.1}", buffered_time.as_secs_f64() * 1e3),
+            format!("{:.1}", streaming_time.as_secs_f64() * 1e3),
+            format!("{streaming_speedup:.2}x"),
+        ]);
     }
     println!("{table}");
+    println!("{streaming_table}");
     println!(
-        "stats bit-identical across all {} policies on both hierarchies",
-        SWEEP.len()
+        "stats bit-identical across all {} + {} policies on both hierarchies \
+         ({workers} worker(s) for the streaming sweep)",
+        SWEEP.len(),
+        WIDE_SWEEP.len()
     );
-    assert!(
-        paper_speedup >= 3.0,
-        "paper-scale pipeline speed-up {paper_speedup:.2}x fell below the 3x acceptance bar"
-    );
-    dump_json("micro_replay", total_ms, &[&table]);
+    // GRASP_BENCH_NO_SPEEDUP_BARS demotes the speed-up bars to reports: CI's
+    // bench-trajectory job sets it because shared runners make hard perf
+    // asserts flaky, and that job's gate is the table diff, not the bars.
+    let enforce_bars = std::env::var_os("GRASP_BENCH_NO_SPEEDUP_BARS").is_none();
+    if enforce_bars {
+        assert!(
+            paper_speedup >= 3.0,
+            "paper-scale pipeline speed-up {paper_speedup:.2}x fell below the 3x acceptance bar"
+        );
+    } else {
+        println!("buffered-replay bar (>=3x) reported only: measured {paper_speedup:.2}x");
+    }
+    // The streaming bar needs headroom, not just parallelism: the serial
+    // record phase bounds the ideal at ~(record + fan-out)/record ≈ 1.7x on
+    // this workload, so with fewer than three replay consumers (4 hardware
+    // threads) channel overhead and the consumer tail eat the margin and
+    // the bar would flake without any real regression.
+    if enforce_bars && workers >= 4 {
+        assert!(
+            paper_streaming_speedup >= 1.5,
+            "paper-scale streaming speed-up {paper_streaming_speedup:.2}x fell below the \
+             1.5x acceptance bar ({workers} workers)"
+        );
+    } else {
+        println!(
+            "streaming speed-up bar (>=1.5x, measured {paper_streaming_speedup:.2}x) \
+             {}: needs >=4 hardware threads (recorder + >=3 replay consumers) and \
+             enforcement enabled ({workers} worker(s))",
+            if enforce_bars {
+                "skipped"
+            } else {
+                "reported only"
+            }
+        );
+    }
+    dump_json("micro_replay", total_ms, &[&table, &streaming_table]);
 }

@@ -12,6 +12,7 @@
 use crate::addr::block_of;
 use crate::config::CacheConfig;
 use crate::request::AccessInfo;
+use crate::trace::LlcTrace;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -38,33 +39,36 @@ impl OptResult {
     }
 }
 
-/// Simulates Belady's OPT over `trace` for a set-associative cache described
-/// by `config` and returns the minimal achievable miss count.
-///
-/// The simulation is exact per set: the next-use of every access is
-/// pre-computed with a backward pass, and on every replacement the resident
-/// block with the farthest next use is evicted.
-pub fn optimal_misses(trace: &[AccessInfo], config: &CacheConfig) -> OptResult {
-    let sets = config.sets();
-    // Pre-compute, for each access, the index of the next access to the same
-    // block (or u64::MAX when there is none).
-    let mut next_use = vec![u64::MAX; trace.len()];
+/// The backward pass: for each access (given in **reverse** stream order),
+/// the index of the next access to the same block (`u64::MAX` when there is
+/// none). `len` must equal the number of items `rev_blocks` yields.
+fn next_use_table(len: usize, rev_blocks: impl Iterator<Item = u64>) -> Vec<u64> {
+    let mut next_use = vec![u64::MAX; len];
     let mut last_seen: HashMap<u64, usize> = HashMap::new();
-    for (i, info) in trace.iter().enumerate().rev() {
-        let block = block_of(info.addr, config.block_bytes);
+    let mut i = len;
+    for block in rev_blocks {
+        i -= 1;
         if let Some(&later) = last_seen.get(&block) {
             next_use[i] = later as u64;
         }
         last_seen.insert(block, i);
     }
+    debug_assert_eq!(i, 0, "rev_blocks must yield exactly len items");
+    next_use
+}
 
+/// The forward pass over block addresses with a pre-computed next-use table.
+fn optimal_misses_blocks(
+    fwd_blocks: impl Iterator<Item = u64>,
+    next_use: &[u64],
+    config: &CacheConfig,
+) -> OptResult {
     // Per-set resident blocks: block -> next use (as of its latest access).
-    let mut resident: Vec<HashMap<u64, u64>> = vec![HashMap::new(); sets];
+    let mut resident: Vec<HashMap<u64, u64>> = vec![HashMap::new(); config.sets()];
     let mut hits = 0u64;
     let mut misses = 0u64;
 
-    for (i, info) in trace.iter().enumerate() {
-        let block = block_of(info.addr, config.block_bytes);
+    for (i, block) in fwd_blocks.enumerate() {
         let set = config.set_of(block);
         let set_map = &mut resident[set];
         if let std::collections::hash_map::Entry::Occupied(mut entry) = set_map.entry(block) {
@@ -86,10 +90,55 @@ pub fn optimal_misses(trace: &[AccessInfo], config: &CacheConfig) -> OptResult {
     }
 
     OptResult {
-        accesses: trace.len() as u64,
+        accesses: next_use.len() as u64,
         hits,
         misses,
     }
+}
+
+/// Simulates Belady's OPT over `trace` for a set-associative cache described
+/// by `config` and returns the minimal achievable miss count.
+///
+/// The simulation is exact per set: the next-use of every access is
+/// pre-computed with a backward pass, and on every replacement the resident
+/// block with the farthest next use is evicted.
+pub fn optimal_misses(trace: &[AccessInfo], config: &CacheConfig) -> OptResult {
+    let next_use = next_use_table(
+        trace.len(),
+        trace
+            .iter()
+            .rev()
+            .map(|info| block_of(info.addr, config.block_bytes)),
+    );
+    optimal_misses_blocks(
+        trace
+            .iter()
+            .map(|info| block_of(info.addr, config.block_bytes)),
+        &next_use,
+        config,
+    )
+}
+
+/// [`optimal_misses`] over the **demand** stream of a recorded trace,
+/// consumed chunk-natively: both the backward next-use pass and the forward
+/// replacement pass stream straight off the trace's 12-byte-per-record
+/// chunked storage, so no `Vec<AccessInfo>` is ever materialized. Only the
+/// 8-byte-per-demand next-use table is allocated — what keeps the Fig. 11 /
+/// Table VII sweep out of 16-byte-per-access memory at paper scale.
+pub fn optimal_misses_trace(trace: &LlcTrace, config: &CacheConfig) -> OptResult {
+    let next_use = next_use_table(
+        trace.demand_len(),
+        trace
+            .demand_accesses_rev()
+            .map(|info| block_of(info.addr, config.block_bytes)),
+    );
+    optimal_misses_blocks(
+        trace
+            .demand_accesses()
+            .map(|info| block_of(info.addr, config.block_bytes)),
+        &next_use,
+        config,
+    )
 }
 
 #[cfg(test)]
@@ -158,6 +207,35 @@ mod tests {
         assert_eq!(result.accesses, 0);
         assert_eq!(result.misses, 0);
         assert_eq!(result.miss_ratio(), 0.0);
+        let chunked = optimal_misses_trace(&LlcTrace::new(), &tiny_cache(2));
+        assert_eq!(chunked, result);
+    }
+
+    #[test]
+    fn chunk_native_opt_matches_the_slice_version() {
+        // A pseudo-random demand stream, interleaved with prefetch and
+        // writeback events the demand-only OPT view must skip.
+        let mut slice = Vec::new();
+        let mut chunked = LlcTrace::new();
+        let mut x = 99u64;
+        for i in 0..20_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let info = AccessInfo::read(((x >> 33) % 2048) * 64);
+            slice.push(info);
+            chunked.push(&info);
+            if i % 7 == 0 {
+                chunked.push_prefetch(&AccessInfo::read(((x >> 20) % 4096) * 64));
+            }
+            if i % 11 == 0 {
+                chunked.push_writeback(((x >> 40) % 1024) * 64);
+            }
+        }
+        for config in [tiny_cache(4), CacheConfig::new(64 * 64, 8, 64)] {
+            assert_eq!(
+                optimal_misses_trace(&chunked, &config),
+                optimal_misses(&slice, &config),
+            );
+        }
     }
 
     #[test]

@@ -30,11 +30,36 @@
 //!
 //! Records are packed into a struct-of-arrays pair of a 64-bit address and a
 //! 32-bit metadata word (kind, hint, region, site — 12 bytes per record), and
-//! the arrays are **chunked**: storage grows in fixed-size chunks of
+//! the arrays are **chunked**: storage grows in fixed-size [`TraceChunk`]s of
 //! [`CHUNK_RECORDS`] records instead of one contiguous allocation. Appending
 //! never relocates more than one chunk, so a long recording costs neither the
 //! 2× transient footprint nor the O(len) copy of `Vec` doubling — the trace
-//! spills gracefully as it grows.
+//! spills gracefully as it grows. Completed chunks are **frozen behind an
+//! `Arc`**, which makes cloning a trace (and handing chunks to concurrent
+//! consumers) free of record copies.
+//!
+//! # Streaming
+//!
+//! The record → replay barrier is optional. A [`TraceStreamer`] is the
+//! streaming counterpart of the recording [`LlcTrace`]: it implements
+//! [`LlcSink`], packs the post-L2 stream into the same frozen chunks, and
+//! pushes each completed chunk through a **bounded single-producer,
+//! multi-consumer chunk channel** ([`chunk_channel`]) instead of retaining
+//! it. Every consumer drives a [`ChunkReplayer`] — the incremental,
+//! chunk-at-a-time entry point to [`LlcStage`] — so an N-policy sweep
+//! replays *while recording is still running*, sharing one stream with zero
+//! copies, and the peak trace footprint is channel-depth × chunk-size
+//! instead of the whole trace:
+//!
+//! ```text
+//!  UpperLevels ──► TraceStreamer ──► [Arc<TraceChunk>; depth] ──► ChunkReplayer (policy A)
+//!   (recorder)      freeze+send       bounded broadcast     ├──► ChunkReplayer (policy B)
+//!                                                           └──► ...
+//! ```
+//!
+//! The buffered and streaming paths replay through the *same*
+//! [`ChunkReplayer`] code, so their statistics are bit-identical (pinned by
+//! `tests/trace_properties.rs`).
 
 use crate::addr::Address;
 use crate::cache::SetAssocCache;
@@ -44,6 +69,8 @@ use crate::policy::PolicyDispatch;
 use crate::request::{AccessInfo, AccessKind, RegionLabel};
 use crate::stage::{LlcSink, LlcStage};
 use crate::stats::{CacheStats, HierarchyStats};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
 
 /// Records per storage chunk (a 64 Ki-record chunk is 768 KiB).
 pub const CHUNK_RECORDS: usize = 1 << 16;
@@ -109,16 +136,62 @@ fn decode_event(addr: Address, meta: u32) -> TraceEvent {
     }
 }
 
-/// One fixed-capacity struct-of-arrays storage chunk.
+/// One fixed-capacity struct-of-arrays storage chunk of the post-L2 stream.
+///
+/// Chunks are the unit of sharing in the streaming pipeline: a completed
+/// chunk is frozen behind an `Arc` and either kept by the recording
+/// [`LlcTrace`] or broadcast through a [`chunk_channel`] to concurrent
+/// [`ChunkReplayer`]s. A frozen chunk is never mutated again.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-struct Chunk {
+pub struct TraceChunk {
     addrs: Vec<Address>,
     meta: Vec<u32>,
 }
 
-impl Chunk {
-    fn is_full(&self) -> bool {
-        self.addrs.len() == CHUNK_RECORDS
+impl TraceChunk {
+    fn with_capacity(records: usize) -> Self {
+        let mut chunk = Self::default();
+        chunk.addrs.reserve(records);
+        chunk.meta.reserve(records);
+        chunk
+    }
+
+    #[inline]
+    fn push(&mut self, addr: Address, meta: u32) {
+        self.addrs.push(addr);
+        self.meta.push(meta);
+    }
+
+    fn get(&self, offset: usize) -> TraceEvent {
+        decode_event(self.addrs[offset], self.meta[offset])
+    }
+
+    /// Number of records in the chunk.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Returns `true` when the chunk holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Decodes the chunk's events in record order.
+    pub fn events(&self) -> impl Iterator<Item = TraceEvent> + '_ {
+        self.addrs
+            .iter()
+            .zip(&self.meta)
+            .map(|(&addr, &meta)| decode_event(addr, meta))
+    }
+
+    /// Decodes the chunk's events in reverse record order (the backward pass
+    /// of the chunk-native OPT simulation).
+    pub fn events_rev(&self) -> impl Iterator<Item = TraceEvent> + '_ {
+        self.addrs
+            .iter()
+            .rev()
+            .zip(self.meta.iter().rev())
+            .map(|(&addr, &meta)| decode_event(addr, meta))
     }
 }
 
@@ -138,9 +211,14 @@ pub struct RecordContext {
 
 /// A compact, append-only record of the post-L2 request stream (see the
 /// module docs for the role it plays in the record/replay pipeline).
+///
+/// Completed chunks are frozen behind `Arc`s, so cloning a trace shares the
+/// bulk of the storage, and [`LlcTrace::stream_into`] can re-broadcast an
+/// already-buffered trace through a [`chunk_channel`] with zero copies.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LlcTrace {
-    chunks: Vec<Chunk>,
+    frozen: Vec<Arc<TraceChunk>>,
+    current: TraceChunk,
     len: usize,
     demand_len: usize,
     context: RecordContext,
@@ -162,21 +240,15 @@ impl LlcTrace {
 
     /// Pre-reserves storage for at least `additional` more records. Only
     /// bounded work is done eagerly: the chunk directory is sized and the
-    /// current chunk is grown to its fixed capacity; further chunks are
+    /// current chunk is grown towards its fixed capacity; further chunks are
     /// allocated lazily as recording proceeds.
     pub fn reserve(&mut self, additional: usize) {
         let total_chunks = (self.len + additional).div_ceil(CHUNK_RECORDS);
-        self.chunks
-            .reserve(total_chunks.saturating_sub(self.chunks.len()));
-        if additional > 0 {
-            if self.chunks.is_empty() {
-                self.chunks.push(Chunk::default());
-            }
-            let last = self.chunks.last_mut().expect("just ensured");
-            let want = additional.min(CHUNK_RECORDS - last.addrs.len());
-            last.addrs.reserve(want);
-            last.meta.reserve(want);
-        }
+        self.frozen
+            .reserve(total_chunks.saturating_sub(self.frozen.len()));
+        let want = additional.min(CHUNK_RECORDS - self.current.len());
+        self.current.addrs.reserve(want);
+        self.current.meta.reserve(want);
     }
 
     /// Estimated number of post-L2 records for a run over `edges` edges and
@@ -194,16 +266,19 @@ impl LlcTrace {
 
     #[inline]
     fn push_raw(&mut self, addr: Address, meta: u32) {
-        if self.chunks.last().is_none_or(Chunk::is_full) {
-            let mut chunk = Chunk::default();
-            chunk.addrs.reserve(CHUNK_RECORDS);
-            chunk.meta.reserve(CHUNK_RECORDS);
-            self.chunks.push(chunk);
+        // A brand-new chunk (no capacity at all) is sized to its full fixed
+        // extent up front; a chunk pre-sized by `reserve` keeps its bounded
+        // reservation and grows normally if the estimate was short.
+        if self.current.addrs.capacity() == 0 {
+            self.current.addrs.reserve(CHUNK_RECORDS);
+            self.current.meta.reserve(CHUNK_RECORDS);
         }
-        let chunk = self.chunks.last_mut().expect("just ensured");
-        chunk.addrs.push(addr);
-        chunk.meta.push(meta);
+        self.current.push(addr, meta);
         self.len += 1;
+        if self.current.len() == CHUNK_RECORDS {
+            let full = std::mem::take(&mut self.current);
+            self.frozen.push(Arc::new(full));
+        }
     }
 
     /// Appends one demand record.
@@ -273,20 +348,38 @@ impl LlcTrace {
             "index {index} out of bounds ({})",
             self.len
         );
-        let chunk = &self.chunks[index >> CHUNK_SHIFT];
+        let chunk_index = index >> CHUNK_SHIFT;
         let offset = index & CHUNK_MASK;
-        decode_event(chunk.addrs[offset], chunk.meta[offset])
+        if chunk_index < self.frozen.len() {
+            self.frozen[chunk_index].get(offset)
+        } else {
+            self.current.get(offset)
+        }
+    }
+
+    /// The trace's storage chunks in stream order (frozen chunks first, then
+    /// the in-progress tail when non-empty) — the view chunk-native
+    /// consumers like the streamed OPT simulation operate on.
+    pub fn chunks(&self) -> impl Iterator<Item = &TraceChunk> {
+        self.frozen
+            .iter()
+            .map(Arc::as_ref)
+            .chain(std::iter::once(&self.current).filter(|chunk| !chunk.is_empty()))
     }
 
     /// Iterates over the decoded events in record order.
     pub fn iter(&self) -> impl Iterator<Item = TraceEvent> + '_ {
-        self.chunks.iter().flat_map(|chunk| {
-            chunk
-                .addrs
+        self.chunks().flat_map(TraceChunk::events)
+    }
+
+    /// Iterates over the decoded events in reverse record order.
+    pub fn iter_rev(&self) -> impl Iterator<Item = TraceEvent> + '_ {
+        self.current.events_rev().chain(
+            self.frozen
                 .iter()
-                .zip(&chunk.meta)
-                .map(|(&addr, &meta)| decode_event(addr, meta))
-        })
+                .rev()
+                .flat_map(|chunk| chunk.events_rev()),
+        )
     }
 
     /// Decodes the whole event stream into a `Vec`.
@@ -303,8 +396,19 @@ impl LlcTrace {
         })
     }
 
+    /// Iterates over the demand requests in reverse stream order (the
+    /// backward next-use pass of [`crate::policy::opt::optimal_misses_trace`]
+    /// runs directly on this view — no `Vec<AccessInfo>` materialization).
+    pub fn demand_accesses_rev(&self) -> impl Iterator<Item = AccessInfo> + '_ {
+        self.iter_rev().filter_map(|event| match event {
+            TraceEvent::Demand(info) => Some(info),
+            _ => None,
+        })
+    }
+
     /// Decodes the demand requests into a `Vec<AccessInfo>` (for consumers
-    /// that need repeated random access, like the OPT replay sweeps).
+    /// that need repeated random access; streaming consumers should prefer
+    /// [`LlcTrace::demand_accesses`] / [`LlcTrace::demand_accesses_rev`]).
     pub fn demand_vec(&self) -> Vec<AccessInfo> {
         self.demand_accesses().collect()
     }
@@ -337,31 +441,43 @@ impl LlcTrace {
         policy: impl Into<PolicyDispatch>,
         reclassify: Option<&RegionClassifier>,
     ) -> HierarchyStats {
-        let rehint = |info: AccessInfo| match reclassify {
-            Some(classifier) => info.with_hint(classifier.classify(info.addr)),
-            None => info,
-        };
-        let mut stage = LlcStage::new(config, policy);
-        for event in self.iter() {
-            match event {
-                TraceEvent::Demand(info) => {
-                    stage.demand(&rehint(info));
-                }
-                TraceEvent::Prefetch(info) => stage.prefetch(&rehint(info)),
-                TraceEvent::Writeback(addr) => stage.writeback(addr),
-                TraceEvent::Flush => stage.flush(),
-            }
+        let mut replayer = ChunkReplayer::new(config, policy);
+        if let Some(classifier) = reclassify {
+            replayer = replayer.with_classifier(classifier.clone());
         }
-        self.assemble(stage)
+        for chunk in self.chunks() {
+            replayer.feed(chunk);
+        }
+        replayer.finish(&self.context)
     }
 
-    fn assemble(&self, stage: LlcStage) -> HierarchyStats {
-        HierarchyStats {
-            l1: self.context.l1.clone(),
-            l2: self.context.l2.clone(),
-            memory_accesses: stage.memory_accesses(),
-            llc: stage.into_stats(),
+    /// Replays the **demand** stream only through a standalone LLC, with
+    /// reuse hints recomputed by `classifier` — the online-policy side of the
+    /// OPT comparison (Fig. 11 / Table VII), which must give every scheme the
+    /// same stream Belady's bound is computed on. Streams straight off the
+    /// chunked storage; no `Vec<AccessInfo>` is materialized.
+    pub fn replay_demand_with_classifier(
+        &self,
+        config: CacheConfig,
+        policy: impl Into<PolicyDispatch>,
+        classifier: &RegionClassifier,
+    ) -> CacheStats {
+        replay_demand_reclassified(self.demand_accesses(), config, policy, classifier)
+    }
+
+    /// Re-broadcasts an already-buffered trace through a [`chunk_channel`]:
+    /// frozen chunks are shared (`Arc` clones, no record copies), the
+    /// in-progress tail is frozen on the fly, and the recorded context is
+    /// sent as the end-of-stream marker. Lets streaming consumers replay a
+    /// retained trace through the exact pipeline live recording uses.
+    pub fn stream_into(&self, tap: &TraceTap) {
+        for chunk in &self.frozen {
+            tap.send_chunk(Arc::clone(chunk));
         }
+        if !self.current.is_empty() {
+            tap.send_chunk(Arc::new(self.current.clone()));
+        }
+        tap.send_end(Arc::new(self.context.clone()));
     }
 }
 
@@ -393,6 +509,319 @@ impl FromIterator<AccessInfo> for LlcTrace {
     }
 }
 
+/// Default bound of the streaming chunk channel, in chunks per consumer.
+/// Eight full chunks are ~6 MiB of records — the peak per-cell trace
+/// footprint of a streaming replay, independent of trace length.
+pub const DEFAULT_STREAM_DEPTH: usize = 8;
+
+/// One item of the streaming chunk channel.
+#[derive(Debug, Clone)]
+pub enum StreamItem {
+    /// A frozen chunk of the post-L2 stream, in stream order.
+    Chunk(Arc<TraceChunk>),
+    /// End of stream: the recording run's upper-level context, after which
+    /// no more chunks follow.
+    End(Arc<RecordContext>),
+}
+
+/// The producer half of a [`chunk_channel`]: broadcasts frozen chunks (and
+/// the end-of-stream context) to every consumer. Sending blocks once a
+/// consumer falls `depth` chunks behind, which is what bounds the pipeline's
+/// memory.
+#[derive(Debug)]
+pub struct TraceTap {
+    senders: Vec<SyncSender<StreamItem>>,
+    chunk_records: usize,
+}
+
+impl TraceTap {
+    fn broadcast(&self, item: StreamItem) {
+        // A disconnected receiver means its consumer is gone (e.g. it
+        // panicked and the scope is unwinding); dropping the send keeps the
+        // recorder alive so the joins can report the real failure.
+        let Some((last, rest)) = self.senders.split_last() else {
+            return;
+        };
+        for sender in rest {
+            let _ = sender.send(item.clone());
+        }
+        let _ = last.send(item);
+    }
+
+    /// Broadcasts one frozen chunk to every consumer.
+    pub fn send_chunk(&self, chunk: Arc<TraceChunk>) {
+        self.broadcast(StreamItem::Chunk(chunk));
+    }
+
+    /// Broadcasts the end-of-stream marker carrying the recorded context.
+    pub fn send_end(&self, context: Arc<RecordContext>) {
+        self.broadcast(StreamItem::End(context));
+    }
+
+    /// Records per chunk produced through this tap.
+    pub fn chunk_records(&self) -> usize {
+        self.chunk_records
+    }
+}
+
+/// The consumer half of a [`chunk_channel`]: yields the stream items of one
+/// consumer, in stream order.
+#[derive(Debug)]
+pub struct ChunkReceiver {
+    inner: Receiver<StreamItem>,
+}
+
+impl ChunkReceiver {
+    /// Receives the next stream item, blocking until the producer sends one.
+    /// Returns `None` when the producer disconnected without an
+    /// [`StreamItem::End`] marker (it panicked or was dropped mid-record).
+    pub fn recv(&self) -> Option<StreamItem> {
+        self.inner.recv().ok()
+    }
+}
+
+/// Creates a bounded single-producer, multi-consumer chunk channel:
+/// everything sent through the returned [`TraceTap`] is delivered to each of
+/// the `consumers` receivers, and the producer blocks once any consumer is
+/// `depth` chunks behind. Chunks hold [`CHUNK_RECORDS`] records.
+pub fn chunk_channel(consumers: usize, depth: usize) -> (TraceTap, Vec<ChunkReceiver>) {
+    chunk_channel_with(consumers, depth, CHUNK_RECORDS)
+}
+
+/// [`chunk_channel`] with an explicit chunk size (tests use tiny chunks to
+/// exercise freeze boundaries without multi-million-record streams).
+pub fn chunk_channel_with(
+    consumers: usize,
+    depth: usize,
+    chunk_records: usize,
+) -> (TraceTap, Vec<ChunkReceiver>) {
+    assert!(depth > 0, "chunk channel depth must be positive");
+    assert!(chunk_records > 0, "chunk size must be positive");
+    let mut senders = Vec::with_capacity(consumers);
+    let mut receivers = Vec::with_capacity(consumers);
+    for _ in 0..consumers {
+        let (sender, receiver) = sync_channel(depth);
+        senders.push(sender);
+        receivers.push(ChunkReceiver { inner: receiver });
+    }
+    (
+        TraceTap {
+            senders,
+            chunk_records,
+        },
+        receivers,
+    )
+}
+
+/// The streaming recorder: packs the post-L2 stream into frozen chunks and
+/// broadcasts each completed chunk through its [`TraceTap`] instead of
+/// retaining it — the producer end of the streaming record/replay pipeline.
+/// Event encoding is identical to [`LlcTrace`], so a streamed replay is
+/// bit-identical to a buffered one.
+#[derive(Debug)]
+pub struct TraceStreamer {
+    current: TraceChunk,
+    tap: TraceTap,
+    len: usize,
+    demand_len: usize,
+}
+
+impl TraceStreamer {
+    /// Creates a streaming recorder producing into `tap`.
+    pub fn new(tap: TraceTap) -> Self {
+        Self {
+            current: TraceChunk::with_capacity(tap.chunk_records()),
+            tap,
+            len: 0,
+            demand_len: 0,
+        }
+    }
+
+    #[inline]
+    fn push_raw(&mut self, addr: Address, meta: u32) {
+        self.current.push(addr, meta);
+        self.len += 1;
+        if self.current.len() == self.tap.chunk_records() {
+            let full = std::mem::replace(
+                &mut self.current,
+                TraceChunk::with_capacity(self.tap.chunk_records()),
+            );
+            self.tap.send_chunk(Arc::new(full));
+        }
+    }
+
+    /// Appends one demand record.
+    #[inline]
+    pub fn push(&mut self, info: &AccessInfo) {
+        self.push_raw(info.addr, encode_meta(info, 0));
+        self.demand_len += 1;
+    }
+
+    /// Appends one prefetch record.
+    #[inline]
+    pub fn push_prefetch(&mut self, info: &AccessInfo) {
+        self.push_raw(info.addr, encode_meta(info, META_PREFETCH_BIT));
+    }
+
+    /// Appends one writeback record.
+    #[inline]
+    pub fn push_writeback(&mut self, addr: Address) {
+        self.push_raw(addr, META_WRITEBACK_BIT);
+    }
+
+    /// Appends a flush marker.
+    pub fn push_flush(&mut self) {
+        self.push_raw(0, META_FLUSH_BIT);
+    }
+
+    /// Total number of events streamed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when nothing has been streamed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of demand records streamed so far.
+    pub fn demand_len(&self) -> usize {
+        self.demand_len
+    }
+
+    /// Finishes the stream: flushes the in-progress chunk and broadcasts the
+    /// end-of-stream marker carrying the recording run's context.
+    pub fn finish(mut self, context: RecordContext) {
+        if !self.current.is_empty() {
+            let tail = std::mem::take(&mut self.current);
+            self.tap.send_chunk(Arc::new(tail));
+        }
+        self.tap.send_end(Arc::new(context));
+    }
+}
+
+/// Streaming-recording sink: like the [`LlcSink`] impl of [`LlcTrace`], the
+/// streamer consumes the post-L2 stream without simulating an LLC.
+impl LlcSink for TraceStreamer {
+    fn demand(&mut self, info: &AccessInfo) -> bool {
+        self.push(info);
+        false
+    }
+
+    fn prefetch(&mut self, info: &AccessInfo) {
+        self.push_prefetch(info);
+    }
+
+    fn writeback(&mut self, addr: Address) {
+        self.push_writeback(addr);
+    }
+}
+
+/// The incremental, chunk-driven entry point to [`LlcStage`]: feed it trace
+/// chunks as they arrive (from a [`ChunkReceiver`] or a buffered trace's
+/// [`LlcTrace::chunks`]), then [`ChunkReplayer::finish`] with the recorded
+/// context to obtain the full hierarchy statistics. Both
+/// [`LlcTrace::replay`] and the streaming consumers drive this same type,
+/// which is what pins streamed and buffered replay bit-for-bit to each
+/// other (and to direct simulation).
+#[derive(Debug)]
+pub struct ChunkReplayer {
+    stage: LlcStage,
+    reclassify: Option<RegionClassifier>,
+}
+
+impl ChunkReplayer {
+    /// Creates a replayer driving a fresh [`LlcStage`] with the given
+    /// geometry and policy.
+    pub fn new(config: CacheConfig, policy: impl Into<PolicyDispatch>) -> Self {
+        Self {
+            stage: LlcStage::new(config, policy),
+            reclassify: None,
+        }
+    }
+
+    /// Recomputes reuse hints with `classifier` during replay (LLC-size
+    /// sweeps; see [`LlcTrace::replay_with_classifier`]).
+    #[must_use]
+    pub fn with_classifier(mut self, classifier: RegionClassifier) -> Self {
+        self.reclassify = Some(classifier);
+        self
+    }
+
+    #[inline]
+    fn rehint(&self, info: AccessInfo) -> AccessInfo {
+        match &self.reclassify {
+            Some(classifier) => info.with_hint(classifier.classify(info.addr)),
+            None => info,
+        }
+    }
+
+    /// Replays one event.
+    #[inline]
+    pub fn feed_event(&mut self, event: TraceEvent) {
+        match event {
+            TraceEvent::Demand(info) => {
+                self.stage.demand(&self.rehint(info));
+            }
+            TraceEvent::Prefetch(info) => {
+                let info = self.rehint(info);
+                self.stage.prefetch(&info);
+            }
+            TraceEvent::Writeback(addr) => self.stage.writeback(addr),
+            TraceEvent::Flush => self.stage.flush(),
+        }
+    }
+
+    /// Replays one chunk of the stream.
+    pub fn feed(&mut self, chunk: &TraceChunk) {
+        for event in chunk.events() {
+            self.feed_event(event);
+        }
+    }
+
+    /// Consumes the replayer and assembles the full hierarchy statistics:
+    /// the recorded upper-level stats plus the replayed LLC stats.
+    pub fn finish(self, context: &RecordContext) -> HierarchyStats {
+        HierarchyStats {
+            l1: context.l1.clone(),
+            l2: context.l2.clone(),
+            memory_accesses: self.stage.memory_accesses(),
+            llc: self.stage.into_stats(),
+        }
+    }
+}
+
+/// Drives a group of [`ChunkReplayer`]s from one [`ChunkReceiver`] until the
+/// end-of-stream marker arrives, then finishes each replayer with the
+/// received context. Every chunk is fed to every replayer, so one consumer
+/// thread can serve several policies of a sweep.
+///
+/// # Panics
+///
+/// Panics when the producer disconnects without an end-of-stream marker
+/// (the recording side panicked or was dropped mid-record).
+pub fn replay_stream(
+    receiver: &ChunkReceiver,
+    mut replayers: Vec<ChunkReplayer>,
+) -> Vec<HierarchyStats> {
+    loop {
+        match receiver.recv() {
+            Some(StreamItem::Chunk(chunk)) => {
+                for replayer in &mut replayers {
+                    replayer.feed(&chunk);
+                }
+            }
+            Some(StreamItem::End(context)) => {
+                return replayers
+                    .into_iter()
+                    .map(|replayer| replayer.finish(&context))
+                    .collect();
+            }
+            None => panic!("trace stream ended without an end-of-stream marker"),
+        }
+    }
+}
+
 /// Replays a demand-access trace through a standalone LLC with the given
 /// policy and returns the resulting statistics (synthetic-trace workflows;
 /// recorded runs should prefer [`LlcTrace::replay`]).
@@ -409,15 +838,29 @@ pub fn replay(
 }
 
 /// Replays a demand-access trace with reuse hints *recomputed* by
-/// `classifier` (LLC-size sweeps over synthetic or decoded traces).
+/// `classifier` (LLC-size sweeps over synthetic or decoded traces; recorded
+/// traces should prefer [`LlcTrace::replay_demand_with_classifier`], which
+/// feeds the same loop straight off the chunked storage).
 pub fn replay_with_classifier(
     trace: &[AccessInfo],
     config: CacheConfig,
     policy: impl Into<PolicyDispatch>,
     classifier: &RegionClassifier,
 ) -> CacheStats {
+    replay_demand_reclassified(trace.iter().copied(), config, policy, classifier)
+}
+
+/// The one demand-only reclassifying replay loop both the slice and the
+/// chunk-native entry points share, so their hint semantics can never
+/// diverge.
+fn replay_demand_reclassified(
+    demands: impl Iterator<Item = AccessInfo>,
+    config: CacheConfig,
+    policy: impl Into<PolicyDispatch>,
+    classifier: &RegionClassifier,
+) -> CacheStats {
     let mut cache = SetAssocCache::new("LLC", config, policy);
-    for info in trace {
+    for info in demands {
         let reclassified = info.with_hint(classifier.classify(info.addr));
         cache.access(&reclassified);
     }
@@ -647,6 +1090,125 @@ mod tests {
         assert_eq!(stats.l1.accesses, 1, "recorded upper stats are carried");
         assert_eq!(stats.llc.accesses as usize, trace.demand_len());
         assert_eq!(stats.memory_accesses, stats.llc.misses);
+    }
+
+    #[test]
+    fn streamed_replay_matches_buffered_replay() {
+        let trace: LlcTrace = thrashy_trace(32, 200, 6).into_iter().collect();
+        let config = llc_config();
+        let buffered = trace.replay(config, Box::new(Lru::new(config.sets(), config.ways)));
+
+        // Tiny chunks force freeze boundaries; the depth is generous enough
+        // to re-broadcast the whole trace without a consumer thread.
+        let records = trace.len();
+        let (tap, receivers) = chunk_channel_with(1, records.div_ceil(5) + 2, 5);
+        let mut streamer = TraceStreamer::new(tap);
+        for event in trace.iter() {
+            match event {
+                TraceEvent::Demand(info) => streamer.push(&info),
+                TraceEvent::Prefetch(info) => streamer.push_prefetch(&info),
+                TraceEvent::Writeback(addr) => streamer.push_writeback(addr),
+                TraceEvent::Flush => streamer.push_flush(),
+            }
+        }
+        assert_eq!(streamer.len(), records);
+        streamer.finish(trace.context().clone());
+
+        let replayer = ChunkReplayer::new(config, Box::new(Lru::new(config.sets(), config.ways)));
+        let streamed = replay_stream(&receivers[0], vec![replayer]);
+        assert_eq!(streamed.len(), 1);
+        assert_eq!(streamed[0], buffered);
+    }
+
+    #[test]
+    fn stream_into_rebroadcasts_a_buffered_trace_to_many_consumers() {
+        let trace: LlcTrace = thrashy_trace(16, 64, 3).into_iter().collect();
+        let config = llc_config();
+        let consumers = 3;
+        let (tap, receivers) = chunk_channel(consumers, DEFAULT_STREAM_DEPTH);
+        trace.stream_into(&tap);
+        for receiver in &receivers {
+            let replayer =
+                ChunkReplayer::new(config, Box::new(Lru::new(config.sets(), config.ways)));
+            let streamed = replay_stream(receiver, vec![replayer]);
+            let buffered = trace.replay(config, Box::new(Lru::new(config.sets(), config.ways)));
+            assert_eq!(streamed[0], buffered);
+        }
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure_across_threads() {
+        // A depth-1 channel with chunk size 4: the producer must block until
+        // the consumer drains, and every record still arrives in order.
+        let events: Vec<AccessInfo> = (0..257u64).map(|i| AccessInfo::read(i * 64)).collect();
+        let config = llc_config();
+        let expected: LlcTrace = events.iter().copied().collect();
+        let expected = expected.replay(config, Box::new(Lru::new(config.sets(), config.ways)));
+
+        let (tap, mut receivers) = chunk_channel_with(2, 1, 4);
+        let receiver_a = receivers.remove(0);
+        let receiver_b = receivers.remove(0);
+        let stats = std::thread::scope(|scope| {
+            let consume = |receiver: ChunkReceiver| {
+                scope.spawn(move || {
+                    let replayer =
+                        ChunkReplayer::new(config, Box::new(Lru::new(config.sets(), config.ways)));
+                    replay_stream(&receiver, vec![replayer]).remove(0)
+                })
+            };
+            let a = consume(receiver_a);
+            let b = consume(receiver_b);
+            let mut streamer = TraceStreamer::new(tap);
+            for info in &events {
+                streamer.push(info);
+            }
+            streamer.finish(RecordContext::default());
+            (a.join().expect("consumer a"), b.join().expect("consumer b"))
+        });
+        assert_eq!(stats.0, expected);
+        assert_eq!(stats.1, expected);
+    }
+
+    #[test]
+    fn cloning_a_trace_shares_frozen_chunks() {
+        let mut trace = LlcTrace::new();
+        for i in 0..(CHUNK_RECORDS + 10) {
+            trace.push(&AccessInfo::read(i as u64 * 64));
+        }
+        let clone = trace.clone();
+        assert_eq!(clone, trace);
+        assert!(
+            Arc::ptr_eq(&trace.frozen[0], &clone.frozen[0]),
+            "frozen chunks must be shared, not copied"
+        );
+    }
+
+    #[test]
+    fn chunk_native_demand_replay_matches_the_slice_version() {
+        let demands = thrashy_trace(48, 256, 5);
+        let mut trace = LlcTrace::new();
+        for (i, info) in demands.iter().enumerate() {
+            trace.push(info);
+            if i % 9 == 0 {
+                trace.push_writeback(info.addr); // must be skipped by the demand view
+            }
+        }
+        let mut abrs = AddressBoundRegisters::new();
+        abrs.program(0, 1 << 20);
+        let classifier = RegionClassifier::new(abrs, 128 * 1024);
+        let config = llc_config();
+        let sliced = replay_with_classifier(
+            &demands,
+            config,
+            Box::new(Grasp::new(config.sets(), config.ways, 1)),
+            &classifier,
+        );
+        let chunked = trace.replay_demand_with_classifier(
+            config,
+            Box::new(Grasp::new(config.sets(), config.ways, 1)),
+            &classifier,
+        );
+        assert_eq!(sliced, chunked);
     }
 
     #[test]

@@ -1,19 +1,33 @@
 //! Property tests for the canonical post-L2 trace: the chunked SoA storage
 //! must round-trip arbitrary event sequences exactly (`push`/`get`/`iter`/
-//! `to_vec` always agree), and replay must be deterministic.
+//! `to_vec` always agree), replay must be deterministic, and the streaming
+//! pipeline (chunk channel + incremental replayer) must reproduce buffered
+//! replay bit-for-bit for arbitrary event sequences — flushes and
+//! writebacks included.
 
 use grasp_cachesim::config::CacheConfig;
 use grasp_cachesim::hint::ReuseHint;
 use grasp_cachesim::policy::grasp::Grasp;
 use grasp_cachesim::policy::lru::Lru;
+use grasp_cachesim::policy::rrip::Drrip;
 use grasp_cachesim::request::{AccessInfo, RegionLabel};
-use grasp_cachesim::trace::{LlcTrace, TraceEvent};
+use grasp_cachesim::trace::{
+    chunk_channel_with, replay_stream, ChunkReceiver, ChunkReplayer, LlcTrace, RecordContext,
+    TraceEvent, TraceStreamer,
+};
 use proptest::prelude::*;
 
 /// An arbitrary event: selector (demand read / demand write / prefetch /
 /// writeback), block index, site, hint selector, region selector.
 fn arb_events() -> impl Strategy<Value = Vec<TraceEvent>> {
-    proptest::collection::vec((0u8..4, 0u64..4096, 0u16..32, 0u8..4, 0u8..5), 1..800).prop_map(
+    arb_events_with_flushes(4)
+}
+
+/// Like [`arb_events`], but selector values ≥ 4 become flush markers when
+/// `kinds` is 5 (the streaming parity property exercises them; the storage
+/// round-trip keeps the historical distribution).
+fn arb_events_with_flushes(kinds: u8) -> impl Strategy<Value = Vec<TraceEvent>> {
+    proptest::collection::vec((0u8..kinds, 0u64..4096, 0u16..32, 0u8..4, 0u8..5), 1..800).prop_map(
         |entries| {
             entries
                 .into_iter()
@@ -30,7 +44,8 @@ fn arb_events() -> impl Strategy<Value = Vec<TraceEvent>> {
                             ..info
                         }),
                         2 => TraceEvent::Prefetch(info),
-                        _ => TraceEvent::Writeback(addr),
+                        3 => TraceEvent::Writeback(addr),
+                        _ => TraceEvent::Flush,
                     }
                 })
                 .collect()
@@ -93,5 +108,90 @@ proptest! {
         // Internal consistency of the replayed hierarchy view.
         prop_assert_eq!(lru_a.llc.accesses as usize, trace.demand_len());
         prop_assert_eq!(lru_a.memory_accesses, lru_a.llc.misses);
+    }
+
+    #[test]
+    fn streaming_replay_is_bit_identical_to_buffered_replay(events in arb_events_with_flushes(5)) {
+        let trace = {
+            let mut trace = build(&events);
+            // A non-trivial recorded context must be carried to every
+            // streaming consumer through the end-of-stream marker.
+            let mut context = RecordContext::default();
+            context.l1.record(RegionLabel::Property, false);
+            context.l2.record(RegionLabel::EdgeArray, true);
+            context.abr_bounds = vec![(0, 1 << 20)];
+            trace.set_context(context);
+            trace
+        };
+        let config = CacheConfig::new(64 * 128, 8, 64);
+        let buffered_lru = trace.replay(config, Lru::new(config.sets(), config.ways));
+        let buffered_rrip = trace.replay(config, Drrip::new(config.sets(), config.ways, 1));
+
+        // Drive the streaming pipeline with a deliberately tiny chunk size so
+        // every case crosses several freeze boundaries, and a producer thread
+        // against a shallow (depth-2) channel so backpressure is exercised.
+        // Consumer 0 replays both policies off one receiver; consumer 1
+        // double-checks LRU from its own copy of the stream.
+        let (tap, mut receivers) = chunk_channel_with(2, 2, 7);
+        let receiver_b = receivers.pop().expect("two receivers");
+        let receiver_a = receivers.pop().expect("two receivers");
+        let (streamed_a, streamed_b) = std::thread::scope(|scope| {
+            let worker_a = scope.spawn(move || {
+                replay_stream(
+                    &receiver_a,
+                    vec![
+                        ChunkReplayer::new(config, Lru::new(config.sets(), config.ways)),
+                        ChunkReplayer::new(config, Drrip::new(config.sets(), config.ways, 1)),
+                    ],
+                )
+            });
+            let worker_b = scope.spawn(move || {
+                replay_stream(
+                    &receiver_b,
+                    vec![ChunkReplayer::new(
+                        config,
+                        Lru::new(config.sets(), config.ways),
+                    )],
+                )
+            });
+            let mut streamer = TraceStreamer::new(tap);
+            for event in &events {
+                match event {
+                    TraceEvent::Demand(info) => streamer.push(info),
+                    TraceEvent::Prefetch(info) => streamer.push_prefetch(info),
+                    TraceEvent::Writeback(addr) => streamer.push_writeback(*addr),
+                    TraceEvent::Flush => streamer.push_flush(),
+                }
+            }
+            streamer.finish(trace.context().clone());
+            (
+                worker_a.join().expect("consumer a"),
+                worker_b.join().expect("consumer b"),
+            )
+        });
+        prop_assert_eq!(&streamed_a[0], &buffered_lru);
+        prop_assert_eq!(&streamed_a[1], &buffered_rrip);
+        prop_assert_eq!(&streamed_b[0], &buffered_lru);
+        prop_assert_eq!(streamed_a[0].l1.accesses, 1, "recorded L1 stats carried");
+    }
+
+    #[test]
+    fn rebroadcasting_a_buffered_trace_streams_bit_identically(events in arb_events_with_flushes(5)) {
+        let trace = build(&events);
+        let config = CacheConfig::new(64 * 64, 4, 64);
+        let buffered = trace.replay(config, Grasp::new(config.sets(), config.ways, 7));
+        // Depth covers the whole trace, so no producer thread is needed.
+        let chunks = events.len().div_ceil(grasp_cachesim::trace::CHUNK_RECORDS) + 1;
+        let (tap, receivers) = chunk_channel_with(1, chunks, grasp_cachesim::trace::CHUNK_RECORDS);
+        trace.stream_into(&tap);
+        let receiver: &ChunkReceiver = &receivers[0];
+        let streamed = replay_stream(
+            receiver,
+            vec![ChunkReplayer::new(
+                config,
+                Grasp::new(config.sets(), config.ways, 7),
+            )],
+        );
+        prop_assert_eq!(&streamed[0], &buffered);
     }
 }

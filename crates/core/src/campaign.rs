@@ -66,6 +66,18 @@ pub enum ExecutionMode {
     /// Run every cell through the full hierarchy independently (the original
     /// plan; no traces are kept alive beyond a cell).
     Direct,
+    /// Stream each (dataset, technique, application) cell: the recording run
+    /// and the policy replays execute **concurrently**, sharing frozen trace
+    /// chunks through a bounded channel
+    /// ([`Experiment::sweep_streaming`]). The record phase's wall-clock is
+    /// overlapped instead of serialized against the fan-out, and the peak
+    /// trace footprint per cell is channel-depth × chunk-size instead of the
+    /// whole stream. Streams are processed one at a time with the full
+    /// worker budget; results stay bit-identical to the other plans.
+    /// Campaigns that request per-cell traces
+    /// ([`Campaign::recording_llc_trace`]) fall back to [`Replay`], since
+    /// streaming never materializes a trace to hand back.
+    Streaming,
 }
 
 /// One coordinate of a campaign grid.
@@ -120,7 +132,7 @@ impl Campaign {
             hierarchy: None,
             record_trace: false,
             mode: ExecutionMode::default(),
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads: 0, // auto: resolved to available_parallelism at run time
         }
     }
 
@@ -179,11 +191,36 @@ impl Campaign {
         self.execution(ExecutionMode::Direct)
     }
 
-    /// Sets the worker-thread count (`1` runs inline on the caller).
+    /// Shorthand for selecting the streaming (overlapped record/replay)
+    /// plan.
+    #[must_use]
+    pub fn streaming(self) -> Self {
+        self.execution(ExecutionMode::Streaming)
+    }
+
+    /// Sets the worker-thread count. `0` (the default) means one worker per
+    /// available CPU; degenerate requests (zero, or absurdly many workers)
+    /// are clamped at run time to `available_parallelism`, and every budget
+    /// is capped at the campaign's cell count — a degenerate size never
+    /// reaches the pool. Modest oversubscription (up to 8× the CPU count)
+    /// is honoured as requested, so multi-worker scheduling stays
+    /// exercisable on small machines.
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.threads = threads;
         self
+    }
+
+    /// The worker budget a run actually uses (see [`Campaign::threads`]).
+    fn worker_budget(&self, jobs: usize) -> usize {
+        let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let sane_limit = available.saturating_mul(8);
+        let requested = match self.threads {
+            0 => available,
+            oversized if oversized > sane_limit => available,
+            explicit => explicit,
+        };
+        requested.min(jobs.max(1)).max(1)
     }
 
     /// The grid coordinates in deterministic grid order: datasets outermost,
@@ -212,9 +249,14 @@ impl Campaign {
     /// Runs the campaign under its execution plan and returns the results in
     /// grid order.
     pub fn run(&self) -> CampaignResult {
+        let budget = self.worker_budget(self.cells().len());
         match self.mode {
-            ExecutionMode::Replay => self.run_replay(),
-            ExecutionMode::Direct => self.run_direct(),
+            ExecutionMode::Replay => self.run_replay(budget),
+            ExecutionMode::Direct => self.run_direct(budget),
+            // Streaming never materializes a trace, so trace-requesting
+            // campaigns (the OPT study) buffer instead.
+            ExecutionMode::Streaming if self.record_trace => self.run_replay(budget),
+            ExecutionMode::Streaming => self.run_streaming(budget),
         }
     }
 
@@ -248,7 +290,7 @@ impl Campaign {
     }
 
     /// The direct plan: every cell simulates the full hierarchy.
-    fn run_direct(&self) -> CampaignResult {
+    fn run_direct(&self, threads: usize) -> CampaignResult {
         let mut base = HashMap::new();
         let mut reordered = HashMap::new();
         let work: Vec<(CampaignCell, Experiment)> = self
@@ -268,20 +310,19 @@ impl Campaign {
                 (cell, experiment)
             })
             .collect();
-        let runs = parallel_map(&work, self.threads, |(cell, experiment)| CampaignRun {
+        let runs = parallel_map(&work, threads, |(cell, experiment)| CampaignRun {
             cell: *cell,
             result: experiment.run(cell.policy),
         });
         CampaignResult { runs }
     }
 
-    /// The record-once / replay-many plan: one recording per unique
-    /// (dataset, technique, app) stream, then one cheap replay per cell.
-    fn run_replay(&self) -> CampaignResult {
+    /// Collects the unique (dataset, technique, app) streams of the grid in
+    /// first-seen grid order, plus each cell's index into the stream list
+    /// (shared by the replay and streaming plans).
+    fn stream_plan(&self) -> (Vec<(CampaignCell, usize)>, Vec<Experiment>) {
         let mut base = HashMap::new();
         let mut reordered = HashMap::new();
-        // Unique streams in first-seen grid order, plus each cell's index
-        // into the stream list.
         let mut stream_index: HashMap<(DatasetKind, TechniqueKind, AppKind), usize> =
             HashMap::new();
         let mut streams: Vec<Experiment> = Vec::new();
@@ -303,12 +344,19 @@ impl Campaign {
                 (cell, index)
             })
             .collect();
+        (cells, streams)
+    }
+
+    /// The record-once / replay-many plan: one recording per unique
+    /// (dataset, technique, app) stream, then one cheap replay per cell.
+    fn run_replay(&self, threads: usize) -> CampaignResult {
+        let (cells, streams) = self.stream_plan();
 
         // Phase 1: record each stream once (application + upper levels).
-        let records = parallel_map(&streams, self.threads, Experiment::record);
+        let records = parallel_map(&streams, threads, Experiment::record);
 
         // Phase 2: fan each recorded stream out across its policies.
-        let runs = parallel_map(&cells, self.threads, |&(cell, index)| {
+        let runs = parallel_map(&cells, threads, |&(cell, index)| {
             let recorded = &records[index];
             let result = if self.record_trace {
                 recorded.replay_with_trace(cell.policy)
@@ -317,6 +365,36 @@ impl Campaign {
             };
             CampaignRun { cell, result }
         });
+        CampaignResult { runs }
+    }
+
+    /// The streaming plan: each stream's recorder and policy replayers run
+    /// concurrently, one stream at a time with the full worker budget. The
+    /// recorder occupies the scheduling thread, so the replay consumers get
+    /// the remaining budget (at least one — on a single worker the OS
+    /// interleaves recorder and consumer through the bounded channel, which
+    /// stays correct, just unoverlapped).
+    fn run_streaming(&self, threads: usize) -> CampaignResult {
+        let (cells, streams) = self.stream_plan();
+        let consumers = threads.saturating_sub(1).max(1);
+        let swept: Vec<Vec<crate::experiment::RunResult>> = streams
+            .iter()
+            .map(|experiment| experiment.sweep_streaming(&self.policies, consumers))
+            .collect();
+        let runs = cells
+            .into_iter()
+            .map(|(cell, stream)| {
+                let policy_slot = self
+                    .policies
+                    .iter()
+                    .position(|&policy| policy == cell.policy)
+                    .expect("cell policies come from the campaign's policy list");
+                CampaignRun {
+                    cell,
+                    result: swept[stream][policy_slot].clone(),
+                }
+            })
+            .collect();
         CampaignResult { runs }
     }
 }
@@ -485,6 +563,57 @@ mod tests {
             assert_eq!(a.result.stats, b.result.stats, "{:?}", a.cell);
             assert_eq!(a.result.app.values, b.result.app.values, "{:?}", a.cell);
             assert!((a.result.cycles - b.result.cycles).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn streaming_plan_agrees_with_direct_bit_for_bit() {
+        let streamed = tiny_campaign().streaming().threads(4).run();
+        let direct = tiny_campaign().direct().threads(4).run();
+        assert_eq!(streamed.len(), direct.len());
+        for (a, b) in streamed.iter().zip(direct.iter()) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.result.stats, b.result.stats, "{:?}", a.cell);
+            assert_eq!(a.result.app.values, b.result.app.values, "{:?}", a.cell);
+            assert!((a.result.cycles - b.result.cycles).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn streaming_with_trace_request_falls_back_to_buffered_replay() {
+        let streamed = tiny_campaign().streaming().recording_llc_trace().run();
+        for run in streamed.iter() {
+            assert!(
+                run.result.llc_trace.is_some(),
+                "requested traces must still be delivered: {:?}",
+                run.cell
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_thread_counts_are_clamped() {
+        // Zero resolves to available parallelism and absurd requests fall
+        // back to it; every budget is capped at the cell count. Moderate
+        // oversubscription is honoured (so multi-worker scheduling is
+        // exercised even on single-CPU machines).
+        let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let zero = tiny_campaign().threads(0);
+        assert_eq!(zero.worker_budget(8), available.min(8));
+        let oversized = tiny_campaign().threads(1_000_000);
+        assert_eq!(oversized.worker_budget(2), available.min(2));
+        assert_eq!(oversized.worker_budget(0), 1);
+        assert_eq!(
+            tiny_campaign().threads(4).worker_budget(8),
+            4,
+            "an explicit modest request must reach the pool as-is"
+        );
+        let runs = oversized.run();
+        assert_eq!(runs.len(), 2);
+        let zero_runs = tiny_campaign().threads(0).run();
+        assert_eq!(zero_runs.len(), 2);
+        for (a, b) in runs.iter().zip(zero_runs.iter()) {
+            assert_eq!(a.result.stats, b.result.stats);
         }
     }
 }

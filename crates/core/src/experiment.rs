@@ -7,7 +7,9 @@ use grasp_analytics::Workspace;
 use grasp_cachesim::config::{CacheConfig, HierarchyConfig};
 use grasp_cachesim::hint::RegionClassifier;
 use grasp_cachesim::stats::HierarchyStats;
-use grasp_cachesim::trace::LlcTrace;
+use grasp_cachesim::trace::{
+    chunk_channel, replay_stream, ChunkReplayer, LlcTrace, TraceTap, DEFAULT_STREAM_DEPTH,
+};
 use grasp_cachesim::{Hierarchy, TimingModel};
 use grasp_graph::Csr;
 use grasp_reorder::TechniqueKind;
@@ -105,6 +107,40 @@ impl RecordedRun {
             app: self.app.clone(),
             llc_trace: with_trace.then(|| (*self.trace).clone()),
         }
+    }
+}
+
+/// The completion record of one **streaming** recording run
+/// ([`Experiment::record_streaming`]): the application output plus what the
+/// timing model needs, with the post-L2 stream already gone — it was
+/// consumed chunk-by-chunk while the run executed.
+#[derive(Debug, Clone)]
+pub struct StreamedRecord {
+    /// The application output of the recording run.
+    pub app: AppResult,
+    instructions: u64,
+    llc: CacheConfig,
+    timing: TimingModel,
+}
+
+impl StreamedRecord {
+    /// Combines one consumer's replayed hierarchy statistics with the
+    /// recording run's outputs into a [`RunResult`] bit-identical to
+    /// [`Experiment::run`] under `policy`.
+    pub fn assemble(&self, policy: PolicyKind, stats: HierarchyStats) -> RunResult {
+        let cycles = self.timing.cycles(&stats, self.instructions);
+        RunResult {
+            policy,
+            stats,
+            cycles,
+            app: self.app.clone(),
+            llc_trace: None,
+        }
+    }
+
+    /// The LLC geometry streaming consumers should replay with.
+    pub fn llc(&self) -> CacheConfig {
+        self.llc
     }
 }
 
@@ -289,6 +325,82 @@ impl Experiment {
         }
     }
 
+    /// The streaming counterpart of [`Experiment::record`]: runs the
+    /// application once through the upper levels, broadcasting each frozen
+    /// trace chunk through `tap` as it fills instead of buffering the
+    /// stream. Consumers (one [`ChunkReplayer`] per policy, typically via
+    /// [`replay_stream`]) replay **while this records**; the returned
+    /// [`StreamedRecord`] assembles their statistics into [`RunResult`]s
+    /// bit-identical to [`Experiment::run`].
+    ///
+    /// Blocks whenever a consumer falls a channel-depth behind, so it must
+    /// run concurrently with the consumers (see
+    /// [`Experiment::sweep_streaming`] for the packaged pattern).
+    pub fn record_streaming(&self, tap: TraceTap) -> StreamedRecord {
+        let memory = RecordingMemory::streaming(self.hierarchy, tap);
+        let mut ws = Workspace::new(memory);
+        let app = self.app.run(&self.graph, &mut ws, &self.app_config);
+        let instructions = app.instruction_estimate();
+        ws.into_memory().finish_stream();
+        StreamedRecord {
+            app,
+            instructions,
+            llc: self.hierarchy.llc,
+            timing: self.timing,
+        }
+    }
+
+    /// Runs an N-policy sweep through the streaming pipeline: the recording
+    /// run and up to `consumers` replay workers execute concurrently on
+    /// scoped threads, sharing the post-L2 stream through a bounded chunk
+    /// channel. Results come back in `policies` order, bit-identical to
+    /// [`Experiment::run`] per policy, and the peak trace footprint is
+    /// channel-depth × chunk-size per consumer instead of the whole trace.
+    pub fn sweep_streaming(&self, policies: &[PolicyKind], consumers: usize) -> Vec<RunResult> {
+        if policies.is_empty() {
+            return Vec::new();
+        }
+        let consumers = consumers.clamp(1, policies.len());
+        let (tap, receivers) = chunk_channel(consumers, DEFAULT_STREAM_DEPTH);
+        let llc = self.hierarchy.llc;
+        // Policy i is served by consumer i % consumers; each consumer feeds
+        // every chunk to all of its replayers.
+        let assignments: Vec<Vec<usize>> = (0..consumers)
+            .map(|c| (c..policies.len()).step_by(consumers).collect())
+            .collect();
+        let (streamed, gathered) = std::thread::scope(|scope| {
+            let workers: Vec<_> = receivers
+                .into_iter()
+                .zip(&assignments)
+                .map(|(receiver, mine)| {
+                    scope.spawn(move || {
+                        let replayers = mine
+                            .iter()
+                            .map(|&i| ChunkReplayer::new(llc, policies[i].build_dispatch(&llc)))
+                            .collect();
+                        replay_stream(&receiver, replayers)
+                    })
+                })
+                .collect();
+            let streamed = self.record_streaming(tap);
+            let gathered: Vec<Vec<HierarchyStats>> = workers
+                .into_iter()
+                .map(|worker| worker.join().expect("streaming replay worker panicked"))
+                .collect();
+            (streamed, gathered)
+        });
+        let mut slots: Vec<Option<RunResult>> = (0..policies.len()).map(|_| None).collect();
+        for (mine, stats_list) in assignments.iter().zip(gathered) {
+            for (&i, stats) in mine.iter().zip(stats_list) {
+                slots[i] = Some(streamed.assemble(policies[i], stats));
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every policy is assigned to exactly one consumer"))
+            .collect()
+    }
+
     /// Runs the application natively (no cache simulation) and measures
     /// wall-clock time. Used by the Fig. 10a reordering study.
     pub fn run_native(&self) -> NativeRunResult {
@@ -367,6 +479,26 @@ mod tests {
             assert!((direct.cycles - replayed.cycles).abs() < 1e-12, "{policy}");
             assert!(replayed.llc_trace.is_none());
         }
+    }
+
+    #[test]
+    fn streaming_sweep_matches_direct_execution_bit_for_bit() {
+        let exp = small_experiment(AppKind::PageRank);
+        let policies = [PolicyKind::Lru, PolicyKind::Rrip, PolicyKind::Grasp];
+        // More consumers than policies, and fewer, both work.
+        for consumers in [1, 2, 5] {
+            let streamed = exp.sweep_streaming(&policies, consumers);
+            assert_eq!(streamed.len(), policies.len());
+            for (policy, replayed) in policies.iter().zip(&streamed) {
+                let direct = exp.run(*policy);
+                assert_eq!(replayed.policy, *policy);
+                assert_eq!(direct.stats, replayed.stats, "{policy} x{consumers}");
+                assert_eq!(direct.app.values, replayed.app.values, "{policy}");
+                assert!((direct.cycles - replayed.cycles).abs() < 1e-12, "{policy}");
+                assert!(replayed.llc_trace.is_none());
+            }
+        }
+        assert!(exp.sweep_streaming(&[], 4).is_empty());
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! A minimal JSON reader for the `BENCH_*.json` dumps.
+//!
+//! The workspace's vendored `serde` is an offline stub without a JSON
+//! backend, and the dumps are produced by our own writer
+//! (`grasp_core::report::to_json`), so a small strict parser covering
+//! objects, arrays, strings, numbers, booleans and null is all that is
+//! needed — with escapes handled exactly as the writer emits them.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, kept as `f64` (exact for the integers we emit).
+    Number(f64),
+    /// A string, with escapes resolved.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object (key order not preserved; comparisons are by key).
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing data at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                byte as char,
+                self.pos,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_owned())?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_owned())?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "invalid \\u escape".to_owned())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("invalid \\u escape {hex:?}"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid codepoint {code:#x}"))?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the writer only emits valid
+                    // UTF-8; recover the char boundary from the remainder).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_owned())?;
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err("unterminated string".to_owned()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_real_bench_dump_shape() {
+        let doc = parse(
+            r#"{"figure":"fig5","wall_ms":27582,"tables":[{"title":"Fig. \"5\"","headers":["app","GRASP"],"rows":[["BC","+5.2"],["PR\n","-1.0"]]}]}"#,
+        )
+        .expect("parses");
+        assert_eq!(doc.get("wall_ms").and_then(Json::as_f64), Some(27582.0));
+        let tables = doc.get("tables").and_then(Json::as_array).expect("tables");
+        assert_eq!(tables.len(), 1);
+        assert_eq!(
+            tables[0].get("title").and_then(Json::as_str),
+            Some("Fig. \"5\"")
+        );
+        let rows = tables[0]
+            .get("rows")
+            .and_then(Json::as_array)
+            .expect("rows");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[1].as_array().expect("row")[0].as_str(),
+            Some("PR\n"),
+            "escapes resolve"
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_docs() {
+        assert!(parse("{} extra").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn numbers_bools_and_null_round_trip() {
+        assert_eq!(parse("-12.5e2").unwrap().as_f64(), Some(-1250.0));
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("[]").unwrap(), Json::Array(Vec::new()));
+    }
+}

@@ -1,0 +1,352 @@
+//! Repository automation tasks (`cargo xtask <task>`).
+//!
+//! The only task so far is `bench-diff`, the CI bench-trajectory gate: it
+//! compares freshly dumped `BENCH_<figure>.json` files against the committed
+//! baselines and fails when
+//!
+//! * a figure's campaign wall-clock (`wall_ms`) regressed by more than the
+//!   tolerance (default 10%, `GRASP_BENCH_TOLERANCE=0.25` for 25%), or
+//! * any **table content** changed — titles, headers, or row cells, except
+//!   cells in timing columns (headers ending in ` ms`, or speed-up columns),
+//!   which are machine-dependent measurements rather than simulation results
+//!   and are covered by the wall-clock check instead.
+//!
+//! Simulation tables are fully deterministic (fixed seeds end to end), so a
+//! changed cell means a behaviour change that must be acknowledged by
+//! re-committing the baseline, not noise.
+
+mod json;
+
+use json::Json;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const DEFAULT_TOLERANCE: f64 = 0.10;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("bench-diff") => bench_diff(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo xtask bench-diff [--baseline <dir>] [--fresh <dir>]");
+            eprintln!();
+            eprintln!("bench-diff   compare fresh BENCH_*.json dumps against committed baselines");
+            eprintln!("             (tolerance via GRASP_BENCH_TOLERANCE, default 0.10 = 10%)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn bench_diff(args: &[String]) -> ExitCode {
+    let mut baseline = PathBuf::from("crates/bench");
+    let mut fresh = PathBuf::from("target/bench-fresh");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = expect_path(iter.next(), "--baseline"),
+            "--fresh" => fresh = expect_path(iter.next(), "--fresh"),
+            other => {
+                eprintln!("bench-diff: unknown argument {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let tolerance = std::env::var("GRASP_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|raw| raw.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_TOLERANCE);
+
+    let baselines = match list_bench_files(&baseline) {
+        Ok(files) if !files.is_empty() => files,
+        Ok(_) => {
+            eprintln!(
+                "bench-diff: no BENCH_*.json baselines in {}",
+                baseline.display()
+            );
+            return ExitCode::from(2);
+        }
+        Err(err) => {
+            eprintln!("bench-diff: cannot read {}: {err}", baseline.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = Vec::new();
+    for name in &baselines {
+        let base_path = baseline.join(name);
+        let fresh_path = fresh.join(name);
+        match diff_figure(&base_path, &fresh_path, tolerance) {
+            Ok(report) => println!("{name}: {report}"),
+            Err(problems) => {
+                for problem in &problems {
+                    eprintln!("{name}: {problem}");
+                }
+                failures.push(name.clone());
+            }
+        }
+    }
+
+    // A fresh dump with no committed baseline is a new figure escaping the
+    // gate entirely — fail so its baseline gets committed alongside it.
+    for name in list_bench_files(&fresh).unwrap_or_default() {
+        if !baselines.contains(&name) {
+            eprintln!(
+                "{name}: fresh dump has no committed baseline in {} — commit one so the \
+                 figure is gated",
+                baseline.display()
+            );
+            failures.push(name);
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "bench trajectory OK: {} figure(s) within {:.0}% wall-clock tolerance, tables unchanged",
+            baselines.len(),
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench trajectory FAILED for: {}", failures.join(", "));
+        ExitCode::FAILURE
+    }
+}
+
+fn expect_path(value: Option<&String>, flag: &str) -> PathBuf {
+    match value {
+        Some(v) => PathBuf::from(v),
+        None => {
+            eprintln!("bench-diff: {flag} needs a directory argument");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn list_bench_files(dir: &Path) -> std::io::Result<Vec<String>> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        .collect();
+    names.sort();
+    Ok(names)
+}
+
+/// Compares one figure's fresh dump against its baseline. Returns a one-line
+/// summary on success, or the list of violations.
+fn diff_figure(base_path: &Path, fresh_path: &Path, tolerance: f64) -> Result<String, Vec<String>> {
+    let base = load(base_path).map_err(|e| vec![e])?;
+    let fresh = load(fresh_path).map_err(|e| {
+        vec![format!(
+            "missing fresh dump {} ({e}); run the figure bench with GRASP_BENCH_JSON_DIR set",
+            fresh_path.display()
+        )]
+    })?;
+
+    let mut problems = Vec::new();
+
+    let base_wall = wall_ms(&base).unwrap_or(0.0);
+    let fresh_wall = wall_ms(&fresh).unwrap_or(0.0);
+    let limit = base_wall * (1.0 + tolerance);
+    if base_wall > 0.0 && fresh_wall > limit {
+        problems.push(format!(
+            "campaign wall-clock regressed: {fresh_wall:.0} ms vs baseline {base_wall:.0} ms \
+             (>{:.0}% over)",
+            tolerance * 100.0
+        ));
+    }
+
+    diff_tables(&base, &fresh, &mut problems);
+
+    if problems.is_empty() {
+        Ok(format!(
+            "wall {fresh_wall:.0} ms vs baseline {base_wall:.0} ms, tables identical"
+        ))
+    } else {
+        Err(problems)
+    }
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+fn wall_ms(doc: &Json) -> Option<f64> {
+    doc.get("wall_ms")?.as_f64()
+}
+
+/// A column is a timing column when its header names a measured duration or
+/// a ratio of durations — machine-dependent, excluded from strict equality.
+/// The match is deliberately narrow ("… ms" suffix or a speed-up header, the
+/// forms `grasp_core::report` tables actually use) so a header merely
+/// *containing* "ms" (e.g. "algorithms") is never silently exempted.
+fn is_timing_header(header: &str) -> bool {
+    let lower = header.to_ascii_lowercase();
+    lower == "ms"
+        || lower.ends_with(" ms")
+        || lower.contains("speed-up")
+        || lower.contains("speedup")
+}
+
+fn diff_tables(base: &Json, fresh: &Json, problems: &mut Vec<String>) {
+    let empty = Vec::new();
+    let base_tables = base
+        .get("tables")
+        .and_then(Json::as_array)
+        .unwrap_or(&empty);
+    let fresh_tables = fresh
+        .get("tables")
+        .and_then(Json::as_array)
+        .unwrap_or(&empty);
+    if base_tables.len() != fresh_tables.len() {
+        problems.push(format!(
+            "table count changed: {} vs baseline {}",
+            fresh_tables.len(),
+            base_tables.len()
+        ));
+        return;
+    }
+    for (t, (bt, ft)) in base_tables.iter().zip(fresh_tables).enumerate() {
+        let title = bt.get("title").and_then(Json::as_str).unwrap_or("?");
+        if ft.get("title").and_then(Json::as_str) != Some(title) {
+            problems.push(format!("table {t} title changed (baseline: {title:?})"));
+            continue;
+        }
+        let base_headers = string_rows(bt.get("headers"));
+        let fresh_headers = string_rows(ft.get("headers"));
+        if base_headers != fresh_headers {
+            problems.push(format!("table {title:?}: headers changed"));
+            continue;
+        }
+        let base_rows = rows_of(bt);
+        let fresh_rows = rows_of(ft);
+        if base_rows.len() != fresh_rows.len() {
+            problems.push(format!(
+                "table {title:?}: row count changed ({} vs baseline {})",
+                fresh_rows.len(),
+                base_rows.len()
+            ));
+            continue;
+        }
+        for (r, (brow, frow)) in base_rows.iter().zip(&fresh_rows).enumerate() {
+            if brow.len() != frow.len() {
+                problems.push(format!(
+                    "table {title:?} row {r}: cell count changed ({} vs baseline {})",
+                    frow.len(),
+                    brow.len()
+                ));
+                continue;
+            }
+            for (c, (bcell, fcell)) in brow.iter().zip(frow).enumerate() {
+                let header = base_headers.get(c).map(String::as_str).unwrap_or("");
+                if is_timing_header(header) {
+                    continue;
+                }
+                if bcell != fcell {
+                    problems.push(format!(
+                        "table {title:?} row {r} column {header:?}: {fcell:?} vs baseline {bcell:?}"
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn string_rows(value: Option<&Json>) -> Vec<String> {
+    value
+        .and_then(Json::as_array)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|v| v.as_str().map(str::to_owned))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn rows_of(table: &Json) -> Vec<Vec<String>> {
+    table
+        .get("rows")
+        .and_then(Json::as_array)
+        .map(|rows| rows.iter().map(|row| string_rows(Some(row))).collect())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(wall: u64, cell: &str, timing: &str) -> Json {
+        json::parse(&format!(
+            r#"{{"figure":"f","wall_ms":{wall},"tables":[{{"title":"t","headers":["app","GRASP","direct ms","speed-up"],"rows":[["PR","{cell}","{timing}","9.99x"]]}}]}}"#
+        ))
+        .expect("valid test doc")
+    }
+
+    fn problems(base: &Json, fresh: &Json, tolerance: f64) -> Vec<String> {
+        let mut out = Vec::new();
+        let base_wall = wall_ms(base).unwrap();
+        let fresh_wall = wall_ms(fresh).unwrap();
+        if base_wall > 0.0 && fresh_wall > base_wall * (1.0 + tolerance) {
+            out.push("wall regression".to_owned());
+        }
+        diff_tables(base, fresh, &mut out);
+        out
+    }
+
+    #[test]
+    fn identical_dumps_pass() {
+        let base = doc(1000, "+7.5", "12.3");
+        assert!(problems(&base, &base, 0.10).is_empty());
+    }
+
+    #[test]
+    fn timing_columns_and_small_wall_drift_are_tolerated() {
+        let base = doc(1000, "+7.5", "12.3");
+        let fresh = doc(1099, "+7.5", "99.9");
+        assert!(problems(&base, &fresh, 0.10).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_regression_fails() {
+        let base = doc(1000, "+7.5", "12.3");
+        let fresh = doc(1200, "+7.5", "12.3");
+        let found = problems(&base, &fresh, 0.10);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].contains("wall"));
+    }
+
+    #[test]
+    fn any_result_cell_change_fails() {
+        let base = doc(1000, "+7.5", "12.3");
+        let fresh = doc(1000, "+7.4", "12.3");
+        let found = problems(&base, &fresh, 0.10);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].contains("GRASP"), "{found:?}");
+    }
+
+    #[test]
+    fn timing_headers_are_detected() {
+        assert!(is_timing_header("direct ms"));
+        assert!(is_timing_header("speed-up"));
+        assert!(is_timing_header("streaming ms"));
+        assert!(!is_timing_header("GRASP"));
+        assert!(!is_timing_header("trace records"));
+        // Substrings of ordinary words must not exempt a column.
+        assert!(!is_timing_header("algorithms"));
+        assert!(!is_timing_header("streams"));
+    }
+
+    #[test]
+    fn truncated_rows_fail_instead_of_passing_silently() {
+        let base = doc(1000, "+7.5", "12.3");
+        let fresh = json::parse(
+            r#"{"figure":"f","wall_ms":1000,"tables":[{"title":"t","headers":["app","GRASP","direct ms","speed-up"],"rows":[["PR"]]}]}"#,
+        )
+        .expect("valid test doc");
+        let found = problems(&base, &fresh, 0.10);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].contains("cell count"), "{found:?}");
+    }
+}

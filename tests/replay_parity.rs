@@ -86,6 +86,48 @@ fn replay_and_direct_modes_agree_for_every_technique() {
 }
 
 #[test]
+fn streaming_campaign_matches_the_replay_plan_across_the_full_policy_grid() {
+    let campaign = |mode: ExecutionMode| {
+        Campaign::new(SCALE)
+            .datasets(&[DatasetKind::Twitter])
+            .apps(&[AppKind::PageRank])
+            .policies(&FULL_GRID)
+            .execution(mode)
+            .threads(4)
+            .run()
+    };
+    let streamed = campaign(ExecutionMode::Streaming);
+    let replayed = campaign(ExecutionMode::Replay);
+    assert_eq!(streamed.len(), FULL_GRID.len());
+    for (a, b) in streamed.iter().zip(replayed.iter()) {
+        assert_eq!(a.cell, b.cell);
+        assert_eq!(
+            a.result.stats, b.result.stats,
+            "{}: streaming diverged from buffered replay",
+            a.cell.policy
+        );
+        assert_eq!(a.result.app.values, b.result.app.values);
+        assert!((a.result.cycles - b.result.cycles).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn streaming_sweep_matches_buffered_replays_of_one_recording() {
+    let dataset = DatasetKind::Kron.build(SCALE);
+    let exp = Experiment::new(dataset.graph, AppKind::PageRankDelta)
+        .with_hierarchy(SCALE.hierarchy())
+        .with_reordering(TechniqueKind::Dbg);
+    let recorded = exp.record();
+    let streamed = exp.sweep_streaming(&FULL_GRID, 3);
+    for (&policy, stream_run) in FULL_GRID.iter().zip(&streamed) {
+        let buffered = recorded.replay(policy);
+        assert_eq!(stream_run.policy, policy);
+        assert_eq!(buffered.stats, stream_run.stats, "{policy}");
+        assert_eq!(buffered.app.values, stream_run.app.values, "{policy}");
+    }
+}
+
+#[test]
 fn recorded_stream_replays_deterministically() {
     let dataset = DatasetKind::Twitter.build(SCALE);
     let exp = Experiment::new(dataset.graph, AppKind::PageRank)
