@@ -18,6 +18,13 @@
 //! 4 KiB L1 passes an unusually large share of the stream through to the
 //! LLC.
 //!
+//! A third section exercises the **persistent trace store**: cold = record
+//! the stream and persist it (plus the 8-policy fan-out), warm = load the
+//! entry back — the record phase skipped entirely — and run the same
+//! fan-out. Warm results are asserted bit-identical to both the cold record
+//! and the direct path; the speed-up is reported (the warm pass saves the
+//! whole application + L1/L2 simulation).
+//!
 //! Acceptance bars, both with bit-identical statistics asserted per cell:
 //!
 //! * buffered replay ≥ 3x over direct on the paper-scale 8-policy sweep
@@ -39,6 +46,7 @@ use grasp_core::datasets::DatasetKind;
 use grasp_core::experiment::Experiment;
 use grasp_core::policy::PolicyKind;
 use grasp_core::report::Table;
+use grasp_core::trace_store::{TraceStore, TraceStoreKey};
 use grasp_reorder::TechniqueKind;
 use std::time::Instant;
 
@@ -106,6 +114,14 @@ fn main() {
         ),
         &["hierarchy", "buffered ms", "streaming ms", "speed-up"],
     );
+    let mut store_table = Table::new(
+        "Trace store: cold (record + persist) vs warm (load + replay, record skipped)",
+        &["hierarchy", "cold ms", "warm ms", "speed-up", "entry bytes"],
+    );
+    let store_dir =
+        std::env::temp_dir().join(format!("grasp-micro-replay-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&store_dir).ok();
+    let store = TraceStore::open(&store_dir).expect("bench trace store opens");
     let mut total_ms = 0u128;
     let mut paper_speedup = 0.0;
     let mut paper_streaming_speedup = 0.0;
@@ -186,9 +202,72 @@ fn main() {
             format!("{:.1}", streaming_time.as_secs_f64() * 1e3),
             format!("{streaming_speedup:.2}x"),
         ]);
+
+        // The trace-store comparison: cold = record the stream (application
+        // + upper levels) + persist it + fan out the sweep; warm = load the
+        // persisted entry — the record phase skipped entirely — and fan out
+        // the same sweep. Keys fork on the hierarchy hash, so the paper and
+        // scaled geometries land in separate entries.
+        let key = TraceStoreKey::new(
+            DatasetKind::Twitter,
+            scale,
+            TechniqueKind::Dbg,
+            AppKind::PageRank,
+            exp.hierarchy(),
+            exp.app_config(),
+        );
+        let started = Instant::now();
+        let cold_recorded = exp.record();
+        let entry_bytes = store
+            .publish(
+                &key,
+                cold_recorded.trace(),
+                cold_recorded.app(),
+                cold_recorded.instructions(),
+            )
+            .expect("bench store publish");
+        let cold: Vec<_> = SWEEP.iter().map(|&p| cold_recorded.replay(p)).collect();
+        let cold_time = started.elapsed();
+
+        let started = Instant::now();
+        let stored = store.load(&key).expect("warm store lookup must hit");
+        let warm_recorded = exp.recorded_from_parts(stored.trace, stored.app, stored.instructions);
+        let warm: Vec<_> = SWEEP.iter().map(|&p| warm_recorded.replay(p)).collect();
+        let warm_time = started.elapsed();
+
+        for ((a, b), c) in cold.iter().zip(&warm).zip(&direct) {
+            assert_eq!(
+                a.stats, b.stats,
+                "{label}/{}: store-loaded replay diverged from the cold record",
+                a.policy
+            );
+            assert_eq!(
+                a.stats, c.stats,
+                "{label}/{}: store pipeline diverged from the direct path",
+                a.policy
+            );
+        }
+
+        let store_speedup = cold_time.as_secs_f64() / warm_time.as_secs_f64().max(1e-9);
+        total_ms += (cold_time + warm_time).as_millis();
+        store_table.push_row(vec![
+            label.into(),
+            format!("{:.1}", cold_time.as_secs_f64() * 1e3),
+            format!("{:.1}", warm_time.as_secs_f64() * 1e3),
+            format!("{store_speedup:.2}x"),
+            entry_bytes.to_string(),
+        ]);
     }
+    let store_stats = store.stats();
+    assert_eq!(
+        store_stats.hits, 2,
+        "both hierarchies' warm passes must be served from the store"
+    );
+    std::fs::remove_dir_all(&store_dir).ok();
     println!("{table}");
     println!("{streaming_table}");
+    println!("{store_table}");
+    println!("trace store traffic: {store_stats}");
     println!(
         "stats bit-identical across all {} + {} policies on both hierarchies \
          ({workers} worker(s) for the streaming sweep)",
@@ -230,5 +309,9 @@ fn main() {
             }
         );
     }
-    dump_json("micro_replay", total_ms, &[&table, &streaming_table]);
+    dump_json(
+        "micro_replay",
+        total_ms,
+        &[&table, &streaming_table, &store_table],
+    );
 }

@@ -87,6 +87,13 @@ impl CacheStats {
         self.region[region.index()]
     }
 
+    /// Overwrites one region's counters wholesale. Only the trace
+    /// persistence decoder uses this — recorded statistics are reconstructed
+    /// from disk, not re-accumulated — so it stays crate-private.
+    pub(crate) fn set_region_counters(&mut self, region: RegionLabel, accesses: u64, misses: u64) {
+        self.region[region.index()] = RegionCounters { accesses, misses };
+    }
+
     /// Demand miss ratio in `[0, 1]`.
     pub fn miss_ratio(&self) -> f64 {
         if self.accesses == 0 {

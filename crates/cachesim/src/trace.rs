@@ -61,6 +61,8 @@
 //! [`ChunkReplayer`] code, so their statistics are bit-identical (pinned by
 //! `tests/trace_properties.rs`).
 
+pub mod persist;
+
 use crate::addr::Address;
 use crate::cache::SetAssocCache;
 use crate::config::CacheConfig;

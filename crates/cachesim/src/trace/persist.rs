@@ -1,0 +1,825 @@
+//! The versioned on-disk trace format: spill a recorded [`LlcTrace`] to a
+//! byte stream and load it back bit-identically.
+//!
+//! A persisted trace is a self-describing binary file:
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────────────┐
+//! │ header (48 bytes, little-endian)                                     │
+//! │   0  magic          8 B   "GRSPTRC\0"                                │
+//! │   8  version        u32   TRACE_FORMAT_VERSION                       │
+//! │  12  chunk_records  u32   records per full chunk (CHUNK_RECORDS)     │
+//! │  16  record_count   u64   total events                               │
+//! │  24  demand_count   u64   demand events (≤ record_count)             │
+//! │  32  context_len    u32   bytes of the context block                 │
+//! │  36  reserved       u32   0                                          │
+//! │  40  checksum       u64   FNV-1a over header (checksum zeroed),      │
+//! │                           context block and chunk payload            │
+//! ├──────────────────────────────────────────────────────────────────────┤
+//! │ context block: RecordContext — L1 stats, L2 stats, ABR bounds        │
+//! ├──────────────────────────────────────────────────────────────────────┤
+//! │ chunk payload, in stream order: per chunk, n × u64 addresses then    │
+//! │ n × u32 metadata words (n = chunk_records, except the final tail)    │
+//! └──────────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The body keeps the in-memory struct-of-arrays layout **chunk-aligned**:
+//! every full chunk serializes as one address page followed by one metadata
+//! page, so [`LlcTrace::read_from`] reconstructs each frozen
+//! [`TraceChunk`](super::TraceChunk) page directly behind its `Arc` — no
+//! per-event decode, no re-push through the recording path — and the loaded
+//! trace compares equal (`==`) to the trace that was written, chunk layout
+//! included. A loaded trace therefore streams through
+//! [`LlcTrace::stream_into`](super::LlcTrace::stream_into) exactly like a
+//! freshly recorded one.
+//!
+//! Corruption is never silent: the checksum covers the header (with the
+//! checksum field zeroed), the context block and the chunk payload, so a
+//! truncated, bit-flipped or short-read file surfaces as a typed
+//! [`PersistError`] — a successful load is byte-for-byte the trace that was
+//! saved (property-tested in `tests/persist_properties.rs`).
+
+use super::{LlcTrace, RecordContext, TraceChunk, CHUNK_RECORDS};
+use crate::addr::Address;
+use crate::request::RegionLabel;
+use crate::stats::CacheStats;
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Magic bytes opening every persisted trace.
+pub const TRACE_MAGIC: [u8; 8] = *b"GRSPTRC\0";
+
+/// Version of the on-disk trace format. Bump on any layout change; loaders
+/// reject every version they were not built for.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 48;
+const CHECKSUM_OFFSET: usize = 40;
+/// Upper bound on the context block (the ABR bound list is tiny in practice;
+/// anything near this limit is corruption, not data).
+const MAX_CONTEXT_LEN: u32 = 1 << 24;
+
+/// Why a persisted trace could not be read (or written).
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying I/O failure (reading, writing, renaming).
+    Io(std::io::Error),
+    /// The file does not start with [`TRACE_MAGIC`] — not a trace file.
+    BadMagic([u8; 8]),
+    /// The file was written by an incompatible format version.
+    UnsupportedVersion(u32),
+    /// The file's chunk geometry does not match this build's
+    /// [`CHUNK_RECORDS`], so its pages cannot be mapped into frozen chunks.
+    IncompatibleChunkSize {
+        /// Records per chunk recorded in the file.
+        found: u32,
+        /// Records per chunk this build expects.
+        expected: u32,
+    },
+    /// The stream ended before the declared payload was read.
+    Truncated {
+        /// What was being read when the stream ran dry.
+        while_reading: &'static str,
+    },
+    /// The checksum over header, context and payload did not match.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum recomputed over the bytes actually read.
+        computed: u64,
+    },
+    /// A structurally invalid field (impossible counts or lengths).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(err) => write!(f, "trace i/o error: {err}"),
+            PersistError::BadMagic(found) => {
+                write!(f, "not a trace file (magic {found:02x?})")
+            }
+            PersistError::UnsupportedVersion(found) => write!(
+                f,
+                "unsupported trace format version {found} (this build reads \
+                 version {TRACE_FORMAT_VERSION})"
+            ),
+            PersistError::IncompatibleChunkSize { found, expected } => write!(
+                f,
+                "incompatible chunk size: file has {found} records/chunk, \
+                 this build uses {expected}"
+            ),
+            PersistError::Truncated { while_reading } => {
+                write!(f, "trace file truncated while reading {while_reading}")
+            }
+            PersistError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "trace checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            PersistError::Corrupt(what) => write!(f, "corrupt trace file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(err: std::io::Error) -> Self {
+        PersistError::Io(err)
+    }
+}
+
+/// Byte-wise FNV-1a, the format's checksum. Chosen over the simulator's
+/// word-batched `FxHasher` because its digest is independent of how the byte
+/// stream is split across `update` calls, which lets the writer hash
+/// chunk-by-chunk and the reader hash buffer-by-buffer. Public so store
+/// layers building on the format (`grasp_core::trace_store`) checksum and
+/// fingerprint with the same primitive instead of re-rolling the constants.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Creates a hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    /// Folds `bytes` into the digest (split-independent).
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut hash = self.0;
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(Self::PRIME);
+        }
+        self.0 = hash;
+    }
+
+    /// The digest over everything folded in so far.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+
+    /// One-shot digest of a byte slice.
+    pub fn digest(bytes: &[u8]) -> u64 {
+        let mut hasher = Self::new();
+        hasher.update(bytes);
+        hasher.finish()
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, value: u32) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, value: u64) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+/// A little-endian cursor over the in-memory context block.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], PersistError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let slice = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(PersistError::Corrupt(format!(
+                "context block ends inside {what}"
+            ))),
+        }
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, PersistError> {
+        let bytes = self.take(4, what)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, PersistError> {
+        let bytes = self.take(8, what)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn encode_cache_stats(buf: &mut Vec<u8>, stats: &CacheStats) {
+    put_u64(buf, stats.accesses);
+    put_u64(buf, stats.hits);
+    put_u64(buf, stats.misses);
+    put_u64(buf, stats.evictions);
+    put_u64(buf, stats.bypasses);
+    put_u64(buf, stats.prefetch_accesses);
+    put_u64(buf, stats.prefetch_fills);
+    put_u64(buf, stats.writeback_accesses);
+    put_u64(buf, stats.writeback_hits);
+    for region in RegionLabel::ALL {
+        let counters = stats.region(region);
+        put_u64(buf, counters.accesses);
+        put_u64(buf, counters.misses);
+    }
+}
+
+fn decode_cache_stats(cursor: &mut Cursor<'_>) -> Result<CacheStats, PersistError> {
+    let mut stats = CacheStats::new();
+    stats.accesses = cursor.u64("cache stats")?;
+    stats.hits = cursor.u64("cache stats")?;
+    stats.misses = cursor.u64("cache stats")?;
+    stats.evictions = cursor.u64("cache stats")?;
+    stats.bypasses = cursor.u64("cache stats")?;
+    stats.prefetch_accesses = cursor.u64("cache stats")?;
+    stats.prefetch_fills = cursor.u64("cache stats")?;
+    stats.writeback_accesses = cursor.u64("cache stats")?;
+    stats.writeback_hits = cursor.u64("cache stats")?;
+    for region in RegionLabel::ALL {
+        let accesses = cursor.u64("region counters")?;
+        let misses = cursor.u64("region counters")?;
+        stats.set_region_counters(region, accesses, misses);
+    }
+    Ok(stats)
+}
+
+fn encode_context(context: &RecordContext) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(2 * 152 + 4 + context.abr_bounds.len() * 16);
+    encode_cache_stats(&mut buf, &context.l1);
+    encode_cache_stats(&mut buf, &context.l2);
+    put_u32(&mut buf, context.abr_bounds.len() as u32);
+    for &(lo, hi) in &context.abr_bounds {
+        put_u64(&mut buf, lo);
+        put_u64(&mut buf, hi);
+    }
+    buf
+}
+
+fn decode_context(bytes: &[u8]) -> Result<RecordContext, PersistError> {
+    let mut cursor = Cursor::new(bytes);
+    let l1 = decode_cache_stats(&mut cursor)?;
+    let l2 = decode_cache_stats(&mut cursor)?;
+    let bound_count = cursor.u32("ABR bound count")? as usize;
+    // Each bound is 16 bytes; the count must fit in what remains.
+    if bound_count > (bytes.len() - cursor.pos) / 16 {
+        return Err(PersistError::Corrupt(format!(
+            "ABR bound count {bound_count} exceeds the context block"
+        )));
+    }
+    let mut abr_bounds = Vec::with_capacity(bound_count);
+    for _ in 0..bound_count {
+        let lo = cursor.u64("ABR bound")?;
+        let hi = cursor.u64("ABR bound")?;
+        abr_bounds.push((lo, hi));
+    }
+    if !cursor.finished() {
+        return Err(PersistError::Corrupt(
+            "trailing bytes after the context block".to_owned(),
+        ));
+    }
+    Ok(RecordContext { l1, l2, abr_bounds })
+}
+
+fn header_bytes(trace: &LlcTrace, context_len: u32, checksum: u64) -> [u8; HEADER_LEN] {
+    let mut header = [0u8; HEADER_LEN];
+    header[0..8].copy_from_slice(&TRACE_MAGIC);
+    header[8..12].copy_from_slice(&TRACE_FORMAT_VERSION.to_le_bytes());
+    header[12..16].copy_from_slice(&(CHUNK_RECORDS as u32).to_le_bytes());
+    header[16..24].copy_from_slice(&(trace.len() as u64).to_le_bytes());
+    header[24..32].copy_from_slice(&(trace.demand_len() as u64).to_le_bytes());
+    header[32..36].copy_from_slice(&context_len.to_le_bytes());
+    // 36..40 reserved = 0.
+    header[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&checksum.to_le_bytes());
+    header
+}
+
+/// Serializes one chunk's pages (addresses then metadata words) into `buf`.
+fn chunk_payload(chunk: &TraceChunk, buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.reserve(chunk.len() * 12);
+    for &addr in &chunk.addrs {
+        buf.extend_from_slice(&addr.to_le_bytes());
+    }
+    for &meta in &chunk.meta {
+        buf.extend_from_slice(&meta.to_le_bytes());
+    }
+}
+
+fn read_exact(
+    reader: &mut impl Read,
+    buf: &mut [u8],
+    what: &'static str,
+) -> Result<(), PersistError> {
+    reader.read_exact(buf).map_err(|err| {
+        if err.kind() == std::io::ErrorKind::UnexpectedEof {
+            PersistError::Truncated {
+                while_reading: what,
+            }
+        } else {
+            PersistError::Io(err)
+        }
+    })
+}
+
+impl LlcTrace {
+    /// Writes the trace (records and recorded context) to `writer` in the
+    /// versioned binary format and returns the number of bytes written.
+    ///
+    /// The write makes two passes over the in-memory chunks: one to checksum
+    /// the stream, one to emit it — nothing is buffered beyond a single
+    /// chunk's payload.
+    pub fn write_to(&self, writer: &mut impl Write) -> Result<u64, PersistError> {
+        let context = encode_context(&self.context);
+        let context_len = u32::try_from(context.len()).map_err(|_| {
+            PersistError::Corrupt("context block exceeds u32::MAX bytes".to_owned())
+        })?;
+
+        // Pass 1: checksum header (checksum field zeroed), context, payload.
+        let mut hasher = Fnv64::new();
+        hasher.update(&header_bytes(self, context_len, 0));
+        hasher.update(&context);
+        let mut buf = Vec::new();
+        for chunk in self.chunks() {
+            chunk_payload(chunk, &mut buf);
+            hasher.update(&buf);
+        }
+        let checksum = hasher.finish();
+
+        // Pass 2: emit.
+        let mut written = 0u64;
+        let header = header_bytes(self, context_len, checksum);
+        writer.write_all(&header)?;
+        written += header.len() as u64;
+        writer.write_all(&context)?;
+        written += context.len() as u64;
+        for chunk in self.chunks() {
+            chunk_payload(chunk, &mut buf);
+            writer.write_all(&buf)?;
+            written += buf.len() as u64;
+        }
+        Ok(written)
+    }
+
+    /// Reads a trace previously written by [`LlcTrace::write_to`].
+    ///
+    /// Chunks are rebuilt page-at-a-time straight into frozen
+    /// `Arc<TraceChunk>`s — no per-event decode — and the loaded trace is
+    /// `==` to the written one, chunk layout included. Every structural
+    /// problem (wrong magic, foreign version or chunk geometry, truncation,
+    /// bit flips anywhere in the file) surfaces as a typed [`PersistError`];
+    /// a trace is only returned when the checksum over everything read
+    /// matches.
+    ///
+    /// Reads exactly the persisted bytes and no further, so a trace block
+    /// can be embedded inside a larger stream (the trace store appends its
+    /// own metadata around it).
+    pub fn read_from(reader: &mut impl Read) -> Result<LlcTrace, PersistError> {
+        let mut header = [0u8; HEADER_LEN];
+        read_exact(reader, &mut header, "header")?;
+
+        let magic: [u8; 8] = header[0..8].try_into().expect("8 bytes");
+        if magic != TRACE_MAGIC {
+            return Err(PersistError::BadMagic(magic));
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        if version != TRACE_FORMAT_VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let chunk_records = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
+        if chunk_records as usize != CHUNK_RECORDS {
+            return Err(PersistError::IncompatibleChunkSize {
+                found: chunk_records,
+                expected: CHUNK_RECORDS as u32,
+            });
+        }
+        let record_count = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+        let demand_count = u64::from_le_bytes(header[24..32].try_into().expect("8 bytes"));
+        if demand_count > record_count {
+            return Err(PersistError::Corrupt(format!(
+                "demand count {demand_count} exceeds record count {record_count}"
+            )));
+        }
+        let record_count = usize::try_from(record_count)
+            .map_err(|_| PersistError::Corrupt("record count exceeds usize".to_owned()))?;
+        let context_len = u32::from_le_bytes(header[32..36].try_into().expect("4 bytes"));
+        if context_len > MAX_CONTEXT_LEN {
+            return Err(PersistError::Corrupt(format!(
+                "context block of {context_len} bytes is implausibly large"
+            )));
+        }
+        let reserved = u32::from_le_bytes(header[36..40].try_into().expect("4 bytes"));
+        if reserved != 0 {
+            return Err(PersistError::Corrupt(format!(
+                "reserved header field is {reserved}, expected 0"
+            )));
+        }
+        let stored_checksum = u64::from_le_bytes(
+            header[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8]
+                .try_into()
+                .expect("8 bytes"),
+        );
+
+        let mut hasher = Fnv64::new();
+        header[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&[0u8; 8]);
+        hasher.update(&header);
+
+        let mut context_bytes = vec![0u8; context_len as usize];
+        read_exact(reader, &mut context_bytes, "context block")?;
+        hasher.update(&context_bytes);
+        let context = decode_context(&context_bytes)?;
+
+        // Rebuild the chunk pages: full chunks become frozen `Arc` pages, a
+        // partial tail becomes the in-progress chunk — exactly the layout
+        // appending `record_count` events produces. The chunk directory is
+        // deliberately *not* pre-sized from the header: `record_count` is
+        // attacker/corruption-controlled until the checksum is verified, so
+        // every allocation must stay proportional to bytes actually read — a
+        // corrupt count then dies as `Truncated` at the first short chunk
+        // read instead of aborting in the allocator.
+        let full_chunks = record_count / CHUNK_RECORDS;
+        let tail = record_count % CHUNK_RECORDS;
+        let mut frozen = Vec::new();
+        let mut buf = vec![0u8; CHUNK_RECORDS * 12];
+        let mut read_chunk =
+            |records: usize, buf: &mut Vec<u8>| -> Result<TraceChunk, PersistError> {
+                let bytes = &mut buf[..records * 12];
+                read_exact(reader, bytes, "chunk payload")?;
+                hasher.update(bytes);
+                let (addr_bytes, meta_bytes) = bytes.split_at(records * 8);
+                let mut chunk = TraceChunk::with_capacity(records);
+                chunk.addrs.extend(
+                    addr_bytes
+                        .chunks_exact(8)
+                        .map(|b| Address::from_le_bytes(b.try_into().expect("8 bytes"))),
+                );
+                chunk.meta.extend(
+                    meta_bytes
+                        .chunks_exact(4)
+                        .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes"))),
+                );
+                Ok(chunk)
+            };
+        for _ in 0..full_chunks {
+            frozen.push(Arc::new(read_chunk(CHUNK_RECORDS, &mut buf)?));
+        }
+        let current = if tail > 0 {
+            read_chunk(tail, &mut buf)?
+        } else {
+            TraceChunk::default()
+        };
+
+        let computed = hasher.finish();
+        if computed != stored_checksum {
+            return Err(PersistError::ChecksumMismatch {
+                stored: stored_checksum,
+                computed,
+            });
+        }
+
+        let trace = LlcTrace {
+            frozen,
+            current,
+            len: record_count,
+            demand_len: demand_count as usize,
+            context,
+        };
+        // The header's demand count is covered by the checksum, but cross-check
+        // it against the records so a *writer* bug can never produce a trace
+        // whose demand view disagrees with its stream.
+        let actual_demands = trace.demand_accesses().count();
+        if actual_demands != trace.demand_len {
+            return Err(PersistError::Corrupt(format!(
+                "header demand count {} disagrees with the {} demand records in the stream",
+                trace.demand_len, actual_demands
+            )));
+        }
+        Ok(trace)
+    }
+
+    /// Writes the trace to `path` via [`LlcTrace::write_to`] (buffered).
+    /// Returns the number of bytes written.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<u64, PersistError> {
+        let file = std::fs::File::create(path)?;
+        let mut writer = std::io::BufWriter::new(file);
+        let written = self.write_to(&mut writer)?;
+        writer.flush()?;
+        Ok(written)
+    }
+
+    /// Loads a trace from `path` via [`LlcTrace::read_from`] (buffered).
+    pub fn load(path: impl AsRef<Path>) -> Result<LlcTrace, PersistError> {
+        let file = std::fs::File::open(path)?;
+        let mut reader = std::io::BufReader::new(file);
+        LlcTrace::read_from(&mut reader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::hint::ReuseHint;
+    use crate::policy::lru::Lru;
+    use crate::request::AccessInfo;
+
+    /// A mixed stream: hot/cold demand reads and writes with varying hints,
+    /// sites and regions, plus periodic writebacks and flush markers.
+    fn sample_trace(events: usize) -> LlcTrace {
+        let mut trace = LlcTrace::new();
+        for i in 0..events {
+            let block = if i % 3 == 0 { i % 64 } else { 512 + i } as u64;
+            let mut info = AccessInfo::read(block * 64)
+                .with_site((i % 11) as u16)
+                .with_hint(ReuseHint::decode((i % 4) as u8))
+                .with_region(RegionLabel::ALL[i % RegionLabel::ALL.len()]);
+            if i % 5 == 0 {
+                info.kind = crate::request::AccessKind::Write;
+            }
+            if i % 7 == 0 {
+                trace.push_prefetch(&info);
+            } else {
+                trace.push(&info);
+            }
+            if i % 13 == 0 {
+                trace.push_writeback(info.addr);
+            }
+            if i % 97 == 0 {
+                trace.push_flush();
+            }
+        }
+        let mut context = RecordContext::default();
+        context.l1.record(RegionLabel::Property, false);
+        context.l1.record(RegionLabel::EdgeArray, true);
+        context.l2.record(RegionLabel::Property, false);
+        context.abr_bounds = vec![(64, 1 << 20), (1 << 21, 1 << 22)];
+        trace.set_context(context);
+        trace
+    }
+
+    fn write_to_vec(trace: &LlcTrace) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        let written = trace.write_to(&mut bytes).expect("write succeeds");
+        assert_eq!(written as usize, bytes.len());
+        bytes
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_including_chunk_layout() {
+        for events in [0, 1, 5, CHUNK_RECORDS - 1, CHUNK_RECORDS, CHUNK_RECORDS + 3] {
+            let trace = sample_trace(events);
+            let bytes = write_to_vec(&trace);
+            let loaded = LlcTrace::read_from(&mut bytes.as_slice()).expect("roundtrip");
+            assert_eq!(loaded, trace, "{events} events");
+            assert_eq!(loaded.len(), trace.len());
+            assert_eq!(loaded.demand_len(), trace.demand_len());
+            assert_eq!(loaded.context(), trace.context());
+            assert_eq!(
+                loaded.chunks().count(),
+                trace.chunks().count(),
+                "chunk layout must be reproduced"
+            );
+        }
+    }
+
+    #[test]
+    fn loaded_trace_replays_bit_identically() {
+        let trace = sample_trace(4000);
+        let bytes = write_to_vec(&trace);
+        let loaded = LlcTrace::read_from(&mut bytes.as_slice()).expect("roundtrip");
+        let config = CacheConfig::new(64 * 128, 8, 64);
+        let original = trace.replay(config, Lru::new(config.sets(), config.ways));
+        let reloaded = loaded.replay(config, Lru::new(config.sets(), config.ways));
+        assert_eq!(original, reloaded);
+    }
+
+    #[test]
+    fn save_and_load_via_files() {
+        let trace = sample_trace(300);
+        let path = std::env::temp_dir().join(format!(
+            "grasp-persist-test-{}-{:?}.trace",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let written = trace.save(&path).expect("save");
+        assert_eq!(written, std::fs::metadata(&path).expect("metadata").len());
+        let loaded = LlcTrace::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, trace);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = write_to_vec(&sample_trace(10));
+        bytes[0] ^= 0xFF;
+        match LlcTrace::read_from(&mut bytes.as_slice()) {
+            Err(PersistError::BadMagic(_)) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_version_is_rejected() {
+        let mut bytes = write_to_vec(&sample_trace(10));
+        bytes[8..12].copy_from_slice(&(TRACE_FORMAT_VERSION + 1).to_le_bytes());
+        match LlcTrace::read_from(&mut bytes.as_slice()) {
+            Err(PersistError::UnsupportedVersion(v)) => {
+                assert_eq!(v, TRACE_FORMAT_VERSION + 1);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_chunk_geometry_is_rejected() {
+        let mut bytes = write_to_vec(&sample_trace(10));
+        bytes[12..16].copy_from_slice(&((CHUNK_RECORDS as u32) / 2).to_le_bytes());
+        match LlcTrace::read_from(&mut bytes.as_slice()) {
+            Err(PersistError::IncompatibleChunkSize { found, expected }) => {
+                assert_eq!(found as usize, CHUNK_RECORDS / 2);
+                assert_eq!(expected as usize, CHUNK_RECORDS);
+            }
+            other => panic!("expected IncompatibleChunkSize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_at_every_boundary() {
+        let bytes = write_to_vec(&sample_trace(200));
+        // Header, context and payload truncations all surface as Truncated.
+        for cut in [0, 10, HEADER_LEN - 1, HEADER_LEN + 4, bytes.len() - 1] {
+            match LlcTrace::read_from(&mut &bytes[..cut]) {
+                Err(PersistError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn payload_bit_flip_is_a_checksum_mismatch() {
+        let trace = sample_trace(500);
+        let bytes = write_to_vec(&trace);
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        match LlcTrace::read_from(&mut flipped.as_slice()) {
+            Err(PersistError::ChecksumMismatch { stored, computed }) => {
+                assert_ne!(stored, computed);
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_count_tampering_cannot_pass_the_checksum() {
+        // Shrinking the record count re-frames the payload; the checksum
+        // (which covers the header) must catch it even though the framing
+        // itself stays structurally valid.
+        let bytes = write_to_vec(&sample_trace(CHUNK_RECORDS + 100));
+        let mut tampered = bytes.clone();
+        tampered[16..24].copy_from_slice(&(100u64).to_le_bytes());
+        tampered[24..32].copy_from_slice(&(50u64).to_le_bytes());
+        assert!(
+            LlcTrace::read_from(&mut tampered.as_slice()).is_err(),
+            "tampered counts must never load"
+        );
+    }
+
+    #[test]
+    fn absurd_record_count_is_truncation_not_an_allocator_abort() {
+        // `record_count` is unvalidated until the checksum passes, so the
+        // reader must never size an allocation from it: a corrupted count in
+        // the exabyte range has to surface as a typed error.
+        let mut bytes = write_to_vec(&sample_trace(100));
+        bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        bytes[24..32].copy_from_slice(&0u64.to_le_bytes());
+        match LlcTrace::read_from(&mut bytes.as_slice()) {
+            Err(PersistError::Truncated { .. }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reserved_field_must_be_zero() {
+        let mut bytes = write_to_vec(&sample_trace(10));
+        bytes[36] = 1;
+        assert!(matches!(
+            LlcTrace::read_from(&mut bytes.as_slice()),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn trace_block_is_embeddable_in_a_larger_stream() {
+        let trace = sample_trace(150);
+        let mut bytes = write_to_vec(&trace);
+        let trailer = b"store metadata lives here";
+        bytes.extend_from_slice(trailer);
+        let mut reader = bytes.as_slice();
+        let loaded = LlcTrace::read_from(&mut reader).expect("embedded read");
+        assert_eq!(loaded, trace);
+        assert_eq!(reader, trailer, "reader must stop exactly after the trace");
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let trace = LlcTrace::new();
+        let bytes = write_to_vec(&trace);
+        assert_eq!(
+            bytes.len(),
+            HEADER_LEN + encode_context(trace.context()).len()
+        );
+        let loaded = LlcTrace::read_from(&mut bytes.as_slice()).expect("roundtrip");
+        assert_eq!(loaded, trace);
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = PersistError::ChecksumMismatch {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(err.to_string().contains("checksum"));
+        assert!(PersistError::Truncated {
+            while_reading: "header"
+        }
+        .to_string()
+        .contains("header"));
+        let io: PersistError = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+    }
+
+    /// Ensures the demand-count cross-check rejects internally inconsistent
+    /// files even when the checksum is recomputed to match (a defence against
+    /// writer bugs, not just bit rot).
+    #[test]
+    fn consistent_checksum_with_wrong_demand_count_is_still_rejected() {
+        let mut trace = sample_trace(50);
+        // Corrupt the in-memory counter, then persist: the file is
+        // checksum-consistent but internally wrong.
+        trace.demand_len += 1;
+        let bytes = write_to_vec(&trace);
+        match LlcTrace::read_from(&mut bytes.as_slice()) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("demand")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checksum_is_split_independent() {
+        let mut one = Fnv64::new();
+        one.update(b"hello world");
+        let mut two = Fnv64::new();
+        two.update(b"hello");
+        two.update(b" world");
+        assert_eq!(one.finish(), two.finish());
+    }
+
+    #[test]
+    fn format_constants_are_stable() {
+        // These are on-disk compatibility promises; changing them must be a
+        // deliberate format bump, not a refactor side-effect.
+        assert_eq!(TRACE_MAGIC, *b"GRSPTRC\0");
+        assert_eq!(TRACE_FORMAT_VERSION, 1);
+        assert_eq!(HEADER_LEN, 48);
+    }
+
+    #[test]
+    fn encode_matches_access_info_roundtrip() {
+        // Sanity: persisted payload words are the in-memory encoding.
+        let info = AccessInfo::read(0x1240).with_site(3);
+        let mut trace = LlcTrace::new();
+        trace.push(&info);
+        let bytes = write_to_vec(&trace);
+        let loaded = LlcTrace::read_from(&mut bytes.as_slice()).expect("roundtrip");
+        assert_eq!(loaded.get(0), trace.get(0));
+    }
+}

@@ -44,8 +44,9 @@
 //! ```
 
 use crate::datasets::{DatasetKind, Scale};
-use crate::experiment::{Experiment, RunResult};
+use crate::experiment::{Experiment, RecordedRun, RunResult};
 use crate::policy::PolicyKind;
+use crate::trace_store::{TraceStore, TraceStoreKey};
 use grasp_analytics::apps::AppKind;
 use grasp_cachesim::config::HierarchyConfig;
 use grasp_graph::types::Direction;
@@ -102,6 +103,16 @@ pub struct CampaignRun {
     pub result: RunResult,
 }
 
+/// One unique (dataset, technique, app) stream of a campaign grid: the
+/// prepared experiment plus the grid identity the trace store keys it by.
+#[derive(Debug, Clone)]
+struct StreamJob {
+    dataset: DatasetKind,
+    technique: TechniqueKind,
+    app: AppKind,
+    experiment: Experiment,
+}
+
 /// A declarative dataset × technique × app × policy grid.
 #[derive(Debug, Clone)]
 pub struct Campaign {
@@ -114,6 +125,7 @@ pub struct Campaign {
     record_trace: bool,
     mode: ExecutionMode,
     threads: usize,
+    store: Option<Arc<TraceStore>>,
 }
 
 impl Campaign {
@@ -133,6 +145,7 @@ impl Campaign {
             record_trace: false,
             mode: ExecutionMode::default(),
             threads: 0, // auto: resolved to available_parallelism at run time
+            store: None,
         }
     }
 
@@ -176,6 +189,35 @@ impl Campaign {
     pub fn recording_llc_trace(mut self) -> Self {
         self.record_trace = true;
         self
+    }
+
+    /// Attaches a persistent trace store. Streams whose recording is already
+    /// in the store **skip the record phase entirely** — the persisted
+    /// stream, application output and instruction estimate are loaded and
+    /// fanned out across the policy grid exactly like a fresh recording
+    /// (bit-identical results; pinned by `tests/trace_store.rs`). Streams
+    /// the store misses are recorded as usual and atomically published for
+    /// the next run. Corrupt entries count as misses and are overwritten.
+    #[must_use]
+    pub fn with_trace_store(mut self, store: Arc<TraceStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attaches the store named by the `GRASP_TRACE_STORE` environment
+    /// variable, when set (no-op otherwise).
+    #[must_use]
+    pub fn trace_store_from_env(mut self) -> Self {
+        if let Some(store) = TraceStore::from_env() {
+            self.store = Some(Arc::new(store));
+        }
+        self
+    }
+
+    /// The attached trace store, if any (its [`TraceStore::stats`] report
+    /// tells how many record phases the run skipped).
+    pub fn trace_store(&self) -> Option<&Arc<TraceStore>> {
+        self.store.as_ref()
     }
 
     /// Selects the execution plan (default: [`ExecutionMode::Replay`]).
@@ -319,26 +361,32 @@ impl Campaign {
 
     /// Collects the unique (dataset, technique, app) streams of the grid in
     /// first-seen grid order, plus each cell's index into the stream list
-    /// (shared by the replay and streaming plans).
-    fn stream_plan(&self) -> (Vec<(CampaignCell, usize)>, Vec<Experiment>) {
+    /// (shared by the replay and streaming plans). Each stream carries its
+    /// grid identity so the trace store can key it.
+    fn stream_plan(&self) -> (Vec<(CampaignCell, usize)>, Vec<StreamJob>) {
         let mut base = HashMap::new();
         let mut reordered = HashMap::new();
         let mut stream_index: HashMap<(DatasetKind, TechniqueKind, AppKind), usize> =
             HashMap::new();
-        let mut streams: Vec<Experiment> = Vec::new();
+        let mut streams: Vec<StreamJob> = Vec::new();
         let cells: Vec<(CampaignCell, usize)> = self
             .cells()
             .into_iter()
             .map(|cell| {
                 let key = (cell.dataset, cell.technique, cell.app);
                 let index = *stream_index.entry(key).or_insert_with(|| {
-                    streams.push(self.experiment_for(
-                        &mut base,
-                        &mut reordered,
-                        cell.dataset,
-                        cell.technique,
-                        cell.app,
-                    ));
+                    streams.push(StreamJob {
+                        dataset: cell.dataset,
+                        technique: cell.technique,
+                        app: cell.app,
+                        experiment: self.experiment_for(
+                            &mut base,
+                            &mut reordered,
+                            cell.dataset,
+                            cell.technique,
+                            cell.app,
+                        ),
+                    });
                     streams.len() - 1
                 });
                 (cell, index)
@@ -347,13 +395,58 @@ impl Campaign {
         (cells, streams)
     }
 
+    /// The trace-store key of one stream: its grid coordinate plus the
+    /// experiment's hierarchy/app-config fingerprint (and, via the entry
+    /// file name, the trace format version).
+    fn store_key(&self, job: &StreamJob) -> TraceStoreKey {
+        TraceStoreKey::new(
+            job.dataset,
+            self.scale,
+            job.technique,
+            job.app,
+            job.experiment.hierarchy(),
+            job.experiment.app_config(),
+        )
+    }
+
+    /// Produces one stream's [`RecordedRun`]: loaded from the trace store
+    /// when an entry exists (the record phase is skipped entirely), recorded
+    /// freshly — and published back to the store — otherwise.
+    fn record_or_load(&self, job: &StreamJob) -> RecordedRun {
+        let Some(store) = &self.store else {
+            return job.experiment.record();
+        };
+        let key = self.store_key(job);
+        if let Some(stored) = store.load(&key) {
+            return job.experiment.recorded_from_parts(
+                stored.trace,
+                stored.app,
+                stored.instructions,
+            );
+        }
+        let recorded = job.experiment.record();
+        if let Err(err) = store.publish(
+            &key,
+            recorded.trace(),
+            recorded.app(),
+            recorded.instructions(),
+        ) {
+            // Publication failures cost future runs the reuse, never this
+            // run its results.
+            eprintln!("trace store: could not publish {key}: {err}");
+        }
+        recorded
+    }
+
     /// The record-once / replay-many plan: one recording per unique
-    /// (dataset, technique, app) stream, then one cheap replay per cell.
+    /// (dataset, technique, app) stream — loaded from the trace store when
+    /// possible — then one cheap replay per cell.
     fn run_replay(&self, threads: usize) -> CampaignResult {
         let (cells, streams) = self.stream_plan();
 
-        // Phase 1: record each stream once (application + upper levels).
-        let records = parallel_map(&streams, threads, Experiment::record);
+        // Phase 1: obtain each stream once (application + upper levels, or a
+        // store hit that skips both).
+        let records = parallel_map(&streams, threads, |job| self.record_or_load(job));
 
         // Phase 2: fan each recorded stream out across its policies.
         let runs = parallel_map(&cells, threads, |&(cell, index)| {
@@ -374,12 +467,28 @@ impl Campaign {
     /// the remaining budget (at least one — on a single worker the OS
     /// interleaves recorder and consumer through the bounded channel, which
     /// stays correct, just unoverlapped).
+    ///
+    /// With a trace store attached, a stream whose recording is stored skips
+    /// its record phase: the loaded trace is **re-broadcast** through the
+    /// same bounded chunk channel via [`grasp_cachesim::LlcTrace::stream_into`]
+    /// ([`RecordedRun::sweep_streaming`]), so the consumer pipeline is
+    /// identical and so are the statistics. A store miss records buffered
+    /// (so the stream can be published) and then re-broadcasts it the same
+    /// way — the cold run trades record/replay overlap for warm runs that
+    /// skip recording altogether.
     fn run_streaming(&self, threads: usize) -> CampaignResult {
         let (cells, streams) = self.stream_plan();
         let consumers = threads.saturating_sub(1).max(1);
         let swept: Vec<Vec<crate::experiment::RunResult>> = streams
             .iter()
-            .map(|experiment| experiment.sweep_streaming(&self.policies, consumers))
+            .map(|job| {
+                if self.store.is_some() {
+                    self.record_or_load(job)
+                        .sweep_streaming(&self.policies, consumers)
+                } else {
+                    job.experiment.sweep_streaming(&self.policies, consumers)
+                }
+            })
             .collect();
         let runs = cells
             .into_iter()

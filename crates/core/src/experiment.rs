@@ -83,6 +83,43 @@ impl RecordedRun {
         &self.app
     }
 
+    /// The recording run's instruction estimate (what the trace store
+    /// persists alongside the stream so a loaded recording can drive the
+    /// timing model).
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Runs an N-policy sweep by **re-broadcasting** the recorded stream
+    /// through a bounded chunk channel ([`LlcTrace::stream_into`]) to up to
+    /// `consumers` concurrent replay workers — the exact consumer pipeline
+    /// live streaming recording uses, fed from a buffered (or store-loaded)
+    /// trace instead of a running application. Results come back in
+    /// `policies` order, bit-identical to [`RecordedRun::replay`] per
+    /// policy.
+    pub fn sweep_streaming(&self, policies: &[PolicyKind], consumers: usize) -> Vec<RunResult> {
+        if policies.is_empty() {
+            return Vec::new();
+        }
+        let ((), stats) = fan_out_stream(self.llc, policies, consumers, |tap| {
+            self.trace.stream_into(&tap)
+        });
+        policies
+            .iter()
+            .zip(stats)
+            .map(|(&policy, stats)| {
+                let cycles = self.timing.cycles(&stats, self.instructions);
+                RunResult {
+                    policy,
+                    stats,
+                    cycles,
+                    app: self.app.clone(),
+                    llc_trace: None,
+                }
+            })
+            .collect()
+    }
+
     /// Replays the stream under `policy` and returns a [`RunResult`]
     /// bit-identical to [`Experiment::run`] with the same policy.
     pub fn replay(&self, policy: PolicyKind) -> RunResult {
@@ -259,6 +296,32 @@ impl Experiment {
         &self.hierarchy
     }
 
+    /// The application configuration in use (part of a stream's trace-store
+    /// identity).
+    pub fn app_config(&self) -> &AppConfig {
+        &self.app_config
+    }
+
+    /// Reassembles a [`RecordedRun`] from a trace-store entry: the persisted
+    /// stream, application output and instruction estimate, joined with
+    /// *this* experiment's LLC geometry and timing model. The result replays
+    /// exactly like the original [`Experiment::record`] product — the record
+    /// phase is skipped, not approximated.
+    pub fn recorded_from_parts(
+        &self,
+        trace: LlcTrace,
+        app: AppResult,
+        instructions: u64,
+    ) -> RecordedRun {
+        RecordedRun {
+            trace: Arc::new(trace),
+            app,
+            instructions,
+            llc: self.hierarchy.llc,
+            timing: self.timing,
+        }
+    }
+
     /// Runs the application through the simulated hierarchy with `policy`
     /// managing the LLC.
     pub fn run(&self, policy: PolicyKind) -> RunResult {
@@ -360,44 +423,13 @@ impl Experiment {
         if policies.is_empty() {
             return Vec::new();
         }
-        let consumers = consumers.clamp(1, policies.len());
-        let (tap, receivers) = chunk_channel(consumers, DEFAULT_STREAM_DEPTH);
-        let llc = self.hierarchy.llc;
-        // Policy i is served by consumer i % consumers; each consumer feeds
-        // every chunk to all of its replayers.
-        let assignments: Vec<Vec<usize>> = (0..consumers)
-            .map(|c| (c..policies.len()).step_by(consumers).collect())
-            .collect();
-        let (streamed, gathered) = std::thread::scope(|scope| {
-            let workers: Vec<_> = receivers
-                .into_iter()
-                .zip(&assignments)
-                .map(|(receiver, mine)| {
-                    scope.spawn(move || {
-                        let replayers = mine
-                            .iter()
-                            .map(|&i| ChunkReplayer::new(llc, policies[i].build_dispatch(&llc)))
-                            .collect();
-                        replay_stream(&receiver, replayers)
-                    })
-                })
-                .collect();
-            let streamed = self.record_streaming(tap);
-            let gathered: Vec<Vec<HierarchyStats>> = workers
-                .into_iter()
-                .map(|worker| worker.join().expect("streaming replay worker panicked"))
-                .collect();
-            (streamed, gathered)
+        let (streamed, stats) = fan_out_stream(self.hierarchy.llc, policies, consumers, |tap| {
+            self.record_streaming(tap)
         });
-        let mut slots: Vec<Option<RunResult>> = (0..policies.len()).map(|_| None).collect();
-        for (mine, stats_list) in assignments.iter().zip(gathered) {
-            for (&i, stats) in mine.iter().zip(stats_list) {
-                slots[i] = Some(streamed.assemble(policies[i], stats));
-            }
-        }
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every policy is assigned to exactly one consumer"))
+        policies
+            .iter()
+            .zip(stats)
+            .map(|(&policy, stats)| streamed.assemble(policy, stats))
             .collect()
     }
 
@@ -410,6 +442,58 @@ impl Experiment {
         let runtime = start.elapsed();
         NativeRunResult { app, runtime }
     }
+}
+
+/// The shared streaming consumer harness behind [`Experiment::sweep_streaming`]
+/// (live recording) and [`RecordedRun::sweep_streaming`] (re-broadcast of a
+/// buffered or store-loaded trace): spawns up to `consumers` replay workers
+/// off a bounded chunk channel — policy i served by consumer i % consumers,
+/// every chunk fed to all of a consumer's replayers — runs `produce` with
+/// the tap on the calling thread, and returns its output together with the
+/// per-policy hierarchy statistics in `policies` order.
+fn fan_out_stream<R>(
+    llc: CacheConfig,
+    policies: &[PolicyKind],
+    consumers: usize,
+    produce: impl FnOnce(TraceTap) -> R,
+) -> (R, Vec<HierarchyStats>) {
+    let consumers = consumers.clamp(1, policies.len());
+    let (tap, receivers) = chunk_channel(consumers, DEFAULT_STREAM_DEPTH);
+    let assignments: Vec<Vec<usize>> = (0..consumers)
+        .map(|c| (c..policies.len()).step_by(consumers).collect())
+        .collect();
+    let (produced, gathered) = std::thread::scope(|scope| {
+        let workers: Vec<_> = receivers
+            .into_iter()
+            .zip(&assignments)
+            .map(|(receiver, mine)| {
+                scope.spawn(move || {
+                    let replayers = mine
+                        .iter()
+                        .map(|&i| ChunkReplayer::new(llc, policies[i].build_dispatch(&llc)))
+                        .collect();
+                    replay_stream(&receiver, replayers)
+                })
+            })
+            .collect();
+        let produced = produce(tap);
+        let gathered: Vec<Vec<HierarchyStats>> = workers
+            .into_iter()
+            .map(|worker| worker.join().expect("streaming replay worker panicked"))
+            .collect();
+        (produced, gathered)
+    });
+    let mut slots: Vec<Option<HierarchyStats>> = (0..policies.len()).map(|_| None).collect();
+    for (mine, stats_list) in assignments.iter().zip(gathered) {
+        for (&i, stats) in mine.iter().zip(stats_list) {
+            slots[i] = Some(stats);
+        }
+    }
+    let stats = slots
+        .into_iter()
+        .map(|slot| slot.expect("every policy is assigned to exactly one consumer"))
+        .collect();
+    (produced, stats)
 }
 
 #[cfg(test)]
@@ -499,6 +583,48 @@ mod tests {
             }
         }
         assert!(exp.sweep_streaming(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn rebroadcast_sweep_matches_buffered_replay_bit_for_bit() {
+        // The store-hit streaming path: a buffered RecordedRun re-broadcast
+        // through the chunk channel must equal per-policy buffered replays.
+        let exp = small_experiment(AppKind::PageRank);
+        let recorded = exp.record();
+        let policies = [PolicyKind::Lru, PolicyKind::Rrip, PolicyKind::Grasp];
+        for consumers in [1, 2, 5] {
+            let streamed = recorded.sweep_streaming(&policies, consumers);
+            assert_eq!(streamed.len(), policies.len());
+            for (policy, rebroadcast) in policies.iter().zip(&streamed) {
+                let buffered = recorded.replay(*policy);
+                assert_eq!(rebroadcast.policy, *policy);
+                assert_eq!(buffered.stats, rebroadcast.stats, "{policy} x{consumers}");
+                assert_eq!(buffered.app.values, rebroadcast.app.values, "{policy}");
+                assert!(
+                    (buffered.cycles - rebroadcast.cycles).abs() < 1e-12,
+                    "{policy}"
+                );
+            }
+        }
+        assert!(recorded.sweep_streaming(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn recorded_from_parts_reassembles_a_replayable_run() {
+        let exp = small_experiment(AppKind::PageRank);
+        let recorded = exp.record();
+        let reassembled = exp.recorded_from_parts(
+            recorded.trace().clone(),
+            recorded.app().clone(),
+            recorded.instructions(),
+        );
+        for policy in [PolicyKind::Rrip, PolicyKind::Grasp] {
+            let a = recorded.replay(policy);
+            let b = reassembled.replay(policy);
+            assert_eq!(a.stats, b.stats, "{policy}");
+            assert_eq!(a.cycles, b.cycles, "{policy}");
+            assert_eq!(a.app.values, b.app.values, "{policy}");
+        }
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod datasets;
 pub mod experiment;
 pub mod policy;
 pub mod report;
+pub mod trace_store;
 
 pub use campaign::{Campaign, CampaignCell, CampaignResult, CampaignRun, ExecutionMode};
 pub use compare::{geometric_mean_speedup, miss_reduction_pct, speedup_pct};
@@ -53,3 +54,4 @@ pub use datasets::{Dataset, DatasetKind, Scale};
 pub use experiment::{Experiment, RecordedRun, RunResult};
 pub use policy::PolicyKind;
 pub use report::Table;
+pub use trace_store::{TraceStore, TraceStoreKey, TraceStoreStats};

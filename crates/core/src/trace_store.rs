@@ -1,0 +1,1053 @@
+//! The persistent trace store: cross-run reuse of recorded post-L2 streams.
+//!
+//! A recorded trace is bit-identical run to run (fixed seeds end to end), so
+//! re-recording it for every campaign wastes the full application +
+//! upper-level simulation cost. The [`TraceStore`] is a directory of
+//! persisted recordings keyed by everything that determines the stream:
+//!
+//! ```text
+//! (dataset, scale, technique, app, hierarchy/app-config hash, format version)
+//!   └──► <dataset>-<scale>-<technique>-<app>-<confighash>.v<version>.trace
+//! ```
+//!
+//! Each entry carries the recording run's **metadata** (application output,
+//! instruction estimate) followed by the trace itself in the versioned
+//! binary format of [`grasp_cachesim::trace::persist`], so a store hit
+//! reconstructs a complete [`RecordedRun`](crate::experiment::RecordedRun) —
+//! the campaign skips the record phase entirely and fans the loaded stream
+//! out across policies (buffered replay or
+//! [`LlcTrace::stream_into`](grasp_cachesim::LlcTrace::stream_into)
+//! re-broadcast), bit-identical to a fresh recording.
+//!
+//! Publication is **atomic**: entries are written to a temp file in the
+//! store directory and `rename`d into place, so concurrent campaigns (or a
+//! campaign racing `cargo xtask trace gc`) never observe half-written
+//! entries. A human-readable `index.tsv` tracks per-entry sizes and
+//! last-used timestamps (the LRU order `gc` evicts by); the index is
+//! advisory — the `*.trace` files are the source of truth, and readers fall
+//! back to filesystem metadata when the index is missing or stale.
+//!
+//! The store location comes from the builder
+//! ([`Campaign::with_trace_store`](crate::campaign::Campaign::with_trace_store))
+//! or the `GRASP_TRACE_STORE` environment variable ([`TraceStore::from_env`]).
+
+use crate::datasets::{DatasetKind, Scale};
+use grasp_analytics::apps::{AppConfig, AppKind, AppResult};
+use grasp_analytics::props::PropertyLayout;
+use grasp_cachesim::config::HierarchyConfig;
+use grasp_cachesim::trace::persist::{Fnv64, PersistError, TRACE_FORMAT_VERSION};
+use grasp_cachesim::LlcTrace;
+use grasp_reorder::TechniqueKind;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Magic bytes opening every store entry (the metadata wrapper around the
+/// trace block).
+pub const STORE_MAGIC: [u8; 8] = *b"GRSPSTO\0";
+
+/// Version of the store entry layout (metadata framing). Orthogonal to the
+/// trace format version, which is part of the entry *file name* so that a
+/// trace-format bump naturally cold-starts the store.
+pub const STORE_ENTRY_VERSION: u32 = 1;
+
+/// Upper bound on a metadata block; anything larger is corruption, not data.
+const MAX_META_LEN: u32 = 1 << 28;
+
+/// The environment variable naming the store directory campaigns and the
+/// bench harness pick up by default.
+pub const STORE_ENV_VAR: &str = "GRASP_TRACE_STORE";
+
+/// Why a store entry could not be read or written.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The embedded trace block failed to decode.
+    Trace(PersistError),
+    /// The metadata wrapper is structurally invalid.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(err) => write!(f, "store i/o error: {err}"),
+            StoreError::Trace(err) => write!(f, "store entry trace block: {err}"),
+            StoreError::Corrupt(what) => write!(f, "corrupt store entry: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(err) => Some(err),
+            StoreError::Trace(err) => Some(err),
+            StoreError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(err: std::io::Error) -> Self {
+        StoreError::Io(err)
+    }
+}
+
+impl From<PersistError> for StoreError {
+    fn from(err: PersistError) -> Self {
+        StoreError::Trace(err)
+    }
+}
+
+/// Version of the *recording code*: everything between the application and
+/// the post-L2 stream — app kernels, graph generation/reordering, L1/L2/
+/// prefetcher simulation, the region classifier. Folded into every store
+/// key, so bumping it invalidates all persisted recordings at once. **Bump
+/// this whenever a change can alter a recorded stream's contents**; the
+/// trace *format* version (file layout) is tracked separately by
+/// [`TRACE_FORMAT_VERSION`].
+pub const RECORDING_CODE_VERSION: u32 = 1;
+
+/// FNV-1a over the configuration words that determine a recorded stream —
+/// stable across runs, platforms and (deliberately) pointer widths. Wraps
+/// the persist format's [`Fnv64`] so the store and the format share one
+/// hash primitive.
+#[derive(Debug, Clone, Copy)]
+struct ConfigHasher(Fnv64);
+
+impl ConfigHasher {
+    fn new() -> Self {
+        let mut hasher = Self(Fnv64::new());
+        hasher.word(u64::from(RECORDING_CODE_VERSION));
+        hasher
+    }
+
+    fn word(&mut self, value: u64) {
+        self.0.update(&value.to_le_bytes());
+    }
+
+    fn finish(self) -> u64 {
+        self.0.finish()
+    }
+}
+
+fn hash_hierarchy(hasher: &mut ConfigHasher, hierarchy: &HierarchyConfig) {
+    for cache in [&hierarchy.l1, &hierarchy.l2, &hierarchy.llc] {
+        hasher.word(cache.size_bytes);
+        hasher.word(cache.ways as u64);
+        hasher.word(cache.block_bytes);
+    }
+    // Latencies only shape the timing model, not the recorded stream, but
+    // folding them in keeps one key per *experiment configuration*, which is
+    // the granularity campaigns reason about.
+    hasher.word(hierarchy.latency.l1_cycles);
+    hasher.word(hierarchy.latency.l2_cycles);
+    hasher.word(hierarchy.latency.llc_cycles);
+    hasher.word(hierarchy.latency.memory_cycles);
+    hasher.word(u64::from(hierarchy.prefetch));
+}
+
+fn hash_app_config(hasher: &mut ConfigHasher, config: &AppConfig) {
+    hasher.word(config.max_iterations as u64);
+    hasher.word(u64::from(config.root));
+    hasher.word(config.sample_roots as u64);
+    hasher.word(config.damping.to_bits());
+    hasher.word(config.epsilon.to_bits());
+    hasher.word(match config.layout {
+        PropertyLayout::Separate => 0,
+        PropertyLayout::Merged => 1,
+    });
+}
+
+fn scale_slug(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+        Scale::Large => "large",
+    }
+}
+
+/// Lowercases a display label and maps every non-alphanumeric run to a
+/// single `_` (so "Gorder(+DBG)" becomes "gorder_dbg").
+fn slugify(label: &str) -> String {
+    let mut slug = String::with_capacity(label.len());
+    let mut gap = false;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            if gap && !slug.is_empty() {
+                slug.push('_');
+            }
+            gap = false;
+            slug.push(c.to_ascii_lowercase());
+        } else {
+            gap = true;
+        }
+    }
+    slug
+}
+
+/// The identity of one recorded stream: everything that determines its
+/// contents, plus the trace format version (folded into the file name so a
+/// format bump cold-starts the store instead of erroring on every entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceStoreKey {
+    /// Dataset the stream was recorded over.
+    pub dataset: DatasetKind,
+    /// Scale the dataset was generated at.
+    pub scale: Scale,
+    /// Reordering technique applied before recording.
+    pub technique: TechniqueKind,
+    /// Application that produced the stream.
+    pub app: AppKind,
+    /// Fingerprint of the hierarchy + application configuration.
+    pub config_hash: u64,
+}
+
+impl TraceStoreKey {
+    /// Builds the key for one campaign stream coordinate.
+    pub fn new(
+        dataset: DatasetKind,
+        scale: Scale,
+        technique: TechniqueKind,
+        app: AppKind,
+        hierarchy: &HierarchyConfig,
+        app_config: &AppConfig,
+    ) -> Self {
+        let mut hasher = ConfigHasher::new();
+        hash_hierarchy(&mut hasher, hierarchy);
+        hash_app_config(&mut hasher, app_config);
+        Self {
+            dataset,
+            scale,
+            technique,
+            app,
+            config_hash: hasher.finish(),
+        }
+    }
+
+    /// The entry file name this key resolves to.
+    pub fn file_name(&self) -> String {
+        format!(
+            "{}-{}-{}-{}-{:016x}.v{}.trace",
+            self.dataset.label(),
+            scale_slug(self.scale),
+            slugify(self.technique.label()),
+            slugify(self.app.label()),
+            self.config_hash,
+            TRACE_FORMAT_VERSION,
+        )
+    }
+}
+
+impl std::fmt::Display for TraceStoreKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.file_name())
+    }
+}
+
+/// One reconstructed store entry: the recording run's outputs, ready to be
+/// turned back into a `RecordedRun` without touching the application.
+#[derive(Debug, Clone)]
+pub struct StoredRecording {
+    /// The persisted post-L2 stream (context included).
+    pub trace: LlcTrace,
+    /// The recording run's application output.
+    pub app: AppResult,
+    /// The recording run's instruction estimate (timing-model input).
+    pub instructions: u64,
+}
+
+/// Microseconds since the Unix epoch, strictly monotonic within this process
+/// so that publications landing in the same clock instant still have a
+/// defined LRU order.
+fn now_unix_micros() -> u64 {
+    static LAST: AtomicU64 = AtomicU64::new(0);
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    LAST.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |last| {
+        Some(now.max(last + 1))
+    })
+    .expect("fetch_update closure always returns Some")
+}
+
+/// Counters of one store handle's traffic (process-lifetime, shared across
+/// campaign worker threads).
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+/// A snapshot of a store's hit/miss/byte traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStoreStats {
+    /// Lookups that reconstructed a recording from disk (record phase
+    /// skipped).
+    pub hits: u64,
+    /// Lookups that found no entry (a fresh recording was required).
+    pub misses: u64,
+    /// Lookups that found an entry but could not decode it (counted in
+    /// `misses` as well — the caller records freshly and overwrites).
+    pub corrupt: u64,
+    /// Entry bytes read on hits.
+    pub bytes_read: u64,
+    /// Entry bytes written on publications.
+    pub bytes_written: u64,
+}
+
+impl std::fmt::Display for TraceStoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hit(s), {} miss(es) ({} corrupt), {} B read, {} B written",
+            self.hits, self.misses, self.corrupt, self.bytes_read, self.bytes_written
+        )
+    }
+}
+
+/// One entry of the store directory, as reported by [`TraceStore::entries`].
+#[derive(Debug, Clone)]
+pub struct StoreEntry {
+    /// Entry file name (also the key's string form).
+    pub file: String,
+    /// Entry size in bytes.
+    pub bytes: u64,
+    /// Unix timestamp (microseconds) of the last recorded use (publication
+    /// or hit); falls back to the file's modification time when the index
+    /// has no record.
+    pub last_used: u64,
+}
+
+/// The result of a [`TraceStore::gc`] sweep.
+#[derive(Debug, Clone, Default)]
+pub struct GcReport {
+    /// Entries examined.
+    pub examined: usize,
+    /// File names evicted, least-recently-used first.
+    pub evicted: Vec<String>,
+    /// Bytes freed by the eviction.
+    pub freed_bytes: u64,
+    /// Bytes retained after the sweep.
+    pub kept_bytes: u64,
+}
+
+/// A directory-backed store of persisted recordings. Cloning is not needed:
+/// campaigns share one store behind an `Arc`.
+#[derive(Debug)]
+pub struct TraceStore {
+    dir: PathBuf,
+    counters: Counters,
+    /// Serializes index rewrites within this process. Cross-process index
+    /// races are benign: the index is advisory and rebuilt from the entry
+    /// files on read.
+    index_lock: Mutex<()>,
+}
+
+const INDEX_FILE: &str = "index.tsv";
+
+impl TraceStore {
+    /// Opens (creating if necessary) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            counters: Counters::default(),
+            index_lock: Mutex::new(()),
+        })
+    }
+
+    /// Opens the store named by the `GRASP_TRACE_STORE` environment variable,
+    /// or `None` when the variable is unset/empty. Creation failures are
+    /// reported and treated as unset (a missing store must never break a
+    /// campaign).
+    pub fn from_env() -> Option<Self> {
+        let dir = std::env::var(STORE_ENV_VAR)
+            .ok()
+            .filter(|s| !s.is_empty())?;
+        match Self::open(&dir) {
+            Ok(store) => Some(store),
+            Err(err) => {
+                eprintln!("{STORE_ENV_VAR}={dir}: cannot open trace store: {err}");
+                None
+            }
+        }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Snapshot of this handle's traffic counters.
+    pub fn stats(&self) -> TraceStoreStats {
+        TraceStoreStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            corrupt: self.counters.corrupt.load(Ordering::Relaxed),
+            bytes_read: self.counters.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.counters.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    fn entry_path(&self, key: &TraceStoreKey) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+
+    /// Looks `key` up, counting the outcome. A present, valid entry is a
+    /// **hit** (the caller skips its record phase); a missing entry is a
+    /// **miss**; an unreadable entry is a **corrupt miss** — the caller
+    /// records freshly and the subsequent [`TraceStore::publish`] atomically
+    /// replaces the bad file.
+    pub fn load(&self, key: &TraceStoreKey) -> Option<StoredRecording> {
+        match self.try_load(key) {
+            Ok(Some(stored)) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.touch(&key.file_name());
+                Some(stored)
+            }
+            Ok(None) => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(err) => {
+                eprintln!(
+                    "trace store: {}: {err} (recording freshly)",
+                    key.file_name()
+                );
+                self.counters.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Looks `key` up without touching the traffic counters. `Ok(None)`
+    /// means no entry exists; decode failures are returned, never masked.
+    pub fn try_load(&self, key: &TraceStoreKey) -> Result<Option<StoredRecording>, StoreError> {
+        let path = self.entry_path(key);
+        let file = match std::fs::File::open(&path) {
+            Ok(file) => file,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(err) => return Err(err.into()),
+        };
+        let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+        let mut reader = std::io::BufReader::new(file);
+        let stored = read_entry(&mut reader, Some(key.app))?;
+        self.counters.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        Ok(Some(stored))
+    }
+
+    /// Atomically publishes a recording under `key` (write to a temp file in
+    /// the store directory, then rename). Returns the entry size in bytes.
+    pub fn publish(
+        &self,
+        key: &TraceStoreKey,
+        trace: &LlcTrace,
+        app: &AppResult,
+        instructions: u64,
+    ) -> Result<u64, StoreError> {
+        let final_path = self.entry_path(key);
+        // Unique per process *and* per publication: two threads publishing
+        // the same key concurrently (campaigns sharing one store) must never
+        // interleave writes into one temp file.
+        static PUBLICATION: AtomicU64 = AtomicU64::new(0);
+        let tmp_path = self.dir.join(format!(
+            ".{}.tmp.{}.{}",
+            key.file_name(),
+            std::process::id(),
+            PUBLICATION.fetch_add(1, Ordering::Relaxed)
+        ));
+        let result = (|| -> Result<u64, StoreError> {
+            let file = std::fs::File::create(&tmp_path)?;
+            let mut writer = std::io::BufWriter::new(file);
+            let written = write_entry(&mut writer, trace, app, instructions)?;
+            writer.flush()?;
+            drop(writer);
+            std::fs::rename(&tmp_path, &final_path)?;
+            Ok(written)
+        })();
+        if result.is_err() {
+            std::fs::remove_file(&tmp_path).ok();
+        }
+        let written = result?;
+        self.counters
+            .bytes_written
+            .fetch_add(written, Ordering::Relaxed);
+        self.record_in_index(&key.file_name(), written);
+        Ok(written)
+    }
+
+    /// Lists the store's entries (directory scan merged with the index's
+    /// last-used timestamps), most recently used first.
+    pub fn entries(&self) -> std::io::Result<Vec<StoreEntry>> {
+        let index = self.read_index();
+        let mut entries = Vec::new();
+        for item in std::fs::read_dir(&self.dir)? {
+            let item = item?;
+            let Ok(file) = item.file_name().into_string() else {
+                continue;
+            };
+            if !file.ends_with(".trace") || file.starts_with('.') {
+                continue;
+            }
+            let metadata = item.metadata()?;
+            let fs_mtime = metadata
+                .modified()
+                .ok()
+                .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+                .map(|d| d.as_micros() as u64)
+                .unwrap_or(0);
+            let last_used = index
+                .iter()
+                .find(|(name, _)| *name == file)
+                .map(|&(_, used)| used)
+                .unwrap_or(fs_mtime);
+            entries.push(StoreEntry {
+                file,
+                bytes: metadata.len(),
+                last_used,
+            });
+        }
+        entries.sort_by(|a, b| b.last_used.cmp(&a.last_used).then(a.file.cmp(&b.file)));
+        Ok(entries)
+    }
+
+    /// Checksum-verifies every entry. Returns `(file, result)` pairs; an
+    /// empty error set means the store is fully intact.
+    pub fn verify(&self) -> std::io::Result<Vec<(String, Result<(), StoreError>)>> {
+        let mut report = Vec::new();
+        for entry in self.entries()? {
+            let path = self.dir.join(&entry.file);
+            let outcome = (|| -> Result<(), StoreError> {
+                let file = std::fs::File::open(&path)?;
+                let mut reader = std::io::BufReader::new(file);
+                read_entry(&mut reader, None)?;
+                Ok(())
+            })();
+            report.push((entry.file, outcome));
+        }
+        Ok(report)
+    }
+
+    /// Evicts least-recently-used entries until the store holds at most
+    /// `max_bytes` of entries. Corrupt or orphaned temp files are always
+    /// removed.
+    pub fn gc(&self, max_bytes: u64) -> std::io::Result<GcReport> {
+        // Sweep stale temp files first (a crashed writer's leftovers).
+        for item in std::fs::read_dir(&self.dir)? {
+            let item = item?;
+            if let Ok(name) = item.file_name().into_string() {
+                if name.starts_with('.') && name.contains(".tmp.") {
+                    std::fs::remove_file(item.path()).ok();
+                }
+            }
+        }
+        let mut entries = self.entries()?; // most recently used first
+        let mut report = GcReport {
+            examined: entries.len(),
+            ..GcReport::default()
+        };
+        let mut total: u64 = entries.iter().map(|e| e.bytes).sum();
+        // Evict from the LRU end until under budget. A victim already gone
+        // (a concurrent gc or a manual deletion won the race) still counts
+        // as freed — cross-process races stay benign, as the module doc
+        // promises.
+        while total > max_bytes {
+            let Some(victim) = entries.pop() else {
+                break;
+            };
+            if let Err(err) = std::fs::remove_file(self.dir.join(&victim.file)) {
+                if err.kind() != std::io::ErrorKind::NotFound {
+                    return Err(err);
+                }
+            }
+            total -= victim.bytes;
+            report.freed_bytes += victim.bytes;
+            report.evicted.push(victim.file);
+        }
+        report.kept_bytes = total;
+        self.rewrite_index(&entries);
+        Ok(report)
+    }
+
+    // ---- index maintenance (advisory; best-effort) ----
+
+    fn index_path(&self) -> PathBuf {
+        self.dir.join(INDEX_FILE)
+    }
+
+    fn read_index(&self) -> Vec<(String, u64)> {
+        let Ok(text) = std::fs::read_to_string(self.index_path()) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let mut fields = line.split('\t');
+                let file = fields.next()?.to_owned();
+                let last_used = fields.next()?.parse().ok()?;
+                Some((file, last_used))
+            })
+            .collect()
+    }
+
+    fn write_index(&self, entries: &[(String, u64)]) {
+        let mut text = String::new();
+        for (file, last_used) in entries {
+            text.push_str(file);
+            text.push('\t');
+            text.push_str(&last_used.to_string());
+            text.push('\n');
+        }
+        let tmp = self
+            .dir
+            .join(format!(".{INDEX_FILE}.tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, self.index_path()).is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+    }
+
+    fn update_index_entry(&self, file: &str) {
+        let _guard = self.index_lock.lock().expect("index lock");
+        let mut index = self.read_index();
+        let now = now_unix_micros();
+        match index.iter_mut().find(|(name, _)| name == file) {
+            Some(entry) => entry.1 = now,
+            None => index.push((file.to_owned(), now)),
+        }
+        self.write_index(&index);
+    }
+
+    fn touch(&self, file: &str) {
+        self.update_index_entry(file);
+    }
+
+    fn record_in_index(&self, file: &str, _bytes: u64) {
+        self.update_index_entry(file);
+    }
+
+    fn rewrite_index(&self, entries: &[StoreEntry]) {
+        let _guard = self.index_lock.lock().expect("index lock");
+        let index: Vec<(String, u64)> = entries
+            .iter()
+            .map(|e| (e.file.clone(), e.last_used))
+            .collect();
+        self.write_index(&index);
+    }
+}
+
+// ---- entry encoding ----
+
+fn put_u32(buf: &mut Vec<u8>, value: u32) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, value: u64) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+fn encode_meta(app: &AppResult, instructions: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(40 + app.app.len() + app.values.len() * 8);
+    put_u32(&mut buf, app.app.len() as u32);
+    buf.extend_from_slice(app.app.as_bytes());
+    put_u64(&mut buf, app.iterations as u64);
+    put_u64(&mut buf, app.edges_processed);
+    put_u64(&mut buf, instructions);
+    put_u64(&mut buf, app.values.len() as u64);
+    for &value in &app.values {
+        put_u64(&mut buf, value.to_bits());
+    }
+    buf
+}
+
+fn meta_checksum(bytes: &[u8]) -> u64 {
+    Fnv64::digest(bytes)
+}
+
+fn write_entry(
+    writer: &mut impl Write,
+    trace: &LlcTrace,
+    app: &AppResult,
+    instructions: u64,
+) -> Result<u64, StoreError> {
+    let meta = encode_meta(app, instructions);
+    let mut header = Vec::with_capacity(24);
+    header.extend_from_slice(&STORE_MAGIC);
+    put_u32(&mut header, STORE_ENTRY_VERSION);
+    put_u32(&mut header, meta.len() as u32);
+    put_u64(&mut header, meta_checksum(&meta));
+    writer.write_all(&header).map_err(StoreError::Io)?;
+    writer.write_all(&meta).map_err(StoreError::Io)?;
+    let trace_bytes = trace.write_to(writer)?;
+    Ok(header.len() as u64 + meta.len() as u64 + trace_bytes)
+}
+
+struct MetaCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> MetaCursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let slice = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(StoreError::Corrupt(format!("metadata ends inside {what}"))),
+        }
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+/// Reads one entry. When `expected_app` is given, the stored application
+/// label must match it (and the result reuses the canonical static label);
+/// verification passes `None` and accepts any known application.
+fn read_entry(
+    reader: &mut impl Read,
+    expected_app: Option<AppKind>,
+) -> Result<StoredRecording, StoreError> {
+    let mut header = [0u8; 24];
+    reader
+        .read_exact(&mut header)
+        .map_err(|err| truncated(err, "entry header"))?;
+    if header[0..8] != STORE_MAGIC {
+        return Err(StoreError::Corrupt(format!(
+            "bad entry magic {:02x?}",
+            &header[0..8]
+        )));
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if version != STORE_ENTRY_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "unsupported entry version {version} (this build reads {STORE_ENTRY_VERSION})"
+        )));
+    }
+    let meta_len = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
+    if meta_len > MAX_META_LEN {
+        return Err(StoreError::Corrupt(format!(
+            "metadata block of {meta_len} bytes is implausibly large"
+        )));
+    }
+    let stored_checksum = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+    let mut meta = vec![0u8; meta_len as usize];
+    reader
+        .read_exact(&mut meta)
+        .map_err(|err| truncated(err, "metadata block"))?;
+    let computed = meta_checksum(&meta);
+    if computed != stored_checksum {
+        return Err(StoreError::Corrupt(format!(
+            "metadata checksum mismatch: stored {stored_checksum:#018x}, computed {computed:#018x}"
+        )));
+    }
+
+    let mut cursor = MetaCursor {
+        bytes: &meta,
+        pos: 0,
+    };
+    let app_len = cursor.u32("app label length")? as usize;
+    let app_label = std::str::from_utf8(cursor.take(app_len, "app label")?)
+        .map_err(|_| StoreError::Corrupt("app label is not UTF-8".to_owned()))?;
+    let app_kind = AppKind::ALL
+        .into_iter()
+        .find(|kind| kind.label() == app_label)
+        .ok_or_else(|| StoreError::Corrupt(format!("unknown application {app_label:?}")))?;
+    if let Some(expected) = expected_app {
+        if app_kind != expected {
+            return Err(StoreError::Corrupt(format!(
+                "entry records {app_label:?} but the key names {:?}",
+                expected.label()
+            )));
+        }
+    }
+    let iterations = cursor.u64("iterations")? as usize;
+    let edges_processed = cursor.u64("edges processed")?;
+    let instructions = cursor.u64("instruction estimate")?;
+    let value_count = cursor.u64("value count")? as usize;
+    if value_count > (meta.len() - cursor.pos) / 8 {
+        return Err(StoreError::Corrupt(format!(
+            "value count {value_count} exceeds the metadata block"
+        )));
+    }
+    let mut values = Vec::with_capacity(value_count);
+    for _ in 0..value_count {
+        values.push(f64::from_bits(cursor.u64("value")?));
+    }
+    if cursor.pos != meta.len() {
+        return Err(StoreError::Corrupt(
+            "trailing bytes after the metadata block".to_owned(),
+        ));
+    }
+
+    let trace = LlcTrace::read_from(reader)?;
+    Ok(StoredRecording {
+        trace,
+        app: AppResult {
+            app: app_kind.label(),
+            values,
+            iterations,
+            edges_processed,
+        },
+        instructions,
+    })
+}
+
+fn truncated(err: std::io::Error, what: &str) -> StoreError {
+    if err.kind() == std::io::ErrorKind::UnexpectedEof {
+        StoreError::Corrupt(format!("entry truncated while reading {what}"))
+    } else {
+        StoreError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grasp_cachesim::request::AccessInfo;
+
+    fn temp_store(tag: &str) -> TraceStore {
+        let dir = std::env::temp_dir().join(format!(
+            "grasp-trace-store-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        TraceStore::open(dir).expect("store opens")
+    }
+
+    fn sample_key(config_seed: u64) -> TraceStoreKey {
+        let mut hierarchy = Scale::Tiny.hierarchy();
+        hierarchy.latency.memory_cycles += config_seed; // vary the hash
+        TraceStoreKey::new(
+            DatasetKind::Twitter,
+            Scale::Tiny,
+            TechniqueKind::Dbg,
+            AppKind::PageRank,
+            &hierarchy,
+            &AppConfig::default(),
+        )
+    }
+
+    fn sample_recording(events: u64) -> (LlcTrace, AppResult) {
+        let mut trace = LlcTrace::new();
+        for i in 0..events {
+            trace.push(&AccessInfo::read(i * 64).with_site((i % 5) as u16));
+            if i % 11 == 0 {
+                trace.push_writeback(i * 64);
+            }
+        }
+        let app = AppResult {
+            app: AppKind::PageRank.label(),
+            values: (0..16).map(|i| i as f64 / 7.0).collect(),
+            iterations: 3,
+            edges_processed: events * 2,
+        };
+        (trace, app)
+    }
+
+    #[test]
+    fn publish_then_load_roundtrips() {
+        let store = temp_store("roundtrip");
+        let key = sample_key(0);
+        let (trace, app) = sample_recording(500);
+        assert!(store.load(&key).is_none(), "empty store must miss");
+        let written = store.publish(&key, &trace, &app, 12_345).expect("publish");
+        assert!(written > 0);
+        let stored = store.load(&key).expect("hit after publish");
+        assert_eq!(stored.trace, trace);
+        assert_eq!(stored.app, app);
+        assert_eq!(stored.instructions, 12_345);
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.corrupt, 0);
+        assert_eq!(stats.bytes_written, written);
+        assert!(stats.bytes_read >= written);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn distinct_configs_get_distinct_entries() {
+        let a = sample_key(0);
+        let b = sample_key(7);
+        assert_ne!(a.config_hash, b.config_hash);
+        assert_ne!(a.file_name(), b.file_name());
+        // Every axis of the key lands in the file name.
+        let name = a.file_name();
+        assert!(name.contains("tw-"), "{name}");
+        assert!(name.contains("-tiny-"), "{name}");
+        assert!(name.contains("-dbg-"), "{name}");
+        assert!(name.contains("-pr-"), "{name}");
+        assert!(
+            name.ends_with(&format!(".v{TRACE_FORMAT_VERSION}.trace")),
+            "{name}"
+        );
+    }
+
+    #[test]
+    fn slugs_are_filesystem_safe() {
+        assert_eq!(slugify("Gorder(+DBG)"), "gorder_dbg");
+        assert_eq!(slugify("PRD"), "prd");
+        assert_eq!(slugify("GRASP (Insertion-Only)"), "grasp_insertion_only");
+        for technique in TechniqueKind::ALL {
+            let slug = slugify(technique.label());
+            assert!(
+                slug.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "{slug}"
+            );
+            assert!(!slug.is_empty());
+        }
+    }
+
+    #[test]
+    fn corrupt_entries_are_counted_and_overwritable() {
+        let store = temp_store("corrupt");
+        let key = sample_key(0);
+        let (trace, app) = sample_recording(100);
+        store.publish(&key, &trace, &app, 1).expect("publish");
+        // Flip one byte near the end (inside the trace payload).
+        let path = store.dir().join(key.file_name());
+        let mut bytes = std::fs::read(&path).expect("read entry");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("write corrupted entry");
+        // try_load surfaces the typed error; load treats it as a corrupt miss.
+        assert!(matches!(
+            store.try_load(&key),
+            Err(StoreError::Trace(PersistError::ChecksumMismatch { .. }))
+        ));
+        assert!(store.load(&key).is_none());
+        assert_eq!(store.stats().corrupt, 1);
+        // Re-publishing atomically replaces the bad entry.
+        store.publish(&key, &trace, &app, 1).expect("re-publish");
+        assert!(store.load(&key).is_some());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn metadata_corruption_is_typed_not_silent() {
+        let store = temp_store("meta-corrupt");
+        let key = sample_key(0);
+        let (trace, app) = sample_recording(50);
+        store.publish(&key, &trace, &app, 1).expect("publish");
+        let path = store.dir().join(key.file_name());
+        let mut bytes = std::fs::read(&path).expect("read entry");
+        bytes[30] ^= 0x10; // inside the metadata block
+        std::fs::write(&path, &bytes).expect("write");
+        assert!(matches!(store.try_load(&key), Err(StoreError::Corrupt(_))));
+        // Truncation inside the metadata block, and inside the trace block.
+        for cut in [10, 40, bytes.len() - 3] {
+            std::fs::write(&path, &bytes[..cut]).expect("write truncated");
+            assert!(store.try_load(&key).is_err(), "cut at {cut}");
+        }
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn wrong_app_in_entry_is_rejected() {
+        let store = temp_store("wrong-app");
+        let key = sample_key(0);
+        let (trace, mut app) = sample_recording(20);
+        app.app = AppKind::Sssp.label();
+        store.publish(&key, &trace, &app, 1).expect("publish");
+        assert!(matches!(
+            store.try_load(&key),
+            Err(StoreError::Corrupt(msg)) if msg.contains("SSSP")
+        ));
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn entries_verify_and_gc_evicts_lru() {
+        let store = temp_store("gc");
+        let (trace, app) = sample_recording(2000);
+        let keys: Vec<TraceStoreKey> = (0..3).map(sample_key).collect();
+        let mut sizes = Vec::new();
+        for key in &keys {
+            sizes.push(store.publish(key, &trace, &app, 1).expect("publish"));
+        }
+        // Touch entry 0 so it is the most recently used.
+        assert!(store.load(&keys[0]).is_some());
+        let entries = store.entries().expect("entries");
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].file, keys[0].file_name(), "MRU first");
+        let verify = store.verify().expect("verify");
+        assert!(verify.iter().all(|(_, outcome)| outcome.is_ok()));
+        // Budget for one entry: the two least-recently-used are evicted.
+        let report = store.gc(sizes[0] + 1).expect("gc");
+        assert_eq!(report.examined, 3);
+        assert_eq!(report.evicted.len(), 2);
+        assert!(!report.evicted.contains(&keys[0].file_name()));
+        assert_eq!(report.kept_bytes, sizes[0]);
+        assert_eq!(store.entries().expect("entries").len(), 1);
+        // gc(0) clears the store.
+        let report = store.gc(0).expect("gc all");
+        assert_eq!(report.evicted.len(), 1);
+        assert_eq!(report.kept_bytes, 0);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn gc_sweeps_stale_temp_files() {
+        let store = temp_store("tmp-sweep");
+        std::fs::write(store.dir().join(".orphan.trace.tmp.999"), b"junk").expect("write");
+        let report = store.gc(u64::MAX).expect("gc");
+        assert_eq!(report.examined, 0);
+        assert!(!store.dir().join(".orphan.trace.tmp.999").exists());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn index_survives_deletion() {
+        let store = temp_store("index");
+        let key = sample_key(0);
+        let (trace, app) = sample_recording(30);
+        store.publish(&key, &trace, &app, 1).expect("publish");
+        std::fs::remove_file(store.dir().join(INDEX_FILE)).expect("drop index");
+        // entries() falls back to filesystem metadata.
+        let entries = store.entries().expect("entries");
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].last_used > 0, "falls back to fs mtime");
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn stats_display_reads_well() {
+        let stats = TraceStoreStats {
+            hits: 2,
+            misses: 1,
+            corrupt: 0,
+            bytes_read: 10,
+            bytes_written: 20,
+        };
+        let text = stats.to_string();
+        assert!(text.contains("2 hit(s)"));
+        assert!(text.contains("20 B written"));
+    }
+}

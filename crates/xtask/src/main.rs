@@ -1,8 +1,11 @@
 //! Repository automation tasks (`cargo xtask <task>`).
 //!
-//! The only task so far is `bench-diff`, the CI bench-trajectory gate: it
-//! compares freshly dumped `BENCH_<figure>.json` files against the committed
-//! baselines and fails when
+//! * `bench-diff` — the CI bench-trajectory gate (below).
+//! * `trace` — hygiene and CI exercise for the persistent trace store
+//!   (`ls` / `verify` / `gc --max-bytes` / `exercise`; see [`trace`]).
+//!
+//! `bench-diff` compares freshly dumped `BENCH_<figure>.json` files against
+//! the committed baselines and fails when
 //!
 //! * a figure's campaign wall-clock (`wall_ms`) regressed by more than the
 //!   tolerance (default 10%, `GRASP_BENCH_TOLERANCE=0.25` for 25%), or
@@ -16,6 +19,7 @@
 //! re-committing the baseline, not noise.
 
 mod json;
+mod trace;
 
 use json::Json;
 use std::path::{Path, PathBuf};
@@ -27,11 +31,15 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("bench-diff") => bench_diff(&args[1..]),
+        Some("trace") => trace::run(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask bench-diff [--baseline <dir>] [--fresh <dir>]");
+            eprintln!("usage: cargo xtask <bench-diff|trace> [options]");
             eprintln!();
             eprintln!("bench-diff   compare fresh BENCH_*.json dumps against committed baselines");
             eprintln!("             (tolerance via GRASP_BENCH_TOLERANCE, default 0.10 = 10%)");
+            eprintln!("             options: [--baseline <dir>] [--fresh <dir>]");
+            eprintln!();
+            eprintln!("{}", trace::usage());
             ExitCode::from(2)
         }
     }

@@ -1,0 +1,213 @@
+//! The persistent trace store must be a pure cost optimization: a campaign
+//! served from the store (record phase skipped) produces `HierarchyStats`
+//! bit-identical to a fresh record across the full 13-policy parity grid, in
+//! both the buffered-replay and streaming execution plans, and corruption is
+//! surfaced as a miss — never as silently wrong statistics.
+
+use grasp_suite::analytics::apps::AppKind;
+use grasp_suite::core::campaign::{Campaign, CampaignResult};
+use grasp_suite::core::datasets::{DatasetKind, Scale};
+use grasp_suite::core::policy::PolicyKind;
+use grasp_suite::core::trace_store::TraceStore;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SCALE: Scale = Scale::Tiny;
+
+/// The full policy roster of the evaluation (paper schemes, ablations and
+/// sanity baselines) — the same grid `tests/replay_parity.rs` pins.
+const FULL_GRID: [PolicyKind; 13] = [
+    PolicyKind::Lru,
+    PolicyKind::Random,
+    PolicyKind::Srrip,
+    PolicyKind::Brrip,
+    PolicyKind::Rrip,
+    PolicyKind::ShipMem,
+    PolicyKind::Hawkeye,
+    PolicyKind::Leeway,
+    PolicyKind::Pin(50),
+    PolicyKind::Pin(100),
+    PolicyKind::GraspHintsOnly,
+    PolicyKind::GraspInsertionOnly,
+    PolicyKind::Grasp,
+];
+
+fn temp_store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("grasp-store-itest-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn grid_campaign() -> Campaign {
+    Campaign::new(SCALE)
+        .datasets(&[DatasetKind::Twitter])
+        .apps(&[AppKind::PageRank])
+        .policies(&FULL_GRID)
+        .threads(4)
+}
+
+fn assert_bit_identical(fresh: &CampaignResult, stored: &CampaignResult, what: &str) {
+    assert_eq!(fresh.len(), stored.len(), "{what}: grid size");
+    for (a, b) in fresh.iter().zip(stored.iter()) {
+        assert_eq!(a.cell, b.cell, "{what}");
+        assert_eq!(
+            a.result.stats, b.result.stats,
+            "{what}: {}/{}/{} diverged from the fresh record",
+            a.cell.dataset, a.cell.app, a.cell.policy
+        );
+        assert_eq!(
+            a.result.app.values, b.result.app.values,
+            "{what}: app output diverged"
+        );
+        assert!(
+            (a.result.cycles - b.result.cycles).abs() < 1e-12,
+            "{what}: timing model diverged"
+        );
+    }
+}
+
+#[test]
+fn store_hit_campaign_is_bit_identical_across_the_full_policy_grid() {
+    let dir = temp_store_dir("grid");
+    let store = Arc::new(TraceStore::open(&dir).expect("store opens"));
+
+    // Baseline: no store involved at all.
+    let fresh = grid_campaign().run();
+
+    // Cold run: every stream misses, gets recorded, and is published.
+    let cold = grid_campaign().with_trace_store(Arc::clone(&store)).run();
+    assert_bit_identical(&fresh, &cold, "cold store run");
+    let stats = store.stats();
+    assert_eq!(stats.hits, 0, "cold store cannot hit");
+    assert_eq!(stats.misses, 1, "one unique stream misses once");
+    assert!(stats.bytes_written > 0);
+
+    // Warm run (buffered replay plan): the record phase is skipped.
+    let warm = grid_campaign().with_trace_store(Arc::clone(&store)).run();
+    assert_bit_identical(&fresh, &warm, "warm replay-mode run");
+    assert_eq!(
+        store.stats().hits,
+        1,
+        "warm run must be served by the store"
+    );
+
+    // Warm run (streaming plan): the loaded trace is re-broadcast through
+    // the stream_into/ChunkReplayer pipeline.
+    let streamed = grid_campaign()
+        .streaming()
+        .with_trace_store(Arc::clone(&store))
+        .run();
+    assert_bit_identical(&fresh, &streamed, "warm streaming run");
+    let stats = store.stats();
+    assert_eq!(stats.hits, 2);
+    assert_eq!(stats.misses, 1, "warm runs must not re-record");
+    assert!(stats.bytes_read > 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn store_reuse_spans_processes_via_a_fresh_handle() {
+    // A second `TraceStore::open` of the same directory models a later
+    // process (campaign run in a new CI job with a restored cache): it must
+    // hit entries published by the first handle.
+    let dir = temp_store_dir("fresh-handle");
+    let first = Arc::new(TraceStore::open(&dir).expect("store opens"));
+    let fresh = grid_campaign().run();
+    let _ = grid_campaign().with_trace_store(first).run();
+
+    let second = Arc::new(TraceStore::open(&dir).expect("store reopens"));
+    let warm = grid_campaign().with_trace_store(Arc::clone(&second)).run();
+    assert_bit_identical(&fresh, &warm, "fresh-handle warm run");
+    let stats = second.stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn multi_stream_grids_key_streams_independently() {
+    let dir = temp_store_dir("multi");
+    let store = Arc::new(TraceStore::open(&dir).expect("store opens"));
+    let campaign = || {
+        Campaign::new(SCALE)
+            .datasets(&[DatasetKind::Twitter, DatasetKind::Kron])
+            .apps(&[AppKind::PageRank, AppKind::Sssp])
+            .policies(&[PolicyKind::Rrip, PolicyKind::Grasp])
+            .threads(2)
+    };
+    let fresh = campaign().run();
+    let cold = campaign().with_trace_store(Arc::clone(&store)).run();
+    assert_bit_identical(&fresh, &cold, "multi-stream cold");
+    assert_eq!(store.stats().misses, 4, "2 datasets x 2 apps = 4 streams");
+    let warm = campaign().with_trace_store(Arc::clone(&store)).run();
+    assert_bit_identical(&fresh, &warm, "multi-stream warm");
+    assert_eq!(store.stats().hits, 4);
+    assert_eq!(store.stats().misses, 4, "no re-records on the warm run");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hierarchy_changes_never_reuse_a_stale_entry() {
+    // Same grid coordinate, different LLC size: the config hash must fork
+    // the key, so the second campaign records freshly instead of replaying
+    // the wrong stream.
+    let dir = temp_store_dir("config-fork");
+    let store = Arc::new(TraceStore::open(&dir).expect("store opens"));
+    let base = || {
+        Campaign::new(SCALE)
+            .datasets(&[DatasetKind::Twitter])
+            .apps(&[AppKind::PageRank])
+            .policies(&[PolicyKind::Grasp])
+    };
+    let _ = base().with_trace_store(Arc::clone(&store)).run();
+    assert_eq!(store.stats().misses, 1);
+
+    let bigger = Scale::Small.hierarchy();
+    let fresh = base().hierarchy(bigger).run();
+    let stored = base()
+        .hierarchy(bigger)
+        .with_trace_store(Arc::clone(&store))
+        .run();
+    assert_bit_identical(&fresh, &stored, "changed-hierarchy run");
+    let stats = store.stats();
+    assert_eq!(stats.hits, 0, "a different hierarchy must never hit");
+    assert_eq!(stats.misses, 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_entries_fall_back_to_fresh_recording() {
+    let dir = temp_store_dir("corrupt");
+    let store = Arc::new(TraceStore::open(&dir).expect("store opens"));
+    let fresh = grid_campaign().run();
+    let _ = grid_campaign().with_trace_store(Arc::clone(&store)).run();
+
+    // Flip a byte in every entry.
+    for entry in store.entries().expect("entries") {
+        let path = dir.join(&entry.file);
+        let mut bytes = std::fs::read(&path).expect("read entry");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("write corrupted");
+    }
+
+    let recovered = grid_campaign().with_trace_store(Arc::clone(&store)).run();
+    assert_bit_identical(&fresh, &recovered, "corrupt-entry recovery");
+    let stats = store.stats();
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.corrupt, 1, "the corrupt entry must be detected");
+    assert_eq!(stats.misses, 2);
+
+    // The fresh recording overwrote the corrupt entry: verify passes and
+    // the next run hits again.
+    assert!(store
+        .verify()
+        .expect("verify")
+        .iter()
+        .all(|(_, outcome)| outcome.is_ok()));
+    let warm = grid_campaign().with_trace_store(Arc::clone(&store)).run();
+    assert_bit_identical(&fresh, &warm, "post-recovery warm run");
+    assert_eq!(store.stats().hits, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
