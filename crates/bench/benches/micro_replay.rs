@@ -23,7 +23,17 @@
 //! entry back — the record phase skipped entirely — and run the same
 //! fan-out. Warm results are asserted bit-identical to both the cold record
 //! and the direct path; the speed-up is reported (the warm pass saves the
-//! whole application + L1/L2 simulation).
+//! whole application + L1/L2 simulation). Store entries are published with
+//! the default codec (v2 delta+varint), so the entry-bytes column tracks the
+//! compressed format.
+//!
+//! A fourth section measures **trace compression** (format v2): the same
+//! recorded stream is persisted raw (v1, 12 B/record) and delta+varint
+//! (v2), comparing bytes/record and the v1→v2 ratio — both fully
+//! deterministic — plus the encode/decode wall-clock against the raw load
+//! time (the warm-path overhead the compression must not squander). Both
+//! encodings are asserted to load back equal to the in-memory trace with a
+//! bit-identical replay.
 //!
 //! Acceptance bars, both with bit-identical statistics asserted per cell:
 //!
@@ -42,6 +52,7 @@
 use grasp_analytics::apps::AppKind;
 use grasp_bench::{banner, dataset, dump_json, harness_scale};
 use grasp_cachesim::config::HierarchyConfig;
+use grasp_cachesim::{Codec, LlcTrace};
 use grasp_core::datasets::DatasetKind;
 use grasp_core::experiment::Experiment;
 use grasp_core::policy::PolicyKind;
@@ -117,6 +128,18 @@ fn main() {
     let mut store_table = Table::new(
         "Trace store: cold (record + persist) vs warm (load + replay, record skipped)",
         &["hierarchy", "cold ms", "warm ms", "speed-up", "entry bytes"],
+    );
+    let mut compression_table = Table::new(
+        "Trace compression: raw (v1) vs delta+varint (v2)",
+        &[
+            "hierarchy",
+            "raw B/rec",
+            "v2 B/rec",
+            "ratio",
+            "raw load ms",
+            "encode ms",
+            "decode ms",
+        ],
     );
     let store_dir =
         std::env::temp_dir().join(format!("grasp-micro-replay-store-{}", std::process::id()));
@@ -257,6 +280,52 @@ fn main() {
             format!("{store_speedup:.2}x"),
             entry_bytes.to_string(),
         ]);
+
+        // The compression comparison: persist the recorded stream under both
+        // codecs, compare bytes/record and the decode overhead against the
+        // raw load (the price the warm path pays for the smaller store).
+        let trace = recorded.trace();
+        let records = trace.len().max(1) as f64;
+        let mut raw_bytes = Vec::new();
+        trace
+            .write_to_with(&mut raw_bytes, Codec::Raw)
+            .expect("raw encode");
+        let started = Instant::now();
+        let mut v2_bytes = Vec::new();
+        trace
+            .write_to_with(&mut v2_bytes, Codec::DeltaVarint)
+            .expect("delta-varint encode");
+        let encode_time = started.elapsed();
+        let started = Instant::now();
+        let raw_loaded = LlcTrace::read_from(&mut raw_bytes.as_slice()).expect("raw load");
+        let raw_load_time = started.elapsed();
+        let started = Instant::now();
+        let v2_loaded = LlcTrace::read_from(&mut v2_bytes.as_slice()).expect("v2 decode");
+        let decode_time = started.elapsed();
+        assert_eq!(&raw_loaded, trace, "{label}: raw roundtrip diverged");
+        assert_eq!(&v2_loaded, trace, "{label}: v2 roundtrip diverged");
+        let llc = exp.hierarchy().llc;
+        let from_v2 = v2_loaded.replay(llc, PolicyKind::Grasp.build_dispatch(&llc));
+        let from_raw = raw_loaded.replay(llc, PolicyKind::Grasp.build_dispatch(&llc));
+        assert_eq!(
+            from_raw, from_v2,
+            "{label}: decompressed replay diverged from the raw replay"
+        );
+        let ratio = raw_bytes.len() as f64 / v2_bytes.len().max(1) as f64;
+        total_ms += (encode_time + raw_load_time + decode_time).as_millis();
+        compression_table.push_row(vec![
+            label.into(),
+            format!("{:.2}", raw_bytes.len() as f64 / records),
+            format!("{:.2}", v2_bytes.len() as f64 / records),
+            format!("{ratio:.2}x"),
+            format!("{:.1}", raw_load_time.as_secs_f64() * 1e3),
+            format!("{:.1}", encode_time.as_secs_f64() * 1e3),
+            format!("{:.1}", decode_time.as_secs_f64() * 1e3),
+        ]);
+        assert!(
+            ratio >= 2.5,
+            "{label}: v2 compression {ratio:.2}x fell below the 2.5x bar on the recorded stream"
+        );
     }
     let store_stats = store.stats();
     assert_eq!(
@@ -267,6 +336,7 @@ fn main() {
     println!("{table}");
     println!("{streaming_table}");
     println!("{store_table}");
+    println!("{compression_table}");
     println!("trace store traffic: {store_stats}");
     println!(
         "stats bit-identical across all {} + {} policies on both hierarchies \
@@ -312,6 +382,6 @@ fn main() {
     dump_json(
         "micro_replay",
         total_ms,
-        &[&table, &streaming_table, &store_table],
+        &[&table, &streaming_table, &store_table, &compression_table],
     );
 }

@@ -66,5 +66,5 @@ pub use request::{AccessInfo, AccessKind, RegionLabel};
 pub use stage::{LlcSink, LlcStage, UpperLevels};
 pub use stats::{CacheStats, HierarchyStats};
 pub use timing::TimingModel;
-pub use trace::persist::{PersistError, TRACE_FORMAT_VERSION, TRACE_MAGIC};
+pub use trace::persist::{Codec, PersistError, TRACE_FORMAT_VERSION, TRACE_MAGIC};
 pub use trace::{LlcTrace, TraceEvent};

@@ -7,42 +7,67 @@
 //! ┌──────────────────────────────────────────────────────────────────────┐
 //! │ header (48 bytes, little-endian)                                     │
 //! │   0  magic          8 B   "GRSPTRC\0"                                │
-//! │   8  version        u32   TRACE_FORMAT_VERSION                       │
+//! │   8  version        u32   1 (raw) or 2 (codec-framed)                │
 //! │  12  chunk_records  u32   records per full chunk (CHUNK_RECORDS)     │
 //! │  16  record_count   u64   total events                               │
 //! │  24  demand_count   u64   demand events (≤ record_count)             │
 //! │  32  context_len    u32   bytes of the context block                 │
-//! │  36  reserved       u32   0                                          │
+//! │  36  codec          u32   [`Codec`] of the body (v1: reserved = 0,   │
+//! │                           which reads as `Codec::Raw`)               │
 //! │  40  checksum       u64   FNV-1a over header (checksum zeroed),      │
 //! │                           context block and chunk payload            │
 //! ├──────────────────────────────────────────────────────────────────────┤
 //! │ context block: RecordContext — L1 stats, L2 stats, ABR bounds        │
 //! ├──────────────────────────────────────────────────────────────────────┤
-//! │ chunk payload, in stream order: per chunk, n × u64 addresses then    │
-//! │ n × u32 metadata words (n = chunk_records, except the final tail)    │
+//! │ chunk payload, in stream order, one frame per chunk (see below)      │
 //! └──────────────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! The body keeps the in-memory struct-of-arrays layout **chunk-aligned**:
-//! every full chunk serializes as one address page followed by one metadata
-//! page, so [`LlcTrace::read_from`] reconstructs each frozen
-//! [`TraceChunk`](super::TraceChunk) page directly behind its `Arc` — no
-//! per-event decode, no re-push through the recording path — and the loaded
+//! # Codecs
+//!
+//! The body is encoded per chunk, per column, by the [`Codec`] named in the
+//! header:
+//!
+//! * **`Raw`** (format **v1**, the PR 4 layout, written byte-for-byte
+//!   unchanged): each chunk is one page of `n × u64` addresses followed by
+//!   one page of `n × u32` metadata words — 12 B/record.
+//! * **`DeltaVarint`** (format **v2**): each chunk is a `u32` frame length
+//!   followed by that many payload bytes, holding
+//!   1. the **address column** as zigzag-encoded wrapping deltas in LEB128
+//!      varints (graph-analytics streams are heavily clustered, so most
+//!      deltas fit 1–3 bytes; the delta state resets at every chunk
+//!      boundary, keeping chunks independently decodable),
+//!   2. the **metadata column** as a per-chunk dictionary (the distinct
+//!      kind/flag/hint/region/site words in first-occurrence order, LEB128)
+//!      followed by one `⌈log₂ dict⌉`-bit index per record, bit-packed
+//!      LSB-first (the column's cardinality is tiny — a handful of sites ×
+//!      event kinds — so indices cost a fraction of a byte).
+//!
+//! Both codecs keep the in-memory struct-of-arrays layout **chunk-aligned**:
+//! every chunk decodes as one unit straight into a frozen
+//! [`TraceChunk`](super::TraceChunk) page behind its `Arc` — no per-event
+//! materialization, no re-push through the recording path — and the loaded
 //! trace compares equal (`==`) to the trace that was written, chunk layout
 //! included. A loaded trace therefore streams through
 //! [`LlcTrace::stream_into`](super::LlcTrace::stream_into) exactly like a
 //! freshly recorded one.
 //!
+//! [`LlcTrace::read_from`] dispatches on **version + codec**: v1 files (and
+//! `Raw`-codec writes, which still emit the v1 byte format) load exactly as
+//! before, v2 frames decompress chunk-at-a-time.
+//!
 //! Corruption is never silent: the checksum covers the header (with the
-//! checksum field zeroed), the context block and the chunk payload, so a
-//! truncated, bit-flipped or short-read file surfaces as a typed
-//! [`PersistError`] — a successful load is byte-for-byte the trace that was
-//! saved (property-tested in `tests/persist_properties.rs`).
+//! checksum field zeroed), the context block and the chunk payload — frame
+//! lengths included — so a truncated, bit-flipped or short-read file
+//! surfaces as a typed [`PersistError`] — a successful load is byte-for-byte
+//! the trace that was saved (property-tested in
+//! `tests/persist_properties.rs` for both codecs).
 
 use super::{LlcTrace, RecordContext, TraceChunk, CHUNK_RECORDS};
 use crate::addr::Address;
 use crate::request::RegionLabel;
 use crate::stats::CacheStats;
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::path::Path;
 use std::sync::Arc;
@@ -50,15 +75,93 @@ use std::sync::Arc;
 /// Magic bytes opening every persisted trace.
 pub const TRACE_MAGIC: [u8; 8] = *b"GRSPTRC\0";
 
-/// Version of the on-disk trace format. Bump on any layout change; loaders
-/// reject every version they were not built for.
-pub const TRACE_FORMAT_VERSION: u32 = 1;
+/// Newest version of the on-disk trace format. Loaders read every version up
+/// to this one; writers emit the version their [`Codec`] belongs to
+/// ([`Codec::format_version`]). Bump on any layout change.
+pub const TRACE_FORMAT_VERSION: u32 = 2;
+
+/// The raw (uncompressed) v1 layout, kept bit-compatible with PR 4 so
+/// pre-codec stores and CI caches stay loadable.
+const TRACE_FORMAT_V1: u32 = 1;
 
 const HEADER_LEN: usize = 48;
+const CODEC_OFFSET: usize = 36;
 const CHECKSUM_OFFSET: usize = 40;
 /// Upper bound on the context block (the ABR bound list is tiny in practice;
 /// anything near this limit is corruption, not data).
 const MAX_CONTEXT_LEN: u32 = 1 << 24;
+
+/// How the chunk payload encodes the struct-of-arrays body (see the module
+/// docs for the per-codec layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Codec {
+    /// 12 B/record SoA pages — the v1 format, written byte-for-byte as PR 4
+    /// did.
+    Raw,
+    /// Per-chunk delta + LEB128 varint addresses and dictionary + bit-packed
+    /// metadata — the v2 format, several times smaller on clustered
+    /// graph-analytics streams.
+    #[default]
+    DeltaVarint,
+}
+
+impl Codec {
+    /// Every codec, the default (preferred) one first — the order store
+    /// lookups fall back through.
+    pub const ALL: [Codec; 2] = [Codec::DeltaVarint, Codec::Raw];
+
+    /// Stable human-readable name (the `GRASP_TRACE_CODEC` vocabulary).
+    pub fn label(self) -> &'static str {
+        match self {
+            Codec::Raw => "raw",
+            Codec::DeltaVarint => "delta-varint",
+        }
+    }
+
+    /// Parses a label as accepted from environment knobs and CLI flags.
+    pub fn from_label(label: &str) -> Option<Codec> {
+        match label.trim().to_ascii_lowercase().as_str() {
+            "raw" | "v1" => Some(Codec::Raw),
+            "delta-varint" | "deltavarint" | "delta_varint" | "dv" | "v2" => {
+                Some(Codec::DeltaVarint)
+            }
+            _ => None,
+        }
+    }
+
+    /// The format version files written with this codec carry (and the
+    /// version suffix store entries are keyed by).
+    pub fn format_version(self) -> u32 {
+        match self {
+            Codec::Raw => TRACE_FORMAT_V1,
+            Codec::DeltaVarint => TRACE_FORMAT_VERSION,
+        }
+    }
+
+    /// The header's codec field value (byte 36 of the trace header).
+    pub fn code(self) -> u32 {
+        match self {
+            Codec::Raw => 0,
+            Codec::DeltaVarint => 1,
+        }
+    }
+
+    /// The inverse of [`Codec::code`] — the one place the header field maps
+    /// back to a codec (store layers peeking at entry headers reuse it).
+    pub fn from_code(code: u32) -> Option<Codec> {
+        match code {
+            0 => Some(Codec::Raw),
+            1 => Some(Codec::DeltaVarint),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Codec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Why a persisted trace could not be read (or written).
 #[derive(Debug)]
@@ -89,7 +192,8 @@ pub enum PersistError {
         /// Checksum recomputed over the bytes actually read.
         computed: u64,
     },
-    /// A structurally invalid field (impossible counts or lengths).
+    /// A structurally invalid field (impossible counts, lengths, varints or
+    /// dictionary indices).
     Corrupt(String),
 }
 
@@ -103,7 +207,7 @@ impl std::fmt::Display for PersistError {
             PersistError::UnsupportedVersion(found) => write!(
                 f,
                 "unsupported trace format version {found} (this build reads \
-                 version {TRACE_FORMAT_VERSION})"
+                 versions 1..={TRACE_FORMAT_VERSION})"
             ),
             PersistError::IncompatibleChunkSize { found, expected } => write!(
                 f,
@@ -190,6 +294,72 @@ fn put_u32(buf: &mut Vec<u8>, value: u32) {
 
 fn put_u64(buf: &mut Vec<u8>, value: u64) {
     buf.extend_from_slice(&value.to_le_bytes());
+}
+
+// ---- varint / zigzag / bit-packing primitives of the v2 codec ----
+
+/// Maps a wrapping delta to a small varint for small forward *and* backward
+/// jumps: +1 → 2, −1 → 1, +64 → 128.
+#[inline]
+fn zigzag(delta: u64) -> u64 {
+    let signed = delta as i64;
+    ((signed << 1) ^ (signed >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(encoded: u64) -> u64 {
+    (encoded >> 1) ^ (encoded & 1).wrapping_neg()
+}
+
+/// Appends `value` as a LEB128 varint (1–10 bytes).
+#[inline]
+fn put_varint(buf: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decodes one LEB128 varint from `bytes` at `*pos`, advancing the cursor.
+/// Every malformed shape — running off the buffer, or more than 64 bits of
+/// payload — is a typed [`PersistError::Corrupt`], never a panic or a
+/// silently wrapped value.
+fn get_varint(bytes: &[u8], pos: &mut usize, what: &'static str) -> Result<u64, PersistError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = bytes.get(*pos) else {
+            return Err(PersistError::Corrupt(format!(
+                "chunk payload ends inside {what}"
+            )));
+        };
+        *pos += 1;
+        let low = u64::from(byte & 0x7f);
+        if shift == 63 && low > 1 {
+            return Err(PersistError::Corrupt(format!("varint overflow in {what}")));
+        }
+        value |= low << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(PersistError::Corrupt(format!("varint overflow in {what}")));
+        }
+    }
+}
+
+/// Bits needed to index a dictionary of `len` entries (0 for a single-entry
+/// dictionary: the index stream is empty, every record is entry 0).
+#[inline]
+fn index_width(len: usize) -> u32 {
+    debug_assert!(len >= 1);
+    usize::BITS - (len - 1).leading_zeros()
 }
 
 /// A little-endian cursor over the in-memory context block.
@@ -308,21 +478,28 @@ fn decode_context(bytes: &[u8]) -> Result<RecordContext, PersistError> {
     Ok(RecordContext { l1, l2, abr_bounds })
 }
 
-fn header_bytes(trace: &LlcTrace, context_len: u32, checksum: u64) -> [u8; HEADER_LEN] {
+fn header_bytes(
+    trace: &LlcTrace,
+    codec: Codec,
+    context_len: u32,
+    checksum: u64,
+) -> [u8; HEADER_LEN] {
     let mut header = [0u8; HEADER_LEN];
     header[0..8].copy_from_slice(&TRACE_MAGIC);
-    header[8..12].copy_from_slice(&TRACE_FORMAT_VERSION.to_le_bytes());
+    header[8..12].copy_from_slice(&codec.format_version().to_le_bytes());
     header[12..16].copy_from_slice(&(CHUNK_RECORDS as u32).to_le_bytes());
     header[16..24].copy_from_slice(&(trace.len() as u64).to_le_bytes());
     header[24..32].copy_from_slice(&(trace.demand_len() as u64).to_le_bytes());
     header[32..36].copy_from_slice(&context_len.to_le_bytes());
-    // 36..40 reserved = 0.
+    // The codec field doubles as v1's reserved-zero word: Codec::Raw is 0.
+    header[CODEC_OFFSET..CODEC_OFFSET + 4].copy_from_slice(&codec.code().to_le_bytes());
     header[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&checksum.to_le_bytes());
     header
 }
 
-/// Serializes one chunk's pages (addresses then metadata words) into `buf`.
-fn chunk_payload(chunk: &TraceChunk, buf: &mut Vec<u8>) {
+/// Serializes one chunk's raw v1 pages (addresses then metadata words) into
+/// `buf`.
+fn chunk_payload_raw(chunk: &TraceChunk, buf: &mut Vec<u8>) {
     buf.clear();
     buf.reserve(chunk.len() * 12);
     for &addr in &chunk.addrs {
@@ -331,6 +508,71 @@ fn chunk_payload(chunk: &TraceChunk, buf: &mut Vec<u8>) {
     for &meta in &chunk.meta {
         buf.extend_from_slice(&meta.to_le_bytes());
     }
+}
+
+/// Serializes one chunk as a v2 delta+varint frame (length prefix included)
+/// into `buf`. `dict_scratch` carries the dictionary map across chunks to
+/// reuse its allocation; it is cleared per chunk.
+fn chunk_payload_delta_varint(
+    chunk: &TraceChunk,
+    buf: &mut Vec<u8>,
+    dict_scratch: &mut HashMap<u32, u32>,
+) {
+    buf.clear();
+    buf.extend_from_slice(&[0u8; 4]); // frame length, patched below
+                                      // Address column: zigzag wrapping deltas, LEB128. The previous-address
+                                      // state starts at 0 in every chunk, so chunks decode independently.
+    let mut prev: Address = 0;
+    for &addr in &chunk.addrs {
+        put_varint(buf, zigzag(addr.wrapping_sub(prev)));
+        prev = addr;
+    }
+    // Metadata column: dictionary of distinct words in first-occurrence
+    // order, then one bit-packed dictionary index per record.
+    dict_scratch.clear();
+    let mut dict: Vec<u32> = Vec::new();
+    let mut indices: Vec<u32> = Vec::with_capacity(chunk.meta.len());
+    for &meta in &chunk.meta {
+        let next = dict.len() as u32;
+        let index = *dict_scratch.entry(meta).or_insert_with(|| {
+            dict.push(meta);
+            next
+        });
+        indices.push(index);
+    }
+    put_varint(buf, dict.len() as u64);
+    for &word in &dict {
+        put_varint(buf, u64::from(word));
+    }
+    if !dict.is_empty() {
+        let width = index_width(dict.len());
+        if width > 0 {
+            let mut acc: u64 = 0;
+            let mut filled: u32 = 0;
+            for &index in &indices {
+                acc |= u64::from(index) << filled;
+                filled += width;
+                while filled >= 8 {
+                    buf.push((acc & 0xff) as u8);
+                    acc >>= 8;
+                    filled -= 8;
+                }
+            }
+            if filled > 0 {
+                buf.push((acc & 0xff) as u8);
+            }
+        }
+    }
+    let frame_len = (buf.len() - 4) as u32;
+    buf[0..4].copy_from_slice(&frame_len.to_le_bytes());
+}
+
+/// Worst-case v2 frame payload for `records` records: 10-byte address
+/// varints, a full-cardinality dictionary (≤ 5 bytes/entry) and 16-bit
+/// packed indices, plus the dictionary-length varint. Anything larger in a
+/// frame header is corruption, not data.
+fn max_frame_len(records: usize) -> usize {
+    records * (10 + 5 + 2) + 10
 }
 
 fn read_exact(
@@ -349,59 +591,220 @@ fn read_exact(
     })
 }
 
+/// Reads one raw v1 chunk (two SoA pages) into a fresh chunk.
+fn read_chunk_raw(
+    reader: &mut impl Read,
+    hasher: &mut Fnv64,
+    records: usize,
+    buf: &mut Vec<u8>,
+) -> Result<TraceChunk, PersistError> {
+    buf.resize(records * 12, 0);
+    let bytes = &mut buf[..records * 12];
+    read_exact(reader, bytes, "chunk payload")?;
+    hasher.update(bytes);
+    let (addr_bytes, meta_bytes) = bytes.split_at(records * 8);
+    let mut chunk = TraceChunk::with_capacity(records);
+    chunk.addrs.extend(
+        addr_bytes
+            .chunks_exact(8)
+            .map(|b| Address::from_le_bytes(b.try_into().expect("8 bytes"))),
+    );
+    chunk.meta.extend(
+        meta_bytes
+            .chunks_exact(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes"))),
+    );
+    Ok(chunk)
+}
+
+/// Reads one v2 delta+varint frame and decompresses it into a fresh chunk.
+/// Every structural defect — an implausible frame length, a malformed
+/// varint, a dictionary index past the dictionary, leftover payload bytes —
+/// is a typed error, and nothing is allocated beyond the frame's own bytes
+/// plus one bounded chunk.
+fn read_chunk_delta_varint(
+    reader: &mut impl Read,
+    hasher: &mut Fnv64,
+    records: usize,
+    buf: &mut Vec<u8>,
+) -> Result<TraceChunk, PersistError> {
+    let mut len_bytes = [0u8; 4];
+    read_exact(reader, &mut len_bytes, "chunk frame length")?;
+    hasher.update(&len_bytes);
+    let frame_len = u32::from_le_bytes(len_bytes) as usize;
+    if (frame_len == 0 && records > 0) || frame_len > max_frame_len(records) {
+        return Err(PersistError::Corrupt(format!(
+            "chunk frame of {frame_len} bytes is implausible for {records} records"
+        )));
+    }
+    buf.resize(frame_len, 0);
+    let bytes = &mut buf[..frame_len];
+    read_exact(reader, bytes, "chunk payload")?;
+    hasher.update(bytes);
+
+    let mut chunk = TraceChunk::with_capacity(records);
+    let mut pos = 0usize;
+    let mut prev: Address = 0;
+    for _ in 0..records {
+        let delta = unzigzag(get_varint(bytes, &mut pos, "address delta")?);
+        prev = prev.wrapping_add(delta);
+        chunk.addrs.push(prev);
+    }
+    let dict_len = get_varint(bytes, &mut pos, "metadata dictionary length")? as usize;
+    if dict_len == 0 || dict_len > records {
+        return Err(PersistError::Corrupt(format!(
+            "metadata dictionary of {dict_len} entries is implausible for {records} records"
+        )));
+    }
+    let mut dict = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        let word = get_varint(bytes, &mut pos, "metadata dictionary entry")?;
+        let word = u32::try_from(word).map_err(|_| {
+            PersistError::Corrupt("metadata dictionary entry exceeds u32".to_owned())
+        })?;
+        dict.push(word);
+    }
+    let width = index_width(dict_len);
+    if width == 0 {
+        chunk.meta.resize(records, dict[0]);
+    } else {
+        let index_bytes = (records * width as usize).div_ceil(8);
+        let end = pos
+            .checked_add(index_bytes)
+            .filter(|&end| end <= bytes.len())
+            .ok_or_else(|| {
+                PersistError::Corrupt("chunk payload ends inside metadata indices".to_owned())
+            })?;
+        let packed = &bytes[pos..end];
+        pos = end;
+        let mut acc: u64 = 0;
+        let mut filled: u32 = 0;
+        let mut next_byte = 0usize;
+        let mask = (1u64 << width) - 1;
+        for _ in 0..records {
+            while filled < width {
+                acc |= u64::from(packed[next_byte]) << filled;
+                next_byte += 1;
+                filled += 8;
+            }
+            let index = (acc & mask) as usize;
+            acc >>= width;
+            filled -= width;
+            let &word = dict.get(index).ok_or_else(|| {
+                PersistError::Corrupt(format!(
+                    "metadata index {index} exceeds the {dict_len}-entry dictionary"
+                ))
+            })?;
+            chunk.meta.push(word);
+        }
+    }
+    if pos != frame_len {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing byte(s) after the chunk payload",
+            frame_len - pos
+        )));
+    }
+    Ok(chunk)
+}
+
 impl LlcTrace {
-    /// Writes the trace (records and recorded context) to `writer` in the
-    /// versioned binary format and returns the number of bytes written.
-    ///
-    /// The write makes two passes over the in-memory chunks: one to checksum
-    /// the stream, one to emit it — nothing is buffered beyond a single
-    /// chunk's payload.
+    /// Writes the trace with the default codec ([`Codec::DeltaVarint`]) —
+    /// see [`LlcTrace::write_to_with`].
     pub fn write_to(&self, writer: &mut impl Write) -> Result<u64, PersistError> {
+        self.write_to_with(writer, Codec::default())
+    }
+
+    /// Writes the trace (records and recorded context) to `writer` in the
+    /// versioned binary format under `codec` and returns the number of bytes
+    /// written. [`Codec::Raw`] emits the v1 byte format unchanged;
+    /// [`Codec::DeltaVarint`] emits v2 compressed frames.
+    ///
+    /// The checksum lands in the header, so the payload is produced before
+    /// the header can be emitted. Raw frames are a cheap copy of the SoA
+    /// pages: they are encoded twice (checksum pass, emit pass) so nothing
+    /// beyond one chunk's payload is ever buffered. Compressed frames are
+    /// expensive to produce, so they are encoded **once** into a body buffer
+    /// (the compressed size — several times smaller than the in-memory trace
+    /// this method is called on) and emitted from it.
+    pub fn write_to_with(
+        &self,
+        writer: &mut impl Write,
+        codec: Codec,
+    ) -> Result<u64, PersistError> {
         let context = encode_context(&self.context);
         let context_len = u32::try_from(context.len()).map_err(|_| {
             PersistError::Corrupt("context block exceeds u32::MAX bytes".to_owned())
         })?;
 
-        // Pass 1: checksum header (checksum field zeroed), context, payload.
         let mut hasher = Fnv64::new();
-        hasher.update(&header_bytes(self, context_len, 0));
+        hasher.update(&header_bytes(self, codec, context_len, 0));
         hasher.update(&context);
-        let mut buf = Vec::new();
-        for chunk in self.chunks() {
-            chunk_payload(chunk, &mut buf);
-            hasher.update(&buf);
-        }
-        let checksum = hasher.finish();
 
-        // Pass 2: emit.
         let mut written = 0u64;
-        let header = header_bytes(self, context_len, checksum);
-        writer.write_all(&header)?;
-        written += header.len() as u64;
-        writer.write_all(&context)?;
-        written += context.len() as u64;
-        for chunk in self.chunks() {
-            chunk_payload(chunk, &mut buf);
-            writer.write_all(&buf)?;
-            written += buf.len() as u64;
+        match codec {
+            Codec::Raw => {
+                // Pass 1: checksum the raw frames chunk-by-chunk.
+                let mut buf = Vec::new();
+                for chunk in self.chunks() {
+                    chunk_payload_raw(chunk, &mut buf);
+                    hasher.update(&buf);
+                }
+                // Pass 2: emit header, context, and the re-encoded frames.
+                let header = header_bytes(self, codec, context_len, hasher.finish());
+                writer.write_all(&header)?;
+                written += header.len() as u64;
+                writer.write_all(&context)?;
+                written += context.len() as u64;
+                for chunk in self.chunks() {
+                    chunk_payload_raw(chunk, &mut buf);
+                    writer.write_all(&buf)?;
+                    written += buf.len() as u64;
+                }
+            }
+            Codec::DeltaVarint => {
+                // Single compression pass into the body buffer, then emit.
+                let mut body = Vec::new();
+                let mut frame = Vec::new();
+                let mut dict_scratch = HashMap::new();
+                for chunk in self.chunks() {
+                    chunk_payload_delta_varint(chunk, &mut frame, &mut dict_scratch);
+                    body.extend_from_slice(&frame);
+                }
+                hasher.update(&body);
+                let header = header_bytes(self, codec, context_len, hasher.finish());
+                writer.write_all(&header)?;
+                written += header.len() as u64;
+                writer.write_all(&context)?;
+                written += context.len() as u64;
+                writer.write_all(&body)?;
+                written += body.len() as u64;
+            }
         }
         Ok(written)
     }
 
-    /// Reads a trace previously written by [`LlcTrace::write_to`].
+    /// Reads a trace previously written by [`LlcTrace::write_to_with`] (any
+    /// supported version and codec) — see [`LlcTrace::read_from_with_codec`].
+    pub fn read_from(reader: &mut impl Read) -> Result<LlcTrace, PersistError> {
+        Self::read_from_with_codec(reader).map(|(trace, _)| trace)
+    }
+
+    /// Reads a trace and reports the [`Codec`] the file was encoded with.
     ///
-    /// Chunks are rebuilt page-at-a-time straight into frozen
-    /// `Arc<TraceChunk>`s — no per-event decode — and the loaded trace is
-    /// `==` to the written one, chunk layout included. Every structural
-    /// problem (wrong magic, foreign version or chunk geometry, truncation,
-    /// bit flips anywhere in the file) surfaces as a typed [`PersistError`];
-    /// a trace is only returned when the checksum over everything read
-    /// matches.
+    /// Dispatches on the header's version + codec: v1 files are raw SoA
+    /// pages; v2 files decompress per-chunk frames. Chunks are rebuilt
+    /// chunk-at-a-time straight into frozen `Arc<TraceChunk>`s — no
+    /// per-event materialization — and the loaded trace is `==` to the
+    /// written one, chunk layout included. Every structural problem (wrong
+    /// magic, foreign version, codec or chunk geometry, truncation,
+    /// malformed compression, bit flips anywhere in the file) surfaces as a
+    /// typed [`PersistError`]; a trace is only returned when the checksum
+    /// over everything read matches.
     ///
     /// Reads exactly the persisted bytes and no further, so a trace block
     /// can be embedded inside a larger stream (the trace store appends its
     /// own metadata around it).
-    pub fn read_from(reader: &mut impl Read) -> Result<LlcTrace, PersistError> {
+    pub fn read_from_with_codec(reader: &mut impl Read) -> Result<(LlcTrace, Codec), PersistError> {
         let mut header = [0u8; HEADER_LEN];
         read_exact(reader, &mut header, "header")?;
 
@@ -410,7 +813,7 @@ impl LlcTrace {
             return Err(PersistError::BadMagic(magic));
         }
         let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-        if version != TRACE_FORMAT_VERSION {
+        if version == 0 || version > TRACE_FORMAT_VERSION {
             return Err(PersistError::UnsupportedVersion(version));
         }
         let chunk_records = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
@@ -435,12 +838,26 @@ impl LlcTrace {
                 "context block of {context_len} bytes is implausibly large"
             )));
         }
-        let reserved = u32::from_le_bytes(header[36..40].try_into().expect("4 bytes"));
-        if reserved != 0 {
-            return Err(PersistError::Corrupt(format!(
-                "reserved header field is {reserved}, expected 0"
-            )));
-        }
+        let codec_field = u32::from_le_bytes(
+            header[CODEC_OFFSET..CODEC_OFFSET + 4]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        let codec = match version {
+            // v1 predates the codec field: the word was reserved-zero, which
+            // deliberately coincides with Codec::Raw.
+            TRACE_FORMAT_V1 => {
+                if codec_field != 0 {
+                    return Err(PersistError::Corrupt(format!(
+                        "reserved header field is {codec_field}, expected 0"
+                    )));
+                }
+                Codec::Raw
+            }
+            _ => Codec::from_code(codec_field).ok_or_else(|| {
+                PersistError::Corrupt(format!("unknown codec {codec_field} in a v{version} file"))
+            })?,
+        };
         let stored_checksum = u64::from_le_bytes(
             header[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8]
                 .try_into()
@@ -467,31 +884,16 @@ impl LlcTrace {
         let full_chunks = record_count / CHUNK_RECORDS;
         let tail = record_count % CHUNK_RECORDS;
         let mut frozen = Vec::new();
-        let mut buf = vec![0u8; CHUNK_RECORDS * 12];
-        let mut read_chunk =
-            |records: usize, buf: &mut Vec<u8>| -> Result<TraceChunk, PersistError> {
-                let bytes = &mut buf[..records * 12];
-                read_exact(reader, bytes, "chunk payload")?;
-                hasher.update(bytes);
-                let (addr_bytes, meta_bytes) = bytes.split_at(records * 8);
-                let mut chunk = TraceChunk::with_capacity(records);
-                chunk.addrs.extend(
-                    addr_bytes
-                        .chunks_exact(8)
-                        .map(|b| Address::from_le_bytes(b.try_into().expect("8 bytes"))),
-                );
-                chunk.meta.extend(
-                    meta_bytes
-                        .chunks_exact(4)
-                        .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes"))),
-                );
-                Ok(chunk)
-            };
+        let mut buf = Vec::new();
+        let mut read_chunk = |records: usize, buf: &mut Vec<u8>, hasher: &mut Fnv64| match codec {
+            Codec::Raw => read_chunk_raw(reader, hasher, records, buf),
+            Codec::DeltaVarint => read_chunk_delta_varint(reader, hasher, records, buf),
+        };
         for _ in 0..full_chunks {
-            frozen.push(Arc::new(read_chunk(CHUNK_RECORDS, &mut buf)?));
+            frozen.push(Arc::new(read_chunk(CHUNK_RECORDS, &mut buf, &mut hasher)?));
         }
         let current = if tail > 0 {
-            read_chunk(tail, &mut buf)?
+            read_chunk(tail, &mut buf, &mut hasher)?
         } else {
             TraceChunk::default()
         };
@@ -521,15 +923,21 @@ impl LlcTrace {
                 trace.demand_len, actual_demands
             )));
         }
-        Ok(trace)
+        Ok((trace, codec))
     }
 
-    /// Writes the trace to `path` via [`LlcTrace::write_to`] (buffered).
-    /// Returns the number of bytes written.
+    /// Writes the trace to `path` with the default codec — see
+    /// [`LlcTrace::save_with`].
     pub fn save(&self, path: impl AsRef<Path>) -> Result<u64, PersistError> {
+        self.save_with(path, Codec::default())
+    }
+
+    /// Writes the trace to `path` via [`LlcTrace::write_to_with`]
+    /// (buffered). Returns the number of bytes written.
+    pub fn save_with(&self, path: impl AsRef<Path>, codec: Codec) -> Result<u64, PersistError> {
         let file = std::fs::File::create(path)?;
         let mut writer = std::io::BufWriter::new(file);
-        let written = self.write_to(&mut writer)?;
+        let written = self.write_to_with(&mut writer, codec)?;
         writer.flush()?;
         Ok(written)
     }
@@ -584,55 +992,173 @@ mod tests {
         trace
     }
 
-    fn write_to_vec(trace: &LlcTrace) -> Vec<u8> {
+    fn write_to_vec_with(trace: &LlcTrace, codec: Codec) -> Vec<u8> {
         let mut bytes = Vec::new();
-        let written = trace.write_to(&mut bytes).expect("write succeeds");
+        let written = trace
+            .write_to_with(&mut bytes, codec)
+            .expect("write succeeds");
         assert_eq!(written as usize, bytes.len());
         bytes
     }
 
+    fn write_to_vec(trace: &LlcTrace) -> Vec<u8> {
+        write_to_vec_with(trace, Codec::default())
+    }
+
     #[test]
     fn roundtrip_preserves_everything_including_chunk_layout() {
-        for events in [0, 1, 5, CHUNK_RECORDS - 1, CHUNK_RECORDS, CHUNK_RECORDS + 3] {
-            let trace = sample_trace(events);
-            let bytes = write_to_vec(&trace);
-            let loaded = LlcTrace::read_from(&mut bytes.as_slice()).expect("roundtrip");
-            assert_eq!(loaded, trace, "{events} events");
-            assert_eq!(loaded.len(), trace.len());
-            assert_eq!(loaded.demand_len(), trace.demand_len());
-            assert_eq!(loaded.context(), trace.context());
-            assert_eq!(
-                loaded.chunks().count(),
-                trace.chunks().count(),
-                "chunk layout must be reproduced"
-            );
+        for codec in Codec::ALL {
+            for events in [0, 1, 5, CHUNK_RECORDS - 1, CHUNK_RECORDS, CHUNK_RECORDS + 3] {
+                let trace = sample_trace(events);
+                let bytes = write_to_vec_with(&trace, codec);
+                let (loaded, read_codec) =
+                    LlcTrace::read_from_with_codec(&mut bytes.as_slice()).expect("roundtrip");
+                assert_eq!(read_codec, codec, "{events} events");
+                assert_eq!(loaded, trace, "{codec}: {events} events");
+                assert_eq!(loaded.len(), trace.len());
+                assert_eq!(loaded.demand_len(), trace.demand_len());
+                assert_eq!(loaded.context(), trace.context());
+                assert_eq!(
+                    loaded.chunks().count(),
+                    trace.chunks().count(),
+                    "chunk layout must be reproduced"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn delta_varint_compresses_the_sample_stream() {
+        let trace = sample_trace(50_000);
+        let raw = write_to_vec_with(&trace, Codec::Raw);
+        let compressed = write_to_vec_with(&trace, Codec::DeltaVarint);
+        assert!(
+            compressed.len() * 2 < raw.len(),
+            "delta+varint must at least halve the raw size: {} vs {}",
+            compressed.len(),
+            raw.len()
+        );
     }
 
     #[test]
     fn loaded_trace_replays_bit_identically() {
         let trace = sample_trace(4000);
-        let bytes = write_to_vec(&trace);
-        let loaded = LlcTrace::read_from(&mut bytes.as_slice()).expect("roundtrip");
-        let config = CacheConfig::new(64 * 128, 8, 64);
-        let original = trace.replay(config, Lru::new(config.sets(), config.ways));
-        let reloaded = loaded.replay(config, Lru::new(config.sets(), config.ways));
-        assert_eq!(original, reloaded);
+        for codec in Codec::ALL {
+            let bytes = write_to_vec_with(&trace, codec);
+            let loaded = LlcTrace::read_from(&mut bytes.as_slice()).expect("roundtrip");
+            let config = CacheConfig::new(64 * 128, 8, 64);
+            let original = trace.replay(config, Lru::new(config.sets(), config.ways));
+            let reloaded = loaded.replay(config, Lru::new(config.sets(), config.ways));
+            assert_eq!(original, reloaded, "{codec}");
+        }
     }
 
     #[test]
     fn save_and_load_via_files() {
         let trace = sample_trace(300);
-        let path = std::env::temp_dir().join(format!(
-            "grasp-persist-test-{}-{:?}.trace",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let written = trace.save(&path).expect("save");
-        assert_eq!(written, std::fs::metadata(&path).expect("metadata").len());
-        let loaded = LlcTrace::load(&path).expect("load");
-        std::fs::remove_file(&path).ok();
+        for codec in Codec::ALL {
+            let path = std::env::temp_dir().join(format!(
+                "grasp-persist-test-{}-{:?}-{}.trace",
+                std::process::id(),
+                std::thread::current().id(),
+                codec
+            ));
+            let written = trace.save_with(&path, codec).expect("save");
+            assert_eq!(written, std::fs::metadata(&path).expect("metadata").len());
+            let loaded = LlcTrace::load(&path).expect("load");
+            std::fs::remove_file(&path).ok();
+            assert_eq!(loaded, trace, "{codec}");
+        }
+    }
+
+    #[test]
+    fn raw_codec_still_writes_the_v1_format() {
+        // Compatibility promise: Codec::Raw emits the PR 4 byte layout —
+        // version 1, reserved/codec word 0, 12 B/record pages — so pre-codec
+        // stores and caches keep loading (and old builds can read new raw
+        // files).
+        let trace = sample_trace(200);
+        let bytes = write_to_vec_with(&trace, Codec::Raw);
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            TRACE_FORMAT_V1
+        );
+        assert_eq!(u32::from_le_bytes(bytes[36..40].try_into().unwrap()), 0);
+        let context_len = u32::from_le_bytes(bytes[32..36].try_into().unwrap()) as usize;
+        assert_eq!(
+            bytes.len(),
+            HEADER_LEN + context_len + trace.len() * 12,
+            "raw bodies are exactly 12 B/record"
+        );
+        let (loaded, codec) =
+            LlcTrace::read_from_with_codec(&mut bytes.as_slice()).expect("v1 loads");
+        assert_eq!(codec, Codec::Raw);
         assert_eq!(loaded, trace);
+    }
+
+    #[test]
+    fn codec_labels_round_trip() {
+        for codec in Codec::ALL {
+            assert_eq!(Codec::from_label(codec.label()), Some(codec));
+            assert_eq!(Codec::from_code(codec.code()), Some(codec));
+        }
+        assert_eq!(Codec::from_label("DV"), Some(Codec::DeltaVarint));
+        assert_eq!(Codec::from_label(" raw "), Some(Codec::Raw));
+        assert_eq!(Codec::from_label("zstd"), None);
+        assert_eq!(Codec::from_code(7), None);
+        assert_eq!(Codec::Raw.format_version(), 1);
+        assert_eq!(Codec::DeltaVarint.format_version(), 2);
+    }
+
+    #[test]
+    fn varint_and_zigzag_round_trip() {
+        let mut buf = Vec::new();
+        for value in [0u64, 1, 63, 64, 127, 128, 300, 1 << 20, u64::MAX] {
+            buf.clear();
+            put_varint(&mut buf, value);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos, "test").expect("decodes"), value);
+            assert_eq!(pos, buf.len());
+            assert_eq!(unzigzag(zigzag(value)), value);
+        }
+        // Small deltas in either direction stay small after zigzag.
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(1u64.wrapping_neg()), 1);
+        assert!(zigzag(64) < 256, "a one-block stride fits two bytes");
+    }
+
+    #[test]
+    fn malformed_varints_are_typed_errors() {
+        // Unterminated (all-continuation) stream.
+        let mut pos = 0;
+        assert!(matches!(
+            get_varint(&[0x80, 0x80], &mut pos, "test"),
+            Err(PersistError::Corrupt(_))
+        ));
+        // 11-byte varint: more than 64 bits of payload.
+        let mut pos = 0;
+        let overlong = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        assert!(matches!(
+            get_varint(&overlong, &mut pos, "test"),
+            Err(PersistError::Corrupt(_))
+        ));
+        // u64::MAX itself must decode (10 bytes, final byte 0x01).
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos, "test").unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn index_width_matches_dictionary_sizes() {
+        assert_eq!(index_width(1), 0);
+        assert_eq!(index_width(2), 1);
+        assert_eq!(index_width(3), 2);
+        assert_eq!(index_width(4), 2);
+        assert_eq!(index_width(5), 3);
+        assert_eq!(index_width(16), 4);
+        assert_eq!(index_width(17), 5);
     }
 
     #[test]
@@ -655,6 +1181,22 @@ mod tests {
             }
             other => panic!("expected UnsupportedVersion, got {other:?}"),
         }
+        // Version 0 is equally foreign.
+        bytes[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            LlcTrace::read_from(&mut bytes.as_slice()),
+            Err(PersistError::UnsupportedVersion(0))
+        ));
+    }
+
+    #[test]
+    fn unknown_codec_in_a_v2_file_is_rejected() {
+        let mut bytes = write_to_vec_with(&sample_trace(10), Codec::DeltaVarint);
+        bytes[CODEC_OFFSET..CODEC_OFFSET + 4].copy_from_slice(&99u32.to_le_bytes());
+        match LlcTrace::read_from(&mut bytes.as_slice()) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("codec"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]
@@ -672,28 +1214,32 @@ mod tests {
 
     #[test]
     fn truncation_is_a_typed_error_at_every_boundary() {
-        let bytes = write_to_vec(&sample_trace(200));
-        // Header, context and payload truncations all surface as Truncated.
-        for cut in [0, 10, HEADER_LEN - 1, HEADER_LEN + 4, bytes.len() - 1] {
-            match LlcTrace::read_from(&mut &bytes[..cut]) {
-                Err(PersistError::Truncated { .. }) => {}
-                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        for codec in Codec::ALL {
+            let bytes = write_to_vec_with(&sample_trace(200), codec);
+            // Header, context and payload truncations all surface as Truncated.
+            for cut in [0, 10, HEADER_LEN - 1, HEADER_LEN + 4, bytes.len() - 1] {
+                match LlcTrace::read_from(&mut &bytes[..cut]) {
+                    Err(PersistError::Truncated { .. }) => {}
+                    other => {
+                        panic!("{codec}: cut at {cut}: expected Truncated, got {other:?}")
+                    }
+                }
             }
         }
     }
 
     #[test]
-    fn payload_bit_flip_is_a_checksum_mismatch() {
-        let trace = sample_trace(500);
-        let bytes = write_to_vec(&trace);
-        let mut flipped = bytes.clone();
-        let last = flipped.len() - 1;
-        flipped[last] ^= 0x01;
-        match LlcTrace::read_from(&mut flipped.as_slice()) {
-            Err(PersistError::ChecksumMismatch { stored, computed }) => {
-                assert_ne!(stored, computed);
-            }
-            other => panic!("expected ChecksumMismatch, got {other:?}"),
+    fn payload_bit_flip_is_a_typed_error() {
+        for codec in Codec::ALL {
+            let trace = sample_trace(500);
+            let bytes = write_to_vec_with(&trace, codec);
+            let mut flipped = bytes.clone();
+            let last = flipped.len() - 1;
+            flipped[last] ^= 0x01;
+            assert!(
+                LlcTrace::read_from(&mut flipped.as_slice()).is_err(),
+                "{codec}: a flipped payload byte must never load"
+            );
         }
     }
 
@@ -702,14 +1248,16 @@ mod tests {
         // Shrinking the record count re-frames the payload; the checksum
         // (which covers the header) must catch it even though the framing
         // itself stays structurally valid.
-        let bytes = write_to_vec(&sample_trace(CHUNK_RECORDS + 100));
-        let mut tampered = bytes.clone();
-        tampered[16..24].copy_from_slice(&(100u64).to_le_bytes());
-        tampered[24..32].copy_from_slice(&(50u64).to_le_bytes());
-        assert!(
-            LlcTrace::read_from(&mut tampered.as_slice()).is_err(),
-            "tampered counts must never load"
-        );
+        for codec in Codec::ALL {
+            let bytes = write_to_vec_with(&sample_trace(CHUNK_RECORDS + 100), codec);
+            let mut tampered = bytes.clone();
+            tampered[16..24].copy_from_slice(&(100u64).to_le_bytes());
+            tampered[24..32].copy_from_slice(&(50u64).to_le_bytes());
+            assert!(
+                LlcTrace::read_from(&mut tampered.as_slice()).is_err(),
+                "{codec}: tampered counts must never load"
+            );
+        }
     }
 
     #[test]
@@ -717,18 +1265,36 @@ mod tests {
         // `record_count` is unvalidated until the checksum passes, so the
         // reader must never size an allocation from it: a corrupted count in
         // the exabyte range has to surface as a typed error.
-        let mut bytes = write_to_vec(&sample_trace(100));
-        bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
-        bytes[24..32].copy_from_slice(&0u64.to_le_bytes());
-        match LlcTrace::read_from(&mut bytes.as_slice()) {
-            Err(PersistError::Truncated { .. }) => {}
-            other => panic!("expected Truncated, got {other:?}"),
+        for codec in Codec::ALL {
+            let mut bytes = write_to_vec_with(&sample_trace(100), codec);
+            bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+            bytes[24..32].copy_from_slice(&0u64.to_le_bytes());
+            match LlcTrace::read_from(&mut bytes.as_slice()) {
+                Err(PersistError::Truncated { .. }) | Err(PersistError::Corrupt(_)) => {}
+                other => panic!("{codec}: expected a typed error, got {other:?}"),
+            }
         }
     }
 
     #[test]
-    fn reserved_field_must_be_zero() {
-        let mut bytes = write_to_vec(&sample_trace(10));
+    fn absurd_frame_length_is_corrupt_not_an_allocator_abort() {
+        // The v2 frame length is also corruption-controlled: a frame
+        // claiming more bytes than any valid encoding of its records must
+        // die in the plausibility check, before any allocation.
+        let trace = sample_trace(50);
+        let mut bytes = write_to_vec_with(&trace, Codec::DeltaVarint);
+        let context_len = u32::from_le_bytes(bytes[32..36].try_into().unwrap()) as usize;
+        let frame_at = HEADER_LEN + context_len;
+        bytes[frame_at..frame_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        match LlcTrace::read_from(&mut bytes.as_slice()) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("frame"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reserved_field_must_be_zero_in_v1() {
+        let mut bytes = write_to_vec_with(&sample_trace(10), Codec::Raw);
         bytes[36] = 1;
         assert!(matches!(
             LlcTrace::read_from(&mut bytes.as_slice()),
@@ -738,27 +1304,35 @@ mod tests {
 
     #[test]
     fn trace_block_is_embeddable_in_a_larger_stream() {
-        let trace = sample_trace(150);
-        let mut bytes = write_to_vec(&trace);
-        let trailer = b"store metadata lives here";
-        bytes.extend_from_slice(trailer);
-        let mut reader = bytes.as_slice();
-        let loaded = LlcTrace::read_from(&mut reader).expect("embedded read");
-        assert_eq!(loaded, trace);
-        assert_eq!(reader, trailer, "reader must stop exactly after the trace");
+        for codec in Codec::ALL {
+            let trace = sample_trace(150);
+            let mut bytes = write_to_vec_with(&trace, codec);
+            let trailer = b"store metadata lives here";
+            bytes.extend_from_slice(trailer);
+            let mut reader = bytes.as_slice();
+            let loaded = LlcTrace::read_from(&mut reader).expect("embedded read");
+            assert_eq!(loaded, trace);
+            assert_eq!(
+                reader, trailer,
+                "{codec}: reader must stop exactly after the trace"
+            );
+        }
     }
 
     #[test]
     fn empty_trace_roundtrips() {
-        let trace = LlcTrace::new();
-        let bytes = write_to_vec(&trace);
-        assert_eq!(
-            bytes.len(),
-            HEADER_LEN + encode_context(trace.context()).len()
-        );
-        let loaded = LlcTrace::read_from(&mut bytes.as_slice()).expect("roundtrip");
-        assert_eq!(loaded, trace);
-        assert!(loaded.is_empty());
+        for codec in Codec::ALL {
+            let trace = LlcTrace::new();
+            let bytes = write_to_vec_with(&trace, codec);
+            assert_eq!(
+                bytes.len(),
+                HEADER_LEN + encode_context(trace.context()).len(),
+                "{codec}: an empty trace has no chunk frames at all"
+            );
+            let loaded = LlcTrace::read_from(&mut bytes.as_slice()).expect("roundtrip");
+            assert_eq!(loaded, trace);
+            assert!(loaded.is_empty());
+        }
     }
 
     #[test]
@@ -786,10 +1360,12 @@ mod tests {
         // Corrupt the in-memory counter, then persist: the file is
         // checksum-consistent but internally wrong.
         trace.demand_len += 1;
-        let bytes = write_to_vec(&trace);
-        match LlcTrace::read_from(&mut bytes.as_slice()) {
-            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("demand")),
-            other => panic!("expected Corrupt, got {other:?}"),
+        for codec in Codec::ALL {
+            let bytes = write_to_vec_with(&trace, codec);
+            match LlcTrace::read_from(&mut bytes.as_slice()) {
+                Err(PersistError::Corrupt(msg)) => assert!(msg.contains("demand")),
+                other => panic!("{codec}: expected Corrupt, got {other:?}"),
+            }
         }
     }
 
@@ -808,7 +1384,8 @@ mod tests {
         // These are on-disk compatibility promises; changing them must be a
         // deliberate format bump, not a refactor side-effect.
         assert_eq!(TRACE_MAGIC, *b"GRSPTRC\0");
-        assert_eq!(TRACE_FORMAT_VERSION, 1);
+        assert_eq!(TRACE_FORMAT_VERSION, 2);
+        assert_eq!(TRACE_FORMAT_V1, 1);
         assert_eq!(HEADER_LEN, 48);
     }
 
@@ -818,8 +1395,10 @@ mod tests {
         let info = AccessInfo::read(0x1240).with_site(3);
         let mut trace = LlcTrace::new();
         trace.push(&info);
-        let bytes = write_to_vec(&trace);
-        let loaded = LlcTrace::read_from(&mut bytes.as_slice()).expect("roundtrip");
-        assert_eq!(loaded.get(0), trace.get(0));
+        for codec in Codec::ALL {
+            let bytes = write_to_vec_with(&trace, codec);
+            let loaded = LlcTrace::read_from(&mut bytes.as_slice()).expect("roundtrip");
+            assert_eq!(loaded.get(0), trace.get(0), "{codec}");
+        }
     }
 }

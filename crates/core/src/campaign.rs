@@ -46,9 +46,10 @@
 use crate::datasets::{DatasetKind, Scale};
 use crate::experiment::{Experiment, RecordedRun, RunResult};
 use crate::policy::PolicyKind;
-use crate::trace_store::{TraceStore, TraceStoreKey};
+use crate::trace_store::{codec_from_env, TraceStore, TraceStoreKey};
 use grasp_analytics::apps::AppKind;
 use grasp_cachesim::config::HierarchyConfig;
+use grasp_cachesim::Codec;
 use grasp_graph::types::Direction;
 use grasp_graph::Csr;
 use grasp_reorder::TechniqueKind;
@@ -126,6 +127,7 @@ pub struct Campaign {
     mode: ExecutionMode,
     threads: usize,
     store: Option<Arc<TraceStore>>,
+    codec: Option<Codec>,
 }
 
 impl Campaign {
@@ -146,6 +148,7 @@ impl Campaign {
             mode: ExecutionMode::default(),
             threads: 0, // auto: resolved to available_parallelism at run time
             store: None,
+            codec: None, // resolved from GRASP_TRACE_CODEC (default delta-varint)
         }
     }
 
@@ -220,6 +223,22 @@ impl Campaign {
         self.store.as_ref()
     }
 
+    /// Selects the [`Codec`] newly recorded streams are **published** with
+    /// (default: the `GRASP_TRACE_CODEC` environment variable, falling back
+    /// to [`Codec::DeltaVarint`]). Loads are codec-agnostic — an entry in
+    /// any codec serves a hit — so changing this never invalidates a store.
+    #[must_use]
+    pub fn trace_codec(mut self, codec: Codec) -> Self {
+        self.codec = Some(codec);
+        self
+    }
+
+    /// The publication codec a run actually uses (see
+    /// [`Campaign::trace_codec`]).
+    fn resolved_codec(&self) -> Codec {
+        self.codec.unwrap_or_else(codec_from_env)
+    }
+
     /// Selects the execution plan (default: [`ExecutionMode::Replay`]).
     #[must_use]
     pub fn execution(mut self, mode: ExecutionMode) -> Self {
@@ -291,14 +310,25 @@ impl Campaign {
     /// Runs the campaign under its execution plan and returns the results in
     /// grid order.
     pub fn run(&self) -> CampaignResult {
-        let budget = self.worker_budget(self.cells().len());
-        match self.mode {
-            ExecutionMode::Replay => self.run_replay(budget),
-            ExecutionMode::Direct => self.run_direct(budget),
+        // Pin the publication codec up front when a store is attached:
+        // store keys are built per stream job (possibly on worker threads),
+        // and the environment should be consulted — and a bad value warned
+        // about — exactly once per run, not once per stream.
+        let pinned;
+        let this = if self.codec.is_none() && self.store.is_some() {
+            pinned = self.clone().trace_codec(codec_from_env());
+            &pinned
+        } else {
+            self
+        };
+        let budget = this.worker_budget(this.cells().len());
+        match this.mode {
+            ExecutionMode::Replay => this.run_replay(budget),
+            ExecutionMode::Direct => this.run_direct(budget),
             // Streaming never materializes a trace, so trace-requesting
             // campaigns (the OPT study) buffer instead.
-            ExecutionMode::Streaming if self.record_trace => self.run_replay(budget),
-            ExecutionMode::Streaming => self.run_streaming(budget),
+            ExecutionMode::Streaming if this.record_trace => this.run_replay(budget),
+            ExecutionMode::Streaming => this.run_streaming(budget),
         }
     }
 
@@ -396,8 +426,9 @@ impl Campaign {
     }
 
     /// The trace-store key of one stream: its grid coordinate plus the
-    /// experiment's hierarchy/app-config fingerprint (and, via the entry
-    /// file name, the trace format version).
+    /// experiment's hierarchy/app-config fingerprint and the campaign's
+    /// publication codec (which also picks the entry file name's format
+    /// version).
     fn store_key(&self, job: &StreamJob) -> TraceStoreKey {
         TraceStoreKey::new(
             job.dataset,
@@ -407,6 +438,7 @@ impl Campaign {
             job.experiment.hierarchy(),
             job.experiment.app_config(),
         )
+        .with_codec(self.resolved_codec())
     }
 
     /// Produces one stream's [`RecordedRun`]: loaded from the trace store
@@ -698,6 +730,23 @@ mod tests {
                 run.cell
             );
         }
+    }
+
+    #[test]
+    fn explicit_trace_codec_overrides_the_environment_default() {
+        // The builder wins over GRASP_TRACE_CODEC; the resolved codec lands
+        // in every stream's store key (and thereby the entry file name).
+        let campaign = tiny_campaign().trace_codec(Codec::Raw);
+        assert_eq!(campaign.resolved_codec(), Codec::Raw);
+        let (_, streams) = campaign.stream_plan();
+        assert!(streams
+            .iter()
+            .all(|job| campaign.store_key(job).codec == Codec::Raw));
+        let dv = tiny_campaign().trace_codec(Codec::DeltaVarint);
+        let (_, streams) = dv.stream_plan();
+        assert!(streams
+            .iter()
+            .all(|job| dv.store_key(job).file_name().ends_with(".v2.trace")));
     }
 
     #[test]

@@ -6,9 +6,19 @@
 //! persisted recordings keyed by everything that determines the stream:
 //!
 //! ```text
-//! (dataset, scale, technique, app, hierarchy/app-config hash, format version)
+//! (dataset, scale, technique, app, hierarchy/app-config hash, codec)
 //!   └──► <dataset>-<scale>-<technique>-<app>-<confighash>.v<version>.trace
 //! ```
+//!
+//! The `<version>` suffix is the **codec's** format version
+//! ([`Codec::format_version`]): raw entries are `.v1.trace` (byte-identical
+//! to the pre-codec store, so old stores stay warm), delta+varint entries
+//! are `.v2.trace`. The codec changes only the entry's *encoding*, never the
+//! recorded stream, so lookups fall back across codecs: a campaign keyed for
+//! `DeltaVarint` that finds only a `.v1.trace` raw entry still hits (and a
+//! raw-keyed campaign reads `.v2.trace` entries just as happily) — the trace
+//! header names its own codec and [`LlcTrace::read_from`] dispatches on it.
+//! `cargo xtask trace recompress` migrates a store to one codec in place.
 //!
 //! Each entry carries the recording run's **metadata** (application output,
 //! instruction estimate) followed by the trace itself in the versioned
@@ -35,10 +45,12 @@ use crate::datasets::{DatasetKind, Scale};
 use grasp_analytics::apps::{AppConfig, AppKind, AppResult};
 use grasp_analytics::props::PropertyLayout;
 use grasp_cachesim::config::HierarchyConfig;
-use grasp_cachesim::trace::persist::{Fnv64, PersistError, TRACE_FORMAT_VERSION};
+pub use grasp_cachesim::trace::persist::Codec;
+
+use grasp_cachesim::trace::persist::{Fnv64, PersistError};
 use grasp_cachesim::LlcTrace;
 use grasp_reorder::TechniqueKind;
-use std::io::{Read, Write};
+use std::io::{Read, Seek, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -59,6 +71,29 @@ const MAX_META_LEN: u32 = 1 << 28;
 /// The environment variable naming the store directory campaigns and the
 /// bench harness pick up by default.
 pub const STORE_ENV_VAR: &str = "GRASP_TRACE_STORE";
+
+/// The environment variable selecting the [`Codec`] campaigns persist new
+/// recordings with (`raw` or `delta-varint`; default: `delta-varint`).
+/// Only *publications* are affected — loads read whatever codec an entry
+/// carries.
+pub const CODEC_ENV_VAR: &str = "GRASP_TRACE_CODEC";
+
+/// Resolves the publication codec from [`CODEC_ENV_VAR`]: unset or empty
+/// means the default ([`Codec::DeltaVarint`]); an unparsable value is
+/// reported and treated as unset (a typo must never break a campaign).
+pub fn codec_from_env() -> Codec {
+    match std::env::var(CODEC_ENV_VAR) {
+        Ok(raw) if !raw.is_empty() => Codec::from_label(&raw).unwrap_or_else(|| {
+            eprintln!(
+                "{CODEC_ENV_VAR}={raw}: unknown codec (expected one of: raw, delta-varint); \
+                 using {}",
+                Codec::default()
+            );
+            Codec::default()
+        }),
+        _ => Codec::default(),
+    }
+}
 
 /// Why a store entry could not be read or written.
 #[derive(Debug)]
@@ -192,8 +227,11 @@ fn slugify(label: &str) -> String {
 }
 
 /// The identity of one recorded stream: everything that determines its
-/// contents, plus the trace format version (folded into the file name so a
-/// format bump cold-starts the store instead of erroring on every entry).
+/// contents, plus the [`Codec`] new publications are encoded with. The
+/// codec's format version is folded into the file name, so a format bump
+/// cold-starts the store instead of erroring on every entry — but because
+/// the codec never changes the stream's *contents*, lookups fall back to the
+/// other codecs' file names before declaring a miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TraceStoreKey {
     /// Dataset the stream was recorded over.
@@ -206,10 +244,14 @@ pub struct TraceStoreKey {
     pub app: AppKind,
     /// Fingerprint of the hierarchy + application configuration.
     pub config_hash: u64,
+    /// Codec publications under this key are encoded with (default:
+    /// [`Codec::DeltaVarint`]).
+    pub codec: Codec,
 }
 
 impl TraceStoreKey {
-    /// Builds the key for one campaign stream coordinate.
+    /// Builds the key for one campaign stream coordinate (with the default
+    /// codec; see [`TraceStoreKey::with_codec`]).
     pub fn new(
         dataset: DatasetKind,
         scale: Scale,
@@ -227,11 +269,25 @@ impl TraceStoreKey {
             technique,
             app,
             config_hash: hasher.finish(),
+            codec: Codec::default(),
         }
     }
 
-    /// The entry file name this key resolves to.
+    /// Selects the codec publications under this key use.
+    #[must_use]
+    pub fn with_codec(mut self, codec: Codec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// The entry file name this key publishes to.
     pub fn file_name(&self) -> String {
+        self.file_name_for(self.codec)
+    }
+
+    /// The entry file name this key would resolve to under `codec` (lookup
+    /// fallbacks walk these).
+    fn file_name_for(&self, codec: Codec) -> String {
         format!(
             "{}-{}-{}-{}-{:016x}.v{}.trace",
             self.dataset.label(),
@@ -239,8 +295,16 @@ impl TraceStoreKey {
             slugify(self.technique.label()),
             slugify(self.app.label()),
             self.config_hash,
-            TRACE_FORMAT_VERSION,
+            codec.format_version(),
         )
+    }
+
+    /// Every file name a lookup may be served from: the key's own codec
+    /// first, then the remaining codecs in preference order.
+    fn lookup_file_names(&self) -> impl Iterator<Item = String> + '_ {
+        std::iter::once(self.codec)
+            .chain(Codec::ALL.into_iter().filter(|&c| c != self.codec))
+            .map(|codec| self.file_name_for(codec))
     }
 }
 
@@ -260,6 +324,9 @@ pub struct StoredRecording {
     pub app: AppResult,
     /// The recording run's instruction estimate (timing-model input).
     pub instructions: u64,
+    /// The codec the entry's trace block was encoded with (may differ from
+    /// the key's codec on a cross-codec fallback hit).
+    pub codec: Codec,
 }
 
 /// Microseconds since the Unix epoch, strictly monotonic within this process
@@ -326,6 +393,47 @@ pub struct StoreEntry {
     /// or hit); falls back to the file's modification time when the index
     /// has no record.
     pub last_used: u64,
+}
+
+/// One entry's self-description, read from its headers by
+/// [`TraceStore::peek`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryInfo {
+    /// Trace format version of the embedded trace block.
+    pub trace_version: u32,
+    /// Codec the trace block is encoded with.
+    pub codec: Codec,
+    /// Recorded events in the trace block.
+    pub records: u64,
+    /// The bytes this entry would occupy under [`Codec::Raw`] (12 B/record
+    /// plus headers) — the denominator of the store's compression ratio.
+    pub raw_bytes: u64,
+}
+
+/// The result of a [`TraceStore::recompress`] migration.
+#[derive(Debug, Clone, Default)]
+pub struct RecompressReport {
+    /// Entries examined.
+    pub examined: usize,
+    /// File names re-encoded (their pre-migration names).
+    pub converted: Vec<String>,
+    /// Entries already in the target codec, left untouched.
+    pub skipped: usize,
+    /// Entries that could not be migrated: `(file, error)`, left in place.
+    pub failed: Vec<(String, String)>,
+    /// Total entry bytes before the migration (excluding failures).
+    pub bytes_before: u64,
+    /// Total entry bytes after the migration (excluding failures).
+    pub bytes_after: u64,
+}
+
+/// Swaps the `.v<N>.trace` suffix of an entry file name for `target`'s
+/// format version (`None` when the name has no such suffix).
+fn retarget_file_name(file: &str, target: Codec) -> Option<String> {
+    let base = file.strip_suffix(".trace")?;
+    let (base, version) = base.rsplit_once(".v")?;
+    version.parse::<u32>().ok()?;
+    Some(format!("{base}.v{}.trace", target.format_version()))
 }
 
 /// The result of a [`TraceStore::gc`] sweep.
@@ -400,20 +508,16 @@ impl TraceStore {
         }
     }
 
-    fn entry_path(&self, key: &TraceStoreKey) -> PathBuf {
-        self.dir.join(key.file_name())
-    }
-
     /// Looks `key` up, counting the outcome. A present, valid entry is a
     /// **hit** (the caller skips its record phase); a missing entry is a
     /// **miss**; an unreadable entry is a **corrupt miss** — the caller
     /// records freshly and the subsequent [`TraceStore::publish`] atomically
     /// replaces the bad file.
     pub fn load(&self, key: &TraceStoreKey) -> Option<StoredRecording> {
-        match self.try_load(key) {
-            Ok(Some(stored)) => {
+        match self.lookup(key) {
+            Ok(Some((file, stored))) => {
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                self.touch(&key.file_name());
+                self.touch(&file);
                 Some(stored)
             }
             Ok(None) => {
@@ -435,21 +539,34 @@ impl TraceStore {
     /// Looks `key` up without touching the traffic counters. `Ok(None)`
     /// means no entry exists; decode failures are returned, never masked.
     pub fn try_load(&self, key: &TraceStoreKey) -> Result<Option<StoredRecording>, StoreError> {
-        let path = self.entry_path(key);
-        let file = match std::fs::File::open(&path) {
-            Ok(file) => file,
-            Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(err) => return Err(err.into()),
-        };
-        let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
-        let mut reader = std::io::BufReader::new(file);
-        let stored = read_entry(&mut reader, Some(key.app))?;
-        self.counters.bytes_read.fetch_add(bytes, Ordering::Relaxed);
-        Ok(Some(stored))
+        Ok(self.lookup(key)?.map(|(_, stored)| stored))
     }
 
-    /// Atomically publishes a recording under `key` (write to a temp file in
-    /// the store directory, then rename). Returns the entry size in bytes.
+    /// The lookup walk: the key's own codec file first, then the other
+    /// codecs' names (cross-codec reuse — the stream is identical, only the
+    /// encoding differs). The first file that *exists* decides the outcome;
+    /// a corrupt primary is an error (the caller re-records and overwrites),
+    /// never silently shadowed by a fallback.
+    fn lookup(&self, key: &TraceStoreKey) -> Result<Option<(String, StoredRecording)>, StoreError> {
+        for file in key.lookup_file_names() {
+            let path = self.dir.join(&file);
+            let handle = match std::fs::File::open(&path) {
+                Ok(handle) => handle,
+                Err(err) if err.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(err) => return Err(err.into()),
+            };
+            let bytes = handle.metadata().map(|m| m.len()).unwrap_or(0);
+            let mut reader = std::io::BufReader::new(handle);
+            let stored = read_entry(&mut reader, Some(key.app))?;
+            self.counters.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+            return Ok(Some((file, stored)));
+        }
+        Ok(None)
+    }
+
+    /// Atomically publishes a recording under `key`, encoded with the key's
+    /// [`Codec`] (write to a temp file in the store directory, then rename).
+    /// Returns the entry size in bytes.
     pub fn publish(
         &self,
         key: &TraceStoreKey,
@@ -457,21 +574,42 @@ impl TraceStore {
         app: &AppResult,
         instructions: u64,
     ) -> Result<u64, StoreError> {
-        let final_path = self.entry_path(key);
+        let written =
+            self.write_entry_file(&key.file_name(), key.codec, trace, app, instructions)?;
+        self.counters
+            .bytes_written
+            .fetch_add(written, Ordering::Relaxed);
+        self.record_in_index(&key.file_name(), written);
+        Ok(written)
+    }
+
+    /// Writes one entry file atomically (temp + rename) and returns its
+    /// size. Shared by [`TraceStore::publish`] and
+    /// [`TraceStore::recompress`]; counters and index are the callers'
+    /// business.
+    fn write_entry_file(
+        &self,
+        file: &str,
+        codec: Codec,
+        trace: &LlcTrace,
+        app: &AppResult,
+        instructions: u64,
+    ) -> Result<u64, StoreError> {
+        let final_path = self.dir.join(file);
         // Unique per process *and* per publication: two threads publishing
         // the same key concurrently (campaigns sharing one store) must never
         // interleave writes into one temp file.
         static PUBLICATION: AtomicU64 = AtomicU64::new(0);
         let tmp_path = self.dir.join(format!(
             ".{}.tmp.{}.{}",
-            key.file_name(),
+            file,
             std::process::id(),
             PUBLICATION.fetch_add(1, Ordering::Relaxed)
         ));
         let result = (|| -> Result<u64, StoreError> {
-            let file = std::fs::File::create(&tmp_path)?;
-            let mut writer = std::io::BufWriter::new(file);
-            let written = write_entry(&mut writer, trace, app, instructions)?;
+            let handle = std::fs::File::create(&tmp_path)?;
+            let mut writer = std::io::BufWriter::new(handle);
+            let written = write_entry(&mut writer, trace, app, instructions, codec)?;
             writer.flush()?;
             drop(writer);
             std::fs::rename(&tmp_path, &final_path)?;
@@ -480,12 +618,7 @@ impl TraceStore {
         if result.is_err() {
             std::fs::remove_file(&tmp_path).ok();
         }
-        let written = result?;
-        self.counters
-            .bytes_written
-            .fetch_add(written, Ordering::Relaxed);
-        self.record_in_index(&key.file_name(), written);
-        Ok(written)
+        result
     }
 
     /// Lists the store's entries (directory scan merged with the index's
@@ -508,10 +641,13 @@ impl TraceStore {
                 .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
                 .map(|d| d.as_micros() as u64)
                 .unwrap_or(0);
+            // Only the last-used stamp comes from the index; sizes are
+            // always statted so entries rewritten in place (recompress)
+            // are credited at their true size, never a stale byte stamp.
             let last_used = index
                 .iter()
-                .find(|(name, _)| *name == file)
-                .map(|&(_, used)| used)
+                .find(|(name, _, _)| *name == file)
+                .map(|&(_, used, _)| used)
                 .unwrap_or(fs_mtime);
             entries.push(StoreEntry {
                 file,
@@ -581,13 +717,141 @@ impl TraceStore {
         Ok(report)
     }
 
+    /// Reads one entry's self-description — codec, trace format version,
+    /// record count and the raw-equivalent size — from its headers alone
+    /// (~130 bytes of I/O, no checksum pass). Advisory: `verify` is the
+    /// integrity check.
+    pub fn peek(&self, file: &str) -> Result<EntryInfo, StoreError> {
+        let mut handle = std::fs::File::open(self.dir.join(file))?;
+        let mut entry_header = [0u8; 24];
+        handle
+            .read_exact(&mut entry_header)
+            .map_err(|err| truncated(err, "entry header"))?;
+        if entry_header[0..8] != STORE_MAGIC {
+            return Err(StoreError::Corrupt(format!(
+                "bad entry magic {:02x?}",
+                &entry_header[0..8]
+            )));
+        }
+        let meta_len = u32::from_le_bytes(entry_header[12..16].try_into().expect("4 bytes"));
+        if meta_len > MAX_META_LEN {
+            return Err(StoreError::Corrupt(format!(
+                "metadata block of {meta_len} bytes is implausibly large"
+            )));
+        }
+        handle.seek(std::io::SeekFrom::Current(i64::from(meta_len)))?;
+        let mut trace_header = [0u8; 48];
+        handle
+            .read_exact(&mut trace_header)
+            .map_err(|err| truncated(err, "trace header"))?;
+        if trace_header[0..8] != grasp_cachesim::TRACE_MAGIC {
+            return Err(StoreError::Corrupt(
+                "entry does not embed a trace block".to_owned(),
+            ));
+        }
+        let trace_version = u32::from_le_bytes(trace_header[8..12].try_into().expect("4 bytes"));
+        let records = u64::from_le_bytes(trace_header[16..24].try_into().expect("8 bytes"));
+        let context_len = u32::from_le_bytes(trace_header[32..36].try_into().expect("4 bytes"));
+        let codec_field = u32::from_le_bytes(trace_header[36..40].try_into().expect("4 bytes"));
+        // Mirror the loader's dispatch: v1 predates the codec field (its
+        // reserved word must be 0 = raw); later versions name their codec.
+        if trace_version == 1 && codec_field != 0 {
+            return Err(StoreError::Corrupt(format!(
+                "reserved trace header field is {codec_field}, expected 0"
+            )));
+        }
+        let codec = Codec::from_code(codec_field)
+            .ok_or_else(|| StoreError::Corrupt(format!("unknown codec {codec_field}")))?;
+        // What the same entry would occupy under Codec::Raw (12 B/record) —
+        // the denominator of the store's compression ratio.
+        let raw_bytes =
+            24 + u64::from(meta_len) + 48 + u64::from(context_len) + records.saturating_mul(12);
+        Ok(EntryInfo {
+            trace_version,
+            codec,
+            records,
+            raw_bytes,
+        })
+    }
+
+    /// Re-encodes every entry to `target` in place: each foreign-codec entry
+    /// is fully decoded (checksums verified), re-written atomically
+    /// (temp + rename) under the target codec's file name, and the old file
+    /// removed once the new one is in place. Entries already in the target
+    /// codec are left untouched; undecodable entries are reported and kept
+    /// (gc or a fresh recording deals with them). The migration path for a
+    /// codec rollout: `cargo xtask trace recompress`.
+    pub fn recompress(&self, target: Codec) -> std::io::Result<RecompressReport> {
+        let mut report = RecompressReport::default();
+        for entry in self.entries()? {
+            report.examined += 1;
+            let outcome = (|| -> Result<Option<u64>, StoreError> {
+                if self.peek(&entry.file)?.codec == target {
+                    return Ok(None); // already in the target encoding
+                }
+                let handle = std::fs::File::open(self.dir.join(&entry.file))?;
+                let mut reader = std::io::BufReader::new(handle);
+                let stored = read_entry(&mut reader, None)?;
+                let new_file = retarget_file_name(&entry.file, target).ok_or_else(|| {
+                    StoreError::Corrupt(format!(
+                        "entry name {:?} has no .v<N>.trace suffix",
+                        entry.file
+                    ))
+                })?;
+                if new_file != entry.file && self.dir.join(&new_file).exists() {
+                    // Both codecs' files exist for this key (two campaigns
+                    // published under different codecs). The key names one
+                    // recorded stream, so the source file is redundant —
+                    // deduplicate it instead of clobbering the existing
+                    // target entry (which would also double its index row).
+                    std::fs::remove_file(self.dir.join(&entry.file))?;
+                    self.remove_from_index(&entry.file);
+                    return Ok(Some(0));
+                }
+                let written = self.write_entry_file(
+                    &new_file,
+                    target,
+                    &stored.trace,
+                    &stored.app,
+                    stored.instructions,
+                )?;
+                if new_file != entry.file {
+                    std::fs::remove_file(self.dir.join(&entry.file))?;
+                    self.rename_in_index(&entry.file, &new_file);
+                }
+                Ok(Some(written))
+            })();
+            match outcome {
+                Ok(Some(written)) => {
+                    report.converted.push(entry.file);
+                    report.bytes_before += entry.bytes;
+                    report.bytes_after += written;
+                }
+                Ok(None) => {
+                    report.skipped += 1;
+                    report.bytes_before += entry.bytes;
+                    report.bytes_after += entry.bytes;
+                }
+                Err(err) => report.failed.push((entry.file, err.to_string())),
+            }
+        }
+        Ok(report)
+    }
+
     // ---- index maintenance (advisory; best-effort) ----
 
     fn index_path(&self) -> PathBuf {
         self.dir.join(INDEX_FILE)
     }
 
-    fn read_index(&self) -> Vec<(String, u64)> {
+    /// Index rows are `file \t last_used \t bytes`. The byte stamp is purely
+    /// advisory — a human-readable size at last publication. **All
+    /// accounting (`entries`, `gc`, `ls`) stats the files instead**: an
+    /// in-place `recompress` (or any out-of-band rewrite) changes sizes
+    /// without rewriting the index, and crediting stale stamps would make gc
+    /// evict against phantom bytes. Rows written by the two-column pre-codec
+    /// format parse with an unknown (zero) byte stamp.
+    fn read_index(&self) -> Vec<(String, u64, u64)> {
         let Ok(text) = std::fs::read_to_string(self.index_path()) else {
             return Vec::new();
         };
@@ -596,17 +860,20 @@ impl TraceStore {
                 let mut fields = line.split('\t');
                 let file = fields.next()?.to_owned();
                 let last_used = fields.next()?.parse().ok()?;
-                Some((file, last_used))
+                let bytes = fields.next().and_then(|f| f.parse().ok()).unwrap_or(0);
+                Some((file, last_used, bytes))
             })
             .collect()
     }
 
-    fn write_index(&self, entries: &[(String, u64)]) {
+    fn write_index(&self, entries: &[(String, u64, u64)]) {
         let mut text = String::new();
-        for (file, last_used) in entries {
+        for (file, last_used, bytes) in entries {
             text.push_str(file);
             text.push('\t');
             text.push_str(&last_used.to_string());
+            text.push('\t');
+            text.push_str(&bytes.to_string());
             text.push('\n');
         }
         let tmp = self
@@ -617,30 +884,58 @@ impl TraceStore {
         }
     }
 
-    fn update_index_entry(&self, file: &str) {
+    fn update_index_entry(&self, file: &str, bytes: Option<u64>) {
         let _guard = self.index_lock.lock().expect("index lock");
         let mut index = self.read_index();
         let now = now_unix_micros();
-        match index.iter_mut().find(|(name, _)| name == file) {
-            Some(entry) => entry.1 = now,
-            None => index.push((file.to_owned(), now)),
+        match index.iter_mut().find(|(name, _, _)| name == file) {
+            Some(entry) => {
+                entry.1 = now;
+                if let Some(bytes) = bytes {
+                    entry.2 = bytes;
+                }
+            }
+            None => index.push((file.to_owned(), now, bytes.unwrap_or(0))),
         }
         self.write_index(&index);
     }
 
     fn touch(&self, file: &str) {
-        self.update_index_entry(file);
+        self.update_index_entry(file, None);
     }
 
-    fn record_in_index(&self, file: &str, _bytes: u64) {
-        self.update_index_entry(file);
+    fn record_in_index(&self, file: &str, bytes: u64) {
+        self.update_index_entry(file, Some(bytes));
+    }
+
+    /// Replaces `old` with `new` (recompress migration) under the lock,
+    /// carrying the last-used stamp over so the migration does not promote
+    /// the entry in LRU order. A stale row already holding the new name is
+    /// dropped first — one file, one row.
+    fn rename_in_index(&self, old: &str, new: &str) {
+        let _guard = self.index_lock.lock().expect("index lock");
+        let mut index = self.read_index();
+        index.retain(|(name, _, _)| name != new);
+        if let Some(entry) = index.iter_mut().find(|(name, _, _)| name == old) {
+            entry.0 = new.to_owned();
+            entry.2 = 0; // restated on the next publication; stat is truth
+        }
+        self.write_index(&index);
+    }
+
+    /// Drops `file`'s row (recompress deduplication) under the lock.
+    fn remove_from_index(&self, file: &str) {
+        let _guard = self.index_lock.lock().expect("index lock");
+        let mut index = self.read_index();
+        index.retain(|(name, _, _)| name != file);
+        self.write_index(&index);
     }
 
     fn rewrite_index(&self, entries: &[StoreEntry]) {
         let _guard = self.index_lock.lock().expect("index lock");
-        let index: Vec<(String, u64)> = entries
+        let index: Vec<(String, u64, u64)> = entries
             .iter()
-            .map(|e| (e.file.clone(), e.last_used))
+            .map(|e| (e.file.clone(), e.last_used, e.bytes))
             .collect();
         self.write_index(&index);
     }
@@ -679,6 +974,7 @@ fn write_entry(
     trace: &LlcTrace,
     app: &AppResult,
     instructions: u64,
+    codec: Codec,
 ) -> Result<u64, StoreError> {
     let meta = encode_meta(app, instructions);
     let mut header = Vec::with_capacity(24);
@@ -688,7 +984,7 @@ fn write_entry(
     put_u64(&mut header, meta_checksum(&meta));
     writer.write_all(&header).map_err(StoreError::Io)?;
     writer.write_all(&meta).map_err(StoreError::Io)?;
-    let trace_bytes = trace.write_to(writer)?;
+    let trace_bytes = trace.write_to_with(writer, codec)?;
     Ok(header.len() as u64 + meta.len() as u64 + trace_bytes)
 }
 
@@ -805,7 +1101,7 @@ fn read_entry(
         ));
     }
 
-    let trace = LlcTrace::read_from(reader)?;
+    let (trace, codec) = LlcTrace::read_from_with_codec(reader)?;
     Ok(StoredRecording {
         trace,
         app: AppResult {
@@ -815,6 +1111,7 @@ fn read_entry(
             edges_processed,
         },
         instructions,
+        codec,
     })
 }
 
@@ -898,16 +1195,216 @@ mod tests {
         let b = sample_key(7);
         assert_ne!(a.config_hash, b.config_hash);
         assert_ne!(a.file_name(), b.file_name());
-        // Every axis of the key lands in the file name.
+        // Every axis of the key lands in the file name, and the version
+        // suffix tracks the key's codec.
         let name = a.file_name();
         assert!(name.contains("tw-"), "{name}");
         assert!(name.contains("-tiny-"), "{name}");
         assert!(name.contains("-dbg-"), "{name}");
         assert!(name.contains("-pr-"), "{name}");
-        assert!(
-            name.ends_with(&format!(".v{TRACE_FORMAT_VERSION}.trace")),
-            "{name}"
+        assert!(name.ends_with(".v2.trace"), "{name}");
+        let raw = a.with_codec(Codec::Raw).file_name();
+        assert!(raw.ends_with(".v1.trace"), "{raw}");
+        assert_eq!(
+            raw.strip_suffix(".v1.trace"),
+            name.strip_suffix(".v2.trace")
         );
+    }
+
+    #[test]
+    fn retargeting_file_names_swaps_only_the_version_suffix() {
+        assert_eq!(
+            retarget_file_name("tw-tiny-dbg-pr-00ff.v1.trace", Codec::DeltaVarint).as_deref(),
+            Some("tw-tiny-dbg-pr-00ff.v2.trace")
+        );
+        assert_eq!(
+            retarget_file_name("tw-tiny-dbg-pr-00ff.v2.trace", Codec::Raw).as_deref(),
+            Some("tw-tiny-dbg-pr-00ff.v1.trace")
+        );
+        // Dots in the base never confuse the suffix parse.
+        assert_eq!(
+            retarget_file_name("a.b.v9.trace", Codec::DeltaVarint).as_deref(),
+            Some("a.b.v2.trace")
+        );
+        assert_eq!(retarget_file_name("no-suffix.trace", Codec::Raw), None);
+        assert_eq!(retarget_file_name("plain", Codec::Raw), None);
+    }
+
+    #[test]
+    fn cross_codec_lookup_falls_back_to_the_other_codecs_entry() {
+        // An entry published raw (a pre-rollout store) must serve a
+        // delta-varint-keyed lookup, and vice versa: the codec changes the
+        // encoding, never the stream.
+        let store = temp_store("cross-codec");
+        let (trace, app) = sample_recording(400);
+        let raw_key = sample_key(0).with_codec(Codec::Raw);
+        store.publish(&raw_key, &trace, &app, 7).expect("publish");
+
+        let dv_key = sample_key(0).with_codec(Codec::DeltaVarint);
+        let stored = store.load(&dv_key).expect("fallback hit");
+        assert_eq!(stored.trace, trace);
+        assert_eq!(stored.codec, Codec::Raw, "served from the raw entry");
+        assert_eq!(store.stats().hits, 1);
+        assert_eq!(store.stats().misses, 0);
+
+        // And the reverse direction, from a fresh handle.
+        let store2 = TraceStore::open(store.dir()).expect("reopen");
+        let (trace2, app2) = sample_recording(300);
+        let dv_key2 = sample_key(3).with_codec(Codec::DeltaVarint);
+        store2
+            .publish(&dv_key2, &trace2, &app2, 9)
+            .expect("publish");
+        let stored = store2
+            .load(&sample_key(3).with_codec(Codec::Raw))
+            .expect("raw lookup served from the dv entry");
+        assert_eq!(stored.trace, trace2);
+        assert_eq!(stored.codec, Codec::DeltaVarint);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn peek_reports_codec_records_and_raw_equivalent() {
+        let store = temp_store("peek");
+        let (trace, app) = sample_recording(500);
+        let dv_key = sample_key(0); // default codec: delta-varint
+        let dv_bytes = store.publish(&dv_key, &trace, &app, 1).expect("publish");
+        let raw_key = sample_key(1).with_codec(Codec::Raw);
+        let raw_bytes = store.publish(&raw_key, &trace, &app, 1).expect("publish");
+
+        let dv_info = store.peek(&dv_key.file_name()).expect("peek dv");
+        assert_eq!(dv_info.codec, Codec::DeltaVarint);
+        assert_eq!(dv_info.trace_version, 2);
+        assert_eq!(dv_info.records, trace.len() as u64);
+        let raw_info = store.peek(&raw_key.file_name()).expect("peek raw");
+        assert_eq!(raw_info.codec, Codec::Raw);
+        assert_eq!(raw_info.trace_version, 1);
+        // The raw-equivalent size is exact: it equals the raw entry's true
+        // size (same trace, same metadata), for both codecs' entries.
+        assert_eq!(raw_info.raw_bytes, raw_bytes);
+        assert_eq!(dv_info.raw_bytes, raw_bytes);
+        assert!(
+            dv_bytes < raw_bytes,
+            "delta-varint must beat raw on the sample stream"
+        );
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn recompress_migrates_entries_in_place() {
+        let store = temp_store("recompress");
+        let (trace, app) = sample_recording(2000);
+        let raw_key = sample_key(0).with_codec(Codec::Raw);
+        let raw_size = store.publish(&raw_key, &trace, &app, 42).expect("publish");
+        let dv_key = sample_key(1).with_codec(Codec::DeltaVarint);
+        store.publish(&dv_key, &trace, &app, 43).expect("publish");
+
+        let report = store.recompress(Codec::DeltaVarint).expect("recompress");
+        assert_eq!(report.examined, 2);
+        assert_eq!(report.converted, vec![raw_key.file_name()]);
+        assert_eq!(report.skipped, 1, "the dv entry is already migrated");
+        assert!(report.failed.is_empty());
+        assert!(
+            report.bytes_after < report.bytes_before,
+            "migration must shrink the store ({} -> {})",
+            report.bytes_before,
+            report.bytes_after
+        );
+
+        // The raw file is gone, its v2 replacement loads bit-identically —
+        // through the *raw*-codec key, via the cross-codec fallback.
+        assert!(!store.dir().join(raw_key.file_name()).exists());
+        let migrated = store.load(&raw_key).expect("migrated entry hits");
+        assert_eq!(migrated.trace, trace);
+        assert_eq!(migrated.instructions, 42);
+        assert_eq!(migrated.codec, Codec::DeltaVarint);
+        let new_size = store
+            .entries()
+            .expect("entries")
+            .iter()
+            .find(|e| e.file == raw_key.with_codec(Codec::DeltaVarint).file_name())
+            .expect("migrated entry listed")
+            .bytes;
+        assert!(new_size < raw_size);
+        // Everything still checksum-verifies.
+        assert!(store
+            .verify()
+            .expect("verify")
+            .iter()
+            .all(|(_, outcome)| outcome.is_ok()));
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn recompress_deduplicates_when_both_codec_files_exist() {
+        // Two campaigns published the same key under different codecs: two
+        // files, one recorded stream. Migration must keep the existing
+        // target entry (never clobber it) and drop the redundant source,
+        // leaving one file and one index row.
+        let store = temp_store("dedup");
+        let (trace, app) = sample_recording(800);
+        let key = sample_key(0);
+        store
+            .publish(&key.with_codec(Codec::Raw), &trace, &app, 1)
+            .expect("publish raw");
+        let dv_size = store
+            .publish(&key.with_codec(Codec::DeltaVarint), &trace, &app, 1)
+            .expect("publish dv");
+        assert_eq!(store.entries().expect("entries").len(), 2);
+
+        let report = store.recompress(Codec::DeltaVarint).expect("recompress");
+        assert_eq!(report.examined, 2);
+        assert_eq!(report.converted.len(), 1, "the raw file is deduplicated");
+        assert_eq!(report.skipped, 1);
+        assert!(report.failed.is_empty());
+        let entries = store.entries().expect("entries");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            entries[0].file,
+            key.with_codec(Codec::DeltaVarint).file_name()
+        );
+        assert_eq!(entries[0].bytes, dv_size, "the survivor is untouched");
+        let index = store.read_index();
+        assert_eq!(
+            index
+                .iter()
+                .filter(|(name, _, _)| *name == entries[0].file)
+                .count(),
+            1,
+            "exactly one index row for the surviving entry"
+        );
+        assert!(store.load(&key).is_some());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn gc_and_entries_credit_statted_sizes_never_index_stamps() {
+        // An in-place recompress (or any out-of-band rewrite) changes entry
+        // sizes without republishing; a gc that believed the index's byte
+        // stamps would evict against phantom bytes. The index byte column is
+        // advisory only — sizes must always come from a stat.
+        let store = temp_store("stat-sizes");
+        let (trace, app) = sample_recording(1500);
+        let key = sample_key(0);
+        let published = store.publish(&key, &trace, &app, 1).expect("publish");
+
+        // Forge an index claiming the entry is enormous *and* stale-size it
+        // the other way round too.
+        let bogus = format!("{}\t{}\t{}\n", key.file_name(), 12345, u64::MAX);
+        std::fs::write(store.dir().join(INDEX_FILE), bogus).expect("forge index");
+
+        let entries = store.entries().expect("entries");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            entries[0].bytes, published,
+            "sizes must be statted, not read from the index"
+        );
+        // A budget the real size fits comfortably: nothing may be evicted,
+        // even though the forged index claims u64::MAX bytes.
+        let report = store.gc(published + 10).expect("gc");
+        assert!(report.evicted.is_empty(), "{report:?}");
+        assert_eq!(report.kept_bytes, published);
+        assert!(store.dir().join(key.file_name()).exists());
+        std::fs::remove_dir_all(store.dir()).ok();
     }
 
     #[test]
@@ -937,11 +1434,10 @@ mod tests {
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         std::fs::write(&path, &bytes).expect("write corrupted entry");
-        // try_load surfaces the typed error; load treats it as a corrupt miss.
-        assert!(matches!(
-            store.try_load(&key),
-            Err(StoreError::Trace(PersistError::ChecksumMismatch { .. }))
-        ));
+        // try_load surfaces the typed error (a checksum mismatch or, for a
+        // compressed entry, a structural decode failure — never a silent
+        // wrong trace); load treats it as a corrupt miss.
+        assert!(matches!(store.try_load(&key), Err(StoreError::Trace(_))));
         assert!(store.load(&key).is_none());
         assert_eq!(store.stats().corrupt, 1);
         // Re-publishing atomically replaces the bad entry.

@@ -1,8 +1,9 @@
 //! Repository automation tasks (`cargo xtask <task>`).
 //!
 //! * `bench-diff` — the CI bench-trajectory gate (below).
-//! * `trace` — hygiene and CI exercise for the persistent trace store
-//!   (`ls` / `verify` / `gc --max-bytes` / `exercise`; see [`trace`]).
+//! * `trace` — hygiene, codec migration and CI exercise for the persistent
+//!   trace store (`ls [--json]` / `verify` / `gc --max-bytes` /
+//!   `recompress [--codec]` / `exercise`; see [`trace`]).
 //!
 //! `bench-diff` compares freshly dumped `BENCH_<figure>.json` files against
 //! the committed baselines and fails when

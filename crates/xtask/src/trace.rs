@@ -3,10 +3,18 @@
 //!
 //! Subcommands:
 //!
-//! * `ls` — list entries (size, last use), most recently used first.
+//! * `ls [--json]` — list entries (size, codec, last use), most recently
+//!   used first; `--json` emits a machine-readable summary with total store
+//!   bytes, the raw-equivalent bytes and the resulting compression ratio
+//!   (the CI store-budget gate's input).
 //! * `verify` — checksum-verify every entry; non-zero exit on any corruption.
 //! * `gc --max-bytes <N[K|M|G]>` — evict least-recently-used entries until
-//!   the store fits the budget (stale temp files are always swept).
+//!   the store fits the budget (stale temp files are always swept). Sizes
+//!   are statted from the files, never taken from `index.tsv` stamps, so
+//!   recompressed entries are credited at their true size.
+//! * `recompress [--codec <raw|delta-varint>]` — migrate every entry to the
+//!   target codec (default delta-varint) in place, atomically (temp +
+//!   rename); v1 raw entries become v2 compressed entries.
 //! * `exercise` — the CI `trace-store` job's gate: run a small campaign grid
 //!   against the store twice (plus a streaming pass), assert every run is
 //!   bit-identical to a fresh record, and assert the warm passes are served
@@ -19,16 +27,19 @@ use grasp_analytics::apps::AppKind;
 use grasp_core::campaign::{Campaign, CampaignResult};
 use grasp_core::datasets::{DatasetKind, Scale};
 use grasp_core::policy::PolicyKind;
-use grasp_core::trace_store::TraceStore;
+use grasp_core::trace_store::{Codec, EntryInfo, StoreEntry, TraceStore};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 pub fn usage() -> &'static str {
-    "usage: cargo xtask trace <ls|verify|gc|exercise> [--store <dir>] [--max-bytes <N[K|M|G]>]\n\
+    "usage: cargo xtask trace <ls|verify|gc|recompress|exercise> [--store <dir>]\n\
+     \u{20}                      [--max-bytes <N[K|M|G]>] [--codec <raw|delta-varint>] [--json]\n\
      \n\
-     ls          list store entries, most recently used first\n\
+     ls          list store entries, most recently used first (--json for the\n\
+     \u{20}            machine-readable summary incl. compression ratio)\n\
      verify      checksum-verify every entry (exit 1 on corruption)\n\
      gc          evict LRU entries until the store fits --max-bytes\n\
+     recompress  migrate every entry to --codec (default delta-varint) in place\n\
      exercise    record a small grid, reload it, assert bit-identical stats\n\
      \n\
      the store directory comes from --store or GRASP_TRACE_STORE"
@@ -40,19 +51,23 @@ pub struct TraceArgs {
     pub command: String,
     pub store: Option<String>,
     pub max_bytes: Option<u64>,
+    pub codec: Option<Codec>,
+    pub json: bool,
 }
 
-/// Parses `<subcommand> [--store dir] [--max-bytes N]`.
+/// Parses `<subcommand> [--store dir] [--max-bytes N] [--codec c] [--json]`.
 pub fn parse_args(args: &[String]) -> Result<TraceArgs, String> {
     let mut iter = args.iter();
     let command = iter
         .next()
-        .ok_or_else(|| "missing subcommand (ls, verify, gc, exercise)".to_owned())?
+        .ok_or_else(|| "missing subcommand (ls, verify, gc, recompress, exercise)".to_owned())?
         .clone();
     let mut parsed = TraceArgs {
         command,
         store: None,
         max_bytes: None,
+        codec: None,
+        json: false,
     };
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -69,6 +84,16 @@ pub fn parse_args(args: &[String]) -> Result<TraceArgs, String> {
                     .ok_or_else(|| "--max-bytes needs a size argument".to_owned())?;
                 parsed.max_bytes = Some(parse_size(raw)?);
             }
+            "--codec" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| "--codec needs a codec argument".to_owned())?;
+                parsed.codec = Some(
+                    Codec::from_label(raw)
+                        .ok_or_else(|| format!("unknown codec {raw:?} (raw, delta-varint)"))?,
+                );
+            }
+            "--json" => parsed.json = true,
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -139,7 +164,7 @@ pub fn run(args: &[String]) -> ExitCode {
         }
     };
     match parsed.command.as_str() {
-        "ls" => ls(&store),
+        "ls" => ls(&store, parsed.json),
         "verify" => verify(&store),
         "gc" => match parsed.max_bytes {
             Some(max_bytes) => gc(&store, max_bytes),
@@ -148,6 +173,7 @@ pub fn run(args: &[String]) -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        "recompress" => recompress(&store, parsed.codec.unwrap_or_default()),
         "exercise" => exercise(store),
         other => {
             eprintln!("trace: unknown subcommand {other}");
@@ -157,26 +183,164 @@ pub fn run(args: &[String]) -> ExitCode {
     }
 }
 
-fn ls(store: &TraceStore) -> ExitCode {
-    let entries = match store.entries() {
-        Ok(entries) => entries,
+/// Minimal JSON string escaping for file names and paths (no serde_json in
+/// the offline build; names are ASCII slugs, paths may hold anything).
+fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The store summary `ls` prints and the CI gate parses: per-entry stats
+/// plus totals and the raw-equivalent compression ratio.
+struct StoreSummary {
+    rows: Vec<(StoreEntry, Option<EntryInfo>)>,
+    total_bytes: u64,
+    /// Raw-equivalent bytes of every entry whose headers parsed.
+    raw_bytes: u64,
+    /// Actual bytes of those same entries (the ratio's denominator).
+    described_bytes: u64,
+}
+
+impl StoreSummary {
+    fn collect(store: &TraceStore) -> std::io::Result<StoreSummary> {
+        let entries = store.entries()?;
+        let mut summary = StoreSummary {
+            rows: Vec::with_capacity(entries.len()),
+            total_bytes: 0,
+            raw_bytes: 0,
+            described_bytes: 0,
+        };
+        for entry in entries {
+            let info = store.peek(&entry.file).ok();
+            summary.total_bytes += entry.bytes;
+            if let Some(info) = &info {
+                summary.raw_bytes += info.raw_bytes;
+                summary.described_bytes += entry.bytes;
+            }
+            summary.rows.push((entry, info));
+        }
+        Ok(summary)
+    }
+
+    /// Raw-equivalent size over actual size (1.0 for an empty store): how
+    /// many times smaller the store is than the same corpus under
+    /// `Codec::Raw`.
+    fn compression_ratio(&self) -> f64 {
+        if self.described_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.described_bytes as f64
+        }
+    }
+}
+
+fn ls(store: &TraceStore, json: bool) -> ExitCode {
+    let summary = match StoreSummary::collect(store) {
+        Ok(summary) => summary,
         Err(err) => {
             eprintln!("trace ls: cannot read {}: {err}", store.dir().display());
             return ExitCode::FAILURE;
         }
     };
-    let total: u64 = entries.iter().map(|e| e.bytes).sum();
-    for entry in &entries {
-        println!("{:>10}  {}", human_bytes(entry.bytes), entry.file);
+    if json {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"store\":\"{}\",\"entries\":[",
+            json_escape(&store.dir().display().to_string())
+        ));
+        for (i, (entry, info)) in summary.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"file\":\"{}\",\"bytes\":{}",
+                json_escape(&entry.file),
+                entry.bytes
+            ));
+            match info {
+                Some(info) => out.push_str(&format!(
+                    ",\"codec\":\"{}\",\"trace_version\":{},\"records\":{},\"raw_bytes\":{}}}",
+                    info.codec, info.trace_version, info.records, info.raw_bytes
+                )),
+                None => out.push_str(",\"codec\":null}"),
+            }
+        }
+        out.push_str(&format!(
+            "],\"total_bytes\":{},\"raw_bytes\":{},\"compression_ratio\":{:.3}}}",
+            summary.total_bytes,
+            summary.raw_bytes,
+            summary.compression_ratio()
+        ));
+        println!("{out}");
+        return ExitCode::SUCCESS;
+    }
+    for (entry, info) in &summary.rows {
+        let codec = info.map_or("?", |info| info.codec.label());
+        println!(
+            "{:>10}  {:<13} {}",
+            human_bytes(entry.bytes),
+            codec,
+            entry.file
+        );
     }
     println!(
-        "{} entr{} in {} ({})",
-        entries.len(),
-        if entries.len() == 1 { "y" } else { "ies" },
+        "{} entr{} in {} ({}; raw-equivalent {}, {:.2}x compression)",
+        summary.rows.len(),
+        if summary.rows.len() == 1 { "y" } else { "ies" },
         store.dir().display(),
-        human_bytes(total)
+        human_bytes(summary.total_bytes),
+        human_bytes(summary.raw_bytes),
+        summary.compression_ratio()
     );
     ExitCode::SUCCESS
+}
+
+fn recompress(store: &TraceStore, target: Codec) -> ExitCode {
+    match store.recompress(target) {
+        Ok(report) => {
+            for file in &report.converted {
+                println!("recompressed {file}");
+            }
+            for (file, err) in &report.failed {
+                eprintln!("FAILED {file}: {err}");
+            }
+            let ratio = if report.bytes_after > 0 {
+                report.bytes_before as f64 / report.bytes_after as f64
+            } else {
+                1.0
+            };
+            println!(
+                "recompress to {target}: {} of {} entr{} converted ({} skipped), \
+                 {} -> {} ({ratio:.2}x)",
+                report.converted.len(),
+                report.examined,
+                if report.examined == 1 { "y" } else { "ies" },
+                report.skipped,
+                human_bytes(report.bytes_before),
+                human_bytes(report.bytes_after),
+            );
+            if report.failed.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("trace recompress: {err}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn verify(store: &TraceStore) -> ExitCode {
@@ -394,11 +558,22 @@ mod tests {
         assert_eq!(parsed.command, "gc");
         assert_eq!(parsed.store.as_deref(), Some("/tmp/s"));
         assert_eq!(parsed.max_bytes, Some(64 << 20));
+        assert!(!parsed.json);
 
         let parsed = parse_args(&args(&["ls"])).expect("bare subcommand");
         assert_eq!(parsed.command, "ls");
         assert_eq!(parsed.store, None);
         assert_eq!(parsed.max_bytes, None);
+        assert_eq!(parsed.codec, None);
+
+        let parsed = parse_args(&args(&["ls", "--json"])).expect("json flag");
+        assert!(parsed.json);
+
+        let parsed = parse_args(&args(&["recompress", "--codec", "raw"])).expect("codec flag");
+        assert_eq!(parsed.codec, Some(Codec::Raw));
+        let parsed =
+            parse_args(&args(&["recompress", "--codec", "delta-varint"])).expect("codec flag");
+        assert_eq!(parsed.codec, Some(Codec::DeltaVarint));
     }
 
     #[test]
@@ -407,6 +582,16 @@ mod tests {
         assert!(parse_args(&args(&["ls", "--store"])).is_err());
         assert!(parse_args(&args(&["gc", "--max-bytes"])).is_err());
         assert!(parse_args(&args(&["ls", "--what"])).is_err());
+        assert!(parse_args(&args(&["recompress", "--codec"])).is_err());
+        assert!(parse_args(&args(&["recompress", "--codec", "zstd"])).is_err());
+    }
+
+    #[test]
+    fn json_escaping_covers_the_awkward_characters() {
+        assert_eq!(json_escape("plain-name.v2.trace"), "plain-name.v2.trace");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]
@@ -418,16 +603,23 @@ mod tests {
     }
 
     #[test]
-    fn ls_verify_gc_run_against_a_real_store() {
-        // Plumbing smoke test: an empty store lists, verifies and gcs
-        // cleanly through the command functions.
+    fn ls_verify_gc_recompress_run_against_a_real_store() {
+        // Plumbing smoke test: an empty store lists (text and JSON),
+        // verifies, recompresses and gcs cleanly through the command
+        // functions, and the JSON summary of an empty store reports a
+        // neutral 1.0 ratio.
         let dir =
             std::env::temp_dir().join(format!("grasp-xtask-trace-test-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let store = TraceStore::open(&dir).expect("store opens");
-        assert_eq!(ls(&store), ExitCode::SUCCESS);
+        assert_eq!(ls(&store, false), ExitCode::SUCCESS);
+        assert_eq!(ls(&store, true), ExitCode::SUCCESS);
         assert_eq!(verify(&store), ExitCode::SUCCESS);
+        assert_eq!(recompress(&store, Codec::DeltaVarint), ExitCode::SUCCESS);
         assert_eq!(gc(&store, 0), ExitCode::SUCCESS);
+        let summary = StoreSummary::collect(&store).expect("summary");
+        assert_eq!(summary.total_bytes, 0);
+        assert!((summary.compression_ratio() - 1.0).abs() < 1e-12);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -8,7 +8,7 @@ use grasp_suite::analytics::apps::AppKind;
 use grasp_suite::core::campaign::{Campaign, CampaignResult};
 use grasp_suite::core::datasets::{DatasetKind, Scale};
 use grasp_suite::core::policy::PolicyKind;
-use grasp_suite::core::trace_store::TraceStore;
+use grasp_suite::core::trace_store::{Codec, TraceStore};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -173,6 +173,118 @@ fn hierarchy_changes_never_reuse_a_stale_entry() {
     let stats = store.stats();
     assert_eq!(stats.hits, 0, "a different hierarchy must never hit");
     assert_eq!(stats.misses, 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cross_codec_reuse_spans_the_v2_rollout() {
+    // A store populated before the codec rollout holds raw `.v1.trace`
+    // entries. A campaign publishing v2 delta-varint entries must still be
+    // *served* by them (the stream is identical, only the encoding differs)
+    // — no re-record, bit-identical stats — and vice versa: v2 entries
+    // serve a raw-codec campaign.
+    let dir = temp_store_dir("cross-codec");
+    let store = Arc::new(TraceStore::open(&dir).expect("store opens"));
+    let fresh = grid_campaign().run();
+
+    // Cold pass publishing raw (the pre-rollout world).
+    let cold = grid_campaign()
+        .trace_codec(Codec::Raw)
+        .with_trace_store(Arc::clone(&store))
+        .run();
+    assert_bit_identical(&fresh, &cold, "raw cold run");
+    let raw_entries = store.entries().expect("entries");
+    assert_eq!(raw_entries.len(), 1);
+    assert!(
+        raw_entries[0].file.ends_with(".v1.trace"),
+        "{}",
+        raw_entries[0].file
+    );
+
+    // Warm pass keyed for delta-varint: served from the v1 entry.
+    let warm = grid_campaign()
+        .trace_codec(Codec::DeltaVarint)
+        .with_trace_store(Arc::clone(&store))
+        .run();
+    assert_bit_identical(&fresh, &warm, "delta-varint warm run over a v1 store");
+    let stats = store.stats();
+    assert_eq!(stats.hits, 1, "the v1 entry must serve the v2-keyed lookup");
+    assert_eq!(stats.misses, 1, "only the cold pass may record");
+    assert_eq!(
+        store.entries().expect("entries").len(),
+        1,
+        "a fallback hit must not publish a duplicate entry"
+    );
+
+    // And the streaming plan takes the same fallback path.
+    let streamed = grid_campaign()
+        .streaming()
+        .trace_codec(Codec::DeltaVarint)
+        .with_trace_store(Arc::clone(&store))
+        .run();
+    assert_bit_identical(&fresh, &streamed, "streaming warm run over a v1 store");
+    assert_eq!(store.stats().hits, 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recompress_migration_shrinks_the_store_and_keeps_serving_hits() {
+    let dir = temp_store_dir("recompress");
+    let store = Arc::new(TraceStore::open(&dir).expect("store opens"));
+    let fresh = grid_campaign().run();
+
+    // Publish raw, then migrate the store to delta-varint in place.
+    let _ = grid_campaign()
+        .trace_codec(Codec::Raw)
+        .with_trace_store(Arc::clone(&store))
+        .run();
+    let before: u64 = store
+        .entries()
+        .expect("entries")
+        .iter()
+        .map(|e| e.bytes)
+        .sum();
+    let report = store.recompress(Codec::DeltaVarint).expect("recompress");
+    assert_eq!(report.converted.len(), 1);
+    assert!(report.failed.is_empty());
+    let after: u64 = store
+        .entries()
+        .expect("entries")
+        .iter()
+        .map(|e| e.bytes)
+        .sum();
+    assert!(
+        after * 2 < before,
+        "migration must at least halve the paper-workload store: {before} -> {after}"
+    );
+    let entries = store.entries().expect("entries");
+    assert_eq!(entries.len(), 1);
+    assert!(
+        entries[0].file.ends_with(".v2.trace"),
+        "{}",
+        entries[0].file
+    );
+    assert!(store
+        .verify()
+        .expect("verify")
+        .iter()
+        .all(|(_, outcome)| outcome.is_ok()));
+
+    // Campaigns under either codec key are served by the migrated entry,
+    // bit-identically.
+    for codec in [Codec::DeltaVarint, Codec::Raw] {
+        let warm = grid_campaign()
+            .trace_codec(codec)
+            .with_trace_store(Arc::clone(&store))
+            .run();
+        assert_bit_identical(&fresh, &warm, "post-migration warm run");
+    }
+    let stats = store.stats();
+    assert_eq!(stats.hits, 2);
+    assert_eq!(
+        stats.misses, 1,
+        "only the cold pass misses — migration must never cost a re-record"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
