@@ -118,6 +118,46 @@ impl PolicyDispatch {
     }
 }
 
+/// The dispatcher is itself a policy, so generic code — notably the shared
+/// per-access mutation path of `SetAssocCache`, which the batched replay
+/// kernel monomorphizes per concrete policy — can also run against the full
+/// dispatcher on the scalar path. Each method forwards to the inherent
+/// statically-dispatched implementation above.
+impl ReplacementPolicy for PolicyDispatch {
+    fn name(&self) -> &'static str {
+        PolicyDispatch::name(self)
+    }
+
+    #[inline]
+    fn should_bypass(&mut self, set: usize, info: &AccessInfo) -> bool {
+        PolicyDispatch::should_bypass(self, set, info)
+    }
+
+    #[inline]
+    fn choose_victim(&mut self, set: usize, info: &AccessInfo) -> usize {
+        PolicyDispatch::choose_victim(self, set, info)
+    }
+
+    #[inline]
+    fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        PolicyDispatch::on_fill(self, set, way, info)
+    }
+
+    #[inline]
+    fn on_hit(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        PolicyDispatch::on_hit(self, set, way, info)
+    }
+
+    #[inline]
+    fn on_evict(&mut self, set: usize, way: usize, block: BlockAddr, had_reuse: bool) {
+        PolicyDispatch::on_evict(self, set, way, block, had_reuse)
+    }
+
+    fn reset(&mut self) {
+        PolicyDispatch::reset(self)
+    }
+}
+
 impl std::fmt::Debug for PolicyDispatch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_tuple("PolicyDispatch").field(&self.name()).finish()

@@ -313,6 +313,61 @@ impl LlcStage {
         self.cache.prefetch(info);
     }
 
+    /// Replays one flush-free tile of a recorded post-L2 stream — demand,
+    /// prefetch and writeback records freely interleaved, each tagged with
+    /// its [`crate::cache::BatchOp`] — through the mixed batched kernel
+    /// ([`SetAssocCache::replay_batch`]). Every demand miss reaches memory,
+    /// so the memory-access counter advances by the tile's demand-miss
+    /// count. Bit-identical to dispatching each record through
+    /// [`LlcStage::demand`] / [`LlcStage::prefetch`] /
+    /// [`LlcStage::writeback`] in order.
+    #[inline]
+    pub fn replay_batch(
+        &mut self,
+        infos: &[AccessInfo],
+        ops: &[crate::cache::BatchOp],
+        scratch: &mut crate::cache::BatchScratch,
+    ) {
+        self.memory_accesses += self.cache.replay_batch(infos, ops, scratch);
+    }
+
+    /// Precomputes the lookup columns of a run for
+    /// [`LlcStage::replay_batch_prepared`] (see
+    /// [`SetAssocCache::prepare_batch`]).
+    #[inline]
+    pub fn prepare_batch(&self, infos: &[AccessInfo], scratch: &mut crate::cache::BatchScratch) {
+        self.cache.prepare_batch(infos, scratch);
+    }
+
+    /// Like [`LlcStage::replay_batch`], but over columns already prepared
+    /// by [`LlcStage::prepare_batch`] on any same-geometry stage (see
+    /// [`SetAssocCache::replay_batch_prepared`]).
+    #[inline]
+    pub fn replay_batch_prepared(
+        &mut self,
+        infos: &[AccessInfo],
+        ops: &[crate::cache::BatchOp],
+        scratch: &crate::cache::BatchScratch,
+    ) {
+        self.memory_accesses += self.cache.replay_batch_prepared(infos, ops, scratch);
+    }
+
+    /// Fused counterpart of [`LlcStage::replay_batch`]
+    /// ([`SetAssocCache::replay_batch_fused`]): the tile arrives as its raw
+    /// byte-address column plus an in-register record decoder, so nothing is
+    /// buffered between decode and lookup.
+    #[inline]
+    pub fn replay_batch_fused<F>(
+        &mut self,
+        addrs: &[Address],
+        scratch: &mut crate::cache::BatchScratch,
+        decode: F,
+    ) where
+        F: Fn(usize) -> (AccessInfo, crate::cache::BatchOp),
+    {
+        self.memory_accesses += self.cache.replay_batch_fused(addrs, scratch, decode);
+    }
+
     /// Receives the writeback of a dirty victim from the upper levels.
     #[inline]
     pub fn writeback(&mut self, addr: Address) {

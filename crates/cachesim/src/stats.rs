@@ -94,6 +94,16 @@ impl CacheStats {
         self.region[region.index()] = RegionCounters { accesses, misses };
     }
 
+    /// Adds one batched run's per-region demand sums in a single step — the
+    /// deferred-statistics flush of the batched replay kernel, equivalent to
+    /// the per-access [`CacheStats::record`] calls it replaces.
+    #[inline]
+    pub(crate) fn add_region_counters(&mut self, region: RegionLabel, accesses: u64, misses: u64) {
+        let idx = region.index();
+        self.region[idx].accesses += accesses;
+        self.region[idx].misses += misses;
+    }
+
     /// Demand miss ratio in `[0, 1]`.
     pub fn miss_ratio(&self) -> f64 {
         if self.accesses == 0 {

@@ -1,5 +1,11 @@
-//! SWAR (SIMD-within-a-register) byte-lane helpers shared by the cache's
-//! fused partial-tag scan and the RRIP victim search.
+//! SWAR (SIMD-within-a-register) helpers shared by the cache's fused
+//! partial-tag scan, the RRIP victim search and the batched replay kernel.
+//!
+//! The single-lane helpers ([`broadcast`], [`eq_byte_lanes`], [`first_lane`])
+//! serve the per-access path; the multi-lane helpers below operate on whole
+//! record columns at once — eight records per step — and exist for the
+//! chunk-native replay kernel, whose decode stage wants tight, vectorizable
+//! loops over the trace's struct-of-arrays storage.
 
 /// Broadcasts a byte to all eight lanes of a `u64`.
 #[inline]
@@ -21,6 +27,39 @@ pub(crate) fn first_lane(lanes: u64) -> usize {
     (lanes.trailing_zeros() / 8) as usize
 }
 
+/// Length of the prefix of `meta` whose masked kind bits equal `kind`
+/// (`meta[i] & mask == kind`) — the run-splitting primitive of the batched
+/// replay kernel. Groups of eight records are rejected or accepted with one
+/// OR-folded comparison (a wide op the compiler vectorizes), so scanning a
+/// multi-thousand-record demand run costs a fraction of a per-record loop;
+/// the mismatching tail is then located with a scalar scan.
+#[inline]
+pub(crate) fn kind_run_len(meta: &[u32], kind: u32, mask: u32) -> usize {
+    let mut len = 0;
+    for group in meta.chunks_exact(8) {
+        let mismatch = group
+            .iter()
+            .fold(0u32, |acc, &word| acc | ((word & mask) ^ kind));
+        if mismatch != 0 {
+            break;
+        }
+        len += 8;
+    }
+    while len < meta.len() && meta[len] & mask == kind {
+        len += 1;
+    }
+    len
+}
+
+/// Column-wise counterpart of [`broadcast`]: extends `out` with the SWAR
+/// broadcast pattern of each partial tag, in one tight multiply-only loop
+/// (the batched lookup precomputes every pattern of a run up front instead
+/// of re-broadcasting per access).
+#[inline]
+pub(crate) fn broadcast_column(partials: impl Iterator<Item = u8>, out: &mut Vec<u64>) {
+    out.extend(partials.map(broadcast));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -34,5 +73,36 @@ mod tests {
         let lanes = eq_byte_lanes(word, broadcast(255));
         assert_eq!(first_lane(lanes), 4);
         assert_eq!(eq_byte_lanes(word, broadcast(9)), 0);
+    }
+
+    #[test]
+    fn kind_run_len_handles_every_boundary() {
+        const MASK: u32 = 0b11_0000;
+        const A: u32 = 0b01_0000;
+        const B: u32 = 0b10_0000;
+        // Empty column, homogeneous column, break inside the first group,
+        // break exactly on a group boundary, break in the scalar tail.
+        assert_eq!(kind_run_len(&[], A, MASK), 0);
+        assert_eq!(kind_run_len(&[A | 1; 20], A, MASK), 20);
+        assert_eq!(kind_run_len(&[B, A, A], A, MASK), 0);
+        let mut meta = vec![A; 8];
+        meta.push(B);
+        meta.extend([A; 3]);
+        assert_eq!(kind_run_len(&meta, A, MASK), 8);
+        let mut meta = vec![A; 11];
+        meta[10] = B;
+        assert_eq!(kind_run_len(&meta, A, MASK), 10);
+        // Low bits outside the mask never break a run.
+        let meta = [A, A | 0xF, A | (0xFFFF_FC0F & !MASK)];
+        assert_eq!(kind_run_len(&meta, A, MASK), 3);
+    }
+
+    #[test]
+    fn broadcast_column_matches_scalar_broadcast() {
+        let partials = [0u8, 1, 7, 0xFF, 0x80];
+        let mut out = Vec::new();
+        broadcast_column(partials.iter().copied(), &mut out);
+        let expected: Vec<u64> = partials.iter().map(|&p| broadcast(p)).collect();
+        assert_eq!(out, expected);
     }
 }

@@ -64,13 +64,14 @@
 pub mod persist;
 
 use crate::addr::Address;
-use crate::cache::SetAssocCache;
+use crate::cache::{BatchOp, BatchScratch, SetAssocCache, BATCH_TILE};
 use crate::config::CacheConfig;
 use crate::hint::{RegionClassifier, ReuseHint};
 use crate::policy::PolicyDispatch;
 use crate::request::{AccessInfo, AccessKind, RegionLabel};
 use crate::stage::{LlcSink, LlcStage};
 use crate::stats::{CacheStats, HierarchyStats};
+use crate::swar::kind_run_len;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 
@@ -176,6 +177,13 @@ impl TraceChunk {
     /// Returns `true` when the chunk holds no records.
     pub fn is_empty(&self) -> bool {
         self.addrs.is_empty()
+    }
+
+    /// The chunk's raw struct-of-arrays columns (addresses and packed
+    /// metadata words, index-aligned) — the view the batched replay kernel
+    /// splits into runs and decodes column-wise.
+    pub fn columns(&self) -> (&[Address], &[u32]) {
+        (&self.addrs, &self.meta)
     }
 
     /// Decodes the chunk's events in record order.
@@ -420,7 +428,34 @@ impl LlcTrace {
     /// the recorded L1/L2 stats plus the replayed LLC stats, bit-identical to
     /// having simulated the whole hierarchy directly under that policy.
     pub fn replay(&self, config: CacheConfig, policy: impl Into<PolicyDispatch>) -> HierarchyStats {
-        self.replay_impl(config, policy, None)
+        self.replay_impl(config, policy, None, false)
+    }
+
+    /// Replays the recorded stream through **every** policy of a sweep in
+    /// one pass over the chunks, decoding each tile once for the whole
+    /// fan-out (see [`FanoutReplayer`]). Element `i` of the result is
+    /// bit-identical to `self.replay(config, policies[i])`.
+    pub fn replay_fanout<P: Into<PolicyDispatch>>(
+        &self,
+        config: CacheConfig,
+        policies: impl IntoIterator<Item = P>,
+    ) -> Vec<HierarchyStats> {
+        let mut replayer = FanoutReplayer::new(config, policies);
+        for chunk in self.chunks() {
+            replayer.feed(chunk);
+        }
+        replayer.finish(&self.context)
+    }
+
+    /// Replays through the per-event scalar path instead of the batched
+    /// kernel. The two are bit-identical; this entry point exists as the
+    /// reference for parity tests and the batched-replay benchmark table.
+    pub fn replay_scalar(
+        &self,
+        config: CacheConfig,
+        policy: impl Into<PolicyDispatch>,
+    ) -> HierarchyStats {
+        self.replay_impl(config, policy, None, true)
     }
 
     /// Replays with reuse hints *recomputed* by `classifier` (used when the
@@ -434,7 +469,7 @@ impl LlcTrace {
         policy: impl Into<PolicyDispatch>,
         classifier: &RegionClassifier,
     ) -> HierarchyStats {
-        self.replay_impl(config, policy, Some(classifier))
+        self.replay_impl(config, policy, Some(classifier), false)
     }
 
     fn replay_impl(
@@ -442,13 +477,18 @@ impl LlcTrace {
         config: CacheConfig,
         policy: impl Into<PolicyDispatch>,
         reclassify: Option<&RegionClassifier>,
+        scalar: bool,
     ) -> HierarchyStats {
         let mut replayer = ChunkReplayer::new(config, policy);
         if let Some(classifier) = reclassify {
             replayer = replayer.with_classifier(classifier.clone());
         }
         for chunk in self.chunks() {
-            replayer.feed(chunk);
+            if scalar {
+                replayer.feed_scalar(chunk);
+            } else {
+                replayer.feed(chunk);
+            }
         }
         replayer.finish(&self.context)
     }
@@ -726,10 +766,25 @@ impl LlcSink for TraceStreamer {
 /// [`LlcTrace::replay`] and the streaming consumers drive this same type,
 /// which is what pins streamed and buffered replay bit-for-bit to each
 /// other (and to direct simulation).
+///
+/// [`ChunkReplayer::feed`] is the batched replay kernel: it splits the chunk
+/// into maximal flush-free tiles (the flush bit of the metadata column is
+/// scanned eight records per step), columnizes each tile's lookup work
+/// (block, set index, SWAR partial-tag pattern) straight off the raw
+/// address column, and drives the tile through the cache's **fused** mixed
+/// batched kernel — each record is decoded in registers the moment the
+/// policy-monomorphized loop consumes it, so no intermediate request buffer
+/// is ever materialized. Kind changes do **not** break a tile: demand
+/// and prefetch records interleave densely in recorded streams (median
+/// same-kind run length is 1 on the paper workloads), so only flushes — rare,
+/// whole-cache resets — fall back to the per-event scalar path. Tiles are
+/// capped so the lookup columns stay cache-resident.
 #[derive(Debug)]
 pub struct ChunkReplayer {
     stage: LlcStage,
     reclassify: Option<RegionClassifier>,
+    /// Reusable precomputed lookup columns of the batched kernel.
+    scratch: BatchScratch,
 }
 
 impl ChunkReplayer {
@@ -739,6 +794,7 @@ impl ChunkReplayer {
         Self {
             stage: LlcStage::new(config, policy),
             reclassify: None,
+            scratch: BatchScratch::new(),
         }
     }
 
@@ -774,8 +830,50 @@ impl ChunkReplayer {
         }
     }
 
-    /// Replays one chunk of the stream.
+    /// Replays one chunk of the stream through the fused batched kernel (see
+    /// the type docs). Bit-identical to [`ChunkReplayer::feed_scalar`].
     pub fn feed(&mut self, chunk: &TraceChunk) {
+        let (addrs, meta) = chunk.columns();
+        let reclassify = self.reclassify.as_ref();
+        let mut offset = 0;
+        while offset < meta.len() {
+            if meta[offset] & META_FLUSH_BIT != 0 {
+                self.stage.flush();
+                offset += 1;
+                continue;
+            }
+            // The flush-free scan is windowed to one tile so a long run is
+            // not rescanned once per tile.
+            let window = &meta[offset..meta.len().min(offset + BATCH_TILE)];
+            let len = kind_run_len(window, 0, META_FLUSH_BIT);
+            let tile_addrs = &addrs[offset..offset + len];
+            let tile_meta = &window[..len];
+            // Records decode in registers the moment the kernel consumes
+            // them — no intermediate request buffer (see the type docs).
+            // Writeback records decode like any other (the kernel only reads
+            // their address), which keeps the decode branch-free.
+            self.stage
+                .replay_batch_fused(tile_addrs, &mut self.scratch, |i| {
+                    let word = tile_meta[i];
+                    let mut info = decode_info(tile_addrs[i], word);
+                    if let Some(classifier) = reclassify {
+                        info.hint = classifier.classify(info.addr);
+                    }
+                    let op = match (word >> META_PREFETCH_BIT.trailing_zeros()) & 0b11 {
+                        0 => BatchOp::Demand,
+                        1 => BatchOp::Prefetch,
+                        _ => BatchOp::Writeback,
+                    };
+                    (info, op)
+                });
+            offset += len;
+        }
+    }
+
+    /// Replays one chunk event-by-event through [`ChunkReplayer::feed_event`]
+    /// — the reference path the batched [`ChunkReplayer::feed`] is pinned
+    /// against (property tests, the micro_replay batched-replay table).
+    pub fn feed_scalar(&mut self, chunk: &TraceChunk) {
         for event in chunk.events() {
             self.feed_event(event);
         }
@@ -790,6 +888,132 @@ impl ChunkReplayer {
             memory_accesses: self.stage.memory_accesses(),
             llc: self.stage.into_stats(),
         }
+    }
+}
+
+/// Replays one recorded stream through **several** policies in a single
+/// pass over the chunks: each flush-free tile is decoded column-wise once
+/// into shared request/op buffers, then consumed by every policy's stage
+/// through the batched kernel. The per-event path has nowhere to park a
+/// decoded tile, so it pays the decode once *per policy* — amortizing it
+/// across the fan-out is structural headroom only batch replay can reach,
+/// and policy sweeps (the paper's Table VI shape) are exactly where replay
+/// time concentrates. Per stage, the result is bit-identical to a
+/// standalone [`ChunkReplayer`] fed the same chunk sequence.
+#[derive(Debug)]
+pub struct FanoutReplayer {
+    stages: Vec<LlcStage>,
+    reclassify: Option<RegionClassifier>,
+    /// Shared decoded-tile buffer, written once per tile, read per stage.
+    infos: Vec<AccessInfo>,
+    /// Shared per-record request kinds of the decoded tile.
+    ops: Vec<BatchOp>,
+    /// Reusable precomputed lookup columns of the batched kernel.
+    scratch: BatchScratch,
+}
+
+impl FanoutReplayer {
+    /// Creates a replayer driving one fresh [`LlcStage`] per policy, all
+    /// with the same geometry.
+    pub fn new<P: Into<PolicyDispatch>>(
+        config: CacheConfig,
+        policies: impl IntoIterator<Item = P>,
+    ) -> Self {
+        Self {
+            stages: policies
+                .into_iter()
+                .map(|policy| LlcStage::new(config, policy))
+                .collect(),
+            reclassify: None,
+            infos: Vec::new(),
+            ops: Vec::new(),
+            scratch: BatchScratch::new(),
+        }
+    }
+
+    /// Recomputes reuse hints with `classifier` during replay (LLC-size
+    /// sweeps; see [`LlcTrace::replay_with_classifier`]).
+    #[must_use]
+    pub fn with_classifier(mut self, classifier: RegionClassifier) -> Self {
+        self.reclassify = Some(classifier);
+        self
+    }
+
+    /// Decodes one flush-free tile column-wise into the shared buffers and
+    /// applies the optional hint reclassification as a second pass.
+    /// Writeback records decode like any other (the kernel only reads their
+    /// address), which keeps the decode loop branch-free.
+    fn decode_tile(&mut self, addrs: &[Address], meta: &[u32]) {
+        self.infos.clear();
+        self.infos.extend(
+            addrs
+                .iter()
+                .zip(meta)
+                .map(|(&addr, &word)| decode_info(addr, word)),
+        );
+        self.ops.clear();
+        self.ops.extend(meta.iter().map(|&word| {
+            match (word >> META_PREFETCH_BIT.trailing_zeros()) & 0b11 {
+                0 => BatchOp::Demand,
+                1 => BatchOp::Prefetch,
+                _ => BatchOp::Writeback,
+            }
+        }));
+        if let Some(classifier) = &self.reclassify {
+            for info in &mut self.infos {
+                info.hint = classifier.classify(info.addr);
+            }
+        }
+    }
+
+    /// Replays one chunk into every stage, decoding each flush-free run
+    /// once. Unlike [`ChunkReplayer::feed`], runs are **not** capped at the
+    /// kernel tile size: each stage should process as long a contiguous
+    /// stretch as possible per visit so its simulated-cache arrays stay
+    /// warm in the host cache between accesses — interleaving the stages at
+    /// fine grain makes them evict each other. The decoded buffers exceed
+    /// the host cache for a full chunk, but they are re-read sequentially
+    /// (prefetcher-friendly), while the per-stage lookup columns are still
+    /// tiled cache-resident inside [`SetAssocCache::replay_batch`].
+    pub fn feed(&mut self, chunk: &TraceChunk) {
+        if self.stages.is_empty() {
+            return;
+        }
+        let (addrs, meta) = chunk.columns();
+        let mut offset = 0;
+        while offset < meta.len() {
+            if meta[offset] & META_FLUSH_BIT != 0 {
+                for stage in &mut self.stages {
+                    stage.flush();
+                }
+                offset += 1;
+                continue;
+            }
+            let window = &meta[offset..];
+            let len = kind_run_len(window, 0, META_FLUSH_BIT);
+            self.decode_tile(&addrs[offset..offset + len], &window[..len]);
+            // All stages share the geometry, so the lookup columns are
+            // prepared once (on the first stage) for the whole fan-out.
+            self.stages[0].prepare_batch(&self.infos, &mut self.scratch);
+            for stage in &mut self.stages {
+                stage.replay_batch_prepared(&self.infos, &self.ops, &self.scratch);
+            }
+            offset += len;
+        }
+    }
+
+    /// Consumes the replayer and assembles per-policy hierarchy statistics,
+    /// in the order the policies were given to [`FanoutReplayer::new`].
+    pub fn finish(self, context: &RecordContext) -> Vec<HierarchyStats> {
+        self.stages
+            .into_iter()
+            .map(|stage| HierarchyStats {
+                l1: context.l1.clone(),
+                l2: context.l2.clone(),
+                memory_accesses: stage.memory_accesses(),
+                llc: stage.into_stats(),
+            })
+            .collect()
     }
 }
 
@@ -826,15 +1050,18 @@ pub fn replay_stream(
 
 /// Replays a demand-access trace through a standalone LLC with the given
 /// policy and returns the resulting statistics (synthetic-trace workflows;
-/// recorded runs should prefer [`LlcTrace::replay`]).
+/// recorded runs should prefer [`LlcTrace::replay`]). The trace is driven
+/// through the batched cache kernel in chunk-sized windows, which bounds the
+/// precomputed-column scratch to one chunk regardless of trace length.
 pub fn replay(
     trace: &[AccessInfo],
     config: CacheConfig,
     policy: impl Into<PolicyDispatch>,
 ) -> CacheStats {
     let mut cache = SetAssocCache::new("LLC", config, policy);
-    for info in trace {
-        cache.access(info);
+    let mut scratch = BatchScratch::new();
+    for window in trace.chunks(CHUNK_RECORDS) {
+        cache.access_batch(window, &mut scratch);
     }
     cache.stats().clone()
 }
@@ -854,7 +1081,8 @@ pub fn replay_with_classifier(
 
 /// The one demand-only reclassifying replay loop both the slice and the
 /// chunk-native entry points share, so their hint semantics can never
-/// diverge.
+/// diverge. The stream is reclassified into a chunk-sized window and driven
+/// through the batched cache kernel window by window.
 fn replay_demand_reclassified(
     demands: impl Iterator<Item = AccessInfo>,
     config: CacheConfig,
@@ -862,9 +1090,16 @@ fn replay_demand_reclassified(
     classifier: &RegionClassifier,
 ) -> CacheStats {
     let mut cache = SetAssocCache::new("LLC", config, policy);
-    for info in demands {
-        let reclassified = info.with_hint(classifier.classify(info.addr));
-        cache.access(&reclassified);
+    let mut scratch = BatchScratch::new();
+    let mut window = Vec::new();
+    let mut demands = demands.map(|info| info.with_hint(classifier.classify(info.addr)));
+    loop {
+        window.clear();
+        window.extend(demands.by_ref().take(CHUNK_RECORDS));
+        if window.is_empty() {
+            break;
+        }
+        cache.access_batch(&window, &mut scratch);
     }
     cache.stats().clone()
 }

@@ -10,6 +10,7 @@ use grasp_cachesim::hint::ReuseHint;
 use grasp_cachesim::policy::grasp::Grasp;
 use grasp_cachesim::policy::lru::Lru;
 use grasp_cachesim::policy::rrip::Drrip;
+use grasp_cachesim::policy::PolicyDispatch;
 use grasp_cachesim::request::{AccessInfo, RegionLabel};
 use grasp_cachesim::trace::{
     chunk_channel_with, replay_stream, ChunkReceiver, ChunkReplayer, LlcTrace, RecordContext,
@@ -176,6 +177,81 @@ proptest! {
     }
 
     #[test]
+    fn batched_feed_is_bit_identical_to_per_event_feed(events in arb_events_with_flushes(5)) {
+        // The batched chunk-native kernel against the per-event reference
+        // path, over arbitrary event mixes: demand reads and writes, dirty
+        // writebacks, prefetches and flushes, across several policies
+        // (bypassing GRASP included). Tiny chunks put run boundaries at
+        // chunk edges: a run cut mid-stream by a freeze must replay exactly
+        // like the same records fed one by one.
+        let trace = build(&events);
+        let config = CacheConfig::new(64 * 128, 8, 64);
+        for chunk_records in [1usize, 7, events.len().max(1)] {
+            let (tap, receivers) = chunk_channel_with(
+                1,
+                events.len().div_ceil(chunk_records) + 1,
+                chunk_records,
+            );
+            trace.stream_into(&tap);
+            let mut batched_lru = ChunkReplayer::new(config, Lru::new(config.sets(), config.ways));
+            let mut scalar_lru = ChunkReplayer::new(config, Lru::new(config.sets(), config.ways));
+            let mut batched_grasp =
+                ChunkReplayer::new(config, Grasp::new(config.sets(), config.ways, 7));
+            let mut scalar_grasp =
+                ChunkReplayer::new(config, Grasp::new(config.sets(), config.ways, 7));
+            loop {
+                match receivers[0].recv() {
+                    Some(grasp_cachesim::trace::StreamItem::Chunk(chunk)) => {
+                        batched_lru.feed(&chunk);
+                        scalar_lru.feed_scalar(&chunk);
+                        batched_grasp.feed(&chunk);
+                        scalar_grasp.feed_scalar(&chunk);
+                    }
+                    Some(grasp_cachesim::trace::StreamItem::End(context)) => {
+                        let batched = batched_lru.finish(&context);
+                        let scalar = scalar_lru.finish(&context);
+                        prop_assert_eq!(&batched, &scalar, "LRU, {} rec/chunk", chunk_records);
+                        let batched = batched_grasp.finish(&context);
+                        let scalar = scalar_grasp.finish(&context);
+                        prop_assert_eq!(&batched, &scalar, "GRASP, {} rec/chunk", chunk_records);
+                        break;
+                    }
+                    None => panic!("stream ended without end-of-stream marker"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_and_scalar_buffered_replays_agree(events in arb_events_with_flushes(5)) {
+        let trace = build(&events);
+        let config = CacheConfig::new(64 * 128, 8, 64);
+        let batched = trace.replay(config, Drrip::new(config.sets(), config.ways, 1));
+        let scalar = trace.replay_scalar(config, Drrip::new(config.sets(), config.ways, 1));
+        prop_assert_eq!(&batched, &scalar);
+    }
+
+    #[test]
+    fn fanout_replay_matches_per_policy_replays(events in arb_events_with_flushes(5)) {
+        let trace = build(&events);
+        let config = CacheConfig::new(64 * 128, 8, 64);
+        let fanout = trace.replay_fanout(config, [
+            PolicyDispatch::from(Lru::new(config.sets(), config.ways)),
+            PolicyDispatch::from(Drrip::new(config.sets(), config.ways, 1)),
+            PolicyDispatch::from(Grasp::new(config.sets(), config.ways, 7)),
+        ]);
+        let solo = [
+            trace.replay(config, Lru::new(config.sets(), config.ways)),
+            trace.replay(config, Drrip::new(config.sets(), config.ways, 1)),
+            trace.replay(config, Grasp::new(config.sets(), config.ways, 7)),
+        ];
+        prop_assert_eq!(fanout.len(), solo.len());
+        for (i, (shared, standalone)) in fanout.iter().zip(&solo).enumerate() {
+            prop_assert_eq!(shared, standalone, "policy #{} diverged under the fan-out", i);
+        }
+    }
+
+    #[test]
     fn rebroadcasting_a_buffered_trace_streams_bit_identically(events in arb_events_with_flushes(5)) {
         let trace = build(&events);
         let config = CacheConfig::new(64 * 64, 4, 64);
@@ -193,5 +269,48 @@ proptest! {
             )],
         );
         prop_assert_eq!(&streamed[0], &buffered);
+    }
+}
+
+/// Degenerate scalar-only chunks: a chunk that is 100% writebacks and
+/// flushes contains no batchable run at all, so the batched kernel must
+/// reduce entirely to the scalar fallback.
+#[test]
+fn all_writeback_and_flush_chunks_replay_identically() {
+    let mut events = Vec::new();
+    // Warm some dirty blocks so the writebacks below have residents to hit.
+    for blk in 0..64u64 {
+        events.push(TraceEvent::Demand(AccessInfo::write(blk * 64)));
+    }
+    // One chunk's worth of pure writebacks with a flush sprinkled in.
+    for blk in 0..512u64 {
+        if blk % 97 == 0 {
+            events.push(TraceEvent::Flush);
+        }
+        events.push(TraceEvent::Writeback((blk % 128) * 64));
+    }
+    let trace = build(&events);
+    let config = CacheConfig::new(64 * 128, 8, 64);
+    // Chunk size 64 makes the writeback/flush tail span whole chunks with no
+    // demand or prefetch record in them.
+    let (tap, receivers) = chunk_channel_with(1, events.len().div_ceil(64) + 1, 64);
+    trace.stream_into(&tap);
+    let mut batched = ChunkReplayer::new(config, Lru::new(config.sets(), config.ways));
+    let mut scalar = ChunkReplayer::new(config, Lru::new(config.sets(), config.ways));
+    loop {
+        match receivers[0].recv() {
+            Some(grasp_cachesim::trace::StreamItem::Chunk(chunk)) => {
+                batched.feed(&chunk);
+                scalar.feed_scalar(&chunk);
+            }
+            Some(grasp_cachesim::trace::StreamItem::End(context)) => {
+                let a = batched.finish(&context);
+                let b = scalar.finish(&context);
+                assert_eq!(a, b);
+                assert!(a.llc.writeback_accesses >= 512, "writebacks all replayed");
+                break;
+            }
+            None => panic!("stream ended without end-of-stream marker"),
+        }
     }
 }

@@ -132,6 +132,50 @@ impl RecordedRun {
         self.replay_inner(policy, true)
     }
 
+    /// Replays the stream under every policy of a sweep in one pass over
+    /// the recorded chunks: each tile is decoded once and consumed by all
+    /// policy stages through the batched kernel, so the decode cost is paid
+    /// once for the whole fan-out instead of once per policy. Element `i`
+    /// is bit-identical to [`RecordedRun::replay`] with `policies[i]`.
+    pub fn replay_fanout(&self, policies: &[PolicyKind]) -> Vec<RunResult> {
+        let dispatches: Vec<_> = policies
+            .iter()
+            .map(|policy| policy.build_dispatch(&self.llc))
+            .collect();
+        let stats = self.trace.replay_fanout(self.llc, dispatches);
+        policies
+            .iter()
+            .zip(stats)
+            .map(|(&policy, stats)| {
+                let cycles = self.timing.cycles(&stats, self.instructions);
+                RunResult {
+                    policy,
+                    stats,
+                    cycles,
+                    app: self.app.clone(),
+                    llc_trace: None,
+                }
+            })
+            .collect()
+    }
+
+    /// Replays through the per-event scalar path instead of the batched
+    /// chunk-native kernel. Bit-identical to [`RecordedRun::replay`]; exists
+    /// as the reference side of batched-replay parity tests and benchmarks.
+    pub fn replay_scalar(&self, policy: PolicyKind) -> RunResult {
+        let stats = self
+            .trace
+            .replay_scalar(self.llc, policy.build_dispatch(&self.llc));
+        let cycles = self.timing.cycles(&stats, self.instructions);
+        RunResult {
+            policy,
+            stats,
+            cycles,
+            app: self.app.clone(),
+            llc_trace: None,
+        }
+    }
+
     fn replay_inner(&self, policy: PolicyKind, with_trace: bool) -> RunResult {
         let stats = self
             .trace

@@ -38,7 +38,10 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("bench-diff   compare fresh BENCH_*.json dumps against committed baselines");
             eprintln!("             (tolerance via GRASP_BENCH_TOLERANCE, default 0.10 = 10%)");
-            eprintln!("             options: [--baseline <dir>] [--fresh <dir>]");
+            eprintln!(
+                "             options: [--baseline <dir>] [--fresh <dir>] \
+                 (defaults: baseline = repo root, fresh = target/bench-fresh)"
+            );
             eprintln!();
             eprintln!("{}", trace::usage());
             ExitCode::from(2)
@@ -47,7 +50,7 @@ fn main() -> ExitCode {
 }
 
 fn bench_diff(args: &[String]) -> ExitCode {
-    let mut baseline = PathBuf::from("crates/bench");
+    let mut baseline = PathBuf::from(".");
     let mut fresh = PathBuf::from("target/bench-fresh");
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -96,15 +99,29 @@ fn bench_diff(args: &[String]) -> ExitCode {
     }
 
     // A fresh dump with no committed baseline is a new figure escaping the
-    // gate entirely — fail so its baseline gets committed alongside it.
-    for name in list_bench_files(&fresh).unwrap_or_default() {
-        if !baselines.contains(&name) {
+    // gate entirely — fail so its baseline gets committed alongside it. An
+    // unreadable fresh directory must fail too: swallowing the error here
+    // would let a mis-pointed --fresh pass the whole gate silently.
+    match list_bench_files(&fresh) {
+        Ok(fresh_files) => {
+            for name in fresh_files {
+                if !baselines.contains(&name) {
+                    eprintln!(
+                        "{name}: fresh dump has no committed baseline in {} — regenerate with \
+                         GRASP_BENCH_JSON_DIR pointed at the repo root and commit the file so \
+                         the figure is gated",
+                        baseline.display()
+                    );
+                    failures.push(name);
+                }
+            }
+        }
+        Err(err) => {
             eprintln!(
-                "{name}: fresh dump has no committed baseline in {} — commit one so the \
-                 figure is gated",
-                baseline.display()
+                "bench-diff: cannot read fresh dump directory {}: {err}",
+                fresh.display()
             );
-            failures.push(name);
+            return ExitCode::from(2);
         }
     }
     if failures.is_empty() {

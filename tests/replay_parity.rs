@@ -128,6 +128,49 @@ fn streaming_sweep_matches_buffered_replays_of_one_recording() {
 }
 
 #[test]
+fn batched_scalar_streamed_and_direct_replays_agree_across_the_full_policy_grid() {
+    // The batched chunk-native replay kernel against every other execution
+    // path, for all 13 policies: batched buffered replay (the default), the
+    // per-event scalar reference, the shared-decode policy fan-out, the
+    // streaming pipeline (which feeds the batched kernel chunk by chunk),
+    // and direct simulation.
+    let dataset = DatasetKind::Twitter.build(SCALE);
+    let exp = Experiment::new(dataset.graph, AppKind::PageRank)
+        .with_hierarchy(SCALE.hierarchy())
+        .with_reordering(TechniqueKind::Dbg);
+    let recorded = exp.record();
+    let streamed = exp.sweep_streaming(&FULL_GRID, 3);
+    let fanout = recorded.replay_fanout(&FULL_GRID);
+    assert_eq!(fanout.len(), FULL_GRID.len());
+    for ((&policy, stream_run), fanout_run) in FULL_GRID.iter().zip(&streamed).zip(&fanout) {
+        let batched = recorded.replay(policy);
+        let scalar = recorded.replay_scalar(policy);
+        let direct = exp.run(policy);
+        assert_eq!(
+            batched.stats, scalar.stats,
+            "{policy}: batched replay diverged from the per-event path"
+        );
+        assert_eq!(
+            batched.stats, fanout_run.stats,
+            "{policy}: batched replay diverged from the shared-decode fan-out"
+        );
+        assert_eq!(
+            batched.stats, stream_run.stats,
+            "{policy}: batched replay diverged from streaming"
+        );
+        assert_eq!(
+            batched.stats, direct.stats,
+            "{policy}: batched replay diverged from direct simulation"
+        );
+        assert!((batched.cycles - scalar.cycles).abs() < 1e-12, "{policy}");
+        assert!(
+            (batched.cycles - fanout_run.cycles).abs() < 1e-12,
+            "{policy}"
+        );
+    }
+}
+
+#[test]
 fn recorded_stream_replays_deterministically() {
     let dataset = DatasetKind::Twitter.build(SCALE);
     let exp = Experiment::new(dataset.graph, AppKind::PageRank)
