@@ -46,11 +46,14 @@ pub fn run<M: MemoryModel>(
     let mut levels = vec![frontier.clone()];
     let mut edges_processed = 0u64;
 
+    // Round-robin a single spare frontier instead of reallocating the
+    // membership bitmap every round.
+    let mut next = Frontier::empty(n);
     for round in 0..max_rounds {
         if frontier.is_empty() {
             break;
         }
-        let mut next = Frontier::empty(n);
+        next.clear();
         match choose_direction(graph, &frontier) {
             Direction::Out => {
                 // Push: frontier vertices explore their out-neighbours.
@@ -64,8 +67,7 @@ pub fn run<M: MemoryModel>(
                         if level[v as usize] == u32::MAX {
                             level[v as usize] = round as u32 + 1;
                             props.write(ws, FIELD_LEVEL, u64::from(v), sites::PROPERTY_GATHER);
-                            arrays.write_frontier(ws, v);
-                            next.add(v);
+                            arrays.activate(ws, &mut next, v);
                         }
                     }
                 }
@@ -86,8 +88,7 @@ pub fn run<M: MemoryModel>(
                         if frontier.contains(u) {
                             level[v as usize] = round as u32 + 1;
                             props.write(ws, FIELD_LEVEL, u64::from(v), sites::PROPERTY_LOCAL);
-                            arrays.write_frontier(ws, v);
-                            next.add(v);
+                            arrays.activate(ws, &mut next, v);
                             break;
                         }
                     }
@@ -97,8 +98,8 @@ pub fn run<M: MemoryModel>(
         if next.is_empty() {
             break;
         }
-        levels.push(next.clone());
-        frontier = next;
+        std::mem::swap(&mut frontier, &mut next);
+        levels.push(frontier.clone());
     }
 
     BfsOutput {

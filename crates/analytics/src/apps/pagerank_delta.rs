@@ -39,6 +39,7 @@ pub fn run<M: MemoryModel>(graph: &Csr, ws: &mut Workspace<M>, config: &AppConfi
         .map(|v| rank[v] / graph.out_degree(v as u32).max(1) as f64)
         .collect();
     let mut frontier = Frontier::full(n);
+    let mut next_frontier = Frontier::empty(n);
 
     let mut edges_processed = 0u64;
     let mut iterations = 0usize;
@@ -93,7 +94,7 @@ pub fn run<M: MemoryModel>(graph: &Csr, ws: &mut Workspace<M>, config: &AppConfi
 
         // Apply deltas, build the next frontier and pre-divide for the next
         // pull iteration.
-        let mut next_frontier = Frontier::empty(n);
+        next_frontier.clear();
         for v in graph.vertices() {
             let nd = next_delta[v as usize];
             if nd.abs() > 0.0 {
@@ -102,13 +103,12 @@ pub fn run<M: MemoryModel>(graph: &Csr, ws: &mut Workspace<M>, config: &AppConfi
                 rank[v as usize] += nd;
             }
             if nd.abs() > activation * rank[v as usize] {
-                arrays.write_frontier(ws, v);
-                next_frontier.add(v);
+                arrays.activate(ws, &mut next_frontier, v);
                 props.write(ws, FIELD_DELTA, u64::from(v), sites::PROPERTY_LOCAL);
             }
             delta[v as usize] = nd / graph.out_degree(v).max(1) as f64;
         }
-        frontier = next_frontier;
+        std::mem::swap(&mut frontier, &mut next_frontier);
     }
 
     AppResult {

@@ -48,13 +48,14 @@ pub fn run<M: MemoryModel>(graph: &Csr, ws: &mut Workspace<M>, config: &AppConfi
     let mut edges_processed = 0u64;
     let mut iterations = 0usize;
 
+    let mut next = Frontier::empty(n);
     for round in 0..config.max_iterations.max(1) {
         if frontier.is_empty() {
             break;
         }
         iterations += 1;
         let mut next_visited = visited.clone();
-        let mut next = Frontier::empty(n);
+        next.clear();
         // Dense pull iteration: every vertex ORs the masks of its in-neighbours
         // that changed in the previous round.
         for v in graph.vertices() {
@@ -75,12 +76,11 @@ pub fn run<M: MemoryModel>(graph: &Csr, ws: &mut Workspace<M>, config: &AppConfi
                 props.write(ws, FIELD_RADII, u64::from(v), sites::PROPERTY_LOCAL);
                 next_visited[v as usize] = mask;
                 radii[v as usize] = round as f64 + 1.0;
-                arrays.write_frontier(ws, v);
-                next.add(v);
+                arrays.activate(ws, &mut next, v);
             }
         }
         visited = next_visited;
-        frontier = next;
+        std::mem::swap(&mut frontier, &mut next);
     }
 
     AppResult {

@@ -35,12 +35,13 @@ pub fn run<M: MemoryModel>(graph: &Csr, ws: &mut Workspace<M>, config: &AppConfi
     // Bellman-Ford terminates after at most |V| - 1 relaxation rounds.
     let round_cap = config.max_iterations.max(1).min(n);
 
+    let mut next = Frontier::empty(n);
     for _ in 0..round_cap {
         if frontier.is_empty() {
             break;
         }
         iterations += 1;
-        let mut next = Frontier::empty(n);
+        next.clear();
         for &u in frontier.iter() {
             arrays.read_vertex(ws, u);
             props.read(ws, FIELD_DIST, u64::from(u), sites::PROPERTY_LOCAL);
@@ -59,12 +60,11 @@ pub fn run<M: MemoryModel>(graph: &Csr, ws: &mut Workspace<M>, config: &AppConfi
                 if candidate < dist[v as usize] {
                     dist[v as usize] = candidate;
                     props.write(ws, FIELD_DIST, u64::from(v), sites::PROPERTY_GATHER);
-                    arrays.write_frontier(ws, v);
-                    next.add(v);
+                    arrays.activate(ws, &mut next, v);
                 }
             }
         }
-        frontier = next;
+        std::mem::swap(&mut frontier, &mut next);
     }
 
     let values = dist

@@ -72,6 +72,21 @@ impl CsrArrays {
     pub fn write_frontier<M: MemoryModel>(&self, ws: &mut Workspace<M>, v: VertexId) {
         ws.write(self.frontier_bitmap, u64::from(v), sites::FRONTIER);
     }
+
+    /// Activates `v` for the next round: models the frontier-bitmap write
+    /// and records the membership in `next`. One call site for the
+    /// (write, add) pair every application emits, so each app contributes
+    /// the identical access sequence to the record batch.
+    #[inline]
+    pub fn activate<M: MemoryModel>(
+        &self,
+        ws: &mut Workspace<M>,
+        next: &mut Frontier,
+        v: VertexId,
+    ) {
+        self.write_frontier(ws, v);
+        next.add(v);
+    }
 }
 
 /// Ligra's direction-switching heuristic: traverse in the pull (dense)
@@ -128,6 +143,21 @@ mod tests {
         arrays.read_frontier(&mut ws, 0);
         arrays.write_frontier(&mut ws, 0);
         assert_eq!(ws.access_count(), 4);
+    }
+
+    #[test]
+    fn activate_writes_the_bitmap_and_joins_the_frontier() {
+        let g = Rmat::new(6, 4).generate(1);
+        let mut ws = Workspace::new(NativeMemory::new());
+        let arrays = CsrArrays::allocate(&mut ws, &g, false);
+        let mut next = Frontier::empty(g.vertex_count());
+        arrays.activate(&mut ws, &mut next, 3);
+        arrays.activate(&mut ws, &mut next, 3);
+        // Re-activation models the store again (the program performs it)
+        // even though membership dedups.
+        assert_eq!(ws.access_count(), 2);
+        assert_eq!(next.len(), 1);
+        assert!(next.contains(3));
     }
 
     #[test]

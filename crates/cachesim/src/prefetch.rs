@@ -46,6 +46,31 @@ impl StridePrefetcher {
     /// the stream has a confident, stable stride.
     pub fn observe(&mut self, site: AccessSite, addr: Address) -> Option<Address> {
         let slot = self.find_or_allocate(site);
+        self.observe_in_slot(slot, site, addr)
+    }
+
+    /// [`StridePrefetcher::observe`] with a memoized stream slot: `slot_hint`
+    /// carries the slot of the previous call, skipping the stream scan when
+    /// consecutive accesses come from the same site (the common case in the
+    /// scan-heavy record stream). Exact because valid streams have unique
+    /// sites — a hint that still names a valid stream for `site` is the slot
+    /// the scan would find. Seed the hint with `usize::MAX`.
+    pub fn observe_with_hint(
+        &mut self,
+        site: AccessSite,
+        addr: Address,
+        slot_hint: &mut usize,
+    ) -> Option<Address> {
+        let slot = match self.streams.get(*slot_hint) {
+            Some(s) if s.valid && s.site == site => *slot_hint,
+            _ => self.find_or_allocate(site),
+        };
+        *slot_hint = slot;
+        self.observe_in_slot(slot, site, addr)
+    }
+
+    #[inline]
+    fn observe_in_slot(&mut self, slot: usize, site: AccessSite, addr: Address) -> Option<Address> {
         let stream = &mut self.streams[slot];
         if !stream.valid || stream.site != site {
             *stream = Stream {
@@ -72,6 +97,25 @@ impl StridePrefetcher {
             }
         }
         None
+    }
+
+    /// Observes a whole demand column in one pass, appending one prediction
+    /// slot per access to `predictions` (cleared first). The prefetcher is a
+    /// pure function of the observed `(site, addr)` sequence — issued
+    /// prefetches are never observed and no cache outcome feeds back — so
+    /// the batched record kernel can compute every tile's predictions up
+    /// front, identical to interleaved [`StridePrefetcher::observe`] calls.
+    pub fn observe_batch(
+        &mut self,
+        accesses: &[crate::request::AccessInfo],
+        predictions: &mut Vec<Option<Address>>,
+    ) {
+        predictions.clear();
+        predictions.extend(
+            accesses
+                .iter()
+                .map(|access| self.observe(access.site, access.addr)),
+        );
     }
 
     /// Clears every stream (used between experiment phases so no stride
@@ -159,6 +203,36 @@ mod tests {
     #[should_panic(expected = "streams must be non-zero")]
     fn zero_streams_panics() {
         let _ = StridePrefetcher::new(0);
+    }
+
+    #[test]
+    fn batched_observation_matches_interleaved_observe_calls() {
+        use crate::request::AccessInfo;
+        let accesses: Vec<AccessInfo> = (0..200u64)
+            .map(|i| {
+                let site = (i % 3) as AccessSite;
+                let addr = match site {
+                    0 => i * 64,                    // unit stride: trains
+                    1 => (i * i) % 4096,            // irregular: never trains
+                    _ => 1 << 20,                   // constant: zero stride
+                };
+                AccessInfo::read(addr).with_site(site)
+            })
+            .collect();
+        let mut scalar = StridePrefetcher::new(4);
+        let expected: Vec<Option<Address>> = accesses
+            .iter()
+            .map(|a| scalar.observe(a.site, a.addr))
+            .collect();
+        let mut batched = StridePrefetcher::new(4);
+        let mut predictions = Vec::new();
+        let mut got = Vec::new();
+        for tile in accesses.chunks(33) {
+            batched.observe_batch(tile, &mut predictions);
+            got.extend_from_slice(&predictions);
+        }
+        assert_eq!(expected, got);
+        assert!(expected.iter().any(Option::is_some), "stream must train");
     }
 
     #[test]

@@ -29,14 +29,18 @@
 //! simulation.
 
 use crate::addr::Address;
-use crate::cache::{AccessOutcome, SetAssocCache};
+use crate::cache::{
+    record_filter_fused, AccessOutcome, BatchOp, BatchScratch, RecordEscape, SetAssocCache,
+    BATCH_TILE,
+};
 use crate::config::{CacheConfig, HierarchyConfig};
-use crate::hint::RegionClassifier;
+use crate::hint::{RegionClassifier, ReuseHint};
 use crate::policy::lru::Lru;
 use crate::policy::PolicyDispatch;
 use crate::prefetch::StridePrefetcher;
 use crate::request::{AccessInfo, AccessKind, AccessSite, RegionLabel};
 use crate::stats::CacheStats;
+use crate::trace::{decode_record, encode_meta, META_PREFETCH_BIT, META_WRITEBACK_BIT};
 
 /// Consumer of the post-L2 request stream produced by [`UpperLevels`].
 ///
@@ -53,6 +57,34 @@ pub trait LlcSink {
     /// The writeback of a dirty victim evicted from L2 (or evicted from L1
     /// and absent in L2).
     fn writeback(&mut self, addr: Address);
+
+    /// Consumes a whole flush-free run of post-L2 records at once: `addrs`
+    /// and `meta` are the index-aligned encoded columns of the trace format
+    /// (demand, prefetch and writeback records only — never flush markers),
+    /// in stream order. The default implementation decodes each record and
+    /// dispatches it through the per-event methods, so every sink accepts
+    /// batches; bulk-native sinks (the trace recorders, the LLC stage)
+    /// override it to consume the columns without materializing per-event
+    /// structs.
+    fn push_batch(&mut self, addrs: &[Address], meta: &[u32]) {
+        for (&addr, &meta) in addrs.iter().zip(meta) {
+            match decode_record(addr, meta) {
+                (info, BatchOp::Demand) => {
+                    self.demand(&info);
+                }
+                (info, BatchOp::Prefetch) => self.prefetch(&info),
+                (info, BatchOp::Writeback) => self.writeback(info.addr),
+            }
+        }
+    }
+}
+
+/// Reusable encoded sink columns of [`UpperLevels::access_batch`], kept
+/// across batches so bulk emission never reallocates in steady state.
+#[derive(Debug, Default)]
+struct RecordBatchScratch {
+    sink_addrs: Vec<Address>,
+    sink_meta: Vec<u32>,
 }
 
 /// The policy-independent upper levels of the hierarchy: L1-D and L2 (both
@@ -65,6 +97,7 @@ pub struct UpperLevels {
     classifier: RegionClassifier,
     prefetcher: Option<StridePrefetcher>,
     abr_bounds: Vec<(Address, Address)>,
+    record_batch: RecordBatchScratch,
 }
 
 impl std::fmt::Debug for UpperLevels {
@@ -92,6 +125,7 @@ impl UpperLevels {
             classifier,
             prefetcher: config.prefetch.then(StridePrefetcher::default),
             abr_bounds: Vec::new(),
+            record_batch: RecordBatchScratch::default(),
         }
     }
 
@@ -159,7 +193,7 @@ impl UpperLevels {
             addr,
             kind,
             site,
-            hint: crate::hint::ReuseHint::Default,
+            hint: ReuseHint::Default,
             region,
         };
 
@@ -173,13 +207,69 @@ impl UpperLevels {
                     addr: predicted,
                     kind: AccessKind::Read,
                     site,
-                    hint: crate::hint::ReuseHint::Default,
+                    hint: ReuseHint::Default,
                     region,
                 };
                 self.prefetch(&pf, sink);
             }
         }
         on_chip
+    }
+
+    /// Batched counterpart of [`UpperLevels::access`]: filters a whole run
+    /// of demand accesses through L1 and L2 with the fused record kernel and
+    /// appends whatever escapes L2 into `sink` column-wise through
+    /// [`LlcSink::push_batch`]. Bit-identical to calling
+    /// [`UpperLevels::access`] once per element, in order — same cache
+    /// decisions and statistics, same sink record sequence. The incoming
+    /// `hint` of each request is ignored, exactly as the scalar entry point
+    /// rebuilds it from scratch.
+    ///
+    /// The run is processed in [`BATCH_TILE`]-sized tiles. Each tile makes
+    /// one fused pass over both levels with the policy dispatches and the
+    /// prefetcher presence check hoisted out of the loop and statistics
+    /// deferred to per-tile sums; escaping records are classified and
+    /// encoded straight into the reusable sink columns and appended with one
+    /// bulk push per tile. (Record streams are overwhelmingly L1 hits, so a
+    /// staged columnar variant — interleave, L1 pass, dense re-pack, L2 pass
+    /// — measures slower than per-event: the kernel fuses the levels
+    /// instead.)
+    pub fn access_batch(&mut self, batch: &[AccessInfo], sink: &mut impl LlcSink) {
+        let Self {
+            l1,
+            l2,
+            classifier,
+            prefetcher,
+            record_batch: scratch,
+            ..
+        } = self;
+        let RecordBatchScratch {
+            sink_addrs,
+            sink_meta,
+        } = scratch;
+        for start in (0..batch.len()).step_by(BATCH_TILE) {
+            let tile = &batch[start..batch.len().min(start + BATCH_TILE)];
+            sink_addrs.clear();
+            sink_meta.clear();
+            {
+                let mut emit = |escape: RecordEscape| match escape {
+                    RecordEscape::Request { info, prefetch } => {
+                        let hinted = info.with_hint(classifier.classify(info.addr));
+                        let kind_bit = if prefetch { META_PREFETCH_BIT } else { 0 };
+                        sink_addrs.push(hinted.addr);
+                        sink_meta.push(encode_meta(&hinted, kind_bit));
+                    }
+                    RecordEscape::Writeback(addr) => {
+                        sink_addrs.push(addr);
+                        sink_meta.push(META_WRITEBACK_BIT);
+                    }
+                };
+                record_filter_fused(l1, l2, prefetcher.as_mut(), tile, &mut emit);
+            }
+            if !sink_addrs.is_empty() {
+                sink.push_batch(sink_addrs, sink_meta);
+            }
+        }
     }
 
     fn demand(&mut self, info: &AccessInfo, sink: &mut impl LlcSink) -> bool {
@@ -262,6 +352,8 @@ impl UpperLevels {
 pub struct LlcStage {
     cache: SetAssocCache,
     memory_accesses: u64,
+    /// Reusable lookup columns of the bulk-sink path (simulate-while-record).
+    scratch: BatchScratch,
 }
 
 impl std::fmt::Debug for LlcStage {
@@ -279,6 +371,7 @@ impl LlcStage {
         Self {
             cache: SetAssocCache::new("LLC", config, policy),
             memory_accesses: 0,
+            scratch: BatchScratch::new(),
         }
     }
 
@@ -399,6 +492,17 @@ impl LlcSink for LlcStage {
     fn writeback(&mut self, addr: Address) {
         LlcStage::writeback(self, addr);
     }
+
+    /// Bulk records drive the same fused mixed kernel trace replay uses:
+    /// lookup columns straight off the raw address column, each record
+    /// decoded in registers as the policy-monomorphized loop consumes it.
+    fn push_batch(&mut self, addrs: &[Address], meta: &[u32]) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.memory_accesses +=
+            self.cache
+                .replay_batch_fused(addrs, &mut scratch, |i| decode_record(addrs[i], meta[i]));
+        self.scratch = scratch;
+    }
 }
 
 #[cfg(test)]
@@ -500,6 +604,69 @@ mod tests {
             );
         }
         assert_eq!(sink.writebacks, 0, "reads never dirty a block");
+    }
+
+    /// A stressy access mix: strided reads (train the prefetcher), scattered
+    /// writes (dirty victims spill past L2), several sites and regions.
+    fn record_mix(len: usize) -> Vec<AccessInfo> {
+        (0..len as u64)
+            .map(|i| {
+                let (addr, kind) = match i % 3 {
+                    0 => (i * 64, AccessKind::Read),
+                    1 => ((i * 64 * 17) % (1 << 22), AccessKind::Write),
+                    _ => ((i * i * 64) % (1 << 20), AccessKind::Read),
+                };
+                AccessInfo {
+                    addr,
+                    kind,
+                    site: (i % 7) as AccessSite,
+                    hint: ReuseHint::Default,
+                    region: RegionLabel::ALL[(i % 5) as usize],
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_access_records_the_scalar_trace_bit_for_bit() {
+        use crate::trace::LlcTrace;
+        let mix = record_mix(6000);
+        let mut scalar_upper = upper();
+        let mut scalar_trace = LlcTrace::new();
+        for info in &mix {
+            scalar_upper.access(info.addr, info.kind, info.site, info.region, &mut scalar_trace);
+        }
+        let mut batched_upper = upper();
+        let mut batched_trace = LlcTrace::new();
+        // Uneven sub-batches exercise tile boundaries and scratch reuse.
+        for window in mix.chunks(997) {
+            batched_upper.access_batch(window, &mut batched_trace);
+        }
+        assert_eq!(scalar_trace, batched_trace, "recorded streams must match");
+        assert_eq!(scalar_trace.demand_len(), batched_trace.demand_len());
+        assert_eq!(scalar_upper.l1_stats(), batched_upper.l1_stats());
+        assert_eq!(scalar_upper.l2_stats(), batched_upper.l2_stats());
+        assert!(batched_trace.len() > 0, "the mix must escape L2");
+    }
+
+    #[test]
+    fn batched_access_drives_a_simulated_llc_identically() {
+        let mix = record_mix(5000);
+        let config = CacheConfig::new(64 * 512, 16, 64);
+        let mut scalar_upper = upper();
+        let mut scalar_stage = LlcStage::new(config, Drrip::new(config.sets(), config.ways, 1));
+        for info in &mix {
+            scalar_upper.access(info.addr, info.kind, info.site, info.region, &mut scalar_stage);
+        }
+        let mut batched_upper = upper();
+        let mut batched_stage = LlcStage::new(config, Drrip::new(config.sets(), config.ways, 1));
+        for window in mix.chunks(1203) {
+            batched_upper.access_batch(window, &mut batched_stage);
+        }
+        assert_eq!(scalar_stage.stats(), batched_stage.stats());
+        assert_eq!(scalar_stage.memory_accesses(), batched_stage.memory_accesses());
+        assert_eq!(scalar_upper.l1_stats(), batched_upper.l1_stats());
+        assert_eq!(scalar_upper.l2_stats(), batched_upper.l2_stats());
     }
 
     #[test]

@@ -84,8 +84,8 @@ const META_WRITE_BIT: u32 = 1;
 const META_HINT_SHIFT: u32 = 1;
 const META_REGION_SHIFT: u32 = 3;
 /// Event-kind bits (mutually exclusive; all clear = demand).
-const META_PREFETCH_BIT: u32 = 1 << 6;
-const META_WRITEBACK_BIT: u32 = 1 << 7;
+pub(crate) const META_PREFETCH_BIT: u32 = 1 << 6;
+pub(crate) const META_WRITEBACK_BIT: u32 = 1 << 7;
 const META_FLUSH_BIT: u32 = 1 << 8;
 const META_SITE_SHIFT: u32 = 16;
 
@@ -102,7 +102,7 @@ pub enum TraceEvent {
     Flush,
 }
 
-fn encode_meta(info: &AccessInfo, kind_bit: u32) -> u32 {
+pub(crate) fn encode_meta(info: &AccessInfo, kind_bit: u32) -> u32 {
     let mut meta = kind_bit;
     if info.is_write() {
         meta |= META_WRITE_BIT;
@@ -137,6 +137,30 @@ fn decode_event(addr: Address, meta: u32) -> TraceEvent {
     } else {
         TraceEvent::Demand(decode_info(addr, meta))
     }
+}
+
+/// Decodes one record of a flush-free batch (as emitted by
+/// [`crate::UpperLevels::access_batch`] into [`LlcSink::push_batch`]) into
+/// the request/op pair the batched LLC kernels consume.
+#[inline]
+pub(crate) fn decode_record(addr: Address, meta: u32) -> (AccessInfo, BatchOp) {
+    debug_assert_eq!(meta & META_FLUSH_BIT, 0, "flush markers never batch");
+    if meta & META_WRITEBACK_BIT != 0 {
+        (AccessInfo::read(addr), BatchOp::Writeback)
+    } else if meta & META_PREFETCH_BIT != 0 {
+        (decode_info(addr, meta), BatchOp::Prefetch)
+    } else {
+        (decode_info(addr, meta), BatchOp::Demand)
+    }
+}
+
+/// Number of demand records in a flush-free metadata column (records with
+/// neither the prefetch nor the writeback bit set).
+#[inline]
+pub(crate) fn count_demand_records(meta: &[u32]) -> usize {
+    meta.iter()
+        .filter(|&&m| m & (META_PREFETCH_BIT | META_WRITEBACK_BIT) == 0)
+        .count()
 }
 
 /// One fixed-capacity struct-of-arrays storage chunk of the post-L2 stream.
@@ -288,6 +312,38 @@ impl LlcTrace {
         if self.current.len() == CHUNK_RECORDS {
             let full = std::mem::take(&mut self.current);
             self.frozen.push(Arc::new(full));
+        }
+    }
+
+    /// Appends a whole flush-free record batch column-wise: the encoded
+    /// address/metadata columns are copied into the chunked storage with
+    /// `extend_from_slice` runs, splitting at chunk boundaries, so bulk
+    /// recording materializes no per-record structs and takes no per-record
+    /// branches. A chunk pre-sized short by [`LlcTrace::reserve`] is topped
+    /// up with `reserve_exact` toward its fixed extent — a bulk append never
+    /// `Vec`-doubles a chunk mid-record.
+    pub(crate) fn push_batch_raw(&mut self, addrs: &[Address], meta: &[u32]) {
+        debug_assert_eq!(addrs.len(), meta.len(), "index-aligned columns");
+        self.len += addrs.len();
+        self.demand_len += count_demand_records(meta);
+        let (mut addrs, mut meta) = (addrs, meta);
+        while !addrs.is_empty() {
+            let take = (CHUNK_RECORDS - self.current.len()).min(addrs.len());
+            if self.current.addrs.capacity() == 0 {
+                self.current.addrs.reserve(CHUNK_RECORDS);
+                self.current.meta.reserve(CHUNK_RECORDS);
+            } else {
+                self.current.addrs.reserve_exact(take);
+                self.current.meta.reserve_exact(take);
+            }
+            self.current.addrs.extend_from_slice(&addrs[..take]);
+            self.current.meta.extend_from_slice(&meta[..take]);
+            if self.current.len() == CHUNK_RECORDS {
+                let full = std::mem::take(&mut self.current);
+                self.frozen.push(Arc::new(full));
+            }
+            addrs = &addrs[take..];
+            meta = &meta[take..];
         }
     }
 
@@ -539,6 +595,10 @@ impl LlcSink for LlcTrace {
     fn writeback(&mut self, addr: Address) {
         self.push_writeback(addr);
     }
+
+    fn push_batch(&mut self, addrs: &[Address], meta: &[u32]) {
+        self.push_batch_raw(addrs, meta);
+    }
 }
 
 impl FromIterator<AccessInfo> for LlcTrace {
@@ -716,6 +776,33 @@ impl TraceStreamer {
         self.push_raw(0, META_FLUSH_BIT);
     }
 
+    /// Appends a whole flush-free record batch column-wise, broadcasting each
+    /// chunk the batch completes (the streaming counterpart of
+    /// [`LlcTrace::push_batch_raw`]; encoding and chunk boundaries are
+    /// identical, so a streamed recording stays bit-identical to a buffered
+    /// one).
+    pub(crate) fn push_batch_raw(&mut self, addrs: &[Address], meta: &[u32]) {
+        debug_assert_eq!(addrs.len(), meta.len(), "index-aligned columns");
+        self.len += addrs.len();
+        self.demand_len += count_demand_records(meta);
+        let records = self.tap.chunk_records();
+        let (mut addrs, mut meta) = (addrs, meta);
+        while !addrs.is_empty() {
+            let take = (records - self.current.len()).min(addrs.len());
+            self.current.addrs.extend_from_slice(&addrs[..take]);
+            self.current.meta.extend_from_slice(&meta[..take]);
+            if self.current.len() == records {
+                let full = std::mem::replace(
+                    &mut self.current,
+                    TraceChunk::with_capacity(records),
+                );
+                self.tap.send_chunk(Arc::new(full));
+            }
+            addrs = &addrs[take..];
+            meta = &meta[take..];
+        }
+    }
+
     /// Total number of events streamed so far.
     pub fn len(&self) -> usize {
         self.len
@@ -756,6 +843,10 @@ impl LlcSink for TraceStreamer {
 
     fn writeback(&mut self, addr: Address) {
         self.push_writeback(addr);
+    }
+
+    fn push_batch(&mut self, addrs: &[Address], meta: &[u32]) {
+        self.push_batch_raw(addrs, meta);
     }
 }
 
@@ -1210,6 +1301,130 @@ mod tests {
             ),
         ] {
             assert!(opt.misses <= policy.misses);
+        }
+    }
+
+    fn chunk_test_demand(i: usize) -> AccessInfo {
+        AccessInfo::read(i as u64 * 64)
+            .with_site((i % 100) as u16)
+            .with_region(RegionLabel::ALL[i % 5])
+    }
+
+    fn chunk_test_prefetch(i: usize) -> AccessInfo {
+        AccessInfo::read(i as u64 * 64 + 8).with_hint(ReuseHint::High)
+    }
+
+    fn chunk_test_push(sink: &mut LlcTrace, i: usize) {
+        match i % 3 {
+            0 => sink.push(&chunk_test_demand(i)),
+            1 => sink.push_prefetch(&chunk_test_prefetch(i)),
+            _ => sink.push_writeback(i as u64 * 64),
+        }
+    }
+
+    fn chunk_test_encoded(i: usize) -> (Address, u32) {
+        match i % 3 {
+            0 => (
+                chunk_test_demand(i).addr,
+                encode_meta(&chunk_test_demand(i), 0),
+            ),
+            1 => (
+                chunk_test_prefetch(i).addr,
+                encode_meta(&chunk_test_prefetch(i), META_PREFETCH_BIT),
+            ),
+            _ => (i as u64 * 64, META_WRITEBACK_BIT),
+        }
+    }
+
+    #[test]
+    fn bulk_appends_straddle_chunk_boundaries_exactly() {
+        // A batch that crosses the frozen-chunk boundary must split exactly
+        // like per-event pushes: same frozen/current layout, same counters.
+        let total = CHUNK_RECORDS + 11;
+        let mut reference = LlcTrace::new();
+        for i in 0..total {
+            chunk_test_push(&mut reference, i);
+        }
+        let mut bulk = LlcTrace::new();
+        let batch_start = CHUNK_RECORDS - 5;
+        for i in 0..batch_start {
+            chunk_test_push(&mut bulk, i);
+        }
+        let (addrs, meta): (Vec<Address>, Vec<u32>) =
+            (batch_start..total).map(chunk_test_encoded).unzip();
+        bulk.push_batch_raw(&addrs, &meta);
+        assert_eq!(reference, bulk);
+        assert_eq!(reference.demand_len(), bulk.demand_len());
+        assert_eq!(bulk.len(), total);
+        let chunk_lens: Vec<usize> = bulk.chunks().map(TraceChunk::len).collect();
+        assert_eq!(chunk_lens, vec![CHUNK_RECORDS, 11]);
+    }
+
+    #[test]
+    fn bulk_appends_top_up_a_short_reservation_without_doubling() {
+        // A trace pre-sized by a short estimate must grow toward the fixed
+        // chunk extent with exact reservations, never a `Vec` doubling past
+        // it.
+        let mut trace = LlcTrace::new();
+        trace.reserve(100);
+        let records = 5000usize;
+        let (addrs, meta): (Vec<Address>, Vec<u32>) =
+            (0..records).map(chunk_test_encoded).unzip();
+        trace.push_batch_raw(&addrs, &meta);
+        assert_eq!(trace.len(), records);
+        assert!(
+            trace.current.addrs.capacity() <= CHUNK_RECORDS,
+            "bulk append must not allocate past the chunk extent (capacity {})",
+            trace.current.addrs.capacity()
+        );
+    }
+
+    #[test]
+    fn streamed_bulk_appends_chunk_identically_to_per_event_pushes() {
+        let collect = |rx: &ChunkReceiver| {
+            let mut chunks = Vec::new();
+            while let Some(item) = rx.recv() {
+                match item {
+                    StreamItem::Chunk(chunk) => chunks.push(chunk),
+                    StreamItem::End(_) => break,
+                }
+            }
+            chunks
+        };
+        let total = 77usize;
+        // Tiny 32-record chunks; few enough that the bounded channel never
+        // blocks a single-threaded test.
+        let (tap, receivers) = chunk_channel_with(1, 64, 32);
+        let mut per_event = TraceStreamer::new(tap);
+        for i in 0..total {
+            chunk_test_push_streamer(&mut per_event, i);
+        }
+        per_event.finish(RecordContext::default());
+        let expected = collect(&receivers[0]);
+
+        let (tap, receivers) = chunk_channel_with(1, 64, 32);
+        let mut bulk = TraceStreamer::new(tap);
+        for i in 0..10 {
+            chunk_test_push_streamer(&mut bulk, i);
+        }
+        let (addrs, meta): (Vec<Address>, Vec<u32>) =
+            (10..total).map(chunk_test_encoded).unzip();
+        bulk.push_batch_raw(&addrs, &meta);
+        assert_eq!(bulk.len(), total);
+        assert_eq!(bulk.demand_len(), total.div_ceil(3));
+        bulk.finish(RecordContext::default());
+        let got = collect(&receivers[0]);
+        assert_eq!(expected.len(), got.len());
+        for (a, b) in expected.iter().zip(&got) {
+            assert_eq!(a.as_ref(), b.as_ref());
+        }
+    }
+
+    fn chunk_test_push_streamer(sink: &mut TraceStreamer, i: usize) {
+        match i % 3 {
+            0 => sink.push(&chunk_test_demand(i)),
+            1 => sink.push_prefetch(&chunk_test_prefetch(i)),
+            _ => sink.push_writeback(i as u64 * 64),
         }
     }
 

@@ -1,0 +1,155 @@
+//! Property tests for the batched record kernel: `UpperLevels::access_batch`
+//! against the per-event `UpperLevels::access` reference over arbitrary
+//! read/write/flush sequences. The recorded traces must be byte-identical
+//! (address and meta columns, persisted v2 bytes) and the upper-level L1/L2
+//! statistics carried in the record context must match exactly — the whole
+//! trace store keys on recordings being deterministic, so any divergence
+//! here would poison every store hit.
+
+use grasp_cachesim::config::HierarchyConfig;
+use grasp_cachesim::hint::RegionClassifier;
+use grasp_cachesim::request::{AccessInfo, AccessKind, RegionLabel};
+use grasp_cachesim::stage::UpperLevels;
+use grasp_cachesim::trace::LlcTrace;
+use proptest::prelude::*;
+
+/// An arbitrary record-phase event: a demand access (read or write) issued
+/// to the upper levels, or a full-hierarchy flush.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Access(AccessInfo),
+    Flush,
+}
+
+/// Selector 7 of 8 becomes a flush; 4..7 write, 0..4 read. Addresses span
+/// 512 KB at 8-byte granularity so L1/L2 hits, misses, dirty evictions and
+/// every classifier region all occur.
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec((0u8..8, 0u64..(1 << 16), 0u16..32, 0u8..5), 1..800).prop_map(
+        |entries| {
+            entries
+                .into_iter()
+                .map(|(sel, slot, site, region)| {
+                    if sel == 7 {
+                        return Event::Flush;
+                    }
+                    let kind = if sel >= 4 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    Event::Access(AccessInfo {
+                        addr: slot * 8,
+                        kind,
+                        site,
+                        hint: grasp_cachesim::hint::ReuseHint::Default,
+                        region: RegionLabel::ALL[region as usize],
+                    })
+                })
+                .collect()
+        },
+    )
+}
+
+fn fresh_upper(config: HierarchyConfig) -> UpperLevels {
+    let mut upper = UpperLevels::new(config, RegionClassifier::disabled());
+    // Program the ABRs so the classifier is live and hints land in the
+    // recorded meta column.
+    upper.program_abrs(&[(0, 1 << 18)]);
+    upper
+}
+
+/// The per-event reference: every access through `UpperLevels::access`.
+fn record_per_event(events: &[Event], config: HierarchyConfig) -> LlcTrace {
+    let mut upper = fresh_upper(config);
+    let mut trace = LlcTrace::new();
+    for event in events {
+        match event {
+            Event::Access(info) => {
+                upper.access(info.addr, info.kind, info.site, info.region, &mut trace);
+            }
+            Event::Flush => {
+                upper.flush();
+                trace.push_flush();
+            }
+        }
+    }
+    trace.set_context(upper.record_context());
+    trace
+}
+
+/// The batched path: accesses accumulate into columns of up to `window`
+/// and go through `UpperLevels::access_batch`; a flush drains the pending
+/// column first (exactly what the buffered workspace does).
+fn record_batched(events: &[Event], config: HierarchyConfig, window: usize) -> LlcTrace {
+    let mut upper = fresh_upper(config);
+    let mut trace = LlcTrace::new();
+    let mut column: Vec<AccessInfo> = Vec::new();
+    let drain = |upper: &mut UpperLevels, trace: &mut LlcTrace, column: &mut Vec<AccessInfo>| {
+        if !column.is_empty() {
+            upper.access_batch(column, trace);
+            column.clear();
+        }
+    };
+    for event in events {
+        match event {
+            Event::Access(info) => {
+                column.push(*info);
+                if column.len() >= window {
+                    drain(&mut upper, &mut trace, &mut column);
+                }
+            }
+            Event::Flush => {
+                drain(&mut upper, &mut trace, &mut column);
+                upper.flush();
+                trace.push_flush();
+            }
+        }
+    }
+    drain(&mut upper, &mut trace, &mut column);
+    trace.set_context(upper.record_context());
+    trace
+}
+
+fn persisted_bytes(trace: &LlcTrace) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    trace
+        .write_to(&mut bytes)
+        .expect("in-memory persist cannot fail");
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batched_record_is_bit_identical_to_per_event_record(events in arb_events()) {
+        let config = HierarchyConfig::scaled_default();
+        let reference = record_per_event(&events, config);
+        // Window sizes straddling every interesting boundary: single-element
+        // columns, odd windows smaller and larger than one kernel tile, and
+        // one column holding the entire sequence.
+        for window in [1usize, 13, 1024, 1699, events.len().max(1)] {
+            let batched = record_batched(&events, config, window);
+            prop_assert_eq!(&batched, &reference, "window {}", window);
+            prop_assert_eq!(batched.context(), reference.context(), "window {}", window);
+            prop_assert_eq!(
+                persisted_bytes(&batched),
+                persisted_bytes(&reference),
+                "persisted v2 bytes, window {}",
+                window
+            );
+        }
+    }
+
+    #[test]
+    fn batched_record_parity_holds_without_prefetcher(events in arb_events()) {
+        // The prefetcher pre-pass is the subtlest part of the batched kernel;
+        // parity must also hold when it is absent entirely.
+        let config = HierarchyConfig::scaled_default().without_prefetch();
+        let reference = record_per_event(&events, config);
+        let batched = record_batched(&events, config, 97);
+        prop_assert_eq!(&batched, &reference);
+        prop_assert_eq!(batched.context(), reference.context());
+    }
+}
