@@ -70,6 +70,7 @@ use grasp_analytics::apps::AppKind;
 use grasp_bench::{banner, dataset, dump_json, harness_scale};
 use grasp_cachesim::config::HierarchyConfig;
 use grasp_cachesim::{Codec, LlcTrace};
+use grasp_core::campaign::{Campaign, ExecutionMode};
 use grasp_core::datasets::DatasetKind;
 use grasp_core::experiment::Experiment;
 use grasp_core::policy::PolicyKind;
@@ -460,6 +461,82 @@ fn main() {
             "{label}: v2 compression {ratio:.2}x fell below the 2.5x bar on the recorded stream"
         );
     }
+    // The campaign-scheduling comparison: a many-stream grid (4 datasets ×
+    // 2 apps = 8 unique streams, 8-policy sweep = 64 cells) run under the
+    // three campaign plans. All three pay the same dataset build + reorder
+    // inside `run()`, so the gap is purely scheduling:
+    //
+    // * **barrier** — `ExecutionMode::Replay`: all records, hard barrier,
+    //   then all replays;
+    // * **sequential streaming** — `streaming_pipelines(1)`: the
+    //   historical one-stream-at-a-time streaming loop;
+    // * **pipelined** — the default dependency-driven scheduler: replay
+    //   cells drain while later streams still record, LPT cost ordering.
+    let mut campaign_table = Table::new(
+        "Pipelined campaign: dependency-driven scheduler vs barrier replay vs \
+         sequential streaming",
+        &[
+            "grid",
+            "barrier ms",
+            "sequential ms",
+            "pipelined ms",
+            "vs barrier speed-up",
+            "vs sequential speed-up",
+        ],
+    );
+    let grid = |mode: ExecutionMode| {
+        Campaign::new(scale)
+            .datasets(&[
+                DatasetKind::Twitter,
+                DatasetKind::Kron,
+                DatasetKind::Uniform,
+                DatasetKind::LiveJournal,
+            ])
+            .apps(&[AppKind::PageRank, AppKind::Sssp])
+            .policies(&SWEEP)
+            .execution(mode)
+    };
+    let started = Instant::now();
+    let barrier = grid(ExecutionMode::Replay).run();
+    let barrier_time = started.elapsed();
+    let started = Instant::now();
+    let sequential = grid(ExecutionMode::Streaming).streaming_pipelines(1).run();
+    let sequential_time = started.elapsed();
+    let started = Instant::now();
+    let pipelined = grid(ExecutionMode::Pipelined).run();
+    let pipelined_time = started.elapsed();
+    assert_eq!(pipelined.len(), 4 * 2 * SWEEP.len());
+    assert!(
+        !pipelined.scheduler_events().is_empty(),
+        "the pipelined plan must log its schedule"
+    );
+    for ((a, b), c) in pipelined.iter().zip(barrier.iter()).zip(sequential.iter()) {
+        assert_eq!(a.cell, b.cell, "grid order must not depend on the plan");
+        assert_eq!(a.cell, c.cell, "grid order must not depend on the plan");
+        assert_eq!(
+            a.result.stats, b.result.stats,
+            "{}/{}/{}: pipelined diverged from the barrier plan",
+            a.cell.dataset, a.cell.app, a.cell.policy
+        );
+        assert_eq!(
+            a.result.stats, c.result.stats,
+            "{}/{}/{}: pipelined diverged from sequential streaming",
+            a.cell.dataset, a.cell.app, a.cell.policy
+        );
+    }
+    let pipelined_vs_barrier = barrier_time.as_secs_f64() / pipelined_time.as_secs_f64().max(1e-9);
+    let pipelined_vs_sequential =
+        sequential_time.as_secs_f64() / pipelined_time.as_secs_f64().max(1e-9);
+    total_ms += (barrier_time + sequential_time + pipelined_time).as_millis();
+    campaign_table.push_row(vec![
+        format!("8 streams x {} policies", SWEEP.len()),
+        format!("{:.1}", barrier_time.as_secs_f64() * 1e3),
+        format!("{:.1}", sequential_time.as_secs_f64() * 1e3),
+        format!("{:.1}", pipelined_time.as_secs_f64() * 1e3),
+        format!("{pipelined_vs_barrier:.2}x"),
+        format!("{pipelined_vs_sequential:.2}x"),
+    ]);
+
     let store_stats = store.stats();
     assert_eq!(
         store_stats.hits, 2,
@@ -470,6 +547,7 @@ fn main() {
     println!("{batched_table}");
     println!("{record_table}");
     println!("{streaming_table}");
+    println!("{campaign_table}");
     println!("{store_table}");
     println!("{compression_table}");
     println!("trace store traffic: {store_stats}");
@@ -536,6 +614,29 @@ fn main() {
             }
         );
     }
+    // The pipelined-campaign bar rides the same gate: on a single worker
+    // every plan degenerates to the same serial work (the scheduler can
+    // only win wall-clock where workers can actually overlap record and
+    // replay), so the bar is enforced only at >= 4 hardware threads.
+    if enforce_bars && workers >= 4 {
+        assert!(
+            pipelined_vs_barrier >= 1.3,
+            "pipelined campaign speed-up {pipelined_vs_barrier:.2}x fell below the 1.3x \
+             acceptance bar over the barrier plan ({workers} workers)"
+        );
+    } else {
+        println!(
+            "pipelined-campaign bar (>=1.3x vs barrier replay, measured \
+             {pipelined_vs_barrier:.2}x; vs sequential streaming \
+             {pipelined_vs_sequential:.2}x) {}: needs >=4 hardware threads and \
+             enforcement enabled ({workers} worker(s))",
+            if enforce_bars {
+                "skipped"
+            } else {
+                "reported only"
+            }
+        );
+    }
     // The record-phase bar rides the same gate: the comparison is two full
     // application runs, so shared single-core runners time it too noisily
     // for a hard assert.
@@ -565,6 +666,7 @@ fn main() {
             &batched_table,
             &record_table,
             &streaming_table,
+            &campaign_table,
             &store_table,
             &compression_table,
         ],

@@ -103,14 +103,35 @@ pub fn synthetic_mixed_trace(len: usize) -> Vec<grasp_cachesim::AccessInfo> {
     trace
 }
 
+/// Whether this process enforces the benches' speedup bars: they are gated
+/// on ≥ 4 hardware threads (overlap can't win on a saturated small box) and
+/// demotable outright via `GRASP_BENCH_NO_SPEEDUP_BARS=1`. Exposed so every
+/// bench gates the same way and `dump_json` records the same answer.
+pub fn speedup_bars_enforced() -> bool {
+    std::env::var("GRASP_BENCH_NO_SPEEDUP_BARS").is_err() && hardware_threads() >= 4
+}
+
+/// Hardware threads available to this process.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Writes a figure's tables as machine-readable JSON to
 /// `BENCH_<figure>.json` (in `GRASP_BENCH_JSON_DIR`, default the current
 /// directory), so per-figure results and campaign wall-clock times can be
-/// tracked across PRs. Failures are reported but never abort a bench run.
+/// tracked across PRs. Each dump embeds the measurement environment —
+/// hardware thread count and speedup-bar state — so bar-demoted CI runs
+/// are distinguishable in the trajectory. Failures are reported but never
+/// abort a bench run.
 pub fn dump_json(figure: &str, wall_ms: u128, tables: &[&grasp_core::report::Table]) {
     let dir = std::env::var("GRASP_BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_owned());
     let path = std::path::Path::new(&dir).join(format!("BENCH_{figure}.json"));
-    match std::fs::write(&path, grasp_core::report::to_json(figure, wall_ms, tables)) {
+    let meta = grasp_core::report::BenchMeta {
+        hardware_threads: hardware_threads(),
+        speedup_bars_enforced: speedup_bars_enforced(),
+    };
+    let json = grasp_core::report::to_json_with_meta(figure, wall_ms, Some(meta), tables);
+    match std::fs::write(&path, json) {
         Ok(()) => println!(
             "results written to {} ({wall_ms} ms campaign)",
             path.display()

@@ -681,7 +681,9 @@ fn fused_record_kernel<P1, P2, F>(
             hint: crate::hint::ReuseHint::Default,
             ..*info
         };
-        request_one::<false, _, _, _>(l1, p1, l1_totals, l2, p2, l2_totals, &mut memo, &demand, emit);
+        request_one::<false, _, _, _>(
+            l1, p1, l1_totals, l2, p2, l2_totals, &mut memo, &demand, emit,
+        );
         if let Some(p) = prefetcher.as_mut() {
             if let Some(addr) = p.observe_with_hint(info.site, info.addr, &mut slot_hint) {
                 let pf = AccessInfo {
@@ -691,7 +693,9 @@ fn fused_record_kernel<P1, P2, F>(
                     hint: crate::hint::ReuseHint::Default,
                     region: info.region,
                 };
-                request_one::<true, _, _, _>(l1, p1, l1_totals, l2, p2, l2_totals, &mut memo, &pf, emit);
+                request_one::<true, _, _, _>(
+                    l1, p1, l1_totals, l2, p2, l2_totals, &mut memo, &pf, emit,
+                );
             }
         }
     }
@@ -1521,8 +1525,9 @@ mod tests {
         let run = mixed_run(600);
         let l1_config = CacheConfig::new(1024, 4, 64);
         let l2_config = CacheConfig::new(4096, 8, 64);
-        let make =
-            |config: CacheConfig| SetAssocCache::new("test", config, Lru::new(config.sets(), config.ways));
+        let make = |config: CacheConfig| {
+            SetAssocCache::new("test", config, Lru::new(config.sets(), config.ways))
+        };
 
         // Scalar reference: per-request L1 access, L2 on a miss, the L1
         // victim probed into L2 before the L2 victim escapes.
@@ -1549,12 +1554,20 @@ mod tests {
                 ));
             }
             for (req, is_prefetch) in requests {
-                let out1 = if is_prefetch { l1.prefetch(&req) } else { l1.access(&req) };
+                let out1 = if is_prefetch {
+                    l1.prefetch(&req)
+                } else {
+                    l1.access(&req)
+                };
                 if out1.hit {
                     continue;
                 }
                 let l1_victim = out1.evicted.filter(|_| out1.evicted_dirty).map(|b| b * 64);
-                let out2 = if is_prefetch { l2.prefetch(&req) } else { l2.access(&req) };
+                let out2 = if is_prefetch {
+                    l2.prefetch(&req)
+                } else {
+                    l2.access(&req)
+                };
                 if !out2.hit {
                     expected.push(RecordEscape::Request {
                         info: req,

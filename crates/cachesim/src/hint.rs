@@ -382,12 +382,14 @@ mod tests {
     fn columnar_classification_matches_per_address_calls() {
         let mut abrs = AddressBoundRegisters::new();
         abrs.program(0x1000, 0x1000 + 1024 * 1024);
-        for classifier in [RegionClassifier::new(abrs, 64 * 1024), RegionClassifier::disabled()] {
+        for classifier in [
+            RegionClassifier::new(abrs, 64 * 1024),
+            RegionClassifier::disabled(),
+        ] {
             let addrs: Vec<Address> = (0..512u64).map(|i| i * 769).collect();
             let mut hints = Vec::new();
             classifier.classify_column(addrs.iter().copied(), &mut hints);
-            let expected: Vec<ReuseHint> =
-                addrs.iter().map(|&a| classifier.classify(a)).collect();
+            let expected: Vec<ReuseHint> = addrs.iter().map(|&a| classifier.classify(a)).collect();
             assert_eq!(expected, hints);
         }
     }

@@ -212,9 +212,9 @@ mod tests {
             .map(|i| {
                 let site = (i % 3) as AccessSite;
                 let addr = match site {
-                    0 => i * 64,                    // unit stride: trains
-                    1 => (i * i) % 4096,            // irregular: never trains
-                    _ => 1 << 20,                   // constant: zero stride
+                    0 => i * 64,         // unit stride: trains
+                    1 => (i * i) % 4096, // irregular: never trains
+                    _ => 1 << 20,        // constant: zero stride
                 };
                 AccessInfo::read(addr).with_site(site)
             })

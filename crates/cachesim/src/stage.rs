@@ -498,9 +498,9 @@ impl LlcSink for LlcStage {
     /// decoded in registers as the policy-monomorphized loop consumes it.
     fn push_batch(&mut self, addrs: &[Address], meta: &[u32]) {
         let mut scratch = std::mem::take(&mut self.scratch);
-        self.memory_accesses +=
-            self.cache
-                .replay_batch_fused(addrs, &mut scratch, |i| decode_record(addrs[i], meta[i]));
+        self.memory_accesses += self
+            .cache
+            .replay_batch_fused(addrs, &mut scratch, |i| decode_record(addrs[i], meta[i]));
         self.scratch = scratch;
     }
 }
@@ -634,7 +634,13 @@ mod tests {
         let mut scalar_upper = upper();
         let mut scalar_trace = LlcTrace::new();
         for info in &mix {
-            scalar_upper.access(info.addr, info.kind, info.site, info.region, &mut scalar_trace);
+            scalar_upper.access(
+                info.addr,
+                info.kind,
+                info.site,
+                info.region,
+                &mut scalar_trace,
+            );
         }
         let mut batched_upper = upper();
         let mut batched_trace = LlcTrace::new();
@@ -646,7 +652,7 @@ mod tests {
         assert_eq!(scalar_trace.demand_len(), batched_trace.demand_len());
         assert_eq!(scalar_upper.l1_stats(), batched_upper.l1_stats());
         assert_eq!(scalar_upper.l2_stats(), batched_upper.l2_stats());
-        assert!(batched_trace.len() > 0, "the mix must escape L2");
+        assert!(!batched_trace.is_empty(), "the mix must escape L2");
     }
 
     #[test]
@@ -656,7 +662,13 @@ mod tests {
         let mut scalar_upper = upper();
         let mut scalar_stage = LlcStage::new(config, Drrip::new(config.sets(), config.ways, 1));
         for info in &mix {
-            scalar_upper.access(info.addr, info.kind, info.site, info.region, &mut scalar_stage);
+            scalar_upper.access(
+                info.addr,
+                info.kind,
+                info.site,
+                info.region,
+                &mut scalar_stage,
+            );
         }
         let mut batched_upper = upper();
         let mut batched_stage = LlcStage::new(config, Drrip::new(config.sets(), config.ways, 1));
@@ -664,7 +676,10 @@ mod tests {
             batched_upper.access_batch(window, &mut batched_stage);
         }
         assert_eq!(scalar_stage.stats(), batched_stage.stats());
-        assert_eq!(scalar_stage.memory_accesses(), batched_stage.memory_accesses());
+        assert_eq!(
+            scalar_stage.memory_accesses(),
+            batched_stage.memory_accesses()
+        );
         assert_eq!(scalar_upper.l1_stats(), batched_upper.l1_stats());
         assert_eq!(scalar_upper.l2_stats(), batched_upper.l2_stats());
     }

@@ -792,10 +792,7 @@ impl TraceStreamer {
             self.current.addrs.extend_from_slice(&addrs[..take]);
             self.current.meta.extend_from_slice(&meta[..take]);
             if self.current.len() == records {
-                let full = std::mem::replace(
-                    &mut self.current,
-                    TraceChunk::with_capacity(records),
-                );
+                let full = std::mem::replace(&mut self.current, TraceChunk::with_capacity(records));
                 self.tap.send_chunk(Arc::new(full));
             }
             addrs = &addrs[take..];
@@ -1368,8 +1365,7 @@ mod tests {
         let mut trace = LlcTrace::new();
         trace.reserve(100);
         let records = 5000usize;
-        let (addrs, meta): (Vec<Address>, Vec<u32>) =
-            (0..records).map(chunk_test_encoded).unzip();
+        let (addrs, meta): (Vec<Address>, Vec<u32>) = (0..records).map(chunk_test_encoded).unzip();
         trace.push_batch_raw(&addrs, &meta);
         assert_eq!(trace.len(), records);
         assert!(
@@ -1407,8 +1403,7 @@ mod tests {
         for i in 0..10 {
             chunk_test_push_streamer(&mut bulk, i);
         }
-        let (addrs, meta): (Vec<Address>, Vec<u32>) =
-            (10..total).map(chunk_test_encoded).unzip();
+        let (addrs, meta): (Vec<Address>, Vec<u32>) = (10..total).map(chunk_test_encoded).unzip();
         bulk.push_batch_raw(&addrs, &meta);
         assert_eq!(bulk.len(), total);
         assert_eq!(bulk.demand_len(), total.div_ceil(3));

@@ -9,22 +9,32 @@
 //! * each dataset is **generated once**,
 //! * each (dataset, technique, traversal-direction) graph is **reordered
 //!   once** and shared across cells via `Arc<Csr>`,
-//! * in the default [`ExecutionMode::Replay`] plan, each
-//!   (dataset, technique, application) cell is **executed once** — the
+//! * each (dataset, technique, application) cell is **executed once** — the
 //!   application runs through the policy-independent upper levels and the
 //!   post-L2 stream is recorded ([`Experiment::record`]) — and the policy
 //!   axis is served by **replaying** the recorded stream, so an N-policy
 //!   sweep pays the application and L1/L2 cost once instead of N times,
-//! * both the record jobs and the replay jobs fan out on worker threads, and
+//! * in the default [`ExecutionMode::Pipelined`] plan there is **no barrier
+//!   between phases**: a dependency-driven scheduler keeps one shared ready
+//!   queue of typed tasks (`Record(stream)` / `Load(stream)` /
+//!   `Replay(cell)`) where each replay cell becomes runnable the moment its
+//!   stream's recording — or trace-store load — completes, so workers drain
+//!   the replays of stream *N* while stream *N + 1* is still recording,
+//! * placement is **cost-aware**: task costs are seeded from
+//!   instruction/record counts and refined online from measured wall times
+//!   within the run ([`SchedulerEvent`] logs the resulting interleaving),
+//!   and the ready queues are drained longest-processing-time-first, and
 //! * results are collected **deterministically in grid order** regardless of
 //!   mode, thread count or scheduling.
 //!
 //! Per-cell statistics are bit-identical to running [`Experiment::run`]
-//! serially — in replay mode because the recorded stream is replayed through
-//! the same LLC-stage code the direct path simulates (pinned by
-//! `tests/replay_parity.rs`). [`ExecutionMode::Direct`] keeps the original
-//! run-every-cell plan as a fallback for workloads where recording is
-//! undesirable (e.g. single-policy grids dominated by trace volume).
+//! serially — in pipelined/replay mode because the recorded stream is
+//! replayed through the same LLC-stage code the direct path simulates
+//! (pinned by `tests/replay_parity.rs` and `tests/scheduler_parity.rs`).
+//! [`ExecutionMode::Replay`] keeps the two-phase barrier plan as a
+//! reference, and [`ExecutionMode::Direct`] the original run-every-cell
+//! plan, for workloads where recording is undesirable (e.g. single-policy
+//! grids dominated by trace volume).
 //!
 //! ```no_run
 //! use grasp_core::campaign::Campaign;
@@ -55,15 +65,27 @@ use grasp_graph::Csr;
 use grasp_reorder::TechniqueKind;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// How a campaign turns its grid into simulations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecutionMode {
-    /// Record each (dataset, technique, application) stream once, replay it
-    /// under every policy of the grid (the default: several times faster for
-    /// multi-policy sweeps, bit-identical results).
+    /// The dependency-driven scheduler (the default): records, trace-store
+    /// loads and policy replays share one ready queue, each replay cell
+    /// becoming runnable the moment its stream's recording (or load)
+    /// completes. There is no record→replay barrier and no sequential
+    /// stream loop — workers drain replays of one stream while later
+    /// streams are still recording — and placement is cost-aware
+    /// (longest-processing-time-first over online-refined per-(app, policy)
+    /// cost estimates). Results are bit-identical to every other plan and
+    /// arrive in deterministic grid order.
     #[default]
+    Pipelined,
+    /// Record each (dataset, technique, application) stream once, replay it
+    /// under every policy of the grid, with a hard barrier between the two
+    /// phases. Kept as the reference two-phase plan the pipelined scheduler
+    /// is pinned against.
     Replay,
     /// Run every cell through the full hierarchy independently (the original
     /// plan; no traces are kept alive beyond a cell).
@@ -74,12 +96,147 @@ pub enum ExecutionMode {
     /// ([`Experiment::sweep_streaming`]). The record phase's wall-clock is
     /// overlapped instead of serialized against the fan-out, and the peak
     /// trace footprint per cell is channel-depth × chunk-size instead of the
-    /// whole stream. Streams are processed one at a time with the full
-    /// worker budget; results stay bit-identical to the other plans.
+    /// whole stream. On a budget of ≥ 4 workers, streams are claimed by
+    /// several concurrent **gang pipelines** (each a dedicated recorder
+    /// thread plus its replay consumers; tune with
+    /// [`Campaign::streaming_pipelines`]), so stream *N + 1* records while
+    /// stream *N*'s fan-out tail drains; below that, streams run one at a
+    /// time with the full worker budget. Results stay bit-identical to the
+    /// other plans in every configuration.
+    ///
     /// Campaigns that request per-cell traces
-    /// ([`Campaign::recording_llc_trace`]) fall back to [`Replay`], since
-    /// streaming never materializes a trace to hand back.
+    /// ([`Campaign::recording_llc_trace`]) **fall back to [`Pipelined`]**,
+    /// since streaming never materializes a trace to hand back. The
+    /// fallback is observable: [`CampaignResult::executed_mode`] reports
+    /// the plan that actually ran, not the one requested.
     Streaming,
+}
+
+/// One entry of the scheduler's event log: what happened, in the order it
+/// happened (entries are appended under the scheduler lock, so the log is a
+/// true interleaving order, not a per-worker approximation).
+///
+/// `stream` indexes the campaign's unique (dataset, technique, app) streams
+/// in first-seen grid order; `cell` indexes [`Campaign::cells`]. The log is
+/// what makes pipelining *testable*: a barrier-free schedule shows
+/// `ReplayFinished` entries before the last `RecordStarted`, which
+/// `tests/scheduler_parity.rs` asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerEvent {
+    /// A worker began recording a stream (application + upper levels).
+    RecordStarted {
+        /// Stream index in first-seen grid order.
+        stream: usize,
+    },
+    /// A stream's recording completed; its replay cells are now runnable.
+    RecordFinished {
+        /// Stream index in first-seen grid order.
+        stream: usize,
+    },
+    /// A worker began loading a stream from the trace store (the store
+    /// probe saw an entry for its key).
+    LoadStarted {
+        /// Stream index in first-seen grid order.
+        stream: usize,
+    },
+    /// A trace-store load completed. `hit` is `false` when the probed entry
+    /// turned out corrupt and the worker fell back to recording (the
+    /// fallback is part of the same task — its replays are runnable either
+    /// way).
+    LoadFinished {
+        /// Stream index in first-seen grid order.
+        stream: usize,
+        /// Whether the store served the stream (vs. a corrupt-entry
+        /// fallback recording).
+        hit: bool,
+    },
+    /// A worker began replaying one cell's policy over its stream.
+    ReplayStarted {
+        /// Cell index in grid order.
+        cell: usize,
+    },
+    /// One cell's replay completed (its result slot is filled).
+    ReplayFinished {
+        /// Cell index in grid order.
+        cell: usize,
+    },
+    /// Every cell of a stream has completed, so the scheduler dropped its
+    /// recorded stream (peak trace memory is bounded by the streams whose
+    /// cells are still in flight, not the whole grid).
+    StreamRetired {
+        /// Stream index in first-seen grid order.
+        stream: usize,
+    },
+}
+
+/// Exponential-moving-average weight for online cost refinement: a fresh
+/// measurement moves the estimate halfway — quick to adapt within a run,
+/// yet one outlier (a descheduled worker) can't wreck the ordering.
+const COST_EWMA_ALPHA: f64 = 0.5;
+
+/// Seed rate for a trace-store load, relative to recording the same stream:
+/// loads are ordered among the obtain tasks as cheap records (they unlock
+/// the same replays at a fraction of the cost) until a measured load
+/// refines the estimate.
+const LOAD_SEED_DISCOUNT: f64 = 1.0 / 16.0;
+
+/// The scheduler's cost model: per-task-kind unit rates, seeded at 1.0 (so
+/// initial ordering is purely by work size — instruction-proportional
+/// `(V + E) × iterations` for records, trace record count for replays) and
+/// refined online from measured wall times via an EWMA. Records/loads and
+/// replays queue separately, so their rates never need a common unit; the
+/// units only rank tasks *within* a queue.
+#[derive(Debug, Default)]
+struct CostModel {
+    /// Seconds per record work unit, per application.
+    record_rate: HashMap<AppKind, f64>,
+    /// Seconds per store-load work unit, per application.
+    load_rate: HashMap<AppKind, f64>,
+    /// Seconds per replayed trace record, per (application, policy).
+    replay_rate: HashMap<(AppKind, PolicyKind), f64>,
+}
+
+impl CostModel {
+    fn record_cost(&self, app: AppKind, work: f64) -> f64 {
+        work * self.record_rate.get(&app).copied().unwrap_or(1.0)
+    }
+
+    fn load_cost(&self, app: AppKind, work: f64) -> f64 {
+        work * self
+            .load_rate
+            .get(&app)
+            .copied()
+            .unwrap_or(LOAD_SEED_DISCOUNT)
+    }
+
+    fn replay_cost(&self, app: AppKind, policy: PolicyKind, records: f64) -> f64 {
+        records * self.replay_rate.get(&(app, policy)).copied().unwrap_or(1.0)
+    }
+
+    fn observe(entry: &mut f64, measured_rate: f64) {
+        *entry += COST_EWMA_ALPHA * (measured_rate - *entry);
+    }
+
+    fn observe_record(&mut self, app: AppKind, work: f64, elapsed: f64) {
+        Self::observe(
+            self.record_rate.entry(app).or_insert(1.0),
+            elapsed / work.max(1.0),
+        );
+    }
+
+    fn observe_load(&mut self, app: AppKind, work: f64, elapsed: f64) {
+        Self::observe(
+            self.load_rate.entry(app).or_insert(LOAD_SEED_DISCOUNT),
+            elapsed / work.max(1.0),
+        );
+    }
+
+    fn observe_replay(&mut self, app: AppKind, policy: PolicyKind, records: f64, elapsed: f64) {
+        Self::observe(
+            self.replay_rate.entry((app, policy)).or_insert(1.0),
+            elapsed / records.max(1.0),
+        );
+    }
 }
 
 /// One coordinate of a campaign grid.
@@ -114,6 +271,20 @@ struct StreamJob {
     experiment: Experiment,
 }
 
+impl StreamJob {
+    /// Instruction-proportional work estimate for recording this stream:
+    /// each iteration walks the vertex and edge arrays, so
+    /// `(V + E) × max_iterations` tracks the recorded instruction count
+    /// without executing anything. Only the *relative* size matters — it
+    /// seeds the scheduler's longest-processing-time-first ordering until
+    /// measured wall times refine the rates.
+    fn record_work(&self) -> f64 {
+        let graph = self.experiment.graph();
+        let size = graph.vertex_count() as f64 + graph.edge_count() as f64;
+        size * self.experiment.app_config().max_iterations.max(1) as f64
+    }
+}
+
 /// A declarative dataset × technique × app × policy grid.
 #[derive(Debug, Clone)]
 pub struct Campaign {
@@ -126,6 +297,7 @@ pub struct Campaign {
     record_trace: bool,
     mode: ExecutionMode,
     threads: usize,
+    pipelines: usize,
     store: Option<Arc<TraceStore>>,
     codec: Option<Codec>,
 }
@@ -146,7 +318,8 @@ impl Campaign {
             hierarchy: None,
             record_trace: false,
             mode: ExecutionMode::default(),
-            threads: 0, // auto: resolved to available_parallelism at run time
+            threads: 0,   // auto: resolved to available_parallelism at run time
+            pipelines: 0, // auto: resolved from the worker budget at run time
             store: None,
             codec: None, // resolved from GRASP_TRACE_CODEC (default delta-varint)
         }
@@ -259,6 +432,21 @@ impl Campaign {
         self.execution(ExecutionMode::Streaming)
     }
 
+    /// Forces the number of concurrent gang pipelines the
+    /// [`ExecutionMode::Streaming`] plan runs (each pipeline is one
+    /// dedicated recorder thread plus its share of replay consumers). `0`
+    /// (the default) resolves from the worker budget — one pipeline below 4
+    /// workers, `max(2, workers / 4)` at or above — and any request is
+    /// clamped to the stream count. `streaming_pipelines(1)` reproduces the
+    /// historical sequential-stream plan exactly (full worker budget, one
+    /// stream at a time), which is what the bench harness uses as its
+    /// sequential-streaming baseline. Ignored by the other plans.
+    #[must_use]
+    pub fn streaming_pipelines(mut self, pipelines: usize) -> Self {
+        self.pipelines = pipelines;
+        self
+    }
+
     /// Sets the worker-thread count. `0` (the default) means one worker per
     /// available CPU; degenerate requests (zero, or absurdly many workers)
     /// are clamped at run time to `available_parallelism`, and every budget
@@ -323,11 +511,14 @@ impl Campaign {
         };
         let budget = this.worker_budget(this.cells().len());
         match this.mode {
+            ExecutionMode::Pipelined => this.run_pipelined(budget),
             ExecutionMode::Replay => this.run_replay(budget),
             ExecutionMode::Direct => this.run_direct(budget),
             // Streaming never materializes a trace, so trace-requesting
-            // campaigns (the OPT study) buffer instead.
-            ExecutionMode::Streaming if this.record_trace => this.run_replay(budget),
+            // campaigns (the OPT study) fall back to the pipelined plan,
+            // which hands traces back natively. The detour is surfaced via
+            // `CampaignResult::executed_mode`.
+            ExecutionMode::Streaming if this.record_trace => this.run_pipelined(budget),
             ExecutionMode::Streaming => this.run_streaming(budget),
         }
     }
@@ -386,7 +577,7 @@ impl Campaign {
             cell: *cell,
             result: experiment.run(cell.policy),
         });
-        CampaignResult { runs }
+        CampaignResult::new(runs, ExecutionMode::Direct)
     }
 
     /// Collects the unique (dataset, technique, app) streams of the grid in
@@ -443,18 +634,19 @@ impl Campaign {
 
     /// Produces one stream's [`RecordedRun`]: loaded from the trace store
     /// when an entry exists (the record phase is skipped entirely), recorded
-    /// freshly — and published back to the store — otherwise.
-    fn record_or_load(&self, job: &StreamJob) -> RecordedRun {
+    /// freshly — and published back to the store — otherwise. The flag
+    /// reports whether the store served the stream (a corrupt entry counts
+    /// as a miss and is overwritten).
+    fn obtain(&self, job: &StreamJob) -> (RecordedRun, bool) {
         let Some(store) = &self.store else {
-            return job.experiment.record();
+            return (job.experiment.record(), false);
         };
         let key = self.store_key(job);
         if let Some(stored) = store.load(&key) {
-            return job.experiment.recorded_from_parts(
-                stored.trace,
-                stored.app,
-                stored.instructions,
-            );
+            let recorded =
+                job.experiment
+                    .recorded_from_parts(stored.trace, stored.app, stored.instructions);
+            return (recorded, true);
         }
         let recorded = job.experiment.record();
         if let Err(err) = store.publish(
@@ -467,7 +659,18 @@ impl Campaign {
             // run its results.
             eprintln!("trace store: could not publish {key}: {err}");
         }
-        recorded
+        (recorded, false)
+    }
+
+    /// Whether the trace store would serve this stream without recording —
+    /// a plan-time probe (see [`TraceStore::probe`]) the scheduler uses to
+    /// classify the stream's obtain task as a cheap `Load` instead of a
+    /// full `Record` for cost ordering and event logging. The actual task
+    /// still falls back to recording when the probed entry is corrupt.
+    fn probes_as_load(&self, job: &StreamJob) -> bool {
+        self.store
+            .as_ref()
+            .is_some_and(|store| store.probe(&self.store_key(job)))
     }
 
     /// The record-once / replay-many plan: one recording per unique
@@ -478,7 +681,7 @@ impl Campaign {
 
         // Phase 1: obtain each stream once (application + upper levels, or a
         // store hit that skips both).
-        let records = parallel_map(&streams, threads, |job| self.record_or_load(job));
+        let records = parallel_map(&streams, threads, |job| self.obtain(job).0);
 
         // Phase 2: fan each recorded stream out across its policies.
         let runs = parallel_map(&cells, threads, |&(cell, index)| {
@@ -490,15 +693,254 @@ impl Campaign {
             };
             CampaignRun { cell, result }
         });
-        CampaignResult { runs }
+        CampaignResult::new(runs, ExecutionMode::Replay)
+    }
+
+    /// The dependency-driven plan: one shared ready queue of typed tasks —
+    /// `Record(stream)` / `Load(stream)` / `Replay(cell)` — drained by
+    /// `workers` threads with no phase barrier and no sequential stream
+    /// loop. Each stream's replay cells become runnable the moment its
+    /// obtain task completes, so workers drain replays of stream *N* while
+    /// stream *N + 1* is still recording.
+    ///
+    /// Scheduling policy:
+    ///
+    /// * **Admission cap.** At most `⌈workers / 2⌉` obtain tasks run
+    ///   concurrently once replays are available, so recorders can never
+    ///   starve the replay tail (which is what re-creates the barrier).
+    ///   The cap is work-conserving: a worker takes an obtain task beyond
+    ///   the cap rather than idling when no replay is ready.
+    /// * **LPT ordering.** Both queues pop
+    ///   longest-processing-time-first, with costs from the [`CostModel`]:
+    ///   expensive streams record early and expensive replays don't
+    ///   straggle at the end of the run. Costs are evaluated at pop time,
+    ///   so online rate refinements reorder the queues immediately.
+    /// * **Retirement.** A stream's recording is dropped as soon as its
+    ///   last cell completes, so peak trace memory is bounded by the
+    ///   streams with in-flight cells, not the whole grid.
+    ///
+    /// Each cell's replay is the same [`RecordedRun::replay`] (or
+    /// [`RecordedRun::replay_with_trace`]) call the barrier plan makes, so
+    /// results are bit-identical; result slots are indexed by cell, so grid
+    /// order never depends on scheduling.
+    fn run_pipelined(&self, workers: usize) -> CampaignResult {
+        let (cells, streams) = self.stream_plan();
+        if cells.is_empty() {
+            return CampaignResult::new(Vec::new(), ExecutionMode::Pipelined);
+        }
+        let record_work: Vec<f64> = streams.iter().map(StreamJob::record_work).collect();
+        let probed_load: Vec<bool> = streams.iter().map(|job| self.probes_as_load(job)).collect();
+        let mut stream_cells: Vec<Vec<usize>> = vec![Vec::new(); streams.len()];
+        for (index, &(_, stream)) in cells.iter().enumerate() {
+            stream_cells[stream].push(index);
+        }
+        let total = cells.len();
+        // Half the pool (rounded up) may record while replays are pending;
+        // the rest keeps the replay tail draining. See the policy note
+        // above.
+        let obtain_cap = workers.div_ceil(2).max(1);
+        let state = Mutex::new(SchedState {
+            obtain_queue: (0..streams.len()).collect(),
+            replay_queue: Vec::new(),
+            obtains_inflight: 0,
+            recorded: streams.iter().map(|_| None).collect(),
+            trace_records: vec![0.0; streams.len()],
+            remaining_cells: stream_cells.iter().map(Vec::len).collect(),
+            results: (0..total).map(|_| None).collect(),
+            done_cells: 0,
+            events: Vec::new(),
+            model: CostModel::default(),
+            aborted: false,
+        });
+        let ready = Condvar::new();
+        let plan = SchedPlan {
+            cells: &cells,
+            streams: &streams,
+            record_work: &record_work,
+            probed_load: &probed_load,
+            stream_cells: &stream_cells,
+            obtain_cap,
+            total,
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| self.scheduler_worker(&state, &ready, &plan));
+            }
+        });
+        let state = state
+            .into_inner()
+            .expect("no worker panicked past the scope");
+        let runs = state
+            .results
+            .into_iter()
+            .map(|slot| slot.expect("the scheduler fills every cell slot exactly once"))
+            .collect();
+        CampaignResult {
+            runs,
+            executed: ExecutionMode::Pipelined,
+            events: state.events,
+        }
+    }
+
+    /// One worker of the pipelined scheduler: loop picking tasks under the
+    /// lock, executing them unlocked, and folding results + measured rates
+    /// back in. Exits when every cell is done (or a sibling aborted).
+    fn scheduler_worker(&self, state: &Mutex<SchedState>, ready: &Condvar, plan: &SchedPlan<'_>) {
+        // On panic (unlocked task execution), wake and release the siblings
+        // so the scope join can propagate instead of deadlocking on the
+        // condvar.
+        let _abort = AbortGuard { state, ready };
+        let mut guard = state.lock().expect("scheduler state never poisoned");
+        loop {
+            if guard.aborted || guard.done_cells == plan.total {
+                break;
+            }
+            let take_obtain = !guard.obtain_queue.is_empty()
+                && (guard.obtains_inflight < plan.obtain_cap || guard.replay_queue.is_empty());
+            if take_obtain {
+                let stream = {
+                    let SchedState {
+                        obtain_queue,
+                        model,
+                        ..
+                    } = &mut *guard;
+                    lpt_pop(obtain_queue, |stream| {
+                        let app = plan.streams[stream].app;
+                        let work = plan.record_work[stream];
+                        if plan.probed_load[stream] {
+                            model.load_cost(app, work)
+                        } else {
+                            model.record_cost(app, work)
+                        }
+                    })
+                };
+                guard.obtains_inflight += 1;
+                let as_load = plan.probed_load[stream];
+                guard.events.push(if as_load {
+                    SchedulerEvent::LoadStarted { stream }
+                } else {
+                    SchedulerEvent::RecordStarted { stream }
+                });
+                drop(guard);
+
+                let started = Instant::now();
+                let (recorded, hit) = self.obtain(&plan.streams[stream]);
+                let elapsed = started.elapsed().as_secs_f64();
+
+                guard = state.lock().expect("scheduler state never poisoned");
+                let app = plan.streams[stream].app;
+                if as_load {
+                    guard
+                        .model
+                        .observe_load(app, plan.record_work[stream], elapsed);
+                    guard
+                        .events
+                        .push(SchedulerEvent::LoadFinished { stream, hit });
+                } else {
+                    guard
+                        .model
+                        .observe_record(app, plan.record_work[stream], elapsed);
+                    guard.events.push(SchedulerEvent::RecordFinished { stream });
+                }
+                guard.trace_records[stream] = recorded.trace().len() as f64;
+                guard.recorded[stream] = Some(Arc::new(recorded));
+                guard.obtains_inflight -= 1;
+                guard
+                    .replay_queue
+                    .extend_from_slice(&plan.stream_cells[stream]);
+                ready.notify_all();
+                continue;
+            }
+            if !guard.replay_queue.is_empty() {
+                let cell_index = {
+                    let SchedState {
+                        replay_queue,
+                        model,
+                        trace_records,
+                        ..
+                    } = &mut *guard;
+                    lpt_pop(replay_queue, |index| {
+                        let (cell, stream) = plan.cells[index];
+                        model.replay_cost(cell.app, cell.policy, trace_records[stream])
+                    })
+                };
+                let (cell, stream) = plan.cells[cell_index];
+                let recorded = Arc::clone(
+                    guard.recorded[stream]
+                        .as_ref()
+                        .expect("replay tasks only queue after their stream is obtained"),
+                );
+                guard
+                    .events
+                    .push(SchedulerEvent::ReplayStarted { cell: cell_index });
+                drop(guard);
+
+                let started = Instant::now();
+                let result = if self.record_trace {
+                    recorded.replay_with_trace(cell.policy)
+                } else {
+                    recorded.replay(cell.policy)
+                };
+                let elapsed = started.elapsed().as_secs_f64();
+                drop(recorded);
+
+                guard = state.lock().expect("scheduler state never poisoned");
+                let records = guard.trace_records[stream];
+                guard
+                    .model
+                    .observe_replay(cell.app, cell.policy, records, elapsed);
+                guard
+                    .events
+                    .push(SchedulerEvent::ReplayFinished { cell: cell_index });
+                guard.results[cell_index] = Some(CampaignRun { cell, result });
+                guard.done_cells += 1;
+                guard.remaining_cells[stream] -= 1;
+                if guard.remaining_cells[stream] == 0 {
+                    guard.recorded[stream] = None;
+                    guard.events.push(SchedulerEvent::StreamRetired { stream });
+                }
+                ready.notify_all();
+                continue;
+            }
+            // Both queues empty but obtains are in flight: their completion
+            // will refill the replay queue. Sleep until state changes.
+            guard = ready.wait(guard).expect("scheduler state never poisoned");
+        }
+        drop(guard);
+        ready.notify_all();
+    }
+
+    /// The gang pipeline count the streaming plan actually runs (see
+    /// [`Campaign::streaming_pipelines`]): the explicit request, or — when
+    /// auto — one pipeline below 4 workers and `max(2, workers / 4)` at or
+    /// above, always clamped to the stream count.
+    fn resolved_pipelines(&self, workers: usize, streams: usize) -> usize {
+        let auto = if workers >= 4 {
+            (workers / 4).max(2)
+        } else {
+            1
+        };
+        let requested = if self.pipelines == 0 {
+            auto
+        } else {
+            self.pipelines
+        };
+        requested.clamp(1, streams.max(1))
     }
 
     /// The streaming plan: each stream's recorder and policy replayers run
-    /// concurrently, one stream at a time with the full worker budget. The
-    /// recorder occupies the scheduling thread, so the replay consumers get
-    /// the remaining budget (at least one — on a single worker the OS
-    /// interleaves recorder and consumer through the bounded channel, which
-    /// stays correct, just unoverlapped).
+    /// concurrently, sharing frozen trace chunks through a bounded channel.
+    /// Streams are claimed longest-record-first by `G` **gang pipelines**
+    /// ([`Campaign::resolved_pipelines`]) — each gang is one recorder
+    /// thread (the gang leader) driving `max(1, workers / G − 1)` replay
+    /// consumers ([`Experiment::sweep_streaming`]) — so with `G > 1` the
+    /// fan-out tail of one stream overlaps the next stream's recorder
+    /// across gangs, while within a gang the recorder and consumers
+    /// already overlap through the channel. `G = 1` reproduces the
+    /// historical sequential plan: one stream at a time, full worker
+    /// budget. Per-stream statistics never depend on the consumer count or
+    /// the gang count, so results stay bit-identical in every
+    /// configuration.
     ///
     /// With a trace store attached, a stream whose recording is stored skips
     /// its record phase: the loaded trace is **re-broadcast** through the
@@ -510,33 +952,235 @@ impl Campaign {
     /// skip recording altogether.
     fn run_streaming(&self, threads: usize) -> CampaignResult {
         let (cells, streams) = self.stream_plan();
-        let consumers = threads.saturating_sub(1).max(1);
-        let swept: Vec<Vec<crate::experiment::RunResult>> = streams
-            .iter()
-            .map(|job| {
-                if self.store.is_some() {
-                    self.record_or_load(job)
-                        .sweep_streaming(&self.policies, consumers)
-                } else {
-                    job.experiment.sweep_streaming(&self.policies, consumers)
-                }
-            })
+        if cells.is_empty() {
+            return CampaignResult::new(Vec::new(), ExecutionMode::Streaming);
+        }
+        let gangs = self.resolved_pipelines(threads, streams.len());
+        let consumers = (threads / gangs).saturating_sub(1).max(1);
+        let record_work: Vec<f64> = streams.iter().map(StreamJob::record_work).collect();
+        let probed_load: Vec<bool> = streams.iter().map(|job| self.probes_as_load(job)).collect();
+
+        struct StreamingState {
+            /// Stream indices not yet claimed by a gang.
+            queue: Vec<usize>,
+            /// Per-stream policy sweeps, filled as gangs finish.
+            swept: Vec<Option<Vec<RunResult>>>,
+            /// The interleaving log (coarse: streaming fuses each stream's
+            /// record and replays into one task).
+            events: Vec<SchedulerEvent>,
+            /// Online-refined obtain rates for LPT stream claiming.
+            model: CostModel,
+        }
+        let state = Mutex::new(StreamingState {
+            queue: (0..streams.len()).collect(),
+            swept: streams.iter().map(|_| None).collect(),
+            events: Vec::new(),
+            model: CostModel::default(),
+        });
+
+        std::thread::scope(|scope| {
+            for _ in 0..gangs {
+                scope.spawn(|| loop {
+                    let mut guard = state.lock().expect("streaming state never poisoned");
+                    if guard.queue.is_empty() {
+                        return;
+                    }
+                    let StreamingState { queue, model, .. } = &mut *guard;
+                    let stream = lpt_pop(queue, |stream| {
+                        let app = streams[stream].app;
+                        let work = record_work[stream];
+                        if probed_load[stream] {
+                            model.load_cost(app, work)
+                        } else {
+                            model.record_cost(app, work)
+                        }
+                    });
+                    let as_load = probed_load[stream];
+                    guard.events.push(if as_load {
+                        SchedulerEvent::LoadStarted { stream }
+                    } else {
+                        SchedulerEvent::RecordStarted { stream }
+                    });
+                    drop(guard);
+
+                    let job = &streams[stream];
+                    let started = Instant::now();
+                    let (results, hit) = if self.store.is_some() {
+                        let (recorded, hit) = self.obtain(job);
+                        (recorded.sweep_streaming(&self.policies, consumers), hit)
+                    } else {
+                        (
+                            job.experiment.sweep_streaming(&self.policies, consumers),
+                            false,
+                        )
+                    };
+                    let elapsed = started.elapsed().as_secs_f64();
+
+                    let mut guard = state.lock().expect("streaming state never poisoned");
+                    if as_load {
+                        guard
+                            .model
+                            .observe_load(job.app, record_work[stream], elapsed);
+                        guard
+                            .events
+                            .push(SchedulerEvent::LoadFinished { stream, hit });
+                    } else {
+                        guard
+                            .model
+                            .observe_record(job.app, record_work[stream], elapsed);
+                        guard.events.push(SchedulerEvent::RecordFinished { stream });
+                    }
+                    guard.events.push(SchedulerEvent::StreamRetired { stream });
+                    guard.swept[stream] = Some(results);
+                });
+            }
+        });
+
+        let state = state.into_inner().expect("no gang panicked past the scope");
+        let swept = state
+            .swept
+            .into_iter()
+            .map(|sweep| sweep.expect("every stream is swept exactly once"))
             .collect();
-        let runs = cells
+        let runs = self.assemble_grid_order(cells, swept);
+        CampaignResult {
+            runs,
+            executed: ExecutionMode::Streaming,
+            events: state.events,
+        }
+    }
+
+    /// Reassembles per-stream policy sweeps into grid-ordered runs,
+    /// **moving** each `RunResult` into its cell instead of cloning (they
+    /// carry per-run statistics tables). Duplicate policies in the grid
+    /// resolve to the same sweep slot — a pre-pass counts slot uses so
+    /// every cell before the last borrows a clone and the last takes the
+    /// value.
+    fn assemble_grid_order(
+        &self,
+        cells: Vec<(CampaignCell, usize)>,
+        swept: Vec<Vec<RunResult>>,
+    ) -> Vec<CampaignRun> {
+        let slot_of = |cell: &CampaignCell| {
+            self.policies
+                .iter()
+                .position(|&policy| policy == cell.policy)
+                .expect("cell policies come from the campaign's policy list")
+        };
+        let mut uses: HashMap<(usize, usize), usize> = HashMap::new();
+        for (cell, stream) in &cells {
+            *uses.entry((*stream, slot_of(cell))).or_insert(0) += 1;
+        }
+        let mut swept: Vec<Vec<Option<RunResult>>> = swept
+            .into_iter()
+            .map(|sweep| sweep.into_iter().map(Some).collect())
+            .collect();
+        cells
             .into_iter()
             .map(|(cell, stream)| {
-                let policy_slot = self
-                    .policies
-                    .iter()
-                    .position(|&policy| policy == cell.policy)
-                    .expect("cell policies come from the campaign's policy list");
-                CampaignRun {
-                    cell,
-                    result: swept[stream][policy_slot].clone(),
-                }
+                let slot = slot_of(&cell);
+                let remaining = uses
+                    .get_mut(&(stream, slot))
+                    .expect("every cell was counted");
+                *remaining -= 1;
+                let result = if *remaining == 0 {
+                    swept[stream][slot]
+                        .take()
+                        .expect("each slot's last user takes the value")
+                } else {
+                    swept[stream][slot]
+                        .as_ref()
+                        .expect("earlier users only borrow the value")
+                        .clone()
+                };
+                CampaignRun { cell, result }
             })
-            .collect();
-        CampaignResult { runs }
+            .collect()
+    }
+}
+
+/// The immutable plan the pipelined scheduler's workers share: the grid,
+/// the task classification and the admission parameters. Splitting this
+/// from [`SchedState`] keeps the mutable state (and the lock) minimal.
+struct SchedPlan<'a> {
+    /// Every cell with its stream index, in grid order.
+    cells: &'a [(CampaignCell, usize)],
+    /// The unique streams in first-seen grid order.
+    streams: &'a [StreamJob],
+    /// Per-stream record work estimate (see [`StreamJob::record_work`]).
+    record_work: &'a [f64],
+    /// Per-stream plan-time classification: `true` when the trace store
+    /// probe saw an entry, making the obtain task a `Load`.
+    probed_load: &'a [bool],
+    /// Per-stream list of cell indices (the tasks an obtain unlocks).
+    stream_cells: &'a [Vec<usize>],
+    /// Maximum concurrent obtain tasks while replays are pending.
+    obtain_cap: usize,
+    /// Total cell count (the run is done when this many results landed).
+    total: usize,
+}
+
+/// The mutable state of the pipelined scheduler, shared under one mutex.
+struct SchedState {
+    /// Stream indices whose obtain task has not been claimed yet.
+    obtain_queue: Vec<usize>,
+    /// Cell indices whose stream is obtained and whose replay has not been
+    /// claimed yet.
+    replay_queue: Vec<usize>,
+    /// Obtain tasks currently executing (admission-cap accounting).
+    obtains_inflight: usize,
+    /// Per-stream recording, present from obtain completion to retirement.
+    recorded: Vec<Option<Arc<RecordedRun>>>,
+    /// Per-stream trace record count (the replay cost driver), filled when
+    /// the stream is obtained.
+    trace_records: Vec<f64>,
+    /// Per-stream count of cells still to finish; 0 retires the stream.
+    remaining_cells: Vec<usize>,
+    /// Per-cell result slots, indexed in grid order.
+    results: Vec<Option<CampaignRun>>,
+    /// Cells completed so far.
+    done_cells: usize,
+    /// The interleaving log (appended under the lock).
+    events: Vec<SchedulerEvent>,
+    /// Online-refined task cost rates.
+    model: CostModel,
+    /// Set when a worker panicked, so sleeping siblings exit instead of
+    /// waiting for a notification that will never come.
+    aborted: bool,
+}
+
+/// Pops the highest-cost entry of `queue` (longest-processing-time-first).
+/// Costs are evaluated at pop time so rate refinements take effect on
+/// already-queued tasks.
+fn lpt_pop(queue: &mut Vec<usize>, cost: impl Fn(usize) -> f64) -> usize {
+    let mut best = 0;
+    let mut best_cost = f64::NEG_INFINITY;
+    for (position, &item) in queue.iter().enumerate() {
+        let item_cost = cost(item);
+        if item_cost > best_cost {
+            best = position;
+            best_cost = item_cost;
+        }
+    }
+    queue.swap_remove(best)
+}
+
+/// Wakes and releases the scheduler's sibling workers when the owning
+/// worker unwinds, so the thread-scope join propagates the panic instead of
+/// deadlocking on workers parked in [`Condvar::wait`].
+struct AbortGuard<'a> {
+    state: &'a Mutex<SchedState>,
+    ready: &'a Condvar,
+}
+
+impl Drop for AbortGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            if let Ok(mut guard) = self.state.lock() {
+                guard.aborted = true;
+            }
+            self.ready.notify_all();
+        }
     }
 }
 
@@ -590,9 +1234,37 @@ fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
     runs: Vec<CampaignRun>,
+    executed: ExecutionMode,
+    events: Vec<SchedulerEvent>,
 }
 
 impl CampaignResult {
+    /// A result set with no scheduler log (the barrier plans).
+    fn new(runs: Vec<CampaignRun>, executed: ExecutionMode) -> Self {
+        Self {
+            runs,
+            executed,
+            events: Vec::new(),
+        }
+    }
+
+    /// The execution plan that actually ran — not necessarily the one
+    /// requested: [`ExecutionMode::Streaming`] campaigns that also request
+    /// per-cell traces ([`Campaign::recording_llc_trace`]) execute as
+    /// [`ExecutionMode::Pipelined`], since streaming never materializes a
+    /// trace to hand back.
+    pub fn executed_mode(&self) -> ExecutionMode {
+        self.executed
+    }
+
+    /// The scheduler's event log, in true interleaving order (empty for
+    /// the barrier plans, which have no scheduler). The pipelined plan
+    /// logs per-task events; the streaming plan logs per-stream events
+    /// (record and replays are fused into one gang task there).
+    pub fn scheduler_events(&self) -> &[SchedulerEvent] {
+        &self.events
+    }
+
     /// Number of completed cells.
     pub fn len(&self) -> usize {
         self.runs.len()
@@ -721,14 +1393,97 @@ mod tests {
     }
 
     #[test]
-    fn streaming_with_trace_request_falls_back_to_buffered_replay() {
+    fn streaming_with_trace_request_falls_back_to_pipelined() {
         let streamed = tiny_campaign().streaming().recording_llc_trace().run();
+        assert_eq!(
+            streamed.executed_mode(),
+            ExecutionMode::Pipelined,
+            "streaming cannot hand back traces, so the run must detour"
+        );
         for run in streamed.iter() {
             assert!(
                 run.result.llc_trace.is_some(),
                 "requested traces must still be delivered: {:?}",
                 run.cell
             );
+        }
+        // Without the trace request, streaming runs as requested.
+        let streamed = tiny_campaign().streaming().run();
+        assert_eq!(streamed.executed_mode(), ExecutionMode::Streaming);
+    }
+
+    #[test]
+    fn pipelined_plan_agrees_with_direct_bit_for_bit() {
+        let pipelined = tiny_campaign().threads(4).run();
+        assert_eq!(pipelined.executed_mode(), ExecutionMode::Pipelined);
+        let direct = tiny_campaign().direct().threads(4).run();
+        assert_eq!(direct.executed_mode(), ExecutionMode::Direct);
+        assert_eq!(pipelined.len(), direct.len());
+        for (a, b) in pipelined.iter().zip(direct.iter()) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.result.stats, b.result.stats, "{:?}", a.cell);
+            assert_eq!(a.result.app.values, b.result.app.values, "{:?}", a.cell);
+            assert!((a.result.cycles - b.result.cycles).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pipelined_event_log_covers_every_task() {
+        let campaign = tiny_campaign().threads(3);
+        let streams = campaign.stream_plan().1.len();
+        let cells = campaign.cells().len();
+        let results = campaign.run();
+        let events = results.scheduler_events();
+        let count =
+            |matcher: fn(&SchedulerEvent) -> bool| events.iter().filter(|e| matcher(e)).count();
+        assert_eq!(
+            count(|e| matches!(e, SchedulerEvent::RecordStarted { .. })),
+            streams
+        );
+        assert_eq!(
+            count(|e| matches!(e, SchedulerEvent::RecordFinished { .. })),
+            streams
+        );
+        assert_eq!(
+            count(|e| matches!(e, SchedulerEvent::StreamRetired { .. })),
+            streams
+        );
+        assert_eq!(
+            count(|e| matches!(e, SchedulerEvent::ReplayStarted { .. })),
+            cells
+        );
+        assert_eq!(
+            count(|e| matches!(e, SchedulerEvent::ReplayFinished { .. })),
+            cells
+        );
+        // No store attached: nothing may classify as a load.
+        assert_eq!(
+            count(|e| matches!(e, SchedulerEvent::LoadStarted { .. })),
+            0
+        );
+        // Barrier plans have no scheduler, hence no log.
+        assert!(tiny_campaign().direct().run().scheduler_events().is_empty());
+        assert!(tiny_campaign()
+            .execution(ExecutionMode::Replay)
+            .run()
+            .scheduler_events()
+            .is_empty());
+    }
+
+    #[test]
+    fn duplicate_policies_assemble_correctly() {
+        // Duplicate grid policies resolve to the same sweep slot; the
+        // move-based assembly must serve every duplicate cell (clones for
+        // all but the last user).
+        let campaign = Campaign::new(Scale::Tiny)
+            .datasets(&[DatasetKind::Twitter])
+            .apps(&[AppKind::PageRank])
+            .policies(&[PolicyKind::Rrip, PolicyKind::Rrip, PolicyKind::Grasp]);
+        for mode in [ExecutionMode::Pipelined, ExecutionMode::Streaming] {
+            let results = campaign.clone().execution(mode).threads(2).run();
+            assert_eq!(results.len(), 3, "{mode:?}");
+            let runs: Vec<_> = results.iter().collect();
+            assert_eq!(runs[0].result.stats, runs[1].result.stats, "{mode:?}");
         }
     }
 

@@ -8,7 +8,8 @@ use grasp_cachesim::config::{CacheConfig, HierarchyConfig};
 use grasp_cachesim::hint::RegionClassifier;
 use grasp_cachesim::stats::HierarchyStats;
 use grasp_cachesim::trace::{
-    chunk_channel, replay_stream, ChunkReplayer, LlcTrace, TraceTap, DEFAULT_STREAM_DEPTH,
+    chunk_channel, replay_stream, ChunkReceiver, ChunkReplayer, LlcTrace, TraceTap,
+    DEFAULT_STREAM_DEPTH,
 };
 use grasp_cachesim::{Hierarchy, TimingModel};
 use grasp_graph::Csr;
@@ -104,20 +105,25 @@ impl RecordedRun {
         let ((), stats) = fan_out_stream(self.llc, policies, consumers, |tap| {
             self.trace.stream_into(&tap)
         });
+        let streamed = self.as_streamed();
         policies
             .iter()
             .zip(stats)
-            .map(|(&policy, stats)| {
-                let cycles = self.timing.cycles(&stats, self.instructions);
-                RunResult {
-                    policy,
-                    stats,
-                    cycles,
-                    app: self.app.clone(),
-                    llc_trace: None,
-                }
-            })
+            .map(|(&policy, stats)| streamed.assemble(policy, stats))
             .collect()
+    }
+
+    /// The streaming-assembly view of this buffered recording: what a
+    /// scheduler needs to re-broadcast the trace through its own consumer
+    /// tasks ([`StreamConsumerTask`]) and assemble their statistics exactly
+    /// like a live [`Experiment::record_streaming`] run would.
+    pub fn as_streamed(&self) -> StreamedRecord {
+        StreamedRecord {
+            app: self.app.clone(),
+            instructions: self.instructions,
+            llc: self.llc,
+            timing: self.timing,
+        }
     }
 
     /// Replays the stream under `policy` and returns a [`RunResult`]
@@ -511,50 +517,106 @@ impl Experiment {
     }
 }
 
+/// One independently spawnable consumer of a decomposed streaming fan-out:
+/// replays its assigned policy subset off one [`ChunkReceiver`] until the
+/// end-of-stream marker arrives.
+///
+/// Produced by [`streaming_fanout`]. A task is self-contained — receiver,
+/// policy slots and pre-built replayers — so any thread (a scoped helper
+/// inside [`Experiment::sweep_streaming`], or a campaign scheduler's worker)
+/// can run it to completion independently of where the recorder and the
+/// other consumers execute. The only coupling is the bounded chunk channel
+/// itself: the producer must run concurrently, since it blocks once any
+/// consumer falls a channel-depth behind.
+#[derive(Debug)]
+pub struct StreamConsumerTask {
+    receiver: ChunkReceiver,
+    llc: CacheConfig,
+    slots: Vec<(usize, PolicyKind)>,
+}
+
+impl StreamConsumerTask {
+    /// Drains the stream, returning `(policy index, statistics)` for each
+    /// policy slot this consumer served. Replayers are built here, on the
+    /// thread that runs the task — policy state is not `Send`, so the task
+    /// carries only the plain `(slot, policy)` assignments across threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the producer disconnects without an end-of-stream marker
+    /// (the recording side panicked or was dropped mid-record).
+    pub fn run(self) -> Vec<(usize, HierarchyStats)> {
+        let replayers = self
+            .slots
+            .iter()
+            .map(|&(_, policy)| ChunkReplayer::new(self.llc, policy.build_dispatch(&self.llc)))
+            .collect();
+        let stats = replay_stream(&self.receiver, replayers);
+        self.slots
+            .into_iter()
+            .map(|(slot, _)| slot)
+            .zip(stats)
+            .collect()
+    }
+}
+
+/// Decomposes an N-policy streaming fan-out into its producer tap and up to
+/// `consumers` independently spawnable [`StreamConsumerTask`]s (policy `i`
+/// served by consumer `i % consumers`, every chunk fed to all of a
+/// consumer's replayers). The caller decides where each half runs: feed the
+/// tap on one thread ([`Experiment::record_streaming`] live, or
+/// [`grasp_cachesim::LlcTrace::stream_into`] for a buffered re-broadcast)
+/// while the consumer tasks execute on any others.
+pub fn streaming_fanout(
+    llc: CacheConfig,
+    policies: &[PolicyKind],
+    consumers: usize,
+) -> (TraceTap, Vec<StreamConsumerTask>) {
+    let consumers = consumers.clamp(1, policies.len().max(1));
+    let (tap, receivers) = chunk_channel(consumers, DEFAULT_STREAM_DEPTH);
+    let tasks = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(c, receiver)| StreamConsumerTask {
+            receiver,
+            llc,
+            slots: (c..policies.len())
+                .step_by(consumers)
+                .map(|i| (i, policies[i]))
+                .collect(),
+        })
+        .collect();
+    (tap, tasks)
+}
+
 /// The shared streaming consumer harness behind [`Experiment::sweep_streaming`]
 /// (live recording) and [`RecordedRun::sweep_streaming`] (re-broadcast of a
-/// buffered or store-loaded trace): spawns up to `consumers` replay workers
-/// off a bounded chunk channel — policy i served by consumer i % consumers,
-/// every chunk fed to all of a consumer's replayers — runs `produce` with
-/// the tap on the calling thread, and returns its output together with the
-/// per-policy hierarchy statistics in `policies` order.
+/// buffered or store-loaded trace): spawns the [`streaming_fanout`] consumer
+/// tasks on scoped threads, runs `produce` with the tap on the calling
+/// thread, and returns its output together with the per-policy hierarchy
+/// statistics in `policies` order.
 fn fan_out_stream<R>(
     llc: CacheConfig,
     policies: &[PolicyKind],
     consumers: usize,
     produce: impl FnOnce(TraceTap) -> R,
 ) -> (R, Vec<HierarchyStats>) {
-    let consumers = consumers.clamp(1, policies.len());
-    let (tap, receivers) = chunk_channel(consumers, DEFAULT_STREAM_DEPTH);
-    let assignments: Vec<Vec<usize>> = (0..consumers)
-        .map(|c| (c..policies.len()).step_by(consumers).collect())
-        .collect();
+    let (tap, tasks) = streaming_fanout(llc, policies, consumers);
     let (produced, gathered) = std::thread::scope(|scope| {
-        let workers: Vec<_> = receivers
+        let workers: Vec<_> = tasks
             .into_iter()
-            .zip(&assignments)
-            .map(|(receiver, mine)| {
-                scope.spawn(move || {
-                    let replayers = mine
-                        .iter()
-                        .map(|&i| ChunkReplayer::new(llc, policies[i].build_dispatch(&llc)))
-                        .collect();
-                    replay_stream(&receiver, replayers)
-                })
-            })
+            .map(|task| scope.spawn(move || task.run()))
             .collect();
         let produced = produce(tap);
-        let gathered: Vec<Vec<HierarchyStats>> = workers
+        let gathered: Vec<Vec<(usize, HierarchyStats)>> = workers
             .into_iter()
             .map(|worker| worker.join().expect("streaming replay worker panicked"))
             .collect();
         (produced, gathered)
     });
     let mut slots: Vec<Option<HierarchyStats>> = (0..policies.len()).map(|_| None).collect();
-    for (mine, stats_list) in assignments.iter().zip(gathered) {
-        for (&i, stats) in mine.iter().zip(stats_list) {
-            slots[i] = Some(stats);
-        }
+    for (i, stats) in gathered.into_iter().flatten() {
+        slots[i] = Some(stats);
     }
     let stats = slots
         .into_iter()

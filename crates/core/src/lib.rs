@@ -13,10 +13,12 @@
 //!   captures the post-L2 stream once so any number of policies can be
 //!   evaluated by replay,
 //! * the **campaign runner** ([`campaign`]) — a whole figure's grid of
-//!   experiments under a record-once / replay-many execution plan (direct
-//!   per-cell simulation remains as a fallback), with graphs shared and
-//!   reordered once and both phases fanned out across a thread pool in
-//!   deterministic grid order,
+//!   experiments under a record-once / replay-many execution plan, with
+//!   graphs shared and reordered once and the record/load/replay tasks
+//!   drained barrier-free by a dependency-driven, cost-aware scheduler
+//!   (two-phase barrier, direct per-cell, and streaming gang-pipeline
+//!   plans remain selectable), results always in deterministic grid
+//!   order,
 //! * **comparison helpers** ([`compare`]) — miss-reduction and speed-up
 //!   percentages, geometric means,
 //! * **report formatting** ([`report`]) — the plain-text tables printed by
@@ -48,7 +50,9 @@ pub mod policy;
 pub mod report;
 pub mod trace_store;
 
-pub use campaign::{Campaign, CampaignCell, CampaignResult, CampaignRun, ExecutionMode};
+pub use campaign::{
+    Campaign, CampaignCell, CampaignResult, CampaignRun, ExecutionMode, SchedulerEvent,
+};
 pub use compare::{geometric_mean_speedup, miss_reduction_pct, speedup_pct};
 pub use datasets::{Dataset, DatasetKind, Scale};
 pub use experiment::{Experiment, RecordedRun, RunResult};

@@ -86,6 +86,21 @@ fn json_string_array(items: &[String]) -> String {
     format!("[{}]", cells.join(","))
 }
 
+/// Environment metadata embedded in a `BENCH_*.json` dump, so trajectory
+/// readers can tell *how* a figure was measured: speedup bars are enforced
+/// only at ≥ 4 hardware threads (and demotable via
+/// `GRASP_BENCH_NO_SPEEDUP_BARS=1`), which makes a bar-demoted 1-core CI
+/// dump and a bar-enforced workstation dump different measurements of the
+/// same figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchMeta {
+    /// Hardware threads available where the dump was produced.
+    pub hardware_threads: usize,
+    /// Whether the run's speedup bars were enforced (`false` = demoted:
+    /// too few threads, or `GRASP_BENCH_NO_SPEEDUP_BARS=1`).
+    pub speedup_bars_enforced: bool,
+}
+
 /// Serializes one or more tables into a stable, machine-readable JSON
 /// document:
 ///
@@ -97,12 +112,32 @@ fn json_string_array(items: &[String]) -> String {
 /// `wall_ms` is the wall-clock time the figure's campaign took, so the
 /// per-PR `BENCH_<figure>.json` dumps double as a performance trajectory.
 pub fn to_json(figure: &str, wall_ms: u128, tables: &[&Table]) -> String {
+    to_json_with_meta(figure, wall_ms, None, tables)
+}
+
+/// [`to_json`] with environment metadata: adds `"hardware_threads"` and
+/// `"speedup_bars_enforced"` members after `wall_ms`. Trajectory readers
+/// that predate the fields ignore unknown keys, so dumps with and without
+/// metadata diff cleanly against each other.
+pub fn to_json_with_meta(
+    figure: &str,
+    wall_ms: u128,
+    meta: Option<BenchMeta>,
+    tables: &[&Table],
+) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{{\"figure\":\"{}\",\"wall_ms\":{},\"tables\":[",
+        "{{\"figure\":\"{}\",\"wall_ms\":{}",
         json_escape(figure),
         wall_ms
     ));
+    if let Some(meta) = meta {
+        out.push_str(&format!(
+            ",\"hardware_threads\":{},\"speedup_bars_enforced\":{}",
+            meta.hardware_threads, meta.speedup_bars_enforced
+        ));
+    }
+    out.push_str(",\"tables\":[");
     for (i, table) in tables.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -190,6 +225,25 @@ mod tests {
         assert!(json.contains("\"headers\":[\"dataset\",\"GRASP\"]"));
         assert!(json.contains("\"rows\":[[\"lj\\n\",\"6.4\"]]"));
         assert!(json.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn json_output_embeds_bench_metadata() {
+        let t = Table::new("t", &["x"]);
+        let meta = BenchMeta {
+            hardware_threads: 8,
+            speedup_bars_enforced: true,
+        };
+        let json = to_json_with_meta("fig", 7, Some(meta), &[&t]);
+        assert!(json.contains("\"wall_ms\":7,\"hardware_threads\":8,"));
+        assert!(json.contains("\"speedup_bars_enforced\":true,\"tables\":["));
+        // Without metadata the document is byte-identical to the legacy
+        // shape, so committed baselines stay diffable.
+        assert_eq!(
+            to_json_with_meta("fig", 7, None, &[&t]),
+            to_json("fig", 7, &[&t])
+        );
+        assert!(to_json("fig", 7, &[&t]).contains("\"wall_ms\":7,\"tables\":["));
     }
 
     #[test]

@@ -508,6 +508,18 @@ impl TraceStore {
         }
     }
 
+    /// Whether *some* entry file exists for `key` (any codec), without
+    /// reading or validating it. This is how a scheduler classifies a
+    /// stream's obtain task up front — a probe hit plans a cheap `Load`
+    /// task, a probe miss plans a full `Record` task — so loads and records
+    /// can be cost-ordered and overlapped. Probing never touches the
+    /// traffic counters, and a probe hit is only a *plan*: the load itself
+    /// still falls back to recording when the entry turns out corrupt.
+    pub fn probe(&self, key: &TraceStoreKey) -> bool {
+        key.lookup_file_names()
+            .any(|file| self.dir.join(file).exists())
+    }
+
     /// Looks `key` up, counting the outcome. A present, valid entry is a
     /// **hit** (the caller skips its record phase); a missing entry is a
     /// **miss**; an unreadable entry is a **corrupt miss** — the caller

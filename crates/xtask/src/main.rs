@@ -185,11 +185,28 @@ fn diff_figure(base_path: &Path, fresh_path: &Path, tolerance: f64) -> Result<St
 
     if problems.is_empty() {
         Ok(format!(
-            "wall {fresh_wall:.0} ms vs baseline {base_wall:.0} ms, tables identical"
+            "wall {fresh_wall:.0} ms vs baseline {base_wall:.0} ms, tables identical{}",
+            bench_meta_summary(&fresh)
         ))
     } else {
         Err(problems)
     }
+}
+
+/// Renders a fresh dump's embedded measurement metadata (hardware thread
+/// count + speedup-bar state), so gated CI runs are distinguishable from
+/// bar-enforced multi-core runs in the log. Dumps that predate the fields
+/// render nothing.
+fn bench_meta_summary(doc: &Json) -> String {
+    let Some(threads) = doc.get("hardware_threads").and_then(Json::as_f64) else {
+        return String::new();
+    };
+    let bars = match doc.get("speedup_bars_enforced").and_then(Json::as_bool) {
+        Some(true) => "speedup bars enforced",
+        Some(false) => "speedup bars demoted",
+        None => "speedup bar state unknown",
+    };
+    format!(" (fresh: {} hw thread(s), {bars})", threads as u64)
 }
 
 fn load(path: &Path) -> Result<Json, String> {

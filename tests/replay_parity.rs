@@ -86,6 +86,47 @@ fn replay_and_direct_modes_agree_for_every_technique() {
 }
 
 #[test]
+fn pipelined_campaign_matches_both_barrier_plans_across_the_full_policy_grid() {
+    // The dependency-driven scheduler (the default plan) against the
+    // two-phase barrier plan and the direct plan, for all 13 policies over
+    // a multi-stream grid: pipelining may only move wall-clock, never
+    // statistics, app output or timing.
+    let campaign = |mode: ExecutionMode| {
+        Campaign::new(SCALE)
+            .datasets(&[DatasetKind::Twitter, DatasetKind::Kron])
+            .apps(&[AppKind::PageRank, AppKind::Sssp])
+            .policies(&FULL_GRID)
+            .execution(mode)
+            .threads(4)
+            .run()
+    };
+    let pipelined = campaign(ExecutionMode::Pipelined);
+    let replayed = campaign(ExecutionMode::Replay);
+    let direct = campaign(ExecutionMode::Direct);
+    assert_eq!(pipelined.len(), 4 * FULL_GRID.len());
+    assert_eq!(pipelined.len(), replayed.len());
+    assert_eq!(pipelined.len(), direct.len());
+    for ((a, b), c) in pipelined.iter().zip(replayed.iter()).zip(direct.iter()) {
+        assert_eq!(a.cell, b.cell);
+        assert_eq!(a.cell, c.cell);
+        assert_eq!(
+            a.result.stats, b.result.stats,
+            "{}/{}/{}: pipelined diverged from the barrier replay plan",
+            a.cell.dataset, a.cell.app, a.cell.policy
+        );
+        assert_eq!(
+            a.result.stats, c.result.stats,
+            "{}/{}/{}: pipelined diverged from direct simulation",
+            a.cell.dataset, a.cell.app, a.cell.policy
+        );
+        assert_eq!(a.result.app.values, b.result.app.values);
+        assert_eq!(a.result.app.values, c.result.app.values);
+        assert!((a.result.cycles - b.result.cycles).abs() < 1e-9);
+        assert!((a.result.cycles - c.result.cycles).abs() < 1e-9);
+    }
+}
+
+#[test]
 fn streaming_campaign_matches_the_replay_plan_across_the_full_policy_grid() {
     let campaign = |mode: ExecutionMode| {
         Campaign::new(SCALE)

@@ -1,0 +1,261 @@
+//! The pipelined campaign scheduler must be a pure wall-clock optimization:
+//! bit-identical to serial `Experiment::run` for arbitrary grids, worker
+//! counts and trace-store configurations, always in deterministic grid
+//! order — and actually barrier-free, which the scheduler event log proves
+//! (replays of early streams finish before the last stream starts
+//! recording).
+//!
+//! CI runs this suite at several forced worker counts (oversubscribed on
+//! the 1-core container) via `GRASP_SCHED_WORKERS`; the fixed tests honour
+//! it, the property tests sweep worker counts themselves.
+
+use grasp_suite::analytics::apps::AppKind;
+use grasp_suite::core::campaign::{Campaign, ExecutionMode, SchedulerEvent};
+use grasp_suite::core::datasets::{DatasetKind, Scale};
+use grasp_suite::core::experiment::Experiment;
+use grasp_suite::core::policy::PolicyKind;
+use grasp_suite::core::trace_store::TraceStore;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SCALE: Scale = Scale::Tiny;
+
+/// Roster the property tests draw datasets from (kept small: every case
+/// regenerates and reorders its datasets).
+const DATASETS: [DatasetKind; 3] = [
+    DatasetKind::Twitter,
+    DatasetKind::Kron,
+    DatasetKind::Uniform,
+];
+
+/// Roster the property tests draw applications from.
+const APPS: [AppKind; 3] = [AppKind::PageRank, AppKind::Sssp, AppKind::PageRankDelta];
+
+/// Roster the property tests draw policy windows from (a slice of the full
+/// 13-policy grid `tests/replay_parity.rs` pins; windows keep case cost
+/// proportional to the drawn policy count).
+const POLICIES: [PolicyKind; 6] = [
+    PolicyKind::Lru,
+    PolicyKind::Rrip,
+    PolicyKind::ShipMem,
+    PolicyKind::Hawkeye,
+    PolicyKind::Pin(75),
+    PolicyKind::Grasp,
+];
+
+/// The worker count CI forces via `GRASP_SCHED_WORKERS`, when set.
+fn forced_workers() -> Option<usize> {
+    std::env::var("GRASP_SCHED_WORKERS").ok()?.parse().ok()
+}
+
+fn temp_store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("grasp-sched-itest-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The serial reference: one independent `Experiment::run` per cell.
+fn serial_reference(campaign: &Campaign) -> Vec<grasp_suite::core::experiment::RunResult> {
+    campaign
+        .cells()
+        .iter()
+        .map(|cell| {
+            let dataset = cell.dataset.build(SCALE);
+            Experiment::new(dataset.graph, cell.app)
+                .with_hierarchy(SCALE.hierarchy())
+                .with_reordering(cell.technique)
+                .run(cell.policy)
+        })
+        .collect()
+}
+
+/// Asserts one campaign run is bit-identical to the serial reference and in
+/// deterministic grid order.
+fn assert_matches_serial(campaign: &Campaign, what: &str) -> Result<(), TestCaseError> {
+    let expected_cells = campaign.cells();
+    let reference = serial_reference(campaign);
+    let results = campaign.run();
+    prop_assert_eq!(results.len(), expected_cells.len(), "{}: grid size", what);
+    for ((run, cell), serial) in results.iter().zip(&expected_cells).zip(&reference) {
+        prop_assert_eq!(&run.cell, cell, "{}: grid order", what);
+        prop_assert_eq!(
+            &run.result.stats,
+            &serial.stats,
+            "{}: {}/{}/{} diverged from serial",
+            what,
+            cell.dataset,
+            cell.app,
+            cell.policy
+        );
+        prop_assert_eq!(
+            &run.result.app.values,
+            &serial.app.values,
+            "{}: app output diverged",
+            what
+        );
+        prop_assert!(
+            (run.result.cycles - serial.cycles).abs() < 1e-9,
+            "{}: timing model diverged",
+            what
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn pipelined_grids_match_serial_runs_for_any_worker_count(
+        case in (
+            (1usize..4, 1usize..4),      // dataset count, app count
+            (0usize..6, 1usize..5),      // policy window offset, width
+            1usize..9,                   // worker count
+            proptest::bool::ANY,         // trace store attached?
+        )
+    ) {
+        let ((n_datasets, n_apps), (policy_at, n_policies), workers, with_store) = case;
+        let policy_at = policy_at.min(POLICIES.len() - 1);
+        let policies = &POLICIES[policy_at..(policy_at + n_policies).min(POLICIES.len())];
+        let mut campaign = Campaign::new(SCALE)
+            .datasets(&DATASETS[..n_datasets])
+            .apps(&APPS[..n_apps])
+            .policies(policies)
+            .threads(workers);
+        let mut store_dir = None;
+        if with_store {
+            let dir = temp_store_dir(&format!("prop-{n_datasets}{n_apps}{policy_at}{n_policies}{workers}"));
+            let store = Arc::new(TraceStore::open(&dir).expect("store opens"));
+            campaign = campaign.with_trace_store(store);
+            store_dir = Some(dir);
+        }
+        // Cold run records (and publishes when a store is attached).
+        assert_matches_serial(&campaign, "pipelined cold")?;
+        if with_store {
+            // Warm run: every obtain task is a store load, overlapping the
+            // replays exactly like records do.
+            assert_matches_serial(&campaign, "pipelined warm")?;
+        }
+        if let Some(dir) = store_dir {
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn streaming_gangs_match_serial_runs_for_any_pipeline_split(
+        case in (1usize..9, 0usize..4, 1usize..4)
+    ) {
+        // The gang-pipelined streaming plan: any worker budget × any forced
+        // pipeline count (0 = auto) over a multi-stream grid.
+        let (workers, pipelines, n_apps) = case;
+        let campaign = Campaign::new(SCALE)
+            .datasets(&DATASETS[..2])
+            .apps(&APPS[..n_apps])
+            .policies(&POLICIES[..4])
+            .streaming()
+            .streaming_pipelines(pipelines)
+            .threads(workers);
+        assert_matches_serial(&campaign, "streaming gangs")?;
+    }
+}
+
+/// The acceptance property of the tentpole: no record→replay barrier. On a
+/// ≥ 8-stream grid with several workers, replays of early streams must
+/// *finish* before the last stream's record *starts* — under the two-phase
+/// plan every replay necessarily follows every record.
+#[test]
+fn replays_finish_before_the_last_record_starts() {
+    let workers = forced_workers().unwrap_or(4).max(2);
+    let campaign = Campaign::new(SCALE)
+        .datasets(&[
+            DatasetKind::Twitter,
+            DatasetKind::Kron,
+            DatasetKind::Uniform,
+            DatasetKind::LiveJournal,
+        ])
+        .apps(&[AppKind::PageRank, AppKind::Sssp])
+        .policies(&[PolicyKind::Lru, PolicyKind::Rrip, PolicyKind::Grasp])
+        .threads(workers);
+    // 4 datasets × 1 technique × 2 apps = 8 unique streams.
+    let results = campaign.run();
+    assert_eq!(results.executed_mode(), ExecutionMode::Pipelined);
+
+    let events = results.scheduler_events();
+    let last_record_started = events
+        .iter()
+        .rposition(|e| matches!(e, SchedulerEvent::RecordStarted { .. }))
+        .expect("a storeless campaign records every stream");
+    let first_replay_finished = events
+        .iter()
+        .position(|e| matches!(e, SchedulerEvent::ReplayFinished { .. }))
+        .expect("every cell replays");
+    assert!(
+        first_replay_finished < last_record_started,
+        "no overlap: first ReplayFinished at {first_replay_finished}, \
+         last RecordStarted at {last_record_started} (workers = {workers}, \
+         events = {events:?})"
+    );
+}
+
+/// Grid order must be identical across worker counts and execution plans —
+/// the scheduler only moves wall-clock, never results or their order.
+#[test]
+fn grid_order_is_deterministic_across_worker_counts() {
+    let base = || {
+        Campaign::new(SCALE)
+            .datasets(&[DatasetKind::Twitter, DatasetKind::Kron])
+            .apps(&[AppKind::PageRank])
+            .policies(&[PolicyKind::Lru, PolicyKind::Rrip, PolicyKind::Grasp])
+    };
+    let reference: Vec<_> = base().threads(1).run().into_runs();
+    for workers in [2, 3, forced_workers().unwrap_or(7)] {
+        let runs: Vec<_> = base().threads(workers).run().into_runs();
+        assert_eq!(runs.len(), reference.len());
+        for (a, b) in runs.iter().zip(&reference) {
+            assert_eq!(a.cell, b.cell, "workers = {workers}");
+            assert_eq!(a.result.stats, b.result.stats, "workers = {workers}");
+        }
+    }
+}
+
+/// A warm store turns every obtain task into a `Load`: the event log shows
+/// loads (with hits) instead of records, and results stay bit-identical.
+#[test]
+fn warm_store_schedules_loads_instead_of_records() {
+    let dir = temp_store_dir("warm-loads");
+    let store = Arc::new(TraceStore::open(&dir).expect("store opens"));
+    let campaign = Campaign::new(SCALE)
+        .datasets(&[DatasetKind::Twitter, DatasetKind::Kron])
+        .apps(&[AppKind::PageRank])
+        .policies(&[PolicyKind::Lru, PolicyKind::Grasp])
+        .threads(forced_workers().unwrap_or(4))
+        .with_trace_store(store);
+
+    let cold = campaign.run();
+    let cold_loads = cold
+        .scheduler_events()
+        .iter()
+        .filter(|e| matches!(e, SchedulerEvent::LoadStarted { .. }))
+        .count();
+    assert_eq!(cold_loads, 0, "an empty store cannot plan loads");
+
+    let warm = campaign.run();
+    let warm_records = warm
+        .scheduler_events()
+        .iter()
+        .filter(|e| matches!(e, SchedulerEvent::RecordStarted { .. }))
+        .count();
+    assert_eq!(warm_records, 0, "a warm store must plan loads only");
+    let hits = warm
+        .scheduler_events()
+        .iter()
+        .filter(|e| matches!(e, SchedulerEvent::LoadFinished { hit: true, .. }))
+        .count();
+    assert_eq!(hits, 2, "both streams load from the store");
+    for (a, b) in cold.iter().zip(warm.iter()) {
+        assert_eq!(a.cell, b.cell);
+        assert_eq!(a.result.stats, b.result.stats, "{:?}", a.cell);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -107,6 +107,48 @@ fn store_hit_campaign_is_bit_identical_across_the_full_policy_grid() {
 }
 
 #[test]
+fn probe_classifies_without_reading() {
+    // The scheduler plans a stream's obtain task from `TraceStore::probe`:
+    // a miss probes false, a published entry probes true — and probing
+    // never moves the traffic counters (it is a plan, not a load).
+    let dir = temp_store_dir("probe");
+    let store = Arc::new(TraceStore::open(&dir).expect("store opens"));
+    let campaign = grid_campaign().with_trace_store(Arc::clone(&store));
+    let cold = campaign.run();
+    assert_eq!(
+        cold.scheduler_events()
+            .iter()
+            .filter(|e| matches!(
+                e,
+                grasp_suite::core::campaign::SchedulerEvent::LoadStarted { .. }
+            ))
+            .count(),
+        0,
+        "an empty store must classify obtains as records"
+    );
+    let before = store.stats();
+    let warm = campaign.run();
+    assert_eq!(
+        warm.scheduler_events()
+            .iter()
+            .filter(|e| matches!(
+                e,
+                grasp_suite::core::campaign::SchedulerEvent::LoadFinished { hit: true, .. }
+            ))
+            .count(),
+        1,
+        "a published entry must classify as a load and hit"
+    );
+    assert_eq!(
+        store.stats().hits,
+        before.hits + 1,
+        "the load itself still counts traffic"
+    );
+    assert_bit_identical(&cold, &warm, "probe-planned warm run");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn store_reuse_spans_processes_via_a_fresh_handle() {
     // A second `TraceStore::open` of the same directory models a later
     // process (campaign run in a new CI job with a restored cache): it must
