@@ -13,7 +13,7 @@ use crate::props::PropertySet;
 use crate::sites;
 use crate::workspace::Workspace;
 use grasp_graph::types::Direction;
-use grasp_graph::Csr;
+use grasp_graph::GraphView;
 
 /// Field index of the shortest-path counts.
 const FIELD_NUM_PATHS: usize = 0;
@@ -22,7 +22,11 @@ const FIELD_DEPENDENCY: usize = 1;
 
 /// Runs Betweenness Centrality from `config.root` and returns the per-vertex
 /// dependency scores.
-pub fn run<M: MemoryModel>(graph: &Csr, ws: &mut Workspace<M>, config: &AppConfig) -> AppResult {
+pub fn run<M: MemoryModel>(
+    graph: &dyn GraphView,
+    ws: &mut Workspace<M>,
+    config: &AppConfig,
+) -> AppResult {
     let n = graph.vertex_count();
     let root = config.root % n as u32;
     let arrays = CsrArrays::allocate(ws, graph, false);
@@ -100,8 +104,9 @@ mod tests {
     use super::*;
     use crate::mem::NativeMemory;
     use grasp_graph::generators::{GraphGenerator, Rmat};
+    use grasp_graph::Csr;
 
-    fn run_native(graph: &Csr, root: u32) -> AppResult {
+    fn run_native(graph: &dyn GraphView, root: u32) -> AppResult {
         let mut ws = Workspace::new(NativeMemory::new());
         run(
             graph,

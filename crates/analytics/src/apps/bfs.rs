@@ -13,7 +13,7 @@ use crate::props::PropertySet;
 use crate::sites;
 use crate::workspace::Workspace;
 use grasp_graph::types::{Direction, VertexId};
-use grasp_graph::Csr;
+use grasp_graph::GraphView;
 
 /// Field index of the BFS level (distance from the root).
 const FIELD_LEVEL: usize = 0;
@@ -32,7 +32,7 @@ pub struct BfsOutput {
 /// Runs BFS over the out-edges of `graph` starting at `root`, modelling the
 /// memory accesses through `ws`.
 pub fn run<M: MemoryModel>(
-    graph: &Csr,
+    graph: &dyn GraphView,
     ws: &mut Workspace<M>,
     arrays: &CsrArrays,
     props: &PropertySet,
@@ -115,8 +115,9 @@ mod tests {
     use crate::mem::NativeMemory;
     use crate::props::PropertyLayout;
     use grasp_graph::generators::{GraphGenerator, Rmat, SmallWorld};
+    use grasp_graph::Csr;
 
-    fn bfs_native(graph: &Csr, root: VertexId) -> BfsOutput {
+    fn bfs_native(graph: &dyn GraphView, root: VertexId) -> BfsOutput {
         let mut ws = Workspace::new(NativeMemory::new());
         let arrays = CsrArrays::allocate(&mut ws, graph, false);
         let props = PropertySet::allocate(
@@ -130,7 +131,7 @@ mod tests {
     }
 
     /// Reference BFS distances via a simple queue.
-    fn reference_bfs(graph: &Csr, root: VertexId) -> Vec<u32> {
+    fn reference_bfs(graph: &dyn GraphView, root: VertexId) -> Vec<u32> {
         let mut level = vec![u32::MAX; graph.vertex_count()];
         level[root as usize] = 0;
         let mut queue = std::collections::VecDeque::from([root]);

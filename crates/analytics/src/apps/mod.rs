@@ -24,7 +24,7 @@ use crate::mem::MemoryModel;
 use crate::props::PropertyLayout;
 use crate::workspace::Workspace;
 use grasp_graph::types::VertexId;
-use grasp_graph::Csr;
+use grasp_graph::GraphView;
 use serde::{Deserialize, Serialize};
 
 /// Configuration shared by every application.
@@ -160,7 +160,7 @@ impl AppKind {
     /// Runs the application on `graph`.
     pub fn run<M: MemoryModel>(
         self,
-        graph: &Csr,
+        graph: &dyn GraphView,
         ws: &mut Workspace<M>,
         config: &AppConfig,
     ) -> AppResult {

@@ -14,7 +14,7 @@ use crate::props::PropertySet;
 use crate::sites;
 use crate::workspace::Workspace;
 use grasp_graph::types::Direction;
-use grasp_graph::Csr;
+use grasp_graph::GraphView;
 
 /// Field index of the pre-divided contribution (`rank / out_degree`).
 const FIELD_CONTRIB: usize = 0;
@@ -22,7 +22,11 @@ const FIELD_CONTRIB: usize = 0;
 const FIELD_NEXT: usize = 1;
 
 /// Runs PageRank and returns the per-vertex ranks.
-pub fn run<M: MemoryModel>(graph: &Csr, ws: &mut Workspace<M>, config: &AppConfig) -> AppResult {
+pub fn run<M: MemoryModel>(
+    graph: &dyn GraphView,
+    ws: &mut Workspace<M>,
+    config: &AppConfig,
+) -> AppResult {
     let n = graph.vertex_count();
     let arrays = CsrArrays::allocate(ws, graph, false);
     let props = PropertySet::allocate(ws, "pagerank", n as u64, &[8, 8], config.layout);
@@ -87,14 +91,15 @@ mod tests {
     use crate::mem::NativeMemory;
     use crate::props::PropertyLayout;
     use grasp_graph::generators::{GraphGenerator, Rmat};
+    use grasp_graph::Csr;
 
-    fn run_native(graph: &Csr, config: &AppConfig) -> AppResult {
+    fn run_native(graph: &dyn GraphView, config: &AppConfig) -> AppResult {
         let mut ws = Workspace::new(NativeMemory::new());
         run(graph, &mut ws, config)
     }
 
     /// Straightforward reference PageRank for validation.
-    fn reference_pagerank(graph: &Csr, damping: f64, iterations: usize) -> Vec<f64> {
+    fn reference_pagerank(graph: &dyn GraphView, damping: f64, iterations: usize) -> Vec<f64> {
         let n = graph.vertex_count();
         let mut rank = vec![1.0 / n as f64; n];
         for _ in 0..iterations {

@@ -14,7 +14,7 @@ use crate::props::PropertySet;
 use crate::sites;
 use crate::workspace::Workspace;
 use grasp_graph::types::Direction;
-use grasp_graph::Csr;
+use grasp_graph::GraphView;
 
 /// Field index of the accumulated rank.
 const FIELD_RANK: usize = 0;
@@ -24,7 +24,11 @@ const FIELD_DELTA: usize = 1;
 const FIELD_NEXT_DELTA: usize = 2;
 
 /// Runs PageRank-Delta and returns the per-vertex ranks.
-pub fn run<M: MemoryModel>(graph: &Csr, ws: &mut Workspace<M>, config: &AppConfig) -> AppResult {
+pub fn run<M: MemoryModel>(
+    graph: &dyn GraphView,
+    ws: &mut Workspace<M>,
+    config: &AppConfig,
+) -> AppResult {
     let n = graph.vertex_count();
     let arrays = CsrArrays::allocate(ws, graph, false);
     let props = PropertySet::allocate(ws, "pagerank_delta", n as u64, &[8, 8, 8], config.layout);
@@ -124,8 +128,9 @@ mod tests {
     use super::*;
     use crate::mem::NativeMemory;
     use grasp_graph::generators::{GraphGenerator, Rmat};
+    use grasp_graph::Csr;
 
-    fn run_native(graph: &Csr, config: &AppConfig) -> AppResult {
+    fn run_native(graph: &dyn GraphView, config: &AppConfig) -> AppResult {
         let mut ws = Workspace::new(NativeMemory::new());
         run(graph, &mut ws, config)
     }

@@ -13,7 +13,7 @@ use crate::props::PropertySet;
 use crate::sites;
 use crate::workspace::Workspace;
 use grasp_graph::types::{Direction, VertexId};
-use grasp_graph::Csr;
+use grasp_graph::GraphView;
 
 /// Field index of the current visited bit masks.
 const FIELD_VISITED: usize = 0;
@@ -24,7 +24,11 @@ const FIELD_RADII: usize = 2;
 
 /// Runs Radii estimation and returns the per-vertex radius estimates
 /// (`-1` for vertices never reached by any sampled BFS).
-pub fn run<M: MemoryModel>(graph: &Csr, ws: &mut Workspace<M>, config: &AppConfig) -> AppResult {
+pub fn run<M: MemoryModel>(
+    graph: &dyn GraphView,
+    ws: &mut Workspace<M>,
+    config: &AppConfig,
+) -> AppResult {
     let n = graph.vertex_count();
     let arrays = CsrArrays::allocate(ws, graph, false);
     let props = PropertySet::allocate(ws, "radii", n as u64, &[8, 8, 8], config.layout);
@@ -97,7 +101,7 @@ mod tests {
     use crate::mem::NativeMemory;
     use grasp_graph::generators::{GraphGenerator, Rmat, SmallWorld};
 
-    fn run_native(graph: &Csr, config: &AppConfig) -> AppResult {
+    fn run_native(graph: &dyn GraphView, config: &AppConfig) -> AppResult {
         let mut ws = Workspace::new(NativeMemory::new());
         run(graph, &mut ws, config)
     }

@@ -13,14 +13,18 @@ use crate::props::PropertySet;
 use crate::sites;
 use crate::workspace::Workspace;
 use grasp_graph::types::Direction;
-use grasp_graph::Csr;
+use grasp_graph::GraphView;
 
 /// Field index of the tentative distances.
 const FIELD_DIST: usize = 0;
 
 /// Runs Bellman-Ford SSSP from `config.root` and returns per-vertex distances
 /// (`f64::INFINITY` for unreachable vertices).
-pub fn run<M: MemoryModel>(graph: &Csr, ws: &mut Workspace<M>, config: &AppConfig) -> AppResult {
+pub fn run<M: MemoryModel>(
+    graph: &dyn GraphView,
+    ws: &mut Workspace<M>,
+    config: &AppConfig,
+) -> AppResult {
     let n = graph.vertex_count();
     let root = config.root % n as u32;
     let arrays = CsrArrays::allocate(ws, graph, true);
@@ -91,9 +95,10 @@ mod tests {
     use crate::mem::NativeMemory;
     use grasp_graph::generators::{GraphGenerator, Rmat};
     use grasp_graph::prng::Xoshiro256;
+    use grasp_graph::Csr;
     use grasp_graph::{CsrBuilder, EdgeList};
 
-    fn run_native(graph: &Csr, root: u32, rounds: usize) -> AppResult {
+    fn run_native(graph: &dyn GraphView, root: u32, rounds: usize) -> AppResult {
         let mut ws = Workspace::new(NativeMemory::new());
         run(
             graph,
@@ -105,7 +110,7 @@ mod tests {
     }
 
     /// Reference Dijkstra for validation.
-    fn reference_sssp(graph: &Csr, root: u32) -> Vec<f64> {
+    fn reference_sssp(graph: &dyn GraphView, root: u32) -> Vec<f64> {
         let n = graph.vertex_count();
         let mut dist = vec![f64::INFINITY; n];
         dist[root as usize] = 0.0;

@@ -12,7 +12,7 @@ use crate::sites;
 use crate::workspace::Workspace;
 use grasp_cachesim::request::RegionLabel;
 use grasp_graph::types::{Direction, VertexId};
-use grasp_graph::Csr;
+use grasp_graph::GraphView;
 
 /// Handles of the structural arrays of a CSR graph placed in the simulated
 /// address space.
@@ -37,7 +37,11 @@ impl CsrArrays {
     /// paper scale (62 MB frontier vs a 16 MB LLC). Widening the element
     /// keeps the frontier : LLC footprint ratio in the paper's regime (see
     /// DESIGN.md, substitutions).
-    pub fn allocate<M: MemoryModel>(ws: &mut Workspace<M>, graph: &Csr, weighted: bool) -> Self {
+    pub fn allocate<M: MemoryModel>(
+        ws: &mut Workspace<M>,
+        graph: &dyn GraphView,
+        weighted: bool,
+    ) -> Self {
         let n = graph.vertex_count() as u64;
         let m = graph.edge_count();
         let edge_bytes = if weighted { 8 } else { 4 };
@@ -92,7 +96,7 @@ impl CsrArrays {
 /// Ligra's direction-switching heuristic: traverse in the pull (dense)
 /// direction when the frontier's outgoing work exceeds `edges / 20`,
 /// otherwise push (sparse).
-pub fn choose_direction(graph: &Csr, frontier: &Frontier) -> Direction {
+pub fn choose_direction(graph: &dyn GraphView, frontier: &Frontier) -> Direction {
     let threshold = graph.edge_count() / 20;
     if frontier.out_degree_sum(graph) + frontier.len() as u64 > threshold {
         Direction::In // dense: every vertex pulls from its in-neighbours

@@ -109,7 +109,7 @@ impl Frontier {
     /// Sum of the degrees of the member vertices in the given direction —
     /// Ligra's push/pull switching threshold compares this against
     /// `edges / 20`.
-    pub fn out_degree_sum(&self, graph: &grasp_graph::Csr) -> u64 {
+    pub fn out_degree_sum(&self, graph: &dyn grasp_graph::GraphView) -> u64 {
         self.list.iter().map(|&v| graph.out_degree(v)).sum()
     }
 }

@@ -15,7 +15,7 @@ const WORKSPACE_BATCH: usize = 1024;
 /// `read_*`/`write_*` methods.
 ///
 /// Accesses are buffered (preserving program order) and delivered to the
-/// model in columns of up to [`WORKSPACE_BATCH`] via
+/// model in fixed-size columns (`WORKSPACE_BATCH`) via
 /// [`MemoryModel::touch_batch`], which batched models turn into one kernel
 /// invocation per column. The buffer drains automatically whenever the model
 /// is observed ([`Workspace::memory`], [`Workspace::memory_mut`],

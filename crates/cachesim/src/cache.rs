@@ -21,7 +21,7 @@
 //! hoists the policy dispatch **out of the access loop** (the kernel is
 //! monomorphized per policy, so every hook call inlines with no per-access
 //! enum match), and defers all statistics to one flush per tile. Work is
-//! tiled at [`BATCH_TILE`] requests so the precomputed columns stay
+//! tiled in fixed-size (`BATCH_TILE`) request groups so the precomputed columns stay
 //! cache-resident. [`SetAssocCache::access_batch`] and
 //! [`SetAssocCache::prefetch_batch`] are the uniform-kind entry points for
 //! demand-only and prefetch-only runs (synthetic-trace replay). The batch

@@ -225,7 +225,7 @@ impl UpperLevels {
     /// `hint` of each request is ignored, exactly as the scalar entry point
     /// rebuilds it from scratch.
     ///
-    /// The run is processed in [`BATCH_TILE`]-sized tiles. Each tile makes
+    /// The run is processed in fixed-size (`BATCH_TILE`) tiles. Each tile makes
     /// one fused pass over both levels with the policy dispatches and the
     /// prefetcher presence check hoisted out of the loop and statistics
     /// deferred to per-tile sums; escaping records are classified and

@@ -45,7 +45,7 @@
 //!
 //! Both codecs keep the in-memory struct-of-arrays layout **chunk-aligned**:
 //! every chunk decodes as one unit straight into a frozen
-//! [`TraceChunk`](super::TraceChunk) page behind its `Arc` — no per-event
+//! [`TraceChunk`] page behind its `Arc` — no per-event
 //! materialization, no re-push through the recording path — and the loaded
 //! trace compares equal (`==`) to the trace that was written, chunk layout
 //! included. A loaded trace therefore streams through

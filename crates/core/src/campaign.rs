@@ -53,7 +53,7 @@
 //! }
 //! ```
 
-use crate::datasets::{DatasetKind, Scale};
+use crate::datasets::{DatasetCatalog, DatasetId, DatasetKind, GraphHash, Scale};
 use crate::experiment::{Experiment, RecordedRun, RunResult};
 use crate::policy::PolicyKind;
 use crate::trace_store::{codec_from_env, TraceStore, TraceStoreKey};
@@ -61,7 +61,7 @@ use grasp_analytics::apps::AppKind;
 use grasp_cachesim::config::HierarchyConfig;
 use grasp_cachesim::Codec;
 use grasp_graph::types::Direction;
-use grasp_graph::Csr;
+use grasp_graph::{Csr, GraphView};
 use grasp_reorder::TechniqueKind;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -105,7 +105,7 @@ pub enum ExecutionMode {
     /// other plans in every configuration.
     ///
     /// Campaigns that request per-cell traces
-    /// ([`Campaign::recording_llc_trace`]) **fall back to [`Pipelined`]**,
+    /// ([`Campaign::recording_llc_trace`]) **fall back to [`ExecutionMode::Pipelined`]**,
     /// since streaming never materializes a trace to hand back. The
     /// fallback is observable: [`CampaignResult::executed_mode`] reports
     /// the plan that actually ran, not the one requested.
@@ -243,7 +243,7 @@ impl CostModel {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CampaignCell {
     /// Dataset the cell simulates.
-    pub dataset: DatasetKind,
+    pub dataset: DatasetId,
     /// Reordering technique applied to the dataset.
     pub technique: TechniqueKind,
     /// Application driving the access stream.
@@ -265,7 +265,7 @@ pub struct CampaignRun {
 /// prepared experiment plus the grid identity the trace store keys it by.
 #[derive(Debug, Clone)]
 struct StreamJob {
-    dataset: DatasetKind,
+    dataset: DatasetId,
     technique: TechniqueKind,
     app: AppKind,
     experiment: Experiment,
@@ -289,7 +289,8 @@ impl StreamJob {
 #[derive(Debug, Clone)]
 pub struct Campaign {
     scale: Scale,
-    datasets: Vec<DatasetKind>,
+    datasets: Vec<DatasetId>,
+    catalog: DatasetCatalog,
     techniques: Vec<TechniqueKind>,
     apps: Vec<AppKind>,
     policies: Vec<PolicyKind>,
@@ -312,6 +313,7 @@ impl Campaign {
         Self {
             scale,
             datasets: Vec::new(),
+            catalog: DatasetCatalog::new(),
             techniques: vec![TechniqueKind::Dbg],
             apps: Vec::new(),
             policies: Vec::new(),
@@ -325,10 +327,36 @@ impl Campaign {
         }
     }
 
-    /// Sets the datasets of the grid.
+    /// Sets the (synthetic) datasets of the grid.
     #[must_use]
     pub fn datasets(mut self, datasets: &[DatasetKind]) -> Self {
+        self.datasets = datasets.iter().map(|&kind| kind.into()).collect();
+        self
+    }
+
+    /// Sets the datasets of the grid by identity, mixing synthetic
+    /// stand-ins and ingested on-disk graphs freely.
+    #[must_use]
+    pub fn dataset_ids(mut self, datasets: &[DatasetId]) -> Self {
         self.datasets = datasets.to_vec();
+        self
+    }
+
+    /// Appends an ingested on-disk graph (by content hash) to the dataset
+    /// axis. The hash must be registered in the campaign's
+    /// [`DatasetCatalog`] (see [`Campaign::catalog`]) before the campaign
+    /// runs.
+    #[must_use]
+    pub fn ingested_dataset(mut self, hash: GraphHash) -> Self {
+        self.datasets.push(DatasetId::Ingested(hash));
+        self
+    }
+
+    /// Provides the catalog that resolves [`DatasetId::Ingested`]
+    /// coordinates to on-disk graphs.
+    #[must_use]
+    pub fn catalog(mut self, catalog: DatasetCatalog) -> Self {
+        self.catalog = catalog;
         self
     }
 
@@ -527,16 +555,20 @@ impl Campaign {
     /// sharing generated datasets and reordered graphs through the caches.
     fn experiment_for(
         &self,
-        base: &mut HashMap<DatasetKind, Arc<Csr>>,
-        reordered: &mut HashMap<(DatasetKind, TechniqueKind, Direction), Arc<Csr>>,
-        dataset: DatasetKind,
+        base: &mut HashMap<DatasetId, Arc<dyn GraphView>>,
+        reordered: &mut HashMap<(DatasetId, TechniqueKind, Direction), Arc<Csr>>,
+        dataset: DatasetId,
         technique: TechniqueKind,
         app: AppKind,
     ) -> Experiment {
         let hierarchy = self.hierarchy.unwrap_or_else(|| self.scale.hierarchy());
-        let source = base
-            .entry(dataset)
-            .or_insert_with(|| Arc::new(dataset.build(self.scale).graph));
+        let source = base.entry(dataset).or_insert_with(|| match dataset {
+            DatasetId::Synthetic(kind) => Arc::new(kind.build(self.scale).graph),
+            DatasetId::Ingested(hash) => self
+                .catalog
+                .load(hash)
+                .unwrap_or_else(|e| panic!("cannot open ingested dataset {dataset}: {e}")),
+        });
         let source = Arc::clone(source);
         // Reorder once per (dataset, technique, hotness direction) — the
         // direction is a property of the application, but most applications
@@ -546,10 +578,10 @@ impl Campaign {
             .entry((dataset, technique, direction))
             .or_insert_with(|| {
                 let boxed = technique.instantiate();
-                let perm = boxed.compute(&source, direction);
-                Arc::new(grasp_reorder::relabel(&source, &perm))
+                let perm = boxed.compute(&*source, direction);
+                Arc::new(grasp_reorder::relabel(&*source, &perm))
             });
-        Experiment::shared(Arc::clone(graph), app).with_hierarchy(hierarchy)
+        Experiment::shared(Arc::<Csr>::clone(graph), app).with_hierarchy(hierarchy)
     }
 
     /// The direct plan: every cell simulates the full hierarchy.
@@ -587,8 +619,7 @@ impl Campaign {
     fn stream_plan(&self) -> (Vec<(CampaignCell, usize)>, Vec<StreamJob>) {
         let mut base = HashMap::new();
         let mut reordered = HashMap::new();
-        let mut stream_index: HashMap<(DatasetKind, TechniqueKind, AppKind), usize> =
-            HashMap::new();
+        let mut stream_index: HashMap<(DatasetId, TechniqueKind, AppKind), usize> = HashMap::new();
         let mut streams: Vec<StreamJob> = Vec::new();
         let cells: Vec<(CampaignCell, usize)> = self
             .cells()
@@ -1283,13 +1314,13 @@ impl CampaignResult {
     /// Looks up one cell's result.
     pub fn get(
         &self,
-        dataset: DatasetKind,
+        dataset: impl Into<DatasetId>,
         technique: TechniqueKind,
         app: AppKind,
         policy: PolicyKind,
     ) -> Option<&RunResult> {
         let cell = CampaignCell {
-            dataset,
+            dataset: dataset.into(),
             technique,
             app,
             policy,

@@ -11,8 +11,12 @@
 use grasp_cachesim::config::HierarchyConfig;
 use grasp_graph::degree::SkewReport;
 use grasp_graph::generators::{ChungLu, GraphGenerator, Rmat, Uniform};
-use grasp_graph::Csr;
+use grasp_graph::ingest::{self, DiskCsrError};
+use grasp_graph::{Csr, GraphView};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Scale of a synthetic dataset (vertex count and the matching LLC size).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -210,6 +214,203 @@ impl DatasetKind {
 impl std::fmt::Display for DatasetKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+/// Content hash of an ingested on-disk graph: the FNV-1a digest computed by
+/// `grasp_graph::ingest::write_disk_csr` over the graph's dimensions and
+/// column bytes. Two ingests of the same edge list — at any thread count —
+/// produce the same hash; any structural edit changes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GraphHash(pub u64);
+
+impl GraphHash {
+    /// Store slug for this hash (`g<hash:016x>`), used in trace-store entry
+    /// file names.
+    pub fn slug(self) -> String {
+        format!("g{:016x}", self.0)
+    }
+}
+
+impl std::fmt::Display for GraphHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// The identity of a dataset on a campaign axis: either one of the paper's
+/// synthetic stand-ins ([`DatasetKind`]) or a real graph ingested to the
+/// on-disk binary CSR format, referenced by content hash and resolved
+/// through a [`DatasetCatalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetId {
+    /// A synthetic Table V stand-in, generated at campaign scale.
+    Synthetic(DatasetKind),
+    /// An ingested on-disk graph, identified by content hash.
+    Ingested(GraphHash),
+}
+
+impl DatasetId {
+    /// Store slug: the paper label for synthetic datasets (`lj`, `tw`, ...),
+    /// `g<hash:016x>` for ingested graphs. Lands verbatim in trace-store
+    /// entry file names, so a re-ingested (changed) graph can never serve a
+    /// stale trace.
+    pub fn slug(&self) -> String {
+        match self {
+            DatasetId::Synthetic(kind) => kind.label().to_owned(),
+            DatasetId::Ingested(hash) => hash.slug(),
+        }
+    }
+
+    /// The synthetic kind, if this is a synthetic dataset.
+    pub fn as_synthetic(&self) -> Option<DatasetKind> {
+        match self {
+            DatasetId::Synthetic(kind) => Some(*kind),
+            DatasetId::Ingested(_) => None,
+        }
+    }
+
+    /// The content hash, if this is an ingested dataset.
+    pub fn as_ingested(&self) -> Option<GraphHash> {
+        match self {
+            DatasetId::Synthetic(_) => None,
+            DatasetId::Ingested(hash) => Some(*hash),
+        }
+    }
+}
+
+impl From<DatasetKind> for DatasetId {
+    fn from(kind: DatasetKind) -> Self {
+        DatasetId::Synthetic(kind)
+    }
+}
+
+impl From<GraphHash> for DatasetId {
+    fn from(hash: GraphHash) -> Self {
+        DatasetId::Ingested(hash)
+    }
+}
+
+impl PartialEq<DatasetKind> for DatasetId {
+    fn eq(&self, other: &DatasetKind) -> bool {
+        matches!(self, DatasetId::Synthetic(kind) if kind == other)
+    }
+}
+
+impl PartialEq<DatasetId> for DatasetKind {
+    fn eq(&self, other: &DatasetId) -> bool {
+        other == self
+    }
+}
+
+impl std::fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.slug())
+    }
+}
+
+/// How an ingested on-disk graph is backed when an experiment runs over it.
+///
+/// Both backings produce bit-identical results — [`GraphBacking::Mapped`]
+/// serves adjacency slices straight from the mmapped column files, while
+/// [`GraphBacking::InMemory`] decodes the same files into a [`Csr`] up
+/// front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum GraphBacking {
+    /// mmap the column files and traverse them in place (out-of-core).
+    #[default]
+    Mapped,
+    /// Decode the columns into an in-memory [`Csr`] before running.
+    InMemory,
+}
+
+/// One catalog entry: where an ingested graph lives and how to back it.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// Directory holding `graph.gcsr` and the column files.
+    pub path: PathBuf,
+    /// Backing used when the graph is opened for an experiment.
+    pub backing: GraphBacking,
+}
+
+/// Registry of ingested on-disk graphs, keyed by content hash.
+///
+/// A campaign that lists [`DatasetId::Ingested`] coordinates resolves them
+/// here: registration reads (and checksums) the on-disk header to learn the
+/// hash, and [`DatasetCatalog::load`] opens the graph with the registered
+/// backing.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetCatalog {
+    entries: HashMap<GraphHash, CatalogEntry>,
+}
+
+impl DatasetCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the on-disk graph at `path` with the default (mmap)
+    /// backing. Returns its content hash, read from the checksummed header.
+    pub fn register(&mut self, path: impl AsRef<Path>) -> Result<GraphHash, DiskCsrError> {
+        self.register_with_backing(path, GraphBacking::default())
+    }
+
+    /// Registers the on-disk graph at `path`, choosing the backing
+    /// experiments open it with.
+    pub fn register_with_backing(
+        &mut self,
+        path: impl AsRef<Path>,
+        backing: GraphBacking,
+    ) -> Result<GraphHash, DiskCsrError> {
+        let path = path.as_ref().to_path_buf();
+        let header = ingest::read_header(&path)?;
+        let hash = GraphHash(header.content_hash);
+        self.entries.insert(hash, CatalogEntry { path, backing });
+        Ok(hash)
+    }
+
+    /// Looks up a registered graph.
+    pub fn get(&self, hash: GraphHash) -> Option<&CatalogEntry> {
+        self.entries.get(&hash)
+    }
+
+    /// Whether `hash` is registered.
+    pub fn contains(&self, hash: GraphHash) -> bool {
+        self.entries.contains_key(&hash)
+    }
+
+    /// Number of registered graphs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registered hashes, in no particular order.
+    pub fn hashes(&self) -> impl Iterator<Item = GraphHash> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Opens a registered graph with its registered backing.
+    ///
+    /// The mmap backing validates the header and column sizes on open; the
+    /// in-memory backing additionally verifies every column checksum while
+    /// decoding.
+    pub fn load(&self, hash: GraphHash) -> Result<Arc<dyn GraphView>, DiskCsrError> {
+        let entry = self.entries.get(&hash).ok_or_else(|| {
+            DiskCsrError::Corrupt(format!(
+                "graph {hash} is not registered in the dataset catalog"
+            ))
+        })?;
+        let graph: Arc<dyn GraphView> = match entry.backing {
+            GraphBacking::Mapped => Arc::new(ingest::MappedCsr::open(&entry.path)?),
+            GraphBacking::InMemory => Arc::new(ingest::load_csr(&entry.path)?),
+        };
+        Ok(graph)
     }
 }
 

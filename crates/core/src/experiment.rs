@@ -12,7 +12,7 @@ use grasp_cachesim::trace::{
     DEFAULT_STREAM_DEPTH,
 };
 use grasp_cachesim::{Hierarchy, TimingModel};
-use grasp_graph::Csr;
+use grasp_graph::{Csr, GraphView};
 use grasp_reorder::TechniqueKind;
 use std::sync::Arc;
 use std::time::Duration;
@@ -234,12 +234,15 @@ impl StreamedRecord {
 /// An experiment: a (possibly reordered) graph, an application, and the cache
 /// configuration to evaluate LLC policies under.
 ///
-/// The graph is held behind an [`Arc`], so cloning an experiment — the way
-/// the [`crate::campaign`] runner fans one reordered graph out across many
-/// policies and worker threads — shares the CSR instead of copying it.
+/// The graph is held behind an `Arc<dyn GraphView>`, so cloning an
+/// experiment — the way the [`crate::campaign`] runner fans one reordered
+/// graph out across many policies and worker threads — shares the backing
+/// instead of copying it, and the backing itself is interchangeable: an
+/// in-memory [`Csr`], an mmap-backed [`grasp_graph::MappedCsr`], or anything
+/// else implementing [`GraphView`] produces bit-identical results.
 #[derive(Debug, Clone)]
 pub struct Experiment {
-    graph: Arc<Csr>,
+    graph: Arc<dyn GraphView>,
     app: AppKind,
     app_config: AppConfig,
     hierarchy: HierarchyConfig,
@@ -255,8 +258,9 @@ impl Experiment {
         Self::shared(Arc::new(graph), app)
     }
 
-    /// Creates an experiment over an already-shared graph (no copy).
-    pub fn shared(graph: Arc<Csr>, app: AppKind) -> Self {
+    /// Creates an experiment over an already-shared graph (no copy). Accepts
+    /// any backing: `Arc<Csr>` and `Arc<MappedCsr>` both coerce.
+    pub fn shared(graph: Arc<dyn GraphView>, app: AppKind) -> Self {
         let hierarchy = HierarchyConfig::scaled_default();
         Self {
             graph,
@@ -292,8 +296,8 @@ impl Experiment {
     #[must_use]
     pub fn with_reordering(mut self, technique: TechniqueKind) -> Self {
         let boxed = technique.instantiate();
-        let perm = boxed.compute(&self.graph, self.app.hotness_direction());
-        self.graph = Arc::new(grasp_reorder::relabel(&self.graph, &perm));
+        let perm = boxed.compute(&*self.graph, self.app.hotness_direction());
+        self.graph = Arc::new(grasp_reorder::relabel(&*self.graph, &perm));
         self
     }
 
@@ -327,12 +331,12 @@ impl Experiment {
     }
 
     /// The graph under experiment (after any reordering).
-    pub fn graph(&self) -> &Csr {
-        &self.graph
+    pub fn graph(&self) -> &dyn GraphView {
+        &*self.graph
     }
 
     /// The shared handle to the graph under experiment.
-    pub fn graph_arc(&self) -> Arc<Csr> {
+    pub fn graph_arc(&self) -> Arc<dyn GraphView> {
         Arc::clone(&self.graph)
     }
 
@@ -388,7 +392,7 @@ impl Experiment {
             hierarchy.reserve_llc_trace(self.trace_capacity_estimate());
         }
         let mut ws = Workspace::new(TracedMemory::new(hierarchy));
-        let app = self.app.run(&self.graph, &mut ws, &self.app_config);
+        let app = self.app.run(&*self.graph, &mut ws, &self.app_config);
         let instructions = app.instruction_estimate();
         let traced = ws.into_memory();
         let stats = traced.stats();
@@ -426,7 +430,7 @@ impl Experiment {
         let mut memory = RecordingMemory::new(config);
         memory.reserve_trace(self.trace_capacity_estimate());
         let mut ws = Workspace::new(memory);
-        let app = self.app.run(&self.graph, &mut ws, &self.app_config);
+        let app = self.app.run(&*self.graph, &mut ws, &self.app_config);
         let instructions = app.instruction_estimate();
         let trace = ws.into_memory().finish();
         RecordedRun {
@@ -449,7 +453,7 @@ impl Experiment {
         let mut memory = RecordingMemory::new(config);
         memory.reserve_trace(self.trace_capacity_estimate());
         let mut ws = Workspace::unbuffered(memory);
-        let app = self.app.run(&self.graph, &mut ws, &self.app_config);
+        let app = self.app.run(&*self.graph, &mut ws, &self.app_config);
         let instructions = app.instruction_estimate();
         let trace = ws.into_memory().finish();
         RecordedRun {
@@ -475,7 +479,7 @@ impl Experiment {
     pub fn record_streaming(&self, tap: TraceTap) -> StreamedRecord {
         let memory = RecordingMemory::streaming(self.hierarchy, tap);
         let mut ws = Workspace::new(memory);
-        let app = self.app.run(&self.graph, &mut ws, &self.app_config);
+        let app = self.app.run(&*self.graph, &mut ws, &self.app_config);
         let instructions = app.instruction_estimate();
         ws.into_memory().finish_stream();
         StreamedRecord {
@@ -511,7 +515,7 @@ impl Experiment {
     pub fn run_native(&self) -> NativeRunResult {
         let mut ws = Workspace::new(NativeMemory::new());
         let start = std::time::Instant::now();
-        let app = self.app.run(&self.graph, &mut ws, &self.app_config);
+        let app = self.app.run(&*self.graph, &mut ws, &self.app_config);
         let runtime = start.elapsed();
         NativeRunResult { app, runtime }
     }

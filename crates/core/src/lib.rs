@@ -54,7 +54,9 @@ pub use campaign::{
     Campaign, CampaignCell, CampaignResult, CampaignRun, ExecutionMode, SchedulerEvent,
 };
 pub use compare::{geometric_mean_speedup, miss_reduction_pct, speedup_pct};
-pub use datasets::{Dataset, DatasetKind, Scale};
+pub use datasets::{
+    CatalogEntry, Dataset, DatasetCatalog, DatasetId, DatasetKind, GraphBacking, GraphHash, Scale,
+};
 pub use experiment::{Experiment, RecordedRun, RunResult};
 pub use policy::PolicyKind;
 pub use report::Table;

@@ -41,7 +41,7 @@
 //! ([`Campaign::with_trace_store`](crate::campaign::Campaign::with_trace_store))
 //! or the `GRASP_TRACE_STORE` environment variable ([`TraceStore::from_env`]).
 
-use crate::datasets::{DatasetKind, Scale};
+use crate::datasets::{DatasetId, Scale};
 use grasp_analytics::apps::{AppConfig, AppKind, AppResult};
 use grasp_analytics::props::PropertyLayout;
 use grasp_cachesim::config::HierarchyConfig;
@@ -144,7 +144,7 @@ impl From<PersistError> for StoreError {
 /// key, so bumping it invalidates all persisted recordings at once. **Bump
 /// this whenever a change can alter a recorded stream's contents**; the
 /// trace *format* version (file layout) is tracked separately by
-/// [`TRACE_FORMAT_VERSION`].
+/// [`TRACE_FORMAT_VERSION`](grasp_cachesim::trace::persist::TRACE_FORMAT_VERSION).
 pub const RECORDING_CODE_VERSION: u32 = 1;
 
 /// FNV-1a over the configuration words that determine a recorded stream —
@@ -235,7 +235,7 @@ fn slugify(label: &str) -> String {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TraceStoreKey {
     /// Dataset the stream was recorded over.
-    pub dataset: DatasetKind,
+    pub dataset: DatasetId,
     /// Scale the dataset was generated at.
     pub scale: Scale,
     /// Reordering technique applied before recording.
@@ -253,7 +253,7 @@ impl TraceStoreKey {
     /// Builds the key for one campaign stream coordinate (with the default
     /// codec; see [`TraceStoreKey::with_codec`]).
     pub fn new(
-        dataset: DatasetKind,
+        dataset: impl Into<DatasetId>,
         scale: Scale,
         technique: TechniqueKind,
         app: AppKind,
@@ -264,7 +264,7 @@ impl TraceStoreKey {
         hash_hierarchy(&mut hasher, hierarchy);
         hash_app_config(&mut hasher, app_config);
         Self {
-            dataset,
+            dataset: dataset.into(),
             scale,
             technique,
             app,
@@ -290,7 +290,7 @@ impl TraceStoreKey {
     fn file_name_for(&self, codec: Codec) -> String {
         format!(
             "{}-{}-{}-{}-{:016x}.v{}.trace",
-            self.dataset.label(),
+            self.dataset.slug(),
             scale_slug(self.scale),
             slugify(self.technique.label()),
             slugify(self.app.label()),
@@ -1138,6 +1138,7 @@ fn truncated(err: std::io::Error, what: &str) -> StoreError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::datasets::DatasetKind;
     use grasp_cachesim::request::AccessInfo;
 
     fn temp_store(tag: &str) -> TraceStore {

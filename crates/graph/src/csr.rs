@@ -10,6 +10,7 @@
 
 use crate::edgelist::EdgeList;
 use crate::types::{Direction, Edge, EdgeWeight, VertexId};
+use crate::view::GraphView;
 use crate::{GraphError, Result};
 use serde::{Deserialize, Serialize};
 
@@ -65,17 +66,7 @@ impl CsrDirection {
         for v in 0..vertex_count {
             let lo = self.offsets[v] as usize;
             let hi = self.offsets[v + 1] as usize;
-            let slice_len = hi - lo;
-            if slice_len > 1 {
-                let mut pairs: Vec<(VertexId, EdgeWeight)> = (lo..hi)
-                    .map(|i| (self.targets[i], self.weights[i]))
-                    .collect();
-                pairs.sort_unstable_by_key(|&(t, _)| t);
-                for (k, (t, w)) in pairs.into_iter().enumerate() {
-                    self.targets[lo + k] = t;
-                    self.weights[lo + k] = w;
-                }
-            }
+            sort_adjacency(&mut self.targets[lo..hi], &mut self.weights[lo..hi]);
         }
     }
 
@@ -96,6 +87,27 @@ impl CsrDirection {
         let lo = self.offsets[v as usize] as usize;
         let hi = self.offsets[v as usize + 1] as usize;
         &self.weights[lo..hi]
+    }
+}
+
+/// Sorts one adjacency list (parallel target/weight slices) by target.
+///
+/// This is the single canonical adjacency ordering used by every CSR builder
+/// in the crate — [`Csr::from_edge_list`] and the chunked parallel builder in
+/// [`crate::ingest`] both funnel through it, which is what makes their
+/// outputs bit-identical for the same scatter order.
+pub(crate) fn sort_adjacency(targets: &mut [VertexId], weights: &mut [EdgeWeight]) {
+    if targets.len() > 1 {
+        let mut pairs: Vec<(VertexId, EdgeWeight)> = targets
+            .iter()
+            .copied()
+            .zip(weights.iter().copied())
+            .collect();
+        pairs.sort_unstable_by_key(|&(t, _)| t);
+        for (k, (t, w)) in pairs.into_iter().enumerate() {
+            targets[k] = t;
+            weights[k] = w;
+        }
     }
 }
 
@@ -298,6 +310,134 @@ impl Csr {
     /// Returns `true` if an edge `src -> dst` exists.
     pub fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
         self.out_neighbors(src).binary_search(&dst).is_ok()
+    }
+
+    /// Raw CSR column arrays for `dir`: `(offsets, targets, weights)`.
+    ///
+    /// `offsets` has `vertex_count + 1` entries; `targets` and `weights` have
+    /// `edge_count` entries each. This is the exact layout the on-disk binary
+    /// CSR ([`crate::ingest`]) persists per direction.
+    pub fn raw_columns(&self, dir: Direction) -> (&[u64], &[VertexId], &[EdgeWeight]) {
+        let d = match dir {
+            Direction::Out => &self.out,
+            Direction::In => &self.inc,
+        };
+        (&d.offsets, &d.targets, &d.weights)
+    }
+
+    /// Reassembles a CSR graph from raw column arrays (the inverse of
+    /// [`Csr::raw_columns`]), validating the CSR invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EmptyGraph`] for a zero vertex count and
+    /// [`GraphError::Format`] when column lengths disagree, offsets are not
+    /// monotone, do not start at 0 / end at `edge_count`, or a target is out
+    /// of range.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_columns(
+        vertex_count: usize,
+        edge_count: u64,
+        out_offsets: Vec<u64>,
+        out_targets: Vec<VertexId>,
+        out_weights: Vec<EdgeWeight>,
+        in_offsets: Vec<u64>,
+        in_targets: Vec<VertexId>,
+        in_weights: Vec<EdgeWeight>,
+    ) -> Result<Self> {
+        if vertex_count == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        let out = CsrDirection {
+            offsets: out_offsets,
+            targets: out_targets,
+            weights: out_weights,
+        };
+        let inc = CsrDirection {
+            offsets: in_offsets,
+            targets: in_targets,
+            weights: in_weights,
+        };
+        for (name, d) in [("out", &out), ("in", &inc)] {
+            if d.offsets.len() != vertex_count + 1 {
+                return Err(GraphError::Format(format!(
+                    "{name} offsets column has {} entries, expected {}",
+                    d.offsets.len(),
+                    vertex_count + 1
+                )));
+            }
+            if d.targets.len() as u64 != edge_count || d.weights.len() as u64 != edge_count {
+                return Err(GraphError::Format(format!(
+                    "{name} edge columns have {}/{} entries, expected {edge_count}",
+                    d.targets.len(),
+                    d.weights.len()
+                )));
+            }
+            if d.offsets[0] != 0 || d.offsets[vertex_count] != edge_count {
+                return Err(GraphError::Format(format!(
+                    "{name} offsets must span 0..={edge_count}"
+                )));
+            }
+            if d.offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(GraphError::Format(format!(
+                    "{name} offsets are not monotone"
+                )));
+            }
+            if let Some(&bad) = d.targets.iter().find(|&&t| t as usize >= vertex_count) {
+                return Err(GraphError::VertexOutOfBounds {
+                    vertex: u64::from(bad),
+                    vertex_count: vertex_count as u64,
+                });
+            }
+        }
+        Ok(Self {
+            vertex_count,
+            edge_count,
+            out,
+            inc,
+        })
+    }
+}
+
+impl GraphView for Csr {
+    fn vertex_count(&self) -> usize {
+        Csr::vertex_count(self)
+    }
+
+    fn edge_count(&self) -> u64 {
+        Csr::edge_count(self)
+    }
+
+    fn out_degree(&self, v: VertexId) -> u64 {
+        Csr::out_degree(self, v)
+    }
+
+    fn in_degree(&self, v: VertexId) -> u64 {
+        Csr::in_degree(self, v)
+    }
+
+    fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        Csr::out_neighbors(self, v)
+    }
+
+    fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        Csr::in_neighbors(self, v)
+    }
+
+    fn out_weights(&self, v: VertexId) -> &[EdgeWeight] {
+        Csr::out_weights(self, v)
+    }
+
+    fn in_weights(&self, v: VertexId) -> &[EdgeWeight] {
+        Csr::in_weights(self, v)
+    }
+
+    fn out_edge_offset(&self, v: VertexId) -> u64 {
+        self.out.offsets[v as usize]
+    }
+
+    fn in_edge_offset(&self, v: VertexId) -> u64 {
+        self.inc.offsets[v as usize]
     }
 }
 

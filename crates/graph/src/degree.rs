@@ -7,8 +7,8 @@
 //! for one direction and [`SkewReport`] packages them for the Table I
 //! reproduction.
 
-use crate::csr::Csr;
 use crate::types::{Direction, VertexId};
+use crate::view::GraphView;
 use serde::{Deserialize, Serialize};
 
 /// Degree statistics of a graph in one direction.
@@ -29,7 +29,7 @@ impl DegreeStats {
     /// A vertex is hot when `degree >= average_degree` (the paper's
     /// definition); `hot_edges` counts edges attached to hot vertices in this
     /// direction.
-    pub fn new(graph: &Csr, direction: Direction) -> Self {
+    pub fn new(graph: &dyn GraphView, direction: Direction) -> Self {
         let vertex_count = graph.vertex_count();
         let edge_count = graph.edge_count();
         let avg = edge_count as f64 / vertex_count as f64;
@@ -108,7 +108,7 @@ impl DegreeStats {
 
     /// Returns the hot vertices (IDs with `degree >= average`) of `graph` in
     /// `direction`, in arbitrary order.
-    pub fn hot_vertices(graph: &Csr, direction: Direction) -> Vec<VertexId> {
+    pub fn hot_vertices(graph: &dyn GraphView, direction: Direction) -> Vec<VertexId> {
         let avg = graph.edge_count() as f64 / graph.vertex_count() as f64;
         graph
             .vertices()
@@ -151,12 +151,12 @@ impl SkewReport {
     }
 
     /// Skew of the in-edge (pull) direction — rows #2/#3 of Table I.
-    pub fn for_in_edges(graph: &Csr) -> Self {
+    pub fn for_in_edges(graph: &dyn GraphView) -> Self {
         Self::from_stats(&DegreeStats::new(graph, Direction::In))
     }
 
     /// Skew of the out-edge (push) direction — rows #4/#5 of Table I.
-    pub fn for_out_edges(graph: &Csr) -> Self {
+    pub fn for_out_edges(graph: &dyn GraphView) -> Self {
         Self::from_stats(&DegreeStats::new(graph, Direction::Out))
     }
 
@@ -210,6 +210,7 @@ impl std::fmt::Display for SkewReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::Csr;
     use crate::generators::{GraphGenerator, Rmat, Uniform};
 
     fn chain_graph() -> Csr {

@@ -1,0 +1,1553 @@
+//! Real-graph ingestion: edge lists → on-disk binary CSR → mmap-backed views.
+//!
+//! Synthetic generators cover the paper's *shape* of skew; real web/social
+//! graphs are where GRASP's claims actually live. This module provides the
+//! out-of-core path for them:
+//!
+//! 1. **Chunked parallel CSR build** ([`build_csr_parallel`]) — partition the
+//!    edge list, count degrees with per-chunk workers, prefix-sum, scatter
+//!    into per-vertex-range partitions (the same worker-pool shape as the
+//!    campaign scheduler), and sort adjacency lists through the *same* code
+//!    path as [`Csr::from_edge_list`]. The result is bit-identical to the
+//!    sequential builder (property-tested), so everything downstream — traces,
+//!    cache stats, app outputs — is independent of how the graph was built.
+//!
+//! 2. **On-disk binary CSR** ([`write_disk_csr`]) — a directory of
+//!    little-endian column files (`out.offsets`, `out.targets`, optional
+//!    `out.weights`, and the `in.*` triple) plus a self-describing
+//!    checksummed header (`graph.gcsr`) in the style of the trace persist
+//!    layer: magic, version, FNV-1a checksums per column, a FNV-1a **content
+//!    hash** identifying the graph, and ingest-time degree-skew statistics
+//!    ([`GraphStats`]: max/mean degree, Gini coefficient, hot-vertex edge
+//!    mass at the paper's 90/10 threshold).
+//!
+//! 3. **mmap-backed view** ([`MappedCsr`]) — opens the column files with
+//!    `mmap(2)` (no external crates; a buffered in-memory fallback covers
+//!    non-Unix or big-endian hosts) and implements [`GraphView`], so apps,
+//!    reorder techniques and campaigns consume it exactly like an in-memory
+//!    [`Csr`]. [`load_csr`] is the fully-in-memory backing over the same
+//!    files; both backings produce bit-identical experiment results.
+//!
+//! Corruption is never silent: the header checksum covers every header
+//! field, per-column checksums cover the payload, and structural validation
+//! (monotone offsets, in-range targets) runs on [`verify_disk_csr`] /
+//! [`load_csr`]. Failures surface as typed [`DiskCsrError`] values.
+//!
+//! ```text
+//! twitter.gcsr/
+//! ├── graph.gcsr      192-byte checksummed header (layout below)
+//! ├── out.offsets     (V+1) × u64 LE
+//! ├── out.targets     E × u32 LE
+//! ├── out.weights     E × u32 LE — omitted when weights are uniform
+//! ├── in.offsets      (V+1) × u64 LE
+//! ├── in.targets      E × u32 LE
+//! └── in.weights      E × u32 LE — omitted when weights are uniform
+//! ```
+
+use crate::csr::sort_adjacency;
+use crate::edgelist::EdgeList;
+use crate::types::{Direction, EdgeWeight, VertexId};
+use crate::view::GraphView;
+use crate::{Csr, GraphError};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Magic bytes opening every binary-CSR header.
+pub const GCSR_MAGIC: [u8; 8] = *b"GRSPCSR\0";
+
+/// Newest version of the on-disk binary CSR format. Bump on layout changes.
+pub const GCSR_FORMAT_VERSION: u32 = 1;
+
+/// Name of the header file inside a `.gcsr` directory.
+pub const HEADER_FILE: &str = "graph.gcsr";
+
+/// Header flag bit: edge weights are uniform and the weight columns are
+/// omitted (the common unweighted case — every weight is 1).
+const FLAG_UNIFORM_WEIGHTS: u32 = 1;
+
+/// Total header size in bytes.
+const HEADER_LEN: usize = 192;
+
+/// Column file names, in header column-table order.
+/// The column file names of a binary CSR directory, in header-table order.
+pub const COLUMN_FILES: [&str; 6] = [
+    "out.offsets",
+    "out.targets",
+    "out.weights",
+    "in.offsets",
+    "in.targets",
+    "in.weights",
+];
+
+/// Environment variable overriding the ingest worker count.
+pub const INGEST_THREADS_ENV_VAR: &str = "GRASP_INGEST_THREADS";
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+#[inline]
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn fnv1a_of(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv1a(&mut h, bytes);
+    h
+}
+
+/// Typed errors for the on-disk binary CSR format.
+///
+/// Every corruption mode has a distinct variant so tooling (and tests) can
+/// tell "not a gcsr file" from "damaged gcsr file" from "I/O problem".
+#[derive(Debug)]
+pub enum DiskCsrError {
+    /// The header does not start with [`GCSR_MAGIC`].
+    BadMagic,
+    /// The header names a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// A file is shorter (or longer) than the header says it should be.
+    Truncated {
+        /// Which file is the wrong size (header or a column file).
+        file: &'static str,
+        /// Expected size in bytes.
+        expected: u64,
+        /// Actual size in bytes.
+        found: u64,
+    },
+    /// The header checksum does not match its contents.
+    HeaderChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum computed over the header bytes.
+        computed: u64,
+    },
+    /// A column file's contents do not match its checksum in the header.
+    ColumnChecksumMismatch {
+        /// Which column is damaged.
+        column: &'static str,
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum computed over the column bytes.
+        computed: u64,
+    },
+    /// The columns decode but violate a CSR structural invariant
+    /// (non-monotone offsets, out-of-range target, ...).
+    Corrupt(String),
+    /// An I/O error occurred.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for DiskCsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskCsrError::BadMagic => write!(f, "not a binary CSR header (bad magic bytes)"),
+            DiskCsrError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported binary CSR version {v} (this build reads versions \
+                 1..={GCSR_FORMAT_VERSION})"
+            ),
+            DiskCsrError::Truncated {
+                file,
+                expected,
+                found,
+            } => write!(f, "{file}: expected {expected} bytes, found {found}"),
+            DiskCsrError::HeaderChecksumMismatch { stored, computed } => write!(
+                f,
+                "header checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            DiskCsrError::ColumnChecksumMismatch {
+                column,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "column {column} checksum mismatch: stored {stored:#018x}, \
+                 computed {computed:#018x}"
+            ),
+            DiskCsrError::Corrupt(msg) => write!(f, "corrupt binary CSR: {msg}"),
+            DiskCsrError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskCsrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiskCsrError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DiskCsrError {
+    fn from(e: std::io::Error) -> Self {
+        DiskCsrError::Io(e)
+    }
+}
+
+/// Degree-skew statistics computed once at ingest time and stored in the
+/// header, so `xtask graph info` never has to touch the columns.
+///
+/// These are the numbers GRASP's premise is built on: power-law graphs
+/// concentrate edge mass on a tiny hot vertex set (Table I of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphStats {
+    /// Largest out-degree of any vertex.
+    pub max_out_degree: u64,
+    /// Largest in-degree of any vertex.
+    pub max_in_degree: u64,
+    /// Mean degree (`edges / vertices`).
+    pub mean_degree: f64,
+    /// Gini coefficient of the out-degree distribution in `[0, 1]`
+    /// (0 = perfectly regular, → 1 = all edges on one vertex).
+    pub gini: f64,
+    /// Fraction of out-edges owned by the hottest 10% of vertices — the
+    /// paper's 90/10 skew threshold (skewed graphs score ≥ 0.9 here).
+    pub hot10_edge_fraction: f64,
+}
+
+impl GraphStats {
+    /// Computes the statistics from any graph backing.
+    pub fn compute(graph: &dyn GraphView) -> Self {
+        let n = graph.vertex_count();
+        let m = graph.edge_count();
+        let mut out_degrees: Vec<u64> = Vec::with_capacity(n);
+        let mut max_in = 0u64;
+        for v in graph.vertices() {
+            out_degrees.push(graph.out_degree(v));
+            max_in = max_in.max(graph.in_degree(v));
+        }
+        let max_out = out_degrees.iter().copied().max().unwrap_or(0);
+        // Sort ascending once; both Gini and the hot-10% mass read off it.
+        out_degrees.sort_unstable();
+        let gini = if m == 0 {
+            0.0
+        } else {
+            // G = (2 * Σ_{i=1..n} i·d_(i)) / (n · Σd) − (n + 1) / n,
+            // with d_(i) sorted ascending and i 1-based.
+            let weighted: f64 = out_degrees
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+                .sum();
+            (2.0 * weighted) / (n as f64 * m as f64) - (n as f64 + 1.0) / n as f64
+        };
+        let hot10_edge_fraction = if m == 0 {
+            0.0
+        } else {
+            let hot_count = n.div_ceil(10);
+            let hot_mass: u64 = out_degrees.iter().rev().take(hot_count).sum();
+            hot_mass as f64 / m as f64
+        };
+        Self {
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            mean_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+            gini,
+            hot10_edge_fraction,
+        }
+    }
+}
+
+/// Byte length and FNV-1a checksum of one column file, as recorded in the
+/// header's column table. Omitted columns record `(0, 0)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ColumnMeta {
+    /// Size of the column file in bytes.
+    pub byte_len: u64,
+    /// FNV-1a checksum over the column file's bytes.
+    pub checksum: u64,
+}
+
+/// Decoded `graph.gcsr` header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskCsrHeader {
+    /// Format version (currently always [`GCSR_FORMAT_VERSION`]).
+    pub version: u32,
+    /// Number of vertices.
+    pub vertex_count: u64,
+    /// Number of directed edges.
+    pub edge_count: u64,
+    /// `Some(w)` when all edge weights equal `w` and the weight columns are
+    /// omitted; `None` when explicit weight columns are present.
+    pub uniform_weight: Option<EdgeWeight>,
+    /// FNV-1a content hash identifying the graph (see [`write_disk_csr`]).
+    pub content_hash: u64,
+    /// Ingest-time degree-skew statistics.
+    pub stats: GraphStats,
+    /// Per-column byte lengths and checksums, in [`COLUMN_FILES`] order.
+    pub columns: [ColumnMeta; 6],
+}
+
+impl DiskCsrHeader {
+    fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut buf = [0u8; HEADER_LEN];
+        buf[0..8].copy_from_slice(&GCSR_MAGIC);
+        buf[8..12].copy_from_slice(&self.version.to_le_bytes());
+        let flags = if self.uniform_weight.is_some() {
+            FLAG_UNIFORM_WEIGHTS
+        } else {
+            0
+        };
+        buf[12..16].copy_from_slice(&flags.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.vertex_count.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.edge_count.to_le_bytes());
+        buf[32..36].copy_from_slice(&self.uniform_weight.unwrap_or(0).to_le_bytes());
+        // buf[36..40] reserved, zero.
+        buf[40..48].copy_from_slice(&self.content_hash.to_le_bytes());
+        buf[48..56].copy_from_slice(&self.stats.max_out_degree.to_le_bytes());
+        buf[56..64].copy_from_slice(&self.stats.max_in_degree.to_le_bytes());
+        buf[64..72].copy_from_slice(&self.stats.mean_degree.to_le_bytes());
+        buf[72..80].copy_from_slice(&self.stats.gini.to_le_bytes());
+        buf[80..88].copy_from_slice(&self.stats.hot10_edge_fraction.to_le_bytes());
+        let mut at = 88;
+        for col in &self.columns {
+            buf[at..at + 8].copy_from_slice(&col.byte_len.to_le_bytes());
+            buf[at + 8..at + 16].copy_from_slice(&col.checksum.to_le_bytes());
+            at += 16;
+        }
+        debug_assert_eq!(at, HEADER_LEN - 8);
+        let checksum = fnv1a_of(&buf[0..HEADER_LEN - 8]);
+        buf[HEADER_LEN - 8..].copy_from_slice(&checksum.to_le_bytes());
+        buf
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self, DiskCsrError> {
+        if buf.len() != HEADER_LEN {
+            return Err(DiskCsrError::Truncated {
+                file: HEADER_FILE,
+                expected: HEADER_LEN as u64,
+                found: buf.len() as u64,
+            });
+        }
+        if buf[0..8] != GCSR_MAGIC {
+            return Err(DiskCsrError::BadMagic);
+        }
+        let stored = u64::from_le_bytes(buf[HEADER_LEN - 8..].try_into().expect("8 bytes"));
+        let computed = fnv1a_of(&buf[0..HEADER_LEN - 8]);
+        if stored != computed {
+            return Err(DiskCsrError::HeaderChecksumMismatch { stored, computed });
+        }
+        let u32_at = |at: usize| u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"));
+        let u64_at = |at: usize| u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"));
+        let f64_at = |at: usize| f64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"));
+        let version = u32_at(8);
+        if version == 0 || version > GCSR_FORMAT_VERSION {
+            return Err(DiskCsrError::UnsupportedVersion(version));
+        }
+        let flags = u32_at(12);
+        let uniform_weight = if flags & FLAG_UNIFORM_WEIGHTS != 0 {
+            Some(u32_at(32))
+        } else {
+            None
+        };
+        let mut columns = [ColumnMeta::default(); 6];
+        for (i, col) in columns.iter_mut().enumerate() {
+            col.byte_len = u64_at(88 + i * 16);
+            col.checksum = u64_at(96 + i * 16);
+        }
+        Ok(Self {
+            version,
+            vertex_count: u64_at(16),
+            edge_count: u64_at(24),
+            uniform_weight,
+            content_hash: u64_at(40),
+            stats: GraphStats {
+                max_out_degree: u64_at(48),
+                max_in_degree: u64_at(56),
+                mean_degree: f64_at(64),
+                gini: f64_at(72),
+                hot10_edge_fraction: f64_at(80),
+            },
+            columns,
+        })
+    }
+}
+
+/// Summary returned by the ingestion entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestReport {
+    /// Directory the binary CSR was written to.
+    pub path: PathBuf,
+    /// Number of vertices.
+    pub vertex_count: u64,
+    /// Number of directed edges.
+    pub edge_count: u64,
+    /// FNV-1a content hash identifying the graph.
+    pub content_hash: u64,
+    /// `Some(w)` when the weight columns were omitted as uniform.
+    pub uniform_weight: Option<EdgeWeight>,
+    /// Degree-skew statistics computed during ingest.
+    pub stats: GraphStats,
+    /// Total bytes written (header + columns).
+    pub bytes_written: u64,
+}
+
+/// Default ingest worker count: `GRASP_INGEST_THREADS` if set, else the
+/// available parallelism capped at 8 (the scatter phase re-scans the edge
+/// list once per worker, so very wide pools stop paying off).
+pub fn default_ingest_threads() -> usize {
+    if let Ok(text) = std::env::var(INGEST_THREADS_ENV_VAR) {
+        if let Ok(n) = text.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Builds a [`Csr`] from an edge list using a chunked parallel pipeline:
+/// per-chunk degree counting, prefix-sum, per-vertex-range scatter, and the
+/// canonical adjacency sort.
+///
+/// The output is **bit-identical** to [`Csr::from_edge_list`] for every
+/// input (property-tested): the scatter preserves edge-list order per owner
+/// and the adjacency sort is the same code path, so the two builders differ
+/// only in wall time.
+///
+/// # Errors
+///
+/// Same contract as [`Csr::from_edge_list`]: [`GraphError::EmptyGraph`] for
+/// zero vertices, [`GraphError::VertexOutOfBounds`] for stray endpoints.
+pub fn build_csr_parallel(edges: &EdgeList, threads: usize) -> crate::Result<Csr> {
+    if threads <= 1 {
+        return Csr::from_edge_list(edges);
+    }
+    let vertex_count = edges.vertex_count();
+    if vertex_count == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let vertex_count = usize::try_from(vertex_count)
+        .map_err(|_| GraphError::Format("vertex count exceeds usize".into()))?;
+    let edge_slice = edges.edges();
+
+    // Phase 1: parallel degree counting for both directions in one pass.
+    let out_counts: Vec<AtomicU64> = (0..vertex_count).map(|_| AtomicU64::new(0)).collect();
+    let in_counts: Vec<AtomicU64> = (0..vertex_count).map(|_| AtomicU64::new(0)).collect();
+    let first_error: Mutex<Option<GraphError>> = Mutex::new(None);
+    let chunk_len = edge_slice.len().div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for chunk in edge_slice.chunks(chunk_len) {
+            let (out_counts, in_counts, first_error) = (&out_counts, &in_counts, &first_error);
+            scope.spawn(move || {
+                for e in chunk {
+                    for v in [e.src, e.dst] {
+                        if v as usize >= vertex_count {
+                            let mut slot = first_error.lock().unwrap();
+                            if slot.is_none() {
+                                *slot = Some(GraphError::VertexOutOfBounds {
+                                    vertex: u64::from(v),
+                                    vertex_count: vertex_count as u64,
+                                });
+                            }
+                            return;
+                        }
+                    }
+                    out_counts[e.src as usize].fetch_add(1, Ordering::Relaxed);
+                    in_counts[e.dst as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    if let Some(e) = first_error.into_inner().unwrap() {
+        return Err(e);
+    }
+
+    let build_direction = |counts: &[AtomicU64], use_src_as_owner: bool| {
+        // Phase 2: sequential prefix sum into the offsets column.
+        let mut offsets = vec![0u64; vertex_count + 1];
+        for v in 0..vertex_count {
+            offsets[v + 1] = offsets[v] + counts[v].load(Ordering::Relaxed);
+        }
+        let edge_total = offsets[vertex_count] as usize;
+        let mut targets = vec![0 as VertexId; edge_total];
+        let mut weights = vec![0 as EdgeWeight; edge_total];
+
+        // Phase 3: pick contiguous vertex ranges with balanced edge mass, so
+        // power-law hubs don't serialize one worker.
+        let mut bounds = vec![0usize];
+        for w in 1..threads {
+            let target_mass = (edge_total as u64).saturating_mul(w as u64) / threads as u64;
+            let v = offsets.partition_point(|&o| o < target_mass);
+            let v = v.clamp(*bounds.last().unwrap(), vertex_count);
+            bounds.push(v);
+        }
+        bounds.push(vertex_count);
+
+        // Phase 4: scatter + sort. Each worker owns a contiguous vertex range
+        // and therefore a contiguous, disjoint span of the edge columns, so
+        // the columns are split with `split_at_mut` — no synchronization in
+        // the hot loop. Scanning the full edge list per worker keeps the
+        // per-owner scatter order identical to the sequential builder's.
+        std::thread::scope(|scope| {
+            let mut t_rest: &mut [VertexId] = &mut targets;
+            let mut w_rest: &mut [EdgeWeight] = &mut weights;
+            let mut consumed = 0usize;
+            for win in bounds.windows(2) {
+                let (lo_v, hi_v) = (win[0], win[1]);
+                let span = (offsets[hi_v] - offsets[lo_v]) as usize;
+                let (t_mine, t_next) = std::mem::take(&mut t_rest).split_at_mut(span);
+                let (w_mine, w_next) = std::mem::take(&mut w_rest).split_at_mut(span);
+                t_rest = t_next;
+                w_rest = w_next;
+                let base = consumed as u64;
+                consumed += span;
+                let offsets = &offsets;
+                scope.spawn(move || {
+                    if lo_v == hi_v {
+                        return;
+                    }
+                    let mut cursor: Vec<u64> = offsets[lo_v..hi_v].to_vec();
+                    for e in edge_slice {
+                        let (owner, other) = if use_src_as_owner {
+                            (e.src, e.dst)
+                        } else {
+                            (e.dst, e.src)
+                        };
+                        let owner = owner as usize;
+                        if owner < lo_v || owner >= hi_v {
+                            continue;
+                        }
+                        let idx = (cursor[owner - lo_v] - base) as usize;
+                        t_mine[idx] = other;
+                        w_mine[idx] = e.weight;
+                        cursor[owner - lo_v] += 1;
+                    }
+                    for v in lo_v..hi_v {
+                        let a = (offsets[v] - base) as usize;
+                        let b = (offsets[v + 1] - base) as usize;
+                        sort_adjacency(&mut t_mine[a..b], &mut w_mine[a..b]);
+                    }
+                });
+            }
+        });
+        (offsets, targets, weights)
+    };
+
+    let (out_offsets, out_targets, out_weights) = build_direction(&out_counts, true);
+    let (in_offsets, in_targets, in_weights) = build_direction(&in_counts, false);
+    Csr::from_raw_columns(
+        vertex_count,
+        edge_slice.len() as u64,
+        out_offsets,
+        out_targets,
+        out_weights,
+        in_offsets,
+        in_targets,
+        in_weights,
+    )
+}
+
+fn u64s_to_le_bytes(values: &[u64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf
+}
+
+fn u32s_to_le_bytes(values: &[u32]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf
+}
+
+/// Writes `graph` as an on-disk binary CSR directory at `dir`.
+///
+/// The **content hash** stored in the header (and returned in the report) is
+/// FNV-1a over `vertex_count`, `edge_count`, the uniform-weight flag/value
+/// and every present column's little-endian bytes, in file order. Two
+/// ingests of the same logical graph therefore produce the same hash — it is
+/// what the dataset catalog and trace-store key use to identify the graph.
+///
+/// When every edge weight is the same value, the weight columns are omitted
+/// and the value is recorded in the header instead (`uniform_weight`) — for
+/// unweighted graphs this cuts the edge payload by a third.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on filesystem failures.
+pub fn write_disk_csr(graph: &Csr, dir: &Path) -> crate::Result<IngestReport> {
+    std::fs::create_dir_all(dir)?;
+    let (out_offsets, out_targets, out_weights) = graph.raw_columns(Direction::Out);
+    let (in_offsets, in_targets, in_weights) = graph.raw_columns(Direction::In);
+    let uniform_weight = match out_weights.first() {
+        None => Some(1),
+        Some(&w) if out_weights.iter().all(|&x| x == w) => Some(w),
+        Some(_) => None,
+    };
+
+    let column_bytes: [Option<Vec<u8>>; 6] = [
+        Some(u64s_to_le_bytes(out_offsets)),
+        Some(u32s_to_le_bytes(out_targets)),
+        uniform_weight
+            .is_none()
+            .then(|| u32s_to_le_bytes(out_weights)),
+        Some(u64s_to_le_bytes(in_offsets)),
+        Some(u32s_to_le_bytes(in_targets)),
+        uniform_weight
+            .is_none()
+            .then(|| u32s_to_le_bytes(in_weights)),
+    ];
+
+    let mut content_hash = FNV_OFFSET;
+    fnv1a(
+        &mut content_hash,
+        &(graph.vertex_count() as u64).to_le_bytes(),
+    );
+    fnv1a(&mut content_hash, &graph.edge_count().to_le_bytes());
+    match uniform_weight {
+        Some(w) => {
+            fnv1a(&mut content_hash, &[1]);
+            fnv1a(&mut content_hash, &w.to_le_bytes());
+        }
+        None => fnv1a(&mut content_hash, &[0]),
+    }
+    let mut columns = [ColumnMeta::default(); 6];
+    let mut bytes_written = HEADER_LEN as u64;
+    for (i, bytes) in column_bytes.iter().enumerate() {
+        if let Some(bytes) = bytes {
+            fnv1a(&mut content_hash, bytes);
+            columns[i] = ColumnMeta {
+                byte_len: bytes.len() as u64,
+                checksum: fnv1a_of(bytes),
+            };
+            bytes_written += bytes.len() as u64;
+        }
+    }
+
+    for (i, bytes) in column_bytes.iter().enumerate() {
+        let path = dir.join(COLUMN_FILES[i]);
+        match bytes {
+            Some(bytes) => std::fs::write(&path, bytes)?,
+            // Stale weight columns from a previous non-uniform write would
+            // make the directory ambiguous; remove them.
+            None => match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            },
+        }
+    }
+
+    let stats = GraphStats::compute(graph);
+    let header = DiskCsrHeader {
+        version: GCSR_FORMAT_VERSION,
+        vertex_count: graph.vertex_count() as u64,
+        edge_count: graph.edge_count(),
+        uniform_weight,
+        content_hash,
+        stats,
+        columns,
+    };
+    // Header last, via tmp + rename: a crash mid-write leaves a directory
+    // without a valid header, which open() rejects loudly, never a directory
+    // that silently mixes old and new columns.
+    let tmp = dir.join(format!("{HEADER_FILE}.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&header.encode())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, dir.join(HEADER_FILE))?;
+
+    Ok(IngestReport {
+        path: dir.to_path_buf(),
+        vertex_count: graph.vertex_count() as u64,
+        edge_count: graph.edge_count(),
+        content_hash,
+        uniform_weight,
+        stats,
+        bytes_written,
+    })
+}
+
+/// Ingests an [`EdgeList`]: parallel CSR build + [`write_disk_csr`].
+///
+/// # Errors
+///
+/// Propagates build and I/O errors.
+pub fn ingest_edge_list(
+    edges: &EdgeList,
+    dir: &Path,
+    threads: usize,
+) -> crate::Result<IngestReport> {
+    let graph = build_csr_parallel(edges, threads)?;
+    write_disk_csr(&graph, dir)
+}
+
+/// Ingests an edge-list file (text or `.bin`, see [`crate::io`]) into an
+/// on-disk binary CSR directory.
+///
+/// # Errors
+///
+/// Propagates parse, build and I/O errors.
+pub fn ingest_file(src: &Path, dir: &Path, threads: usize) -> crate::Result<IngestReport> {
+    let edges = crate::io::read_edge_list_file(src)?;
+    ingest_edge_list(&edges, dir, threads)
+}
+
+/// Reads and validates just the header of a binary CSR directory.
+///
+/// # Errors
+///
+/// Returns a typed [`DiskCsrError`] on any header problem.
+pub fn read_header(dir: &Path) -> Result<DiskCsrHeader, DiskCsrError> {
+    let bytes = std::fs::read(dir.join(HEADER_FILE))?;
+    DiskCsrHeader::decode(&bytes)
+}
+
+// ---------------------------------------------------------------------------
+// Column buffers: mmap on little-endian Unix, owned decode elsewhere.
+// ---------------------------------------------------------------------------
+
+#[cfg(all(unix, target_endian = "little"))]
+mod mmap_sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+}
+
+/// A read-only `mmap(2)` region over one column file. The base address is
+/// page-aligned, and each column lives in its own file, so reinterpreting
+/// the bytes as `u64`/`u32` slices is always correctly aligned.
+#[cfg(all(unix, target_endian = "little"))]
+struct MmapRegion {
+    ptr: *mut u8,
+    len: usize,
+}
+
+#[cfg(all(unix, target_endian = "little"))]
+// SAFETY: the mapping is PROT_READ/MAP_PRIVATE and never written through,
+// so sharing the pointer across threads is sound.
+unsafe impl Send for MmapRegion {}
+#[cfg(all(unix, target_endian = "little"))]
+unsafe impl Sync for MmapRegion {}
+
+#[cfg(all(unix, target_endian = "little"))]
+impl MmapRegion {
+    fn map(file: &std::fs::File, len: usize) -> std::io::Result<Self> {
+        use std::os::unix::io::AsRawFd;
+        debug_assert!(len > 0, "zero-length mappings are invalid");
+        // SAFETY: fd is a valid open file descriptor and len > 0; the result
+        // is checked against MAP_FAILED before use.
+        let ptr = unsafe {
+            mmap_sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                mmap_sys::PROT_READ,
+                mmap_sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == mmap_sys::map_failed() {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Self {
+            ptr: ptr as *mut u8,
+            len,
+        })
+    }
+
+    fn bytes(&self) -> &[u8] {
+        // SAFETY: ptr/len describe a live read-only mapping owned by self.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+#[cfg(all(unix, target_endian = "little"))]
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        // SAFETY: ptr/len came from a successful mmap and are unmapped once.
+        unsafe {
+            mmap_sys::munmap(self.ptr as *mut std::os::raw::c_void, self.len);
+        }
+    }
+}
+
+/// One on-disk column of `u64` values: mmap-backed where possible, owned
+/// (decoded) otherwise.
+enum U64Column {
+    #[cfg(all(unix, target_endian = "little"))]
+    Mapped(MmapRegion),
+    Owned(Vec<u64>),
+}
+
+/// One on-disk column of `u32` values.
+enum U32Column {
+    #[cfg(all(unix, target_endian = "little"))]
+    Mapped(MmapRegion),
+    Owned(Vec<u32>),
+}
+
+fn open_column(
+    dir: &Path,
+    index: usize,
+    expected_len: u64,
+) -> Result<Option<std::fs::File>, DiskCsrError> {
+    let name = COLUMN_FILES[index];
+    let path = dir.join(name);
+    let file = match std::fs::File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound && expected_len == 0 => return Ok(None),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(DiskCsrError::Truncated {
+                file: name,
+                expected: expected_len,
+                found: 0,
+            })
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let found = file.metadata()?.len();
+    if found != expected_len {
+        return Err(DiskCsrError::Truncated {
+            file: name,
+            expected: expected_len,
+            found,
+        });
+    }
+    if expected_len == 0 {
+        return Ok(None);
+    }
+    Ok(Some(file))
+}
+
+impl U64Column {
+    fn open(dir: &Path, index: usize, expected_len: u64) -> Result<Self, DiskCsrError> {
+        let Some(file) = open_column(dir, index, expected_len)? else {
+            return Ok(U64Column::Owned(Vec::new()));
+        };
+        #[cfg(all(unix, target_endian = "little"))]
+        {
+            Ok(U64Column::Mapped(MmapRegion::map(
+                &file,
+                expected_len as usize,
+            )?))
+        }
+        #[cfg(not(all(unix, target_endian = "little")))]
+        {
+            let mut bytes = Vec::new();
+            use std::io::Read;
+            let mut file = file;
+            file.read_to_end(&mut bytes)?;
+            Ok(U64Column::Owned(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                    .collect(),
+            ))
+        }
+    }
+
+    fn as_slice(&self) -> &[u64] {
+        match self {
+            #[cfg(all(unix, target_endian = "little"))]
+            // SAFETY: the mapping is page-aligned and its length is a
+            // multiple of 8 (validated against the header at open time).
+            U64Column::Mapped(m) => unsafe {
+                std::slice::from_raw_parts(m.ptr as *const u64, m.len / 8)
+            },
+            U64Column::Owned(v) => v,
+        }
+    }
+
+    fn checksum(&self) -> u64 {
+        match self {
+            #[cfg(all(unix, target_endian = "little"))]
+            U64Column::Mapped(m) => fnv1a_of(m.bytes()),
+            U64Column::Owned(v) => {
+                let mut h = FNV_OFFSET;
+                for x in v {
+                    fnv1a(&mut h, &x.to_le_bytes());
+                }
+                h
+            }
+        }
+    }
+}
+
+impl U32Column {
+    fn open(dir: &Path, index: usize, expected_len: u64) -> Result<Self, DiskCsrError> {
+        let Some(file) = open_column(dir, index, expected_len)? else {
+            return Ok(U32Column::Owned(Vec::new()));
+        };
+        #[cfg(all(unix, target_endian = "little"))]
+        {
+            Ok(U32Column::Mapped(MmapRegion::map(
+                &file,
+                expected_len as usize,
+            )?))
+        }
+        #[cfg(not(all(unix, target_endian = "little")))]
+        {
+            let mut bytes = Vec::new();
+            use std::io::Read;
+            let mut file = file;
+            file.read_to_end(&mut bytes)?;
+            Ok(U32Column::Owned(
+                bytes
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+                    .collect(),
+            ))
+        }
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            #[cfg(all(unix, target_endian = "little"))]
+            // SAFETY: page-aligned mapping, length validated as 4-multiple.
+            U32Column::Mapped(m) => unsafe {
+                std::slice::from_raw_parts(m.ptr as *const u32, m.len / 4)
+            },
+            U32Column::Owned(v) => v,
+        }
+    }
+
+    fn checksum(&self) -> u64 {
+        match self {
+            #[cfg(all(unix, target_endian = "little"))]
+            U32Column::Mapped(m) => fnv1a_of(m.bytes()),
+            U32Column::Owned(v) => {
+                let mut h = FNV_OFFSET;
+                for x in v {
+                    fnv1a(&mut h, &x.to_le_bytes());
+                }
+                h
+            }
+        }
+    }
+}
+
+/// An mmap-backed binary CSR graph: the out-of-core counterpart of [`Csr`].
+///
+/// Opening is cheap — the header is checksum-verified and every column file's
+/// size is checked, but the column *contents* are only faulted in as the
+/// computation touches them. Run [`MappedCsr::verify`] (or
+/// [`verify_disk_csr`]) for a full checksum + structural pass.
+///
+/// Implements [`GraphView`], so it drops into every app, reorder technique
+/// and campaign exactly like an in-memory CSR, with bit-identical results.
+pub struct MappedCsr {
+    dir: PathBuf,
+    header: DiskCsrHeader,
+    vertex_count: usize,
+    out_offsets: U64Column,
+    out_targets: U32Column,
+    out_weights: Option<U32Column>,
+    in_offsets: U64Column,
+    in_targets: U32Column,
+    in_weights: Option<U32Column>,
+    /// Shared weight slice served for every vertex when weights are uniform:
+    /// `uniform_weights[..degree(v)]`. Sized to the maximum degree.
+    uniform_weights: Vec<EdgeWeight>,
+}
+
+impl std::fmt::Debug for MappedCsr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedCsr")
+            .field("dir", &self.dir)
+            .field("vertex_count", &self.header.vertex_count)
+            .field("edge_count", &self.header.edge_count)
+            .field(
+                "content_hash",
+                &format_args!("{:#018x}", self.header.content_hash),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+fn expected_column_lens(header: &DiskCsrHeader) -> Result<[u64; 6], DiskCsrError> {
+    let v = header.vertex_count;
+    let e = header.edge_count;
+    let weights_len = if header.uniform_weight.is_some() {
+        0
+    } else {
+        e * 4
+    };
+    let expected = [
+        (v + 1) * 8,
+        e * 4,
+        weights_len,
+        (v + 1) * 8,
+        e * 4,
+        weights_len,
+    ];
+    for (i, (&want, col)) in expected.iter().zip(&header.columns).enumerate() {
+        if col.byte_len != want {
+            return Err(DiskCsrError::Corrupt(format!(
+                "header column table disagrees with counts: {} records {} bytes, \
+                 counts imply {want}",
+                COLUMN_FILES[i], col.byte_len
+            )));
+        }
+    }
+    Ok(expected)
+}
+
+impl MappedCsr {
+    /// Opens a binary CSR directory written by [`write_disk_csr`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`DiskCsrError`] when the header is missing, damaged
+    /// or version-incompatible, or any column file has the wrong size.
+    pub fn open(dir: &Path) -> Result<Self, DiskCsrError> {
+        let header = read_header(dir)?;
+        if header.vertex_count == 0 {
+            return Err(DiskCsrError::Corrupt("zero vertex count".into()));
+        }
+        let vertex_count = usize::try_from(header.vertex_count)
+            .map_err(|_| DiskCsrError::Corrupt("vertex count exceeds usize".into()))?;
+        let lens = expected_column_lens(&header)?;
+        let out_offsets = U64Column::open(dir, 0, lens[0])?;
+        let out_targets = U32Column::open(dir, 1, lens[1])?;
+        let out_weights = if header.uniform_weight.is_none() {
+            Some(U32Column::open(dir, 2, lens[2])?)
+        } else {
+            None
+        };
+        let in_offsets = U64Column::open(dir, 3, lens[3])?;
+        let in_targets = U32Column::open(dir, 4, lens[4])?;
+        let in_weights = if header.uniform_weight.is_none() {
+            Some(U32Column::open(dir, 5, lens[5])?)
+        } else {
+            None
+        };
+        let uniform_weights = match header.uniform_weight {
+            Some(w) => {
+                let max_degree = header.stats.max_out_degree.max(header.stats.max_in_degree);
+                let max_degree = usize::try_from(max_degree)
+                    .map_err(|_| DiskCsrError::Corrupt("max degree exceeds usize".into()))?;
+                if max_degree as u64 > header.edge_count {
+                    return Err(DiskCsrError::Corrupt(
+                        "header max degree exceeds edge count".into(),
+                    ));
+                }
+                vec![w; max_degree]
+            }
+            None => Vec::new(),
+        };
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            header,
+            vertex_count,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_targets,
+            in_weights,
+            uniform_weights,
+        })
+    }
+
+    /// The decoded header (stats, content hash, column table).
+    pub fn header(&self) -> &DiskCsrHeader {
+        &self.header
+    }
+
+    /// The FNV-1a content hash identifying this graph.
+    pub fn content_hash(&self) -> u64 {
+        self.header.content_hash
+    }
+
+    /// Ingest-time degree-skew statistics.
+    pub fn stats(&self) -> GraphStats {
+        self.header.stats
+    }
+
+    /// Directory this graph was opened from.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Full integrity pass: every column checksum plus the CSR structural
+    /// invariants (monotone offsets spanning `0..=edge_count`, in-range
+    /// targets). Reads every byte of every column.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first typed [`DiskCsrError`] found.
+    pub fn verify(&self) -> Result<(), DiskCsrError> {
+        let checks: [(usize, u64); 6] = [
+            (0, self.out_offsets.checksum()),
+            (1, self.out_targets.checksum()),
+            (2, self.out_weights.as_ref().map_or(0, |c| c.checksum())),
+            (3, self.in_offsets.checksum()),
+            (4, self.in_targets.checksum()),
+            (5, self.in_weights.as_ref().map_or(0, |c| c.checksum())),
+        ];
+        for (i, computed) in checks {
+            if self.header.columns[i].byte_len == 0 {
+                continue;
+            }
+            let stored = self.header.columns[i].checksum;
+            if stored != computed {
+                return Err(DiskCsrError::ColumnChecksumMismatch {
+                    column: COLUMN_FILES[i],
+                    stored,
+                    computed,
+                });
+            }
+        }
+        for (name, offsets, targets) in [
+            (
+                "out",
+                self.out_offsets.as_slice(),
+                self.out_targets.as_slice(),
+            ),
+            ("in", self.in_offsets.as_slice(), self.in_targets.as_slice()),
+        ] {
+            if offsets[0] != 0 || offsets[self.vertex_count] != self.header.edge_count {
+                return Err(DiskCsrError::Corrupt(format!(
+                    "{name} offsets must span 0..={}",
+                    self.header.edge_count
+                )));
+            }
+            if offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(DiskCsrError::Corrupt(format!(
+                    "{name} offsets are not monotone"
+                )));
+            }
+            if let Some(&bad) = targets.iter().find(|&&t| t as usize >= self.vertex_count) {
+                return Err(DiskCsrError::Corrupt(format!(
+                    "{name} target {bad} out of range for {} vertices",
+                    self.vertex_count
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn slice_bounds(offsets: &[u64], v: VertexId) -> (usize, usize) {
+        (
+            offsets[v as usize] as usize,
+            offsets[v as usize + 1] as usize,
+        )
+    }
+}
+
+impl GraphView for MappedCsr {
+    fn vertex_count(&self) -> usize {
+        self.vertex_count
+    }
+
+    fn edge_count(&self) -> u64 {
+        self.header.edge_count
+    }
+
+    fn out_degree(&self, v: VertexId) -> u64 {
+        let o = self.out_offsets.as_slice();
+        o[v as usize + 1] - o[v as usize]
+    }
+
+    fn in_degree(&self, v: VertexId) -> u64 {
+        let o = self.in_offsets.as_slice();
+        o[v as usize + 1] - o[v as usize]
+    }
+
+    fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let (lo, hi) = Self::slice_bounds(self.out_offsets.as_slice(), v);
+        &self.out_targets.as_slice()[lo..hi]
+    }
+
+    fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let (lo, hi) = Self::slice_bounds(self.in_offsets.as_slice(), v);
+        &self.in_targets.as_slice()[lo..hi]
+    }
+
+    fn out_weights(&self, v: VertexId) -> &[EdgeWeight] {
+        match &self.out_weights {
+            Some(col) => {
+                let (lo, hi) = Self::slice_bounds(self.out_offsets.as_slice(), v);
+                &col.as_slice()[lo..hi]
+            }
+            None => &self.uniform_weights[..self.out_degree(v) as usize],
+        }
+    }
+
+    fn in_weights(&self, v: VertexId) -> &[EdgeWeight] {
+        match &self.in_weights {
+            Some(col) => {
+                let (lo, hi) = Self::slice_bounds(self.in_offsets.as_slice(), v);
+                &col.as_slice()[lo..hi]
+            }
+            None => &self.uniform_weights[..self.in_degree(v) as usize],
+        }
+    }
+
+    fn out_edge_offset(&self, v: VertexId) -> u64 {
+        self.out_offsets.as_slice()[v as usize]
+    }
+
+    fn in_edge_offset(&self, v: VertexId) -> u64 {
+        self.in_offsets.as_slice()[v as usize]
+    }
+}
+
+/// Loads a binary CSR directory fully into memory as a [`Csr`] — the
+/// in-memory backing over the same files as [`MappedCsr::open`].
+///
+/// Column checksums and structural invariants are verified during the load
+/// (the data is being read end-to-end anyway). Uniform weights are
+/// materialized, so the result compares equal (`==`) to the [`Csr`] the
+/// directory was written from.
+///
+/// # Errors
+///
+/// Returns a typed [`DiskCsrError`] on any corruption.
+pub fn load_csr(dir: &Path) -> Result<Csr, DiskCsrError> {
+    let mapped = MappedCsr::open(dir)?;
+    mapped.verify()?;
+    let edge_count = mapped.header.edge_count as usize;
+    let materialize_weights = |col: &Option<U32Column>, w: Option<EdgeWeight>| match col {
+        Some(col) => col.as_slice().to_vec(),
+        None => vec![w.unwrap_or(1); edge_count],
+    };
+    let out_weights = materialize_weights(&mapped.out_weights, mapped.header.uniform_weight);
+    let in_weights = materialize_weights(&mapped.in_weights, mapped.header.uniform_weight);
+    Csr::from_raw_columns(
+        mapped.vertex_count,
+        mapped.header.edge_count,
+        mapped.out_offsets.as_slice().to_vec(),
+        mapped.out_targets.as_slice().to_vec(),
+        out_weights,
+        mapped.in_offsets.as_slice().to_vec(),
+        mapped.in_targets.as_slice().to_vec(),
+        in_weights,
+    )
+    .map_err(|e| DiskCsrError::Corrupt(e.to_string()))
+}
+
+/// Standalone full verification of a binary CSR directory: header checksum,
+/// column sizes, column checksums, structural invariants.
+///
+/// # Errors
+///
+/// Returns the first typed [`DiskCsrError`] found.
+pub fn verify_disk_csr(dir: &Path) -> Result<DiskCsrHeader, DiskCsrError> {
+    let mapped = MappedCsr::open(dir)?;
+    mapped.verify()?;
+    Ok(mapped.header.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{GraphGenerator, Rmat};
+    use crate::types::Edge;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("grasp_ingest_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn skewed_edge_list() -> EdgeList {
+        let mut el = EdgeList::new(64);
+        // A hub-heavy little graph with self-loops and duplicate edges.
+        for i in 0..64u32 {
+            el.push(i % 8, (i * 7) % 64).unwrap();
+            el.push(0, i).unwrap();
+        }
+        el.push(5, 5).unwrap();
+        el.push(0, 1).unwrap();
+        el.push(0, 1).unwrap();
+        el
+    }
+
+    fn graphs_bit_identical(a: &dyn GraphView, b: &dyn GraphView) -> bool {
+        if a.vertex_count() != b.vertex_count() || a.edge_count() != b.edge_count() {
+            return false;
+        }
+        a.vertices().all(|v| {
+            a.out_neighbors(v) == b.out_neighbors(v)
+                && a.in_neighbors(v) == b.in_neighbors(v)
+                && a.out_weights(v) == b.out_weights(v)
+                && a.in_weights(v) == b.in_weights(v)
+                && a.out_edge_offset(v) == b.out_edge_offset(v)
+                && a.in_edge_offset(v) == b.in_edge_offset(v)
+        })
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let el = skewed_edge_list();
+        let seq = Csr::from_edge_list(&el).unwrap();
+        for threads in [2, 3, 8] {
+            let par = build_csr_parallel(&el, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_handles_sparse_id_space() {
+        // from_iter derives vertex_count = max endpoint + 1, leaving a large
+        // tail of isolated vertices — both builders must agree.
+        let sparse: EdgeList = [Edge::new(0, 1), Edge::new(9, 0), Edge::new(40, 40)]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            build_csr_parallel(&sparse, 4).unwrap(),
+            Csr::from_edge_list(&sparse).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_vertex_set_is_rejected() {
+        let el = EdgeList::new(0);
+        assert!(matches!(
+            build_csr_parallel(&el, 4),
+            Err(GraphError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn round_trip_mapped_and_in_memory() {
+        let dir = temp_dir("round_trip");
+        let el = skewed_edge_list();
+        let report = ingest_edge_list(&el, &dir, 4).unwrap();
+        assert_eq!(report.uniform_weight, Some(1));
+
+        let reference = Csr::from_edge_list(&el).unwrap();
+        let mapped = MappedCsr::open(&dir).unwrap();
+        assert!(graphs_bit_identical(&reference, &mapped));
+        assert_eq!(mapped.content_hash(), report.content_hash);
+        mapped.verify().unwrap();
+
+        let loaded = load_csr(&dir).unwrap();
+        assert_eq!(loaded, reference);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn weighted_graphs_keep_explicit_columns() {
+        let dir = temp_dir("weighted");
+        let mut el = EdgeList::new(8);
+        for i in 0..8u32 {
+            el.push_weighted(i, (i + 1) % 8, i + 1).unwrap();
+        }
+        let report = ingest_edge_list(&el, &dir, 2).unwrap();
+        assert_eq!(report.uniform_weight, None);
+        assert!(dir.join("out.weights").exists());
+
+        let reference = Csr::from_edge_list(&el).unwrap();
+        let mapped = MappedCsr::open(&dir).unwrap();
+        assert!(graphs_bit_identical(&reference, &mapped));
+        assert_eq!(load_csr(&dir).unwrap(), reference);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn edgeless_graph_round_trips() {
+        let dir = temp_dir("edgeless");
+        let el = EdgeList::new(5);
+        ingest_edge_list(&el, &dir, 2).unwrap();
+        let mapped = MappedCsr::open(&dir).unwrap();
+        assert_eq!(mapped.vertex_count(), 5);
+        assert_eq!(mapped.edge_count(), 0);
+        assert_eq!(mapped.out_neighbors(4), &[] as &[VertexId]);
+        mapped.verify().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_sensitive() {
+        let dir_a = temp_dir("hash_a");
+        let dir_b = temp_dir("hash_b");
+        let el = skewed_edge_list();
+        let a = ingest_edge_list(&el, &dir_a, 1).unwrap();
+        let b = ingest_edge_list(&el, &dir_b, 8).unwrap();
+        assert_eq!(
+            a.content_hash, b.content_hash,
+            "hash must not depend on threads"
+        );
+
+        let mut other = skewed_edge_list();
+        other.push(63, 62).unwrap();
+        let c = ingest_edge_list(&other, &dir_b, 4).unwrap();
+        assert_ne!(a.content_hash, c.content_hash);
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn stats_capture_skew() {
+        let graph = Rmat::new(8, 8).generate(7);
+        let stats = GraphStats::compute(&graph);
+        assert!(stats.max_out_degree >= 1);
+        assert!((stats.mean_degree - graph.average_degree()).abs() < 1e-12);
+        assert!(
+            stats.gini > 0.3,
+            "R-MAT should be skewed, gini={}",
+            stats.gini
+        );
+        assert!(stats.hot10_edge_fraction > 0.3);
+        assert!(stats.hot10_edge_fraction <= 1.0);
+
+        // A ring is perfectly regular: gini 0, hot-10% mass exactly 10%.
+        let ring = Csr::from_edges((0..10u32).map(|v| (v, (v + 1) % 10))).unwrap();
+        let ring_stats = GraphStats::compute(&ring);
+        assert!(ring_stats.gini.abs() < 1e-12);
+        assert!((ring_stats.hot10_edge_fraction - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_column_is_typed() {
+        let dir = temp_dir("truncated");
+        ingest_edge_list(&skewed_edge_list(), &dir, 2).unwrap();
+        let path = dir.join("out.targets");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(matches!(
+            MappedCsr::open(&dir),
+            Err(DiskCsrError::Truncated {
+                file: "out.targets",
+                ..
+            })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_column_is_typed() {
+        let dir = temp_dir("missing");
+        ingest_edge_list(&skewed_edge_list(), &dir, 2).unwrap();
+        std::fs::remove_file(dir.join("in.offsets")).unwrap();
+        assert!(matches!(
+            MappedCsr::open(&dir),
+            Err(DiskCsrError::Truncated {
+                file: "in.offsets",
+                found: 0,
+                ..
+            })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flipped_header_is_typed() {
+        let dir = temp_dir("hdr_flip");
+        ingest_edge_list(&skewed_edge_list(), &dir, 2).unwrap();
+        let path = dir.join(HEADER_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[20] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            MappedCsr::open(&dir),
+            Err(DiskCsrError::HeaderChecksumMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let dir = temp_dir("magic");
+        ingest_edge_list(&skewed_edge_list(), &dir, 2).unwrap();
+        let path = dir.join(HEADER_FILE);
+        let good = std::fs::read(&path).unwrap();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        std::fs::write(&path, &bad_magic).unwrap();
+        assert!(matches!(MappedCsr::open(&dir), Err(DiskCsrError::BadMagic)));
+
+        // A future version with a correct checksum must be refused.
+        let mut future = good.clone();
+        future[8..12].copy_from_slice(&(GCSR_FORMAT_VERSION + 1).to_le_bytes());
+        let checksum = fnv1a_of(&future[0..HEADER_LEN - 8]);
+        future[HEADER_LEN - 8..].copy_from_slice(&checksum.to_le_bytes());
+        std::fs::write(&path, &future).unwrap();
+        assert!(matches!(
+            MappedCsr::open(&dir),
+            Err(DiskCsrError::UnsupportedVersion(v)) if v == GCSR_FORMAT_VERSION + 1
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flipped_column_fails_verify_and_load() {
+        let dir = temp_dir("col_flip");
+        ingest_edge_list(&skewed_edge_list(), &dir, 2).unwrap();
+        let path = dir.join("in.targets");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mapped = MappedCsr::open(&dir).unwrap();
+        assert!(matches!(
+            mapped.verify(),
+            Err(DiskCsrError::ColumnChecksumMismatch {
+                column: "in.targets",
+                ..
+            })
+        ));
+        assert!(load_csr(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rmat_round_trip_through_files() {
+        let dir = temp_dir("rmat");
+        let graph = Rmat::new(9, 8).generate(3);
+        let report = write_disk_csr(&graph, &dir).unwrap();
+        assert_eq!(report.edge_count, graph.edge_count());
+
+        let mapped = MappedCsr::open(&dir).unwrap();
+        assert!(graphs_bit_identical(&graph, &mapped));
+        assert_eq!(load_csr(&dir).unwrap(), graph);
+        // Skew stats in the header match a fresh computation.
+        assert_eq!(mapped.stats(), GraphStats::compute(&graph));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ingest_file_text_and_binary() {
+        let dir = temp_dir("files");
+        let el = skewed_edge_list();
+        let txt = dir.join("edges.txt");
+        crate::io::write_edge_list_file(&txt, &el).unwrap();
+        let out_a = dir.join("a.gcsr");
+        let a = ingest_file(&txt, &out_a, 2).unwrap();
+
+        let bin = dir.join("edges.bin");
+        crate::io::write_edge_list_file(&bin, &el).unwrap();
+        let out_b = dir.join("b.gcsr");
+        let b = ingest_file(&bin, &out_b, 2).unwrap();
+
+        assert_eq!(a.content_hash, b.content_hash);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

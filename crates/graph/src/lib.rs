@@ -41,14 +41,18 @@ pub mod csr;
 pub mod degree;
 pub mod edgelist;
 pub mod generators;
+pub mod ingest;
 pub mod io;
 pub mod prng;
 pub mod types;
+pub mod view;
 
 pub use csr::{Csr, CsrBuilder};
 pub use degree::{DegreeStats, SkewReport};
 pub use edgelist::EdgeList;
+pub use ingest::{DiskCsrError, GraphStats, MappedCsr};
 pub use types::{EdgeWeight, VertexId};
+pub use view::GraphView;
 
 /// Errors produced by the graph substrate.
 #[derive(Debug)]
@@ -66,6 +70,8 @@ pub enum GraphError {
     Io(std::io::Error),
     /// The on-disk representation is malformed.
     Format(String),
+    /// A typed on-disk binary-CSR error (see [`ingest::DiskCsrError`]).
+    DiskCsr(ingest::DiskCsrError),
 }
 
 impl std::fmt::Display for GraphError {
@@ -81,6 +87,7 @@ impl std::fmt::Display for GraphError {
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
             GraphError::Format(msg) => write!(f, "malformed graph data: {msg}"),
+            GraphError::DiskCsr(e) => write!(f, "binary CSR error: {e}"),
         }
     }
 }
@@ -89,8 +96,15 @@ impl std::error::Error for GraphError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             GraphError::Io(e) => Some(e),
+            GraphError::DiskCsr(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<ingest::DiskCsrError> for GraphError {
+    fn from(e: ingest::DiskCsrError) -> Self {
+        GraphError::DiskCsr(e)
     }
 }
 

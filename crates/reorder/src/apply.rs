@@ -2,7 +2,7 @@
 
 use crate::perm::Permutation;
 use grasp_graph::types::Edge;
-use grasp_graph::{Csr, EdgeList};
+use grasp_graph::{Csr, EdgeList, GraphView};
 
 /// Relabels every vertex of `graph` according to `perm` (old ID → new ID) and
 /// rebuilds the CSR.
@@ -13,7 +13,7 @@ use grasp_graph::{Csr, EdgeList};
 /// # Panics
 ///
 /// Panics if `perm.len() != graph.vertex_count()`.
-pub fn relabel(graph: &Csr, perm: &Permutation) -> Csr {
+pub fn relabel(graph: &dyn GraphView, perm: &Permutation) -> Csr {
     assert_eq!(
         perm.len(),
         graph.vertex_count(),
@@ -21,10 +21,12 @@ pub fn relabel(graph: &Csr, perm: &Permutation) -> Csr {
     );
     let mut edges =
         EdgeList::with_capacity(graph.vertex_count() as u64, graph.edge_count() as usize);
-    for (src, dst, weight) in graph.edges() {
-        edges
-            .push_edge(Edge::weighted(perm.new_id(src), perm.new_id(dst), weight))
-            .expect("permutation maps into the same vertex range");
+    for src in graph.vertices() {
+        for (&dst, &weight) in graph.out_neighbors(src).iter().zip(graph.out_weights(src)) {
+            edges
+                .push_edge(Edge::weighted(perm.new_id(src), perm.new_id(dst), weight))
+                .expect("permutation maps into the same vertex range");
+        }
     }
     Csr::from_edge_list(&edges).expect("relabelled graph has the same non-zero vertex count")
 }
@@ -88,7 +90,7 @@ mod tests {
 
     impl crate::Sort {
         /// Test-only convenience: compute with out-degree.
-        fn compute_for_test(&self, g: &Csr) -> Permutation {
+        fn compute_for_test(&self, g: &dyn GraphView) -> Permutation {
             use crate::ReorderTechnique;
             self.compute(g, Direction::Out)
         }

@@ -9,7 +9,7 @@
 use crate::perm::Permutation;
 use crate::ReorderTechnique;
 use grasp_graph::types::Direction;
-use grasp_graph::Csr;
+use grasp_graph::{Csr, GraphView};
 use std::time::{Duration, Instant};
 
 /// The result of a timed reordering: the permutation, the relabelled graph
@@ -52,7 +52,7 @@ impl<T: ReorderTechnique> TimedReorder<T> {
 
     /// Runs the technique on `graph` and returns the outcome together with
     /// wall-clock timings.
-    pub fn run(&self, graph: &Csr, direction: Direction) -> ReorderOutcome {
+    pub fn run(&self, graph: &dyn GraphView, direction: Direction) -> ReorderOutcome {
         let start = Instant::now();
         let permutation = self.technique.compute(graph, direction);
         let compute_time = start.elapsed();
@@ -72,7 +72,7 @@ impl<T: ReorderTechnique> TimedReorder<T> {
 /// [`crate::TechniqueKind`]).
 pub fn run_boxed(
     technique: &dyn ReorderTechnique,
-    graph: &Csr,
+    graph: &dyn GraphView,
     direction: Direction,
 ) -> ReorderOutcome {
     let start = Instant::now();

@@ -4,7 +4,7 @@ use crate::hot::hot_threshold;
 use crate::perm::Permutation;
 use crate::ReorderTechnique;
 use grasp_graph::types::{Direction, VertexId};
-use grasp_graph::Csr;
+use grasp_graph::GraphView;
 
 /// Degree-Based Grouping (DBG).
 ///
@@ -83,7 +83,7 @@ impl Default for DegreeBasedGrouping {
 }
 
 impl ReorderTechnique for DegreeBasedGrouping {
-    fn compute(&self, graph: &Csr, direction: Direction) -> Permutation {
+    fn compute(&self, graph: &dyn GraphView, direction: Direction) -> Permutation {
         let avg = hot_threshold(graph);
         let groups = self.group_count();
         let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); groups];

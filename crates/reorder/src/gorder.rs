@@ -17,7 +17,7 @@ use crate::dbg::DegreeBasedGrouping;
 use crate::perm::Permutation;
 use crate::ReorderTechnique;
 use grasp_graph::types::{Direction, VertexId};
-use grasp_graph::Csr;
+use grasp_graph::GraphView;
 use std::collections::BinaryHeap;
 
 /// Gorder-lite configuration.
@@ -70,7 +70,7 @@ impl GorderLite {
 
     /// One greedy ordering pass over `graph`, considering both edge
     /// directions for affinity.
-    fn greedy_pass(&self, graph: &Csr, seed_order: &[VertexId]) -> Vec<VertexId> {
+    fn greedy_pass(&self, graph: &dyn GraphView, seed_order: &[VertexId]) -> Vec<VertexId> {
         let n = graph.vertex_count();
         let mut placed = vec![false; n];
         let mut priority = vec![0u32; n];
@@ -150,7 +150,7 @@ impl Default for GorderLite {
 }
 
 impl ReorderTechnique for GorderLite {
-    fn compute(&self, graph: &Csr, direction: Direction) -> Permutation {
+    fn compute(&self, graph: &dyn GraphView, direction: Direction) -> Permutation {
         let n = graph.vertex_count();
         let mut order: Vec<VertexId> = (0..n as VertexId).collect();
         for _ in 0..self.passes {
@@ -216,7 +216,7 @@ mod tests {
         let shuffle_perm = Permutation::from_new_ids(shuffled).unwrap();
         let scrambled = crate::apply::relabel(&g, &shuffle_perm);
 
-        let avg_gap = |graph: &Csr| -> f64 {
+        let avg_gap = |graph: &dyn GraphView| -> f64 {
             let mut total = 0u64;
             let mut count = 0u64;
             for v in graph.vertices() {

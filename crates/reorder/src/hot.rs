@@ -7,12 +7,12 @@
 //! communicates to hardware through the Address Bound Registers.
 
 use grasp_graph::types::Direction;
-use grasp_graph::Csr;
+use grasp_graph::GraphView;
 use serde::{Deserialize, Serialize};
 
 /// The degree threshold above which a vertex counts as hot: the average
 /// degree of the graph (edges / vertices).
-pub fn hot_threshold(graph: &Csr) -> f64 {
+pub fn hot_threshold(graph: &dyn GraphView) -> f64 {
     graph.edge_count() as f64 / graph.vertex_count() as f64
 }
 
@@ -33,7 +33,7 @@ impl HotRegion {
     /// contains every hot vertex — equal to `hot_vertex_count` when the graph
     /// has been reordered by a segregating technique, potentially as large as
     /// the whole graph otherwise.
-    pub fn analyze(graph: &Csr, direction: Direction, element_bytes: usize) -> Self {
+    pub fn analyze(graph: &dyn GraphView, direction: Direction, element_bytes: usize) -> Self {
         let threshold = hot_threshold(graph);
         let mut hot_vertex_count = 0usize;
         let mut last_hot: Option<usize> = None;
@@ -99,6 +99,7 @@ mod tests {
     use super::*;
     use crate::{apply, DegreeBasedGrouping, ReorderTechnique};
     use grasp_graph::generators::{GraphGenerator, Rmat};
+    use grasp_graph::Csr;
 
     #[test]
     fn threshold_is_average_degree() {

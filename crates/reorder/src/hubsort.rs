@@ -4,7 +4,7 @@ use crate::hot::hot_threshold;
 use crate::perm::Permutation;
 use crate::ReorderTechnique;
 use grasp_graph::types::{Direction, VertexId};
-use grasp_graph::Csr;
+use grasp_graph::GraphView;
 
 /// HubSort: sorts **hot** vertices (degree ≥ average) in descending degree
 /// order at the front of the ID space while preserving the original relative
@@ -17,7 +17,7 @@ use grasp_graph::Csr;
 pub struct HubSort;
 
 impl ReorderTechnique for HubSort {
-    fn compute(&self, graph: &Csr, direction: Direction) -> Permutation {
+    fn compute(&self, graph: &dyn GraphView, direction: Direction) -> Permutation {
         let threshold = hot_threshold(graph);
         let mut hot: Vec<VertexId> = Vec::new();
         let mut cold: Vec<VertexId> = Vec::new();

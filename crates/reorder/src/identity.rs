@@ -3,7 +3,7 @@
 use crate::perm::Permutation;
 use crate::ReorderTechnique;
 use grasp_graph::types::Direction;
-use grasp_graph::Csr;
+use grasp_graph::GraphView;
 
 /// Identity "reordering": leaves every vertex where it is.
 ///
@@ -14,7 +14,7 @@ use grasp_graph::Csr;
 pub struct Identity;
 
 impl ReorderTechnique for Identity {
-    fn compute(&self, graph: &Csr, _direction: Direction) -> Permutation {
+    fn compute(&self, graph: &dyn GraphView, _direction: Direction) -> Permutation {
         Permutation::identity(graph.vertex_count())
     }
 
@@ -30,6 +30,7 @@ impl ReorderTechnique for Identity {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use grasp_graph::Csr;
 
     #[test]
     fn identity_is_identity() {

@@ -58,7 +58,7 @@ pub use perm::Permutation;
 pub use sort::Sort;
 
 use grasp_graph::types::Direction;
-use grasp_graph::Csr;
+use grasp_graph::GraphView;
 
 /// A vertex reordering technique.
 ///
@@ -67,7 +67,7 @@ use grasp_graph::Csr;
 /// applications to their **in**-degree (Sec. II-C of the paper).
 pub trait ReorderTechnique: std::fmt::Debug {
     /// Computes a permutation (old vertex ID → new vertex ID) for `graph`.
-    fn compute(&self, graph: &Csr, direction: Direction) -> Permutation;
+    fn compute(&self, graph: &dyn GraphView, direction: Direction) -> Permutation;
 
     /// Short name used in reports ("Sort", "HubSort", "DBG", ...).
     fn name(&self) -> &'static str;

@@ -3,7 +3,7 @@
 use crate::perm::Permutation;
 use crate::ReorderTechnique;
 use grasp_graph::types::{Direction, VertexId};
-use grasp_graph::Csr;
+use grasp_graph::GraphView;
 
 /// Reorders vertices by sorting **all** of them in descending degree order.
 ///
@@ -18,7 +18,7 @@ use grasp_graph::Csr;
 pub struct Sort;
 
 impl ReorderTechnique for Sort {
-    fn compute(&self, graph: &Csr, direction: Direction) -> Permutation {
+    fn compute(&self, graph: &dyn GraphView, direction: Direction) -> Permutation {
         let mut order: Vec<VertexId> = graph.vertices().collect();
         order.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v, direction)));
         Permutation::from_order(&order).expect("sorting a permutation yields a permutation")
@@ -33,6 +33,7 @@ impl ReorderTechnique for Sort {
 mod tests {
     use super::*;
     use grasp_graph::generators::{GraphGenerator, Rmat};
+    use grasp_graph::Csr;
 
     #[test]
     fn degrees_are_monotone_after_sort() {

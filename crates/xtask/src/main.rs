@@ -4,6 +4,8 @@
 //! * `trace` — hygiene, codec migration and CI exercise for the persistent
 //!   trace store (`ls [--json]` / `verify` / `gc --max-bytes` /
 //!   `recompress [--codec]` / `exercise`; see [`trace`]).
+//! * `graph` — ingest/inspect on-disk binary CSR graphs
+//!   (`ingest --out` / `info` / `verify`; see [`graph`]).
 //!
 //! `bench-diff` compares freshly dumped `BENCH_<figure>.json` files against
 //! the committed baselines and fails when
@@ -19,6 +21,7 @@
 //! changed cell means a behaviour change that must be acknowledged by
 //! re-committing the baseline, not noise.
 
+mod graph;
 mod json;
 mod trace;
 
@@ -33,8 +36,9 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("bench-diff") => bench_diff(&args[1..]),
         Some("trace") => trace::run(&args[1..]),
+        Some("graph") => graph::run(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask <bench-diff|trace> [options]");
+            eprintln!("usage: cargo xtask <bench-diff|trace|graph> [options]");
             eprintln!();
             eprintln!("bench-diff   compare fresh BENCH_*.json dumps against committed baselines");
             eprintln!("             (tolerance via GRASP_BENCH_TOLERANCE, default 0.10 = 10%)");
@@ -44,6 +48,8 @@ fn main() -> ExitCode {
             );
             eprintln!();
             eprintln!("{}", trace::usage());
+            eprintln!();
+            eprintln!("{}", graph::usage());
             ExitCode::from(2)
         }
     }

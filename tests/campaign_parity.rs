@@ -24,7 +24,11 @@ fn parallel_campaign_matches_serial_experiments_bit_for_bit() {
     assert_eq!(results.len(), 2 * 2 * 3);
     for run in results.iter() {
         let cell = run.cell;
-        let dataset = cell.dataset.build(SCALE);
+        let dataset = cell
+            .dataset
+            .as_synthetic()
+            .expect("synthetic axis")
+            .build(SCALE);
         let serial = Experiment::new(dataset.graph, cell.app)
             .with_hierarchy(SCALE.hierarchy())
             .with_reordering(cell.technique)

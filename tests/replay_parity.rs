@@ -41,7 +41,11 @@ fn replay_campaign_matches_serial_experiments_across_the_full_policy_grid() {
     assert_eq!(results.len(), 2 * FULL_GRID.len());
     for run in results.iter() {
         let cell = run.cell;
-        let dataset = cell.dataset.build(SCALE);
+        let dataset = cell
+            .dataset
+            .as_synthetic()
+            .expect("synthetic axis")
+            .build(SCALE);
         let serial = Experiment::new(dataset.graph, cell.app)
             .with_hierarchy(SCALE.hierarchy())
             .with_reordering(cell.technique)

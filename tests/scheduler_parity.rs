@@ -61,7 +61,11 @@ fn serial_reference(campaign: &Campaign) -> Vec<grasp_suite::core::experiment::R
         .cells()
         .iter()
         .map(|cell| {
-            let dataset = cell.dataset.build(SCALE);
+            let dataset = cell
+                .dataset
+                .as_synthetic()
+                .expect("synthetic axis")
+                .build(SCALE);
             Experiment::new(dataset.graph, cell.app)
                 .with_hierarchy(SCALE.hierarchy())
                 .with_reordering(cell.technique)

@@ -7,7 +7,7 @@
 //! (a fixed xorshift seed per test), so failures are reproducible. Shrinking
 //! is not implemented — a failing case is reported as-is.
 
-/// Test-case failure plumbing (`TestCaseError`, runner [`Config`]).
+/// Test-case failure plumbing (`TestCaseError`, runner `Config`).
 pub mod test_runner {
     /// Why a property test case failed.
     #[derive(Debug, Clone)]
