@@ -140,6 +140,11 @@ impl AppKind {
         }
     }
 
+    /// Parses a display label ([`AppKind::label`]) back to the kind.
+    pub fn from_label(label: &str) -> Option<Self> {
+        AppKind::ALL.into_iter().find(|app| app.label() == label)
+    }
+
     /// Whether the application traverses a weighted graph.
     pub fn is_weighted(self) -> bool {
         matches!(self, AppKind::Sssp)

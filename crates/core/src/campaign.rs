@@ -54,8 +54,11 @@
 //! ```
 
 use crate::datasets::{DatasetCatalog, DatasetId, DatasetKind, GraphHash, Scale};
+use crate::error::Error;
 use crate::experiment::{Experiment, RecordedRun, RunResult};
+use crate::flight::{FlightRegistry, FlightServed};
 use crate::policy::PolicyKind;
+use crate::spec::CampaignSpec;
 use crate::trace_store::{codec_from_env, TraceStore, TraceStoreKey};
 use grasp_analytics::apps::AppKind;
 use grasp_cachesim::config::HierarchyConfig;
@@ -112,6 +115,38 @@ pub enum ExecutionMode {
     Streaming,
 }
 
+impl ExecutionMode {
+    /// The wire slug used by [`CampaignSpec`] documents (`pipelined`,
+    /// `replay`, `direct`, `streaming`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecutionMode::Pipelined => "pipelined",
+            ExecutionMode::Replay => "replay",
+            ExecutionMode::Direct => "direct",
+            ExecutionMode::Streaming => "streaming",
+        }
+    }
+
+    /// Parses an [`ExecutionMode::label`] back to the mode (case-sensitive,
+    /// exact).
+    pub fn from_label(label: &str) -> Option<Self> {
+        [
+            ExecutionMode::Pipelined,
+            ExecutionMode::Replay,
+            ExecutionMode::Direct,
+            ExecutionMode::Streaming,
+        ]
+        .into_iter()
+        .find(|mode| mode.label() == label)
+    }
+}
+
+impl std::fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One entry of the scheduler's event log: what happened, in the order it
 /// happened (entries are appended under the scheduler lock, so the log is a
 /// true interleaving order, not a per-worker approximation).
@@ -129,7 +164,23 @@ pub enum SchedulerEvent {
         stream: usize,
     },
     /// A stream's recording completed; its replay cells are now runnable.
+    ///
+    /// When campaigns coordinate through a shared [`FlightRegistry`]
+    /// ([`Campaign::with_single_flight`]), only the flight's leader —
+    /// the one campaign that actually executed the recording — logs this;
+    /// every deduplicated sibling logs [`SchedulerEvent::RecordDeduped`]
+    /// instead, so counting `RecordFinished` entries across campaigns
+    /// counts real recordings.
     RecordFinished {
+        /// Stream index in first-seen grid order.
+        stream: usize,
+    },
+    /// A planned recording completed **without recording anything**: the
+    /// stream was served by another campaign's in-flight recording (or by a
+    /// store entry published between the plan-time probe and the task
+    /// running). The stream's replay cells are runnable, exactly as after
+    /// [`SchedulerEvent::RecordFinished`].
+    RecordDeduped {
         /// Stream index in first-seen grid order.
         stream: usize,
     },
@@ -301,6 +352,7 @@ pub struct Campaign {
     pipelines: usize,
     store: Option<Arc<TraceStore>>,
     codec: Option<Codec>,
+    flights: Option<Arc<FlightRegistry>>,
 }
 
 impl Campaign {
@@ -324,6 +376,67 @@ impl Campaign {
             pipelines: 0, // auto: resolved from the worker budget at run time
             store: None,
             codec: None, // resolved from GRASP_TRACE_CODEC (default delta-varint)
+            flights: None,
+        }
+    }
+
+    /// Reconstructs a campaign from its serializable [`CampaignSpec`].
+    ///
+    /// The inverse of [`Campaign::to_spec`]: every spec field lands on the
+    /// matching builder, and `Campaign::from_spec(&c.to_spec())` builds a
+    /// campaign that runs the same grid the same way. A spec naming a trace
+    /// store directory opens (creating if needed) that store; an unopenable
+    /// path surfaces as [`Error::Store`].
+    ///
+    /// Specs carry no [`DatasetCatalog`], so a spec listing
+    /// [`DatasetId::Ingested`] coordinates needs [`Campaign::catalog`]
+    /// called on the result before the campaign can run.
+    pub fn from_spec(spec: &CampaignSpec) -> Result<Self, Error> {
+        let mut campaign = Campaign::new(spec.scale)
+            .dataset_ids(&spec.datasets)
+            .techniques(&spec.techniques)
+            .apps(&spec.apps)
+            .policies(&spec.policies)
+            .execution(spec.mode)
+            .threads(spec.threads)
+            .streaming_pipelines(spec.pipelines);
+        if let Some(hierarchy) = spec.hierarchy {
+            campaign = campaign.hierarchy(hierarchy);
+        }
+        if spec.record_trace {
+            campaign = campaign.recording_llc_trace();
+        }
+        if let Some(path) = &spec.store {
+            let store = TraceStore::open(path.as_str()).map_err(Error::from)?;
+            campaign = campaign.with_trace_store(Arc::new(store));
+        }
+        if let Some(codec) = spec.codec {
+            campaign = campaign.trace_codec(codec);
+        }
+        Ok(campaign)
+    }
+
+    /// The campaign's serializable content: everything [`Campaign::from_spec`]
+    /// needs to rebuild an equivalent campaign (an attached store serializes
+    /// as its directory path). The catalog and an attached
+    /// [`FlightRegistry`] are runtime wiring and are not part of the spec.
+    pub fn to_spec(&self) -> CampaignSpec {
+        CampaignSpec {
+            scale: self.scale,
+            datasets: self.datasets.clone(),
+            techniques: self.techniques.clone(),
+            apps: self.apps.clone(),
+            policies: self.policies.clone(),
+            hierarchy: self.hierarchy,
+            record_trace: self.record_trace,
+            mode: self.mode,
+            threads: self.threads,
+            pipelines: self.pipelines,
+            store: self
+                .store
+                .as_ref()
+                .map(|store| store.dir().display().to_string()),
+            codec: self.codec,
         }
     }
 
@@ -409,13 +522,52 @@ impl Campaign {
     }
 
     /// Attaches the store named by the `GRASP_TRACE_STORE` environment
-    /// variable, when set (no-op otherwise).
+    /// variable, when set.
+    ///
+    /// This is the documented **fallback** for campaigns whose
+    /// [`CampaignSpec`] leaves the `store` field unset — prefer the spec
+    /// field (or [`Campaign::with_trace_store`]), which makes the store an
+    /// explicit, serializable part of the campaign. When the variable is
+    /// unset the call is a no-op, and says so once per process on stderr
+    /// (the silent no-op used to make "why is every run re-recording?"
+    /// needlessly hard to diagnose).
     #[must_use]
     pub fn trace_store_from_env(mut self) -> Self {
         if let Some(store) = TraceStore::from_env() {
             self.store = Some(Arc::new(store));
+        } else {
+            static UNSET: std::sync::Once = std::sync::Once::new();
+            UNSET.call_once(|| {
+                eprintln!(
+                    "trace store: GRASP_TRACE_STORE is not set; campaign runs without \
+                     a persistent trace store (every stream records fresh)"
+                );
+            });
         }
         self
+    }
+
+    /// Shares an in-flight recording registry with this campaign, so
+    /// concurrent campaigns holding the same registry never record the same
+    /// (dataset, technique, app, config) stream twice — the first campaign
+    /// to reach a stream records it (or loads it from the store) and every
+    /// concurrent sibling attaches to that recording in memory. The
+    /// campaign service wires one registry across all client campaigns;
+    /// library users can do the same across threads.
+    ///
+    /// Deduplicated streams log [`SchedulerEvent::RecordDeduped`] instead
+    /// of [`SchedulerEvent::RecordFinished`], and the registry's
+    /// [`FlightRegistry::stats`] count how each flight was served.
+    #[must_use]
+    pub fn with_single_flight(mut self, registry: Arc<FlightRegistry>) -> Self {
+        self.flights = Some(registry);
+        self
+    }
+
+    /// The shared in-flight registry, if any (see
+    /// [`Campaign::with_single_flight`]).
+    pub fn single_flight(&self) -> Option<&Arc<FlightRegistry>> {
+        self.flights.as_ref()
     }
 
     /// The attached trace store, if any (its [`TraceStore::stats`] report
@@ -501,54 +653,70 @@ impl Campaign {
     }
 
     /// The grid coordinates in deterministic grid order: datasets outermost,
-    /// then techniques, applications and policies.
+    /// then techniques, applications and policies. Delegates to
+    /// [`CampaignSpec::cells`] — the grid has exactly one definition, shared
+    /// by the library and the service wire format.
     pub fn cells(&self) -> Vec<CampaignCell> {
-        let mut cells = Vec::with_capacity(
-            self.datasets.len() * self.techniques.len() * self.apps.len() * self.policies.len(),
-        );
-        for &dataset in &self.datasets {
-            for &technique in &self.techniques {
-                for &app in &self.apps {
-                    for &policy in &self.policies {
-                        cells.push(CampaignCell {
-                            dataset,
-                            technique,
-                            app,
-                            policy,
-                        });
-                    }
-                }
-            }
-        }
-        cells
+        self.to_spec().cells()
     }
 
     /// Runs the campaign under its execution plan and returns the results in
     /// grid order.
     pub fn run(&self) -> CampaignResult {
-        // Pin the publication codec up front when a store is attached:
-        // store keys are built per stream job (possibly on worker threads),
-        // and the environment should be consulted — and a bad value warned
-        // about — exactly once per run, not once per stream.
+        self.run_observed(None)
+    }
+
+    /// Runs the campaign, invoking `observer` once per completed cell with
+    /// the cell's grid index and its finished run. Results still come back
+    /// in grid order; the *observer* sees cells in **completion order** —
+    /// under the pipelined plan that means incrementally, from the worker
+    /// that finished the cell, while the rest of the grid is still running
+    /// (the campaign service streams its per-cell result frames from here).
+    /// The barrier and streaming plans notify in grid order once the plan
+    /// completes.
+    pub fn run_with_observer(
+        &self,
+        observer: &(dyn Fn(usize, &CampaignRun) + Sync),
+    ) -> CampaignResult {
+        self.run_observed(Some(observer))
+    }
+
+    /// [`Campaign::run`] with an optional per-cell completion observer.
+    fn run_observed(&self, observer: Option<CellObserver<'_>>) -> CampaignResult {
+        // Pin the publication codec up front when a store or a shared
+        // flight registry is attached: store keys are built per stream job
+        // (possibly on worker threads), and the environment should be
+        // consulted — and a bad value warned about — exactly once per run,
+        // not once per stream.
         let pinned;
-        let this = if self.codec.is_none() && self.store.is_some() {
+        let this = if self.codec.is_none() && (self.store.is_some() || self.flights.is_some()) {
             pinned = self.clone().trace_codec(codec_from_env());
             &pinned
         } else {
             self
         };
         let budget = this.worker_budget(this.cells().len());
-        match this.mode {
-            ExecutionMode::Pipelined => this.run_pipelined(budget),
+        let result = match this.mode {
+            ExecutionMode::Pipelined => return this.run_pipelined(budget, observer),
             ExecutionMode::Replay => this.run_replay(budget),
             ExecutionMode::Direct => this.run_direct(budget),
             // Streaming never materializes a trace, so trace-requesting
             // campaigns (the OPT study) fall back to the pipelined plan,
             // which hands traces back natively. The detour is surfaced via
             // `CampaignResult::executed_mode`.
-            ExecutionMode::Streaming if this.record_trace => this.run_pipelined(budget),
+            ExecutionMode::Streaming if this.record_trace => {
+                return this.run_pipelined(budget, observer)
+            }
             ExecutionMode::Streaming => this.run_streaming(budget),
+        };
+        // The barrier plans have no per-cell completion points to hook, so
+        // the observer sees the finished grid in grid order.
+        if let Some(observer) = observer {
+            for (index, run) in result.iter().enumerate() {
+                observer(index, run);
+            }
         }
+        result
     }
 
     /// Builds the experiment of one (dataset, technique, app) coordinate,
@@ -668,7 +836,10 @@ impl Campaign {
     /// freshly — and published back to the store — otherwise. The flag
     /// reports whether the store served the stream (a corrupt entry counts
     /// as a miss and is overwritten).
-    fn obtain(&self, job: &StreamJob) -> (RecordedRun, bool) {
+    ///
+    /// This is the *uncoordinated* path; [`Campaign::obtain`] wraps it in
+    /// the shared [`FlightRegistry`] when one is attached.
+    fn obtain_local(&self, job: &StreamJob) -> (RecordedRun, bool) {
         let Some(store) = &self.store else {
             return (job.experiment.record(), false);
         };
@@ -693,6 +864,27 @@ impl Campaign {
         (recorded, false)
     }
 
+    /// Obtains one stream's recording, coordinated. Without a shared
+    /// [`FlightRegistry`] this is [`Campaign::obtain_local`] behind an
+    /// `Arc`; with one, concurrent obtains of the same store key — from
+    /// this campaign or any sibling sharing the registry — collapse to a
+    /// single recording that every caller attaches to
+    /// ([`FlightServed::Attached`]).
+    fn obtain(&self, job: &StreamJob) -> (Arc<RecordedRun>, FlightServed) {
+        match &self.flights {
+            Some(registry) => registry.obtain(self.store_key(job), || self.obtain_local(job)),
+            None => {
+                let (recorded, hit) = self.obtain_local(job);
+                let served = if hit {
+                    FlightServed::StoreHit
+                } else {
+                    FlightServed::Recorded
+                };
+                (Arc::new(recorded), served)
+            }
+        }
+    }
+
     /// Whether the trace store would serve this stream without recording —
     /// a plan-time probe (see [`TraceStore::probe`]) the scheduler uses to
     /// classify the stream's obtain task as a cheap `Load` instead of a
@@ -711,8 +903,9 @@ impl Campaign {
         let (cells, streams) = self.stream_plan();
 
         // Phase 1: obtain each stream once (application + upper levels, or a
-        // store hit that skips both).
-        let records = parallel_map(&streams, threads, |job| self.obtain(job).0);
+        // store hit / shared flight that skips both).
+        let records: Vec<Arc<RecordedRun>> =
+            parallel_map(&streams, threads, |job| self.obtain(job).0);
 
         // Phase 2: fan each recorded stream out across its policies.
         let runs = parallel_map(&cells, threads, |&(cell, index)| {
@@ -754,7 +947,7 @@ impl Campaign {
     /// [`RecordedRun::replay_with_trace`]) call the barrier plan makes, so
     /// results are bit-identical; result slots are indexed by cell, so grid
     /// order never depends on scheduling.
-    fn run_pipelined(&self, workers: usize) -> CampaignResult {
+    fn run_pipelined(&self, workers: usize, observer: Option<CellObserver<'_>>) -> CampaignResult {
         let (cells, streams) = self.stream_plan();
         if cells.is_empty() {
             return CampaignResult::new(Vec::new(), ExecutionMode::Pipelined);
@@ -792,6 +985,7 @@ impl Campaign {
             stream_cells: &stream_cells,
             obtain_cap,
             total,
+            observer,
         };
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -855,7 +1049,7 @@ impl Campaign {
                 drop(guard);
 
                 let started = Instant::now();
-                let (recorded, hit) = self.obtain(&plan.streams[stream]);
+                let (recorded, served) = self.obtain(&plan.streams[stream]);
                 let elapsed = started.elapsed().as_secs_f64();
 
                 guard = state.lock().expect("scheduler state never poisoned");
@@ -864,17 +1058,27 @@ impl Campaign {
                     guard
                         .model
                         .observe_load(app, plan.record_work[stream], elapsed);
-                    guard
-                        .events
-                        .push(SchedulerEvent::LoadFinished { stream, hit });
+                    guard.events.push(SchedulerEvent::LoadFinished {
+                        stream,
+                        hit: served != FlightServed::Recorded,
+                    });
                 } else {
                     guard
                         .model
                         .observe_record(app, plan.record_work[stream], elapsed);
-                    guard.events.push(SchedulerEvent::RecordFinished { stream });
+                    // A planned Record that was served without recording —
+                    // another campaign's in-flight recording, or a store
+                    // entry published since the plan-time probe — logs as
+                    // deduplicated, so RecordFinished counts stay an exact
+                    // census of recordings actually executed.
+                    guard.events.push(if served == FlightServed::Recorded {
+                        SchedulerEvent::RecordFinished { stream }
+                    } else {
+                        SchedulerEvent::RecordDeduped { stream }
+                    });
                 }
                 guard.trace_records[stream] = recorded.trace().len() as f64;
-                guard.recorded[stream] = Some(Arc::new(recorded));
+                guard.recorded[stream] = Some(recorded);
                 guard.obtains_inflight -= 1;
                 guard
                     .replay_queue
@@ -914,6 +1118,13 @@ impl Campaign {
                 };
                 let elapsed = started.elapsed().as_secs_f64();
                 drop(recorded);
+                let run = CampaignRun { cell, result };
+                // Completion callbacks run unlocked, from the worker that
+                // finished the cell — a slow observer (the service writing a
+                // frame to a slow client) never stalls the scheduler.
+                if let Some(observer) = plan.observer {
+                    observer(cell_index, &run);
+                }
 
                 guard = state.lock().expect("scheduler state never poisoned");
                 let records = guard.trace_records[stream];
@@ -923,7 +1134,7 @@ impl Campaign {
                 guard
                     .events
                     .push(SchedulerEvent::ReplayFinished { cell: cell_index });
-                guard.results[cell_index] = Some(CampaignRun { cell, result });
+                guard.results[cell_index] = Some(run);
                 guard.done_cells += 1;
                 guard.remaining_cells[stream] -= 1;
                 if guard.remaining_cells[stream] == 0 {
@@ -1036,13 +1247,13 @@ impl Campaign {
 
                     let job = &streams[stream];
                     let started = Instant::now();
-                    let (results, hit) = if self.store.is_some() {
-                        let (recorded, hit) = self.obtain(job);
-                        (recorded.sweep_streaming(&self.policies, consumers), hit)
+                    let (results, served) = if self.store.is_some() || self.flights.is_some() {
+                        let (recorded, served) = self.obtain(job);
+                        (recorded.sweep_streaming(&self.policies, consumers), served)
                     } else {
                         (
                             job.experiment.sweep_streaming(&self.policies, consumers),
-                            false,
+                            FlightServed::Recorded,
                         )
                     };
                     let elapsed = started.elapsed().as_secs_f64();
@@ -1052,14 +1263,19 @@ impl Campaign {
                         guard
                             .model
                             .observe_load(job.app, record_work[stream], elapsed);
-                        guard
-                            .events
-                            .push(SchedulerEvent::LoadFinished { stream, hit });
+                        guard.events.push(SchedulerEvent::LoadFinished {
+                            stream,
+                            hit: served != FlightServed::Recorded,
+                        });
                     } else {
                         guard
                             .model
                             .observe_record(job.app, record_work[stream], elapsed);
-                        guard.events.push(SchedulerEvent::RecordFinished { stream });
+                        guard.events.push(if served == FlightServed::Recorded {
+                            SchedulerEvent::RecordFinished { stream }
+                        } else {
+                            SchedulerEvent::RecordDeduped { stream }
+                        });
                     }
                     guard.events.push(SchedulerEvent::StreamRetired { stream });
                     guard.swept[stream] = Some(results);
@@ -1130,6 +1346,11 @@ impl Campaign {
     }
 }
 
+/// A per-cell completion callback (see [`Campaign::run_with_observer`]):
+/// called with the cell's grid index and its finished run, from whichever
+/// worker finished it.
+type CellObserver<'a> = &'a (dyn Fn(usize, &CampaignRun) + Sync);
+
 /// The immutable plan the pipelined scheduler's workers share: the grid,
 /// the task classification and the admission parameters. Splitting this
 /// from [`SchedState`] keeps the mutable state (and the lock) minimal.
@@ -1149,6 +1370,8 @@ struct SchedPlan<'a> {
     obtain_cap: usize,
     /// Total cell count (the run is done when this many results landed).
     total: usize,
+    /// Per-cell completion callback, invoked unlocked as each cell lands.
+    observer: Option<CellObserver<'a>>,
 }
 
 /// The mutable state of the pipelined scheduler, shared under one mutex.
@@ -1559,5 +1782,124 @@ mod tests {
         for (a, b) in runs.iter().zip(zero_runs.iter()) {
             assert_eq!(a.result.stats, b.result.stats);
         }
+    }
+
+    #[test]
+    fn execution_mode_labels_round_trip() {
+        for mode in [
+            ExecutionMode::Pipelined,
+            ExecutionMode::Replay,
+            ExecutionMode::Direct,
+            ExecutionMode::Streaming,
+        ] {
+            assert_eq!(ExecutionMode::from_label(mode.label()), Some(mode));
+            assert_eq!(mode.to_string(), mode.label());
+        }
+        assert_eq!(ExecutionMode::from_label("warp"), None);
+        assert_eq!(ExecutionMode::from_label("Pipelined"), None);
+    }
+
+    #[test]
+    fn spec_round_trips_through_campaign_and_json() {
+        let campaign = tiny_campaign()
+            .streaming()
+            .streaming_pipelines(2)
+            .threads(3)
+            .trace_codec(Codec::Raw);
+        let spec = campaign.to_spec();
+        let rebuilt = Campaign::from_spec(&spec).expect("spec rebuilds");
+        assert_eq!(rebuilt.to_spec(), spec, "from_spec/to_spec round-trip");
+        assert_eq!(rebuilt.cells(), campaign.cells());
+        let decoded = CampaignSpec::from_json(&spec.to_json()).expect("wire round-trip");
+        assert_eq!(decoded, spec);
+    }
+
+    #[test]
+    fn cells_delegate_to_the_spec_grid() {
+        let campaign = tiny_campaign();
+        assert_eq!(campaign.cells(), campaign.to_spec().cells());
+    }
+
+    #[test]
+    fn observer_sees_every_cell_exactly_once_in_every_plan() {
+        for mode in [
+            ExecutionMode::Pipelined,
+            ExecutionMode::Replay,
+            ExecutionMode::Direct,
+            ExecutionMode::Streaming,
+        ] {
+            let campaign = tiny_campaign().execution(mode).threads(3);
+            let cells = campaign.cells();
+            let seen: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+            let results = campaign.run_with_observer(&|index, run| {
+                assert_eq!(cells[index], run.cell, "{mode:?}");
+                seen.lock().unwrap().push(index);
+            });
+            let mut seen = seen.into_inner().unwrap();
+            seen.sort_unstable();
+            let expected: Vec<usize> = (0..results.len()).collect();
+            assert_eq!(seen, expected, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn shared_registry_collapses_concurrent_recordings() {
+        let dir =
+            std::env::temp_dir().join(format!("grasp-campaign-flight-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Arc::new(TraceStore::open(&dir).expect("store opens"));
+        let registry = Arc::new(FlightRegistry::new());
+        let campaign = Campaign::new(Scale::Tiny)
+            .datasets(&[DatasetKind::Twitter])
+            .apps(&[AppKind::PageRank, AppKind::Sssp])
+            .policies(&[PolicyKind::Rrip, PolicyKind::Grasp])
+            .threads(2)
+            .trace_codec(Codec::DeltaVarint)
+            .with_trace_store(Arc::clone(&store))
+            .with_single_flight(Arc::clone(&registry));
+        let streams = campaign.stream_plan().1.len();
+        assert_eq!(streams, 2);
+
+        let (a, b) = std::thread::scope(|scope| {
+            let ca = campaign.clone();
+            let cb = campaign.clone();
+            let ha = scope.spawn(move || ca.run());
+            let hb = scope.spawn(move || cb.run());
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+
+        // The single-flight guarantee: each unique stream was recorded by
+        // exactly one of the two campaigns, whichever interleaving occurred.
+        assert_eq!(registry.stats().recorded as usize, streams);
+        let events: Vec<&SchedulerEvent> = a
+            .scheduler_events()
+            .iter()
+            .chain(b.scheduler_events())
+            .collect();
+        let count =
+            |matcher: fn(&SchedulerEvent) -> bool| events.iter().filter(|e| matcher(e)).count();
+        assert_eq!(
+            count(|e| matches!(e, SchedulerEvent::RecordFinished { .. })),
+            streams,
+            "RecordFinished is an exact census of executed recordings"
+        );
+        // Every other obtain was deduplicated (in-flight attach or a store
+        // entry published after the plan-time probe) or served as a load.
+        assert_eq!(
+            count(|e| matches!(
+                e,
+                SchedulerEvent::RecordFinished { .. }
+                    | SchedulerEvent::RecordDeduped { .. }
+                    | SchedulerEvent::LoadFinished { .. }
+            )),
+            2 * streams
+        );
+        // Shared recordings replay bit-identically to fresh ones.
+        for (ra, rb) in a.iter().zip(b.iter()) {
+            assert_eq!(ra.cell, rb.cell);
+            assert_eq!(ra.result.stats, rb.result.stats, "{:?}", ra.cell);
+        }
+        assert_eq!(store.stats().corrupt, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -84,6 +84,26 @@ impl Scale {
     pub fn hierarchy(self) -> HierarchyConfig {
         HierarchyConfig::scaled_with_llc(self.llc_bytes())
     }
+
+    /// The scale's wire/store slug (`tiny` / `small` / `medium` / `large`),
+    /// used in trace-store entry file names and [`CampaignSpec`] documents.
+    ///
+    /// [`CampaignSpec`]: crate::spec::CampaignSpec
+    pub fn slug(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+        }
+    }
+
+    /// Parses a [`Scale::slug`] back to the scale (case-sensitive, exact).
+    pub fn from_slug(slug: &str) -> Option<Self> {
+        [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Large]
+            .into_iter()
+            .find(|scale| scale.slug() == slug)
+    }
 }
 
 /// The seven datasets of Table V.
@@ -141,6 +161,13 @@ impl DatasetKind {
             DatasetKind::Friendster => "fr",
             DatasetKind::Uniform => "uni",
         }
+    }
+
+    /// Parses a paper label ([`DatasetKind::label`]) back to the kind.
+    pub fn from_label(label: &str) -> Option<Self> {
+        DatasetKind::ALL
+            .into_iter()
+            .find(|kind| kind.label() == label)
     }
 
     /// Average degree of the synthetic stand-in (Table V reports 14–33).
@@ -260,6 +287,22 @@ impl DatasetId {
             DatasetId::Synthetic(kind) => kind.label().to_owned(),
             DatasetId::Ingested(hash) => hash.slug(),
         }
+    }
+
+    /// Parses a [`DatasetId::slug`] back to the identity: a paper label
+    /// (`lj`, `tw`, ...) resolves to the synthetic kind, a `g<hash:016x>`
+    /// slug to the ingested content hash.
+    pub fn from_slug(slug: &str) -> Option<Self> {
+        if let Some(kind) = DatasetKind::from_label(slug) {
+            return Some(DatasetId::Synthetic(kind));
+        }
+        let hex = slug.strip_prefix('g')?;
+        if hex.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(hex, 16)
+            .ok()
+            .map(|hash| DatasetId::Ingested(GraphHash(hash)))
     }
 
     /// The synthetic kind, if this is a synthetic dataset.

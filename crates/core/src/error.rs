@@ -1,0 +1,161 @@
+//! One error surface for everything a campaign can fail on.
+//!
+//! The workspace grew three independent error enums — the trace store's
+//! [`StoreError`], the trace persist format's [`PersistError`] and the
+//! on-disk graph format's [`DiskCsrError`] — which was fine while every
+//! caller was a CLI printing to stderr. The campaign service needs one type
+//! it can turn into a machine-readable error frame, so [`Error`] wraps all
+//! three (plus spec decode failures) and assigns every case a **stable**
+//! [`Error::kind`] string. Service error frames carry that string verbatim;
+//! it is part of the wire protocol and must never change for an existing
+//! case (see `docs/service.md`).
+
+use crate::trace_store::StoreError;
+use grasp_cachesim::trace::persist::PersistError;
+use grasp_graph::ingest::DiskCsrError;
+
+/// Any failure the campaign layer can surface: store, trace-format, graph
+/// ingest, or spec decode. See the module docs for the `kind()` contract.
+#[derive(Debug)]
+pub enum Error {
+    /// A trace-store lookup or publication failed.
+    Store(StoreError),
+    /// A persisted trace block failed to decode.
+    Trace(PersistError),
+    /// An on-disk graph failed to open or verify.
+    Graph(DiskCsrError),
+    /// A [`CampaignSpec`](crate::spec::CampaignSpec) failed to decode or
+    /// validate; the message says which field and why.
+    Spec(String),
+}
+
+impl Error {
+    /// The stable machine-readable kind string for this error, used verbatim
+    /// in service error frames. The set only ever grows; existing strings
+    /// never change. A wrapped trace decode failure reports the same kind
+    /// whether it surfaced through the store or directly.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Store(StoreError::Io(_)) => "store/io",
+            Error::Store(StoreError::Corrupt(_)) => "store/corrupt",
+            Error::Store(StoreError::Trace(e)) | Error::Trace(e) => trace_kind(e),
+            Error::Graph(e) => graph_kind(e),
+            Error::Spec(_) => "spec/invalid",
+        }
+    }
+}
+
+fn trace_kind(error: &PersistError) -> &'static str {
+    match error {
+        PersistError::Io(_) => "trace/io",
+        PersistError::BadMagic(_) => "trace/bad-magic",
+        PersistError::UnsupportedVersion(_) => "trace/unsupported-version",
+        PersistError::IncompatibleChunkSize { .. } => "trace/incompatible-chunk-size",
+        PersistError::Truncated { .. } => "trace/truncated",
+        PersistError::ChecksumMismatch { .. } => "trace/checksum-mismatch",
+        PersistError::Corrupt(_) => "trace/corrupt",
+    }
+}
+
+fn graph_kind(error: &DiskCsrError) -> &'static str {
+    match error {
+        DiskCsrError::BadMagic => "graph/bad-magic",
+        DiskCsrError::UnsupportedVersion(_) => "graph/unsupported-version",
+        DiskCsrError::Truncated { .. } => "graph/truncated",
+        DiskCsrError::HeaderChecksumMismatch { .. } => "graph/header-checksum-mismatch",
+        DiskCsrError::ColumnChecksumMismatch { .. } => "graph/column-checksum-mismatch",
+        DiskCsrError::Corrupt(_) => "graph/corrupt",
+        DiskCsrError::Io(_) => "graph/io",
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Store(e) => write!(f, "trace store: {e}"),
+            Error::Trace(e) => write!(f, "trace: {e}"),
+            Error::Graph(e) => write!(f, "graph: {e}"),
+            Error::Spec(msg) => write!(f, "campaign spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Store(e) => Some(e),
+            Error::Trace(e) => Some(e),
+            Error::Graph(e) => Some(e),
+            Error::Spec(_) => None,
+        }
+    }
+}
+
+impl From<StoreError> for Error {
+    fn from(error: StoreError) -> Self {
+        Error::Store(error)
+    }
+}
+
+impl From<PersistError> for Error {
+    fn from(error: PersistError) -> Self {
+        Error::Trace(error)
+    }
+}
+
+impl From<DiskCsrError> for Error {
+    fn from(error: DiskCsrError) -> Self {
+        Error::Graph(error)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(error: std::io::Error) -> Self {
+        Error::Store(StoreError::Io(error))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_strings() {
+        // These strings are wire protocol: the cases here pin them.
+        let io = || std::io::Error::other("x");
+        assert_eq!(Error::Store(StoreError::Io(io())).kind(), "store/io");
+        assert_eq!(
+            Error::Store(StoreError::Corrupt("x".into())).kind(),
+            "store/corrupt"
+        );
+        assert_eq!(
+            Error::Trace(PersistError::ChecksumMismatch {
+                stored: 1,
+                computed: 2
+            })
+            .kind(),
+            "trace/checksum-mismatch"
+        );
+        // The same trace failure reports the same kind through the store.
+        assert_eq!(
+            Error::Store(StoreError::Trace(PersistError::ChecksumMismatch {
+                stored: 1,
+                computed: 2
+            }))
+            .kind(),
+            "trace/checksum-mismatch"
+        );
+        assert_eq!(
+            Error::Graph(DiskCsrError::BadMagic).kind(),
+            "graph/bad-magic"
+        );
+        assert_eq!(Error::Spec("bad scale".into()).kind(), "spec/invalid");
+    }
+
+    #[test]
+    fn io_errors_convert_through_the_store_case() {
+        let err: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert_eq!(err.kind(), "store/io");
+        assert!(err.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,343 @@
+//! Single-flight deduplication of in-flight stream recordings.
+//!
+//! The trace store already collapses recordings *across* runs: a published
+//! entry serves every later campaign. What it cannot collapse is the window
+//! *during* a recording — two campaigns probing the same missing key both
+//! plan a `Record` task and both pay the full application run. At fleet
+//! scale (the campaign service, many clients sharing one store) that window
+//! is exactly where the duplicated work lives.
+//!
+//! A [`FlightRegistry`] closes it. Layered over [`TraceStore::probe`]/
+//! [`TraceStore::publish`](crate::trace_store::TraceStore::publish)
+//! semantics, it keys in-flight obtains by [`TraceStoreKey`]: the first
+//! caller per key becomes the **leader** and runs the real obtain (store
+//! load, else record + publish); every concurrent caller for the same key
+//! becomes a **waiter** and blocks until the leader finishes, then attaches
+//! to the leader's [`Arc<RecordedRun>`] — sharing the recording without
+//! copying the trace and without touching the store. The registry entry is
+//! removed as soon as the flight lands, so later campaigns go back to the
+//! store (and hit the published entry).
+//!
+//! If a leader panics, its flight is marked aborted and one blocked waiter
+//! takes over as the new leader — a crash never strands the other clients.
+//!
+//! [`TraceStore::probe`]: crate::trace_store::TraceStore::probe
+
+use crate::experiment::RecordedRun;
+use crate::trace_store::TraceStoreKey;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How one obtain call was ultimately served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightServed {
+    /// This caller recorded the stream itself (it led the flight and the
+    /// store missed). Exactly one caller per key reports this while the
+    /// flight is shared.
+    Recorded,
+    /// The trace store served the stream; nothing was recorded.
+    StoreHit,
+    /// Another in-flight caller's recording was shared: this caller waited
+    /// on the leader and attached to its [`Arc<RecordedRun>`].
+    Attached,
+}
+
+/// One in-flight obtain: waiters park on `done` until the leader resolves
+/// the state away from `Pending`.
+#[derive(Default)]
+struct FlightSlot {
+    state: Mutex<SlotState>,
+    done: Condvar,
+}
+
+#[derive(Default)]
+enum SlotState {
+    #[default]
+    Pending,
+    /// The leader unwound without landing the flight; a waiter retries.
+    Aborted,
+    Landed(Arc<RecordedRun>),
+}
+
+/// Counters of how a registry's flights were served (see
+/// [`FlightRegistry::stats`]). `recorded` counts actual recordings — the
+/// number the single-flight guarantee bounds at one per unique key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlightStats {
+    /// Flights this registry's leaders actually recorded.
+    pub recorded: u64,
+    /// Flights a leader resolved straight from the trace store.
+    pub store_hits: u64,
+    /// Obtain calls served by attaching to another caller's in-flight
+    /// recording (the deduplicated work).
+    pub attached: u64,
+}
+
+/// An in-flight registry deduplicating concurrent recordings by
+/// [`TraceStoreKey`]. Share one instance (behind an `Arc`) across every
+/// campaign that should coordinate — the campaign service hands the same
+/// registry to all client campaigns via
+/// [`Campaign::with_single_flight`](crate::campaign::Campaign::with_single_flight).
+#[derive(Debug, Default)]
+pub struct FlightRegistry {
+    inflight: Mutex<HashMap<TraceStoreKey, Arc<FlightSlot>>>,
+    recorded: AtomicU64,
+    store_hits: AtomicU64,
+    attached: AtomicU64,
+}
+
+impl std::fmt::Debug for FlightSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightSlot").finish_non_exhaustive()
+    }
+}
+
+impl FlightRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the registry's service counters.
+    pub fn stats(&self) -> FlightStats {
+        FlightStats {
+            recorded: self.recorded.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            attached: self.attached.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Obtains the stream for `key`, deduplicating against every concurrent
+    /// call with the same key. `produce` is the uncoordinated obtain (store
+    /// load, else record + publish) returning the recording and whether the
+    /// store served it; it runs on **at most one** caller per key at a time
+    /// — everyone else blocks and attaches to the winner's recording.
+    pub fn obtain(
+        &self,
+        key: TraceStoreKey,
+        produce: impl FnOnce() -> (RecordedRun, bool),
+    ) -> (Arc<RecordedRun>, FlightServed) {
+        let mut produce = Some(produce);
+        loop {
+            let (slot, leads) = {
+                let mut map = self.inflight.lock().expect("flight registry not poisoned");
+                match map.entry(key) {
+                    Entry::Occupied(entry) => (Arc::clone(entry.get()), false),
+                    Entry::Vacant(vacant) => {
+                        let slot = Arc::new(FlightSlot::default());
+                        vacant.insert(Arc::clone(&slot));
+                        (slot, true)
+                    }
+                }
+            };
+            if leads {
+                // Abort the flight (waking a waiter to take over) if
+                // `produce` unwinds before the flight lands.
+                let guard = LandOrAbort {
+                    registry: self,
+                    key,
+                    slot: &slot,
+                    landed: false,
+                };
+                let (recorded, store_hit) =
+                    (produce.take().expect("a caller leads at most once"))();
+                let recorded = Arc::new(recorded);
+                {
+                    let mut state = slot.state.lock().expect("flight slot not poisoned");
+                    *state = SlotState::Landed(Arc::clone(&recorded));
+                }
+                let mut guard = guard;
+                guard.landed = true;
+                drop(guard); // removes the registry entry, wakes the waiters
+                let served = if store_hit {
+                    self.store_hits.fetch_add(1, Ordering::Relaxed);
+                    FlightServed::StoreHit
+                } else {
+                    self.recorded.fetch_add(1, Ordering::Relaxed);
+                    FlightServed::Recorded
+                };
+                return (recorded, served);
+            }
+            let mut state = slot.state.lock().expect("flight slot not poisoned");
+            loop {
+                match &*state {
+                    SlotState::Pending => {
+                        state = slot.done.wait(state).expect("flight slot not poisoned");
+                    }
+                    SlotState::Landed(recorded) => {
+                        self.attached.fetch_add(1, Ordering::Relaxed);
+                        return (Arc::clone(recorded), FlightServed::Attached);
+                    }
+                    SlotState::Aborted => break,
+                }
+            }
+            // The leader unwound: retry from the top — the registry entry is
+            // gone, so this caller (or another waiter) becomes the new
+            // leader and produces the stream itself.
+        }
+    }
+}
+
+/// Removes the flight's registry entry and wakes its waiters when the
+/// leader finishes — or unwinds. On unwind the slot is marked aborted so
+/// waiters retry instead of parking forever.
+struct LandOrAbort<'a> {
+    registry: &'a FlightRegistry,
+    key: TraceStoreKey,
+    slot: &'a FlightSlot,
+    landed: bool,
+}
+
+impl Drop for LandOrAbort<'_> {
+    fn drop(&mut self) {
+        if !self.landed {
+            if let Ok(mut state) = self.slot.state.lock() {
+                *state = SlotState::Aborted;
+            }
+        }
+        if let Ok(mut map) = self.registry.inflight.lock() {
+            map.remove(&self.key);
+        }
+        self.slot.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{DatasetKind, Scale};
+    use crate::experiment::Experiment;
+    use crate::policy::PolicyKind;
+    use grasp_analytics::apps::AppKind;
+    use std::sync::atomic::AtomicUsize;
+
+    fn test_key(config_hash: u64) -> TraceStoreKey {
+        let hierarchy = Scale::Tiny.hierarchy();
+        let experiment = Experiment::new(
+            DatasetKind::Twitter.build(Scale::Tiny).graph,
+            AppKind::PageRank,
+        );
+        let mut key = TraceStoreKey::new(
+            DatasetKind::Twitter,
+            Scale::Tiny,
+            grasp_reorder::TechniqueKind::Dbg,
+            AppKind::PageRank,
+            &hierarchy,
+            experiment.app_config(),
+        );
+        key.config_hash = config_hash;
+        key
+    }
+
+    fn record_tiny() -> RecordedRun {
+        Experiment::new(
+            DatasetKind::Twitter.build(Scale::Tiny).graph,
+            AppKind::PageRank,
+        )
+        .with_hierarchy(Scale::Tiny.hierarchy())
+        .record()
+    }
+
+    #[test]
+    fn concurrent_same_key_obtains_record_once() {
+        let registry = FlightRegistry::new();
+        let produced = AtomicUsize::new(0);
+        let threads = 4;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let (recorded, _) = registry.obtain(test_key(7), || {
+                        produced.fetch_add(1, Ordering::Relaxed);
+                        // A real recording takes long enough that siblings
+                        // reliably pile onto the same flight.
+                        (record_tiny(), false)
+                    });
+                    assert!(!recorded.trace().is_empty());
+                });
+            }
+        });
+        let stats = registry.stats();
+        assert_eq!(
+            stats.recorded + stats.attached,
+            threads,
+            "every obtain is served exactly once"
+        );
+        assert_eq!(
+            produced.load(Ordering::Relaxed) as u64,
+            stats.recorded,
+            "produce runs once per recording"
+        );
+        // All entries drain once the flights land.
+        assert!(registry.inflight.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let registry = FlightRegistry::new();
+        let (a, served_a) = registry.obtain(test_key(1), || (record_tiny(), false));
+        let (b, served_b) = registry.obtain(test_key(2), || (record_tiny(), true));
+        assert_eq!(served_a, FlightServed::Recorded);
+        assert_eq!(served_b, FlightServed::StoreHit);
+        assert!(!Arc::ptr_eq(&a, &b));
+        let stats = registry.stats();
+        assert_eq!(stats.recorded, 1);
+        assert_eq!(stats.store_hits, 1);
+        assert_eq!(stats.attached, 0);
+    }
+
+    #[test]
+    fn waiters_share_the_leaders_arc() {
+        let registry = Arc::new(FlightRegistry::new());
+        let results: Vec<Arc<RecordedRun>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let registry = Arc::clone(&registry);
+                    scope.spawn(move || registry.obtain(test_key(9), || (record_tiny(), false)).0)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Replays through shared and freshly recorded runs agree bit for bit.
+        let reference = results[0].replay(PolicyKind::Rrip);
+        for recorded in &results[1..] {
+            let replayed = recorded.replay(PolicyKind::Rrip);
+            assert_eq!(reference.stats, replayed.stats);
+        }
+    }
+
+    #[test]
+    fn aborted_leader_hands_the_flight_to_a_waiter() {
+        let registry = Arc::new(FlightRegistry::new());
+        let key = test_key(3);
+        // Leader panics mid-produce; the waiter must take over and succeed.
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        std::thread::scope(|scope| {
+            let leader_registry = Arc::clone(&registry);
+            let leader_barrier = Arc::clone(&barrier);
+            let leader = scope.spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    leader_registry.obtain(key, || {
+                        leader_barrier.wait(); // waiter is parked (or about to be)
+                        panic!("recording failed");
+                    })
+                }));
+                assert!(result.is_err());
+            });
+            let waiter_registry = Arc::clone(&registry);
+            let waiter_barrier = Arc::clone(&barrier);
+            let waiter = scope.spawn(move || {
+                waiter_barrier.wait();
+                waiter_registry.obtain(key, || (record_tiny(), false))
+            });
+            leader.join().unwrap();
+            let (recorded, served) = waiter.join().unwrap();
+            assert!(!recorded.trace().is_empty());
+            // The waiter either retried as the new leader or (if it arrived
+            // after the abort) led from the start — never stranded.
+            assert_eq!(served, FlightServed::Recorded);
+        });
+        assert!(registry.inflight.lock().unwrap().is_empty());
+    }
+}

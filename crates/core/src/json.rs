@@ -1,10 +1,14 @@
-//! A minimal JSON reader for the `BENCH_*.json` dumps.
+//! A minimal JSON value type shared by the report writer, the serializable
+//! [`CampaignSpec`](crate::spec::CampaignSpec) and the campaign service's
+//! wire protocol.
 //!
 //! The workspace's vendored `serde` is an offline stub without a JSON
-//! backend, and the dumps are produced by our own writer
-//! (`grasp_core::report::to_json`), so a small strict parser covering
-//! objects, arrays, strings, numbers, booleans and null is all that is
-//! needed — with escapes handled exactly as the writer emits them.
+//! backend, and every document crossing this codebase is produced by our own
+//! writers, so a small strict parser covering objects, arrays, strings,
+//! numbers, booleans and null — with escapes handled exactly as the writer
+//! emits them — is all that is needed. Serialization is the [`Json`] value's
+//! `Display` impl: object keys emit in sorted (BTreeMap) order, so a given
+//! value always serializes to the same bytes.
 
 use std::collections::BTreeMap;
 
@@ -15,13 +19,13 @@ pub enum Json {
     Null,
     /// `true` / `false`
     Bool(bool),
-    /// Any JSON number, kept as `f64` (exact for the integers we emit).
+    /// Any JSON number, kept as `f64` (exact for integers up to 2^53).
     Number(f64),
     /// A string, with escapes resolved.
     String(String),
     /// An array.
     Array(Vec<Json>),
-    /// An object (key order not preserved; comparisons are by key).
+    /// An object (key order not preserved; serialization is by sorted key).
     Object(BTreeMap<String, Json>),
 }
 
@@ -38,6 +42,17 @@ impl Json {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a number that is one
+    /// (integral, in range, no fractional part).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
             _ => None,
         }
     }
@@ -63,6 +78,94 @@ impl Json {
         match self {
             Json::Array(items) => Some(items),
             _ => None,
+        }
+    }
+
+    /// The value as an object map, if it is one.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Convenience constructor for an object from `(key, value)` pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Convenience constructor for a string value.
+    pub fn string(s: impl Into<String>) -> Json {
+        Json::String(s.into())
+    }
+
+    /// Convenience constructor for an integer number value.
+    pub fn integer(n: u64) -> Json {
+        Json::Number(n as f64)
+    }
+}
+
+/// Appends `text` to `out` with JSON string escaping (the exact escape set
+/// [`parse`] resolves: quotes, backslashes, the common control escapes, and
+/// `\u00XX` for the remaining control characters).
+pub fn escape_into(out: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Number(n) => {
+                // Integers (the overwhelming majority of what this codebase
+                // emits) print without a decimal point; everything else uses
+                // Rust's shortest-round-trip float formatting.
+                if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Json::String(s) => {
+                let mut escaped = String::with_capacity(s.len() + 2);
+                escape_into(&mut escaped, s);
+                write!(f, "\"{escaped}\"")
+            }
+            Json::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(map) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut escaped = String::with_capacity(key.len());
+                    escape_into(&mut escaped, key);
+                    write!(f, "\"{escaped}\":{value}")?;
+                }
+                f.write_str("}")
+            }
         }
     }
 }
@@ -318,5 +421,39 @@ mod tests {
         assert_eq!(parse("true").unwrap(), Json::Bool(true));
         assert_eq!(parse("null").unwrap(), Json::Null);
         assert_eq!(parse("[]").unwrap(), Json::Array(Vec::new()));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let doc = Json::object([
+            ("name", Json::string("tw\n\"quoted\"")),
+            ("count", Json::integer(42)),
+            ("ratio", Json::Number(2.5)),
+            ("flag", Json::Bool(true)),
+            ("none", Json::Null),
+            (
+                "items",
+                Json::Array(vec![Json::integer(1), Json::string("x")]),
+            ),
+        ]);
+        let text = doc.to_string();
+        assert_eq!(parse(&text).expect("own output parses"), doc);
+        // Stable: the same value always serializes to the same bytes.
+        assert_eq!(text, doc.to_string());
+    }
+
+    #[test]
+    fn integers_print_without_decimal_point() {
+        assert_eq!(Json::integer(27582).to_string(), "27582");
+        assert_eq!(Json::Number(-3.0).to_string(), "-3");
+        assert_eq!(Json::Number(0.5).to_string(), "0.5");
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(Json::Number(4.0).as_u64(), Some(4));
+        assert_eq!(Json::Number(4.5).as_u64(), None);
+        assert_eq!(Json::Number(-1.0).as_u64(), None);
+        assert_eq!(Json::string("4").as_u64(), None);
     }
 }

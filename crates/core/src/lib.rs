@@ -19,6 +19,14 @@
 //!   (two-phase barrier, direct per-cell, and streaming gang-pipeline
 //!   plans remain selectable), results always in deterministic grid
 //!   order,
+//! * the **serializable campaign spec** ([`spec`]) — [`spec::CampaignSpec`]
+//!   round-trips a campaign through hand-rolled JSON ([`json`]), shared by
+//!   the library builder and the `grasp-serve` service wire protocol,
+//! * the **single-flight registry** ([`flight`]) — deduplicates concurrent
+//!   recordings of the same stream across campaigns sharing a registry,
+//! * the **unified error type** ([`error`]) — one [`error::Error`] over the
+//!   store/trace/graph/spec failure domains with stable machine-readable
+//!   [`error::Error::kind`] strings (the service's error-frame vocabulary),
 //! * **comparison helpers** ([`compare`]) — miss-reduction and speed-up
 //!   percentages, geometric means,
 //! * **report formatting** ([`report`]) — the plain-text tables printed by
@@ -45,9 +53,13 @@
 pub mod campaign;
 pub mod compare;
 pub mod datasets;
+pub mod error;
 pub mod experiment;
+pub mod flight;
+pub mod json;
 pub mod policy;
 pub mod report;
+pub mod spec;
 pub mod trace_store;
 
 pub use campaign::{
@@ -57,7 +69,12 @@ pub use compare::{geometric_mean_speedup, miss_reduction_pct, speedup_pct};
 pub use datasets::{
     CatalogEntry, Dataset, DatasetCatalog, DatasetId, DatasetKind, GraphBacking, GraphHash, Scale,
 };
+pub use error::Error;
 pub use experiment::{Experiment, RecordedRun, RunResult};
+pub use flight::{FlightRegistry, FlightServed, FlightStats};
+pub use grasp_cachesim::Codec;
+pub use json::Json;
 pub use policy::PolicyKind;
 pub use report::Table;
+pub use spec::CampaignSpec;
 pub use trace_store::{TraceStore, TraceStoreKey, TraceStoreStats};

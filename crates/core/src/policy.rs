@@ -94,6 +94,35 @@ impl PolicyKind {
         }
     }
 
+    /// Parses a wire label back to the policy. Accepts every fixed
+    /// [`PolicyKind::label`] plus `PIN-<percent>` for any pinning fraction
+    /// in 1..=100 (the display label collapses unusual fractions to
+    /// `PIN-X`, so [`CampaignSpec`] documents spell the number out).
+    ///
+    /// [`CampaignSpec`]: crate::spec::CampaignSpec
+    pub fn from_label(label: &str) -> Option<Self> {
+        if let Some(percent) = label.strip_prefix("PIN-") {
+            let percent: u8 = percent.parse().ok()?;
+            return (1..=100)
+                .contains(&percent)
+                .then_some(PolicyKind::Pin(percent));
+        }
+        let fixed = [
+            PolicyKind::Lru,
+            PolicyKind::Random,
+            PolicyKind::Srrip,
+            PolicyKind::Brrip,
+            PolicyKind::Rrip,
+            PolicyKind::ShipMem,
+            PolicyKind::Hawkeye,
+            PolicyKind::Leeway,
+            PolicyKind::GraspHintsOnly,
+            PolicyKind::GraspInsertionOnly,
+            PolicyKind::Grasp,
+        ];
+        fixed.into_iter().find(|policy| policy.label() == label)
+    }
+
     /// Whether the policy consumes GRASP's reuse hints (and therefore needs
     /// the ABRs to be programmed for specialized behaviour).
     pub fn uses_hints(self) -> bool {

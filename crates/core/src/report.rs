@@ -61,20 +61,11 @@ impl Table {
     }
 }
 
-/// Escapes a string for inclusion in a JSON document.
+/// Escapes a string for inclusion in a JSON document (the one escaping
+/// implementation lives in [`crate::json`]).
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
+    crate::json::escape_into(&mut out, s);
     out
 }
 

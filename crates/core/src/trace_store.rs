@@ -198,15 +198,6 @@ fn hash_app_config(hasher: &mut ConfigHasher, config: &AppConfig) {
     });
 }
 
-fn scale_slug(scale: Scale) -> &'static str {
-    match scale {
-        Scale::Tiny => "tiny",
-        Scale::Small => "small",
-        Scale::Medium => "medium",
-        Scale::Large => "large",
-    }
-}
-
 /// Lowercases a display label and maps every non-alphanumeric run to a
 /// single `_` (so "Gorder(+DBG)" becomes "gorder_dbg").
 fn slugify(label: &str) -> String {
@@ -291,7 +282,7 @@ impl TraceStoreKey {
         format!(
             "{}-{}-{}-{}-{:016x}.v{}.trace",
             self.dataset.slug(),
-            scale_slug(self.scale),
+            self.scale.slug(),
             slugify(self.technique.label()),
             slugify(self.app.label()),
             self.config_hash,
@@ -525,11 +516,20 @@ impl TraceStore {
     /// **miss**; an unreadable entry is a **corrupt miss** — the caller
     /// records freshly and the subsequent [`TraceStore::publish`] atomically
     /// replaces the bad file.
+    ///
+    /// This is a convenience wrapper over [`TraceStore::try_load`] that
+    /// folds decode failures into `None` (after counting and logging them).
+    /// Callers that must *distinguish* a corrupt entry from a missing one —
+    /// the campaign service reports `store/corrupt` error frames rather
+    /// than silently re-recording — should call [`TraceStore::try_load`]
+    /// and inspect the [`StoreError`] themselves.
     pub fn load(&self, key: &TraceStoreKey) -> Option<StoredRecording> {
-        match self.lookup(key) {
-            Ok(Some((file, stored))) => {
+        match self.try_load(key) {
+            Ok(Some(stored)) => {
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                self.touch(&file);
+                // Touch the file the lookup actually resolved (a cross-codec
+                // fallback hit lives under the fallback codec's name).
+                self.touch(&key.file_name_for(stored.codec));
                 Some(stored)
             }
             Ok(None) => {
@@ -550,6 +550,7 @@ impl TraceStore {
 
     /// Looks `key` up without touching the traffic counters. `Ok(None)`
     /// means no entry exists; decode failures are returned, never masked.
+    /// [`TraceStore::load`] is the counting wrapper over this.
     pub fn try_load(&self, key: &TraceStoreKey) -> Result<Option<StoredRecording>, StoreError> {
         Ok(self.lookup(key)?.map(|(_, stored)| stored))
     }

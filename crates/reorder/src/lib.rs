@@ -127,6 +127,13 @@ impl TechniqueKind {
             TechniqueKind::GorderDbg => "Gorder(+DBG)",
         }
     }
+
+    /// Parses a display label ([`TechniqueKind::label`]) back to the kind.
+    pub fn from_label(label: &str) -> Option<Self> {
+        TechniqueKind::ALL
+            .into_iter()
+            .find(|technique| technique.label() == label)
+    }
 }
 
 impl std::fmt::Display for TechniqueKind {

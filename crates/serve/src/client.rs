@@ -1,0 +1,47 @@
+//! A minimal blocking client for the service protocol: connect, send one
+//! request frame, stream the response frames back.
+
+use grasp_core::json::{self, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Connects to the daemon at `socket`, sends `request` and invokes
+/// `on_frame` for every response frame as it arrives (cells stream in
+/// completion order, so a caller sees results incrementally while the rest
+/// of the grid is still running). Returns when the daemon closes the
+/// connection. A frame the daemon sends that is not valid JSON is an
+/// [`std::io::ErrorKind::InvalidData`] error.
+pub fn request_streaming(
+    socket: &Path,
+    request: &Json,
+    on_frame: &mut dyn FnMut(&Json),
+) -> std::io::Result<()> {
+    let mut stream = UnixStream::connect(socket)?;
+    let mut line = request.to_string();
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let frame = json::parse(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparseable response frame: {e}"),
+            )
+        })?;
+        on_frame(&frame);
+    }
+    Ok(())
+}
+
+/// [`request_streaming`] collecting every frame into a vector.
+pub fn request(socket: &Path, request: &Json) -> std::io::Result<Vec<Json>> {
+    let mut frames = Vec::new();
+    request_streaming(socket, request, &mut |frame| frames.push(frame.clone()))?;
+    Ok(frames)
+}

@@ -1,0 +1,193 @@
+//! Admission control: a bounded-concurrency gate with a bounded wait queue.
+//!
+//! The daemon runs at most `max_active` campaigns at once. Requests beyond
+//! that park in a queue of depth `queue_depth` (backpressure: the client
+//! has been accepted on the socket but its campaign has not started);
+//! requests beyond *that* are rejected immediately with a
+//! `service/overloaded` error frame rather than queueing unboundedly.
+
+use std::sync::{Condvar, Mutex};
+
+/// The gate refused admission: the run slots and the wait queue were both
+/// full at the time of the call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded;
+
+impl std::fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "all campaign slots and queue positions are taken")
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+#[derive(Default)]
+struct GateState {
+    active: usize,
+    waiting: usize,
+}
+
+/// A counting gate: up to `max_active` concurrent holders, up to
+/// `queue_depth` blocked waiters, everyone else turned away.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    state: Mutex<GateState>,
+    freed: Condvar,
+    max_active: usize,
+    queue_depth: usize,
+}
+
+impl std::fmt::Debug for GateState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GateState")
+            .field("active", &self.active)
+            .field("waiting", &self.waiting)
+            .finish()
+    }
+}
+
+impl AdmissionGate {
+    /// A gate admitting `max_active` concurrent holders (clamped to at
+    /// least one) with a wait queue of `queue_depth`.
+    pub fn new(max_active: usize, queue_depth: usize) -> Self {
+        Self {
+            state: Mutex::new(GateState::default()),
+            freed: Condvar::new(),
+            max_active: max_active.max(1),
+            queue_depth,
+        }
+    }
+
+    /// Acquires a run slot, blocking in the queue if the slots are full.
+    /// Returns [`Overloaded`] without blocking when the queue is full too.
+    /// The slot is released when the returned permit drops.
+    pub fn admit(&self) -> Result<Permit<'_>, Overloaded> {
+        let mut state = self.state.lock().expect("admission gate not poisoned");
+        if state.active >= self.max_active {
+            if state.waiting >= self.queue_depth {
+                return Err(Overloaded);
+            }
+            state.waiting += 1;
+            while state.active >= self.max_active {
+                state = self.freed.wait(state).expect("admission gate not poisoned");
+            }
+            state.waiting -= 1;
+        }
+        state.active += 1;
+        Ok(Permit { gate: self })
+    }
+
+    /// Campaigns currently holding a run slot.
+    pub fn active(&self) -> usize {
+        self.state
+            .lock()
+            .expect("admission gate not poisoned")
+            .active
+    }
+
+    /// Requests parked in the wait queue.
+    pub fn waiting(&self) -> usize {
+        self.state
+            .lock()
+            .expect("admission gate not poisoned")
+            .waiting
+    }
+}
+
+/// An admitted campaign's run slot; dropping it frees the slot and wakes
+/// one queued waiter.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut state) = self.gate.state.lock() {
+            state.active -= 1;
+        }
+        self.gate.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn slots_below_the_cap_admit_immediately() {
+        let gate = AdmissionGate::new(2, 0);
+        let a = gate.admit().expect("first slot");
+        let b = gate.admit().expect("second slot");
+        assert_eq!(gate.active(), 2);
+        drop(a);
+        assert_eq!(gate.active(), 1);
+        drop(b);
+        assert_eq!(gate.active(), 0);
+    }
+
+    #[test]
+    fn a_full_gate_with_no_queue_rejects_instead_of_blocking() {
+        let gate = AdmissionGate::new(1, 0);
+        let held = gate.admit().expect("slot");
+        assert_eq!(gate.admit().unwrap_err(), Overloaded);
+        drop(held);
+        // The slot came back: the next admit succeeds.
+        assert!(gate.admit().is_ok());
+    }
+
+    #[test]
+    fn queued_requests_run_after_the_holder_frees_the_slot() {
+        let gate = AdmissionGate::new(1, 2);
+        let order = AtomicUsize::new(0);
+        let queued = Barrier::new(3);
+        std::thread::scope(|scope| {
+            let holder = gate.admit().expect("slot");
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    queued.wait();
+                    let permit = gate.admit().expect("queue admits");
+                    order.fetch_add(1, Ordering::Relaxed);
+                    drop(permit);
+                });
+            }
+            queued.wait();
+            // Both waiters are queueing (or about to); wait until they park.
+            while gate.waiting() < 2 {
+                std::thread::yield_now();
+            }
+            assert_eq!(order.load(Ordering::Relaxed), 0, "queue holds while full");
+            drop(holder);
+        });
+        assert_eq!(order.load(Ordering::Relaxed), 2, "both waiters ran");
+        assert_eq!(gate.active(), 0);
+        assert_eq!(gate.waiting(), 0);
+    }
+
+    #[test]
+    fn overflow_beyond_the_queue_is_turned_away_while_waiters_survive() {
+        let gate = AdmissionGate::new(1, 1);
+        let holder = gate.admit().expect("slot");
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| gate.admit().map(drop));
+            while gate.waiting() < 1 {
+                std::thread::yield_now();
+            }
+            // Slot full, queue full: the third caller bounces.
+            assert_eq!(gate.admit().unwrap_err(), Overloaded);
+            drop(holder);
+            waiter
+                .join()
+                .expect("waiter thread")
+                .expect("waiter admits");
+        });
+    }
+
+    #[test]
+    fn a_zero_slot_gate_still_admits_one() {
+        let gate = AdmissionGate::new(0, 0);
+        assert!(gate.admit().is_ok());
+    }
+}

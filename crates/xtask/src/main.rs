@@ -6,6 +6,9 @@
 //!   `recompress [--codec]` / `exercise`; see [`trace`]).
 //! * `graph` — ingest/inspect on-disk binary CSR graphs
 //!   (`ingest --out` / `info` / `verify`; see [`graph`]).
+//! * `serve` / `client` — the campaign service daemon and its
+//!   command-line client (`grasp-serve` over a Unix socket; see
+//!   [`service`]).
 //!
 //! `bench-diff` compares freshly dumped `BENCH_<figure>.json` files against
 //! the committed baselines and fails when
@@ -22,10 +25,10 @@
 //! re-committing the baseline, not noise.
 
 mod graph;
-mod json;
+mod service;
 mod trace;
 
-use json::Json;
+use grasp_core::json::{self, Json};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -37,8 +40,10 @@ fn main() -> ExitCode {
         Some("bench-diff") => bench_diff(&args[1..]),
         Some("trace") => trace::run(&args[1..]),
         Some("graph") => graph::run(&args[1..]),
+        Some("serve") => service::serve(&args[1..]),
+        Some("client") => service::client(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask <bench-diff|trace|graph> [options]");
+            eprintln!("usage: cargo xtask <bench-diff|trace|graph|serve|client> [options]");
             eprintln!();
             eprintln!("bench-diff   compare fresh BENCH_*.json dumps against committed baselines");
             eprintln!("             (tolerance via GRASP_BENCH_TOLERANCE, default 0.10 = 10%)");
@@ -50,6 +55,8 @@ fn main() -> ExitCode {
             eprintln!("{}", trace::usage());
             eprintln!();
             eprintln!("{}", graph::usage());
+            eprintln!();
+            eprintln!("{}", service::usage());
             ExitCode::from(2)
         }
     }

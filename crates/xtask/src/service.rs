@@ -1,0 +1,148 @@
+//! `cargo xtask serve` / `cargo xtask client` — the command-line face of
+//! the campaign service daemon (`grasp-serve`).
+//!
+//! * `serve` binds the daemon on a Unix socket and serves until a client
+//!   sends `shutdown`.
+//! * `client` submits one request and prints every response frame as a
+//!   line of JSON on stdout — cells arrive (and print) in completion
+//!   order, so a long grid streams incrementally. The exit code is
+//!   non-zero when the daemon answers with an error frame.
+
+use grasp_core::json::Json;
+use grasp_core::spec::CampaignSpec;
+use grasp_serve::{client, protocol, ServeConfig, Server};
+use std::io::Read;
+use std::path::Path;
+use std::process::ExitCode;
+
+pub fn usage() -> &'static str {
+    "usage: cargo xtask serve  --socket <path> [--store <dir>] [--store-budget <N[K|M|G]>]\n\
+     \u{20}                      [--max-campaigns <n>] [--queue-depth <n>]\n\
+     usage: cargo xtask client --socket <path> <run <spec.json|-> | ping | stats | shutdown>\n\
+     \n\
+     serve       run the campaign daemon: clients submit CampaignSpec grids over\n\
+     \u{20}            the socket, recordings are single-flighted across all of them\n\
+     client      submit one request; response frames stream to stdout as JSON lines\n\
+     \u{20}            (run reads the spec from a file, or stdin with `-`)"
+}
+
+fn fail(message: impl std::fmt::Display) -> ExitCode {
+    eprintln!("{message}");
+    ExitCode::from(2)
+}
+
+pub fn serve(args: &[String]) -> ExitCode {
+    let mut socket: Option<String> = None;
+    let mut config_store = None;
+    let mut store_budget = None;
+    let mut max_campaigns = None;
+    let mut queue_depth = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let flag = arg.as_str();
+        if !matches!(
+            flag,
+            "--socket" | "--store" | "--store-budget" | "--max-campaigns" | "--queue-depth"
+        ) {
+            return fail(format!("serve: unknown argument {flag}\n{}", usage()));
+        }
+        let Some(raw) = iter.next() else {
+            return fail(format!("serve: {flag} needs an argument"));
+        };
+        match flag {
+            "--socket" => socket = Some(raw.clone()),
+            "--store" => config_store = Some(raw.clone()),
+            "--store-budget" => match crate::trace::parse_size(raw) {
+                Ok(bytes) => store_budget = Some(bytes),
+                Err(err) => return fail(format!("serve: {err}")),
+            },
+            "--max-campaigns" => match raw.parse() {
+                Ok(n) => max_campaigns = Some(n),
+                Err(_) => return fail("serve: --max-campaigns needs a number"),
+            },
+            "--queue-depth" => match raw.parse() {
+                Ok(n) => queue_depth = Some(n),
+                Err(_) => return fail("serve: --queue-depth needs a number"),
+            },
+            _ => unreachable!("flag vetted above"),
+        }
+    }
+    let Some(socket) = socket else {
+        return fail(format!("serve: --socket is required\n{}", usage()));
+    };
+    let mut config = ServeConfig::new(socket);
+    config.store = config_store.map(Into::into);
+    config.store_budget = store_budget;
+    if let Some(n) = max_campaigns {
+        config.max_campaigns = n;
+    }
+    if let Some(n) = queue_depth {
+        config.queue_depth = n;
+    }
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(err) => return fail(format!("serve: cannot start: {err}")),
+    };
+    eprintln!("grasp-serve: listening on {}", server.socket().display());
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => fail(format!("serve: {err}")),
+    }
+}
+
+pub fn client(args: &[String]) -> ExitCode {
+    let mut socket: Option<String> = None;
+    let mut rest: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--socket" => match iter.next() {
+                Some(path) => socket = Some(path.clone()),
+                None => return fail("client: --socket needs an argument"),
+            },
+            _ => rest.push(arg),
+        }
+    }
+    let Some(socket) = socket else {
+        return fail(format!("client: --socket is required\n{}", usage()));
+    };
+    let request = match rest.split_first() {
+        Some((cmd, tail)) => match (cmd.as_str(), tail) {
+            ("run", [spec_path]) => match read_spec(spec_path) {
+                Ok(spec) => protocol::run_request(&spec),
+                Err(err) => return fail(format!("client: {err}")),
+            },
+            ("ping", []) => protocol::simple_request("ping"),
+            ("stats", []) => protocol::simple_request("stats"),
+            ("shutdown", []) => protocol::simple_request("shutdown"),
+            _ => return fail(format!("client: unknown request\n{}", usage())),
+        },
+        None => return fail(format!("client: a request is required\n{}", usage())),
+    };
+    let mut failed = false;
+    let outcome = client::request_streaming(Path::new(&socket), &request, &mut |frame| {
+        println!("{frame}");
+        if frame.get("type").and_then(Json::as_str) == Some("error") {
+            failed = true;
+        }
+    });
+    match outcome {
+        Ok(()) if !failed => ExitCode::SUCCESS,
+        Ok(()) => ExitCode::FAILURE,
+        Err(err) => fail(format!("client: {err}")),
+    }
+}
+
+/// Reads a spec document from a file path, or stdin when the path is `-`.
+fn read_spec(path: &str) -> Result<CampaignSpec, String> {
+    let text = if path == "-" {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        text
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
+    CampaignSpec::from_json(&text).map_err(|e| format!("{e}"))
+}

@@ -183,21 +183,12 @@ pub fn run(args: &[String]) -> ExitCode {
     }
 }
 
-/// Minimal JSON string escaping for file names and paths (no serde_json in
-/// the offline build; names are ASCII slugs, paths may hold anything).
+/// JSON string escaping for file names and paths (names are ASCII slugs,
+/// paths may hold anything); delegates to the workspace's one escaping
+/// implementation in `grasp_core::json`.
 fn json_escape(raw: &str) -> String {
     let mut out = String::with_capacity(raw.len());
-    for c in raw.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
+    grasp_core::json::escape_into(&mut out, raw);
     out
 }
 
